@@ -1,0 +1,65 @@
+"""Rendering helpers shared by the per-figure benchmarks."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import ForumCaseStudy, SingleCountryPlacement
+from repro.analysis.report import ascii_bars
+
+
+def render_placement(placement, title: str) -> str:
+    labels = [f"UTC{offset:+d}" for offset in placement.offsets]
+    return ascii_bars(labels, list(placement.fractions), title=title)
+
+
+def render_single_country(result: SingleCountryPlacement, figure: str) -> str:
+    chart = render_placement(
+        result.placement,
+        f"{figure} -- {result.region_key} crowd placement "
+        f"(true zone UTC{result.true_offset:+d})",
+    )
+    return "\n".join(
+        [
+            chart,
+            f"Gaussian fit: mean {result.fit.mean:+.2f} "
+            f"(true {result.true_offset:+d}), sigma {result.fit.sigma:.2f} "
+            "(paper: ~2.5)",
+            f"fit distance avg {result.fit_metrics.average:.4f} "
+            f"std {result.fit_metrics.standard_deviation:.4f}",
+        ]
+    )
+
+
+def render_forum_study(study: ForumCaseStudy, figure: str) -> str:
+    report = study.report
+    components = "; ".join(
+        f"mean {component.mean:+.2f} sigma {component.sigma:.2f} "
+        f"weight {component.weight:.2f}"
+        for component in report.mixture.components
+    )
+    lines = [
+        render_placement(
+            report.placement, f"{figure} -- {study.spec.name} crowd placement"
+        ),
+        f"scrape: {study.scrape.summary()}",
+        f"polished crowd: {report.n_users} users / {report.n_posts} posts "
+        f"({report.n_removed_flat} flat profiles removed)",
+        f"components ({report.mixture.k}): {components}",
+        f"expected zones (generator ground truth): {list(study.expected_offsets)}",
+        f"fit distance avg {report.fit_metrics.average:.4f} "
+        f"std {report.fit_metrics.standard_deviation:.4f}",
+        f"Pearson vs generic: {study.pearson_vs_generic:.3f}",
+    ]
+    for hemisphere in report.hemisphere:
+        lines.append(
+            f"hemisphere[{hemisphere.user_id}]: {hemisphere.verdict.value} "
+            f"(asymmetry {hemisphere.margin():.2f})"
+        )
+    return "\n".join(lines)
+
+
+def component_zone_errors(study: ForumCaseStudy) -> list[float]:
+    """Distance from each recovered component to the nearest expected zone."""
+    return [
+        min(abs(component.mean - expected) for expected in study.expected_offsets)
+        for component in study.report.mixture.components
+    ]

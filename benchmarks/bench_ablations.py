@@ -1,0 +1,87 @@
+"""E-ABL: ablations of the paper's fixed design choices."""
+
+from __future__ import annotations
+
+from repro.analysis.ablations import (
+    run_metric_ablation,
+    run_sigma_init_ablation,
+    run_threshold_ablation,
+    run_trace_length_ablation,
+)
+from repro.analysis.report import ascii_table
+
+
+def test_ablation_distance_metric(benchmark, context, artifact_writer):
+    rows = benchmark.pedantic(
+        run_metric_ablation, args=(context,), rounds=1, iterations=1
+    )
+    artifact_writer(
+        "ablation_metric",
+        ascii_table(
+            ["metric", "accuracy (±1 zone)", "users placed"],
+            [(row.metric, row.accuracy, row.n_users) for row in rows],
+            title="Ablation -- placement distance (paper uses linear EMD)",
+        ),
+    )
+    by_metric = {row.metric: row.accuracy for row in rows}
+    # The EMD variants must beat the naive bin-wise distances: moving mass
+    # one hour is cheap for EMD but maximally penalised by L1/L2.
+    assert by_metric["linear"] >= by_metric["l2"] - 0.05
+    assert by_metric["linear"] > 0.5
+
+
+def test_ablation_activity_threshold(benchmark, context, artifact_writer):
+    rows = benchmark.pedantic(
+        run_threshold_ablation, args=(context,), rounds=1, iterations=1
+    )
+    artifact_writer(
+        "ablation_threshold",
+        ascii_table(
+            ["min posts", "accuracy (±1 zone)", "users retained"],
+            [(row.min_posts, row.accuracy, row.users_retained) for row in rows],
+            title="Ablation -- activity threshold (paper uses 30 posts)",
+        ),
+    )
+    retained = [row.users_retained for row in rows]
+    assert retained == sorted(retained, reverse=True)
+    thirty = next(row for row in rows if row.min_posts == 30)
+    five = next(row for row in rows if row.min_posts == 5)
+    # The 30-post rule's rationale: thresholding does not hurt much
+    # accuracy-wise while guaranteeing meaningful profiles.
+    assert thirty.accuracy >= five.accuracy - 0.1
+
+
+def test_ablation_em_sigma_init(benchmark, context, artifact_writer):
+    rows = benchmark.pedantic(
+        run_sigma_init_ablation, args=(context,), rounds=1, iterations=1
+    )
+    artifact_writer(
+        "ablation_sigma_init",
+        ascii_table(
+            ["sigma init", "components", "max centre error"],
+            [
+                (row.sigma_init, row.recovered_components, row.max_center_error)
+                for row in rows
+            ],
+            title="Ablation -- EM sigma initialisation (paper uses 2.5)",
+        ),
+    )
+    paper_row = next(row for row in rows if row.sigma_init == 2.5)
+    assert paper_row.recovered_components == 3
+    assert paper_row.max_center_error <= 1.5
+
+
+def test_ablation_trace_length(benchmark, context, artifact_writer):
+    rows = benchmark.pedantic(
+        run_trace_length_ablation, args=(context,), rounds=1, iterations=1
+    )
+    artifact_writer(
+        "ablation_trace_length",
+        ascii_table(
+            ["days of history", "accuracy (±1 zone)", "users retained"],
+            [(row.n_days, row.accuracy, row.users_retained) for row in rows],
+            title="Ablation -- monitoring duration (Sec. VII's question)",
+        ),
+    )
+    assert rows[-1].users_retained >= rows[0].users_retained
+    assert rows[-1].accuracy > 0.5

@@ -1,0 +1,27 @@
+"""E-F1: Fig. 1 -- a single German user's activity profile."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_fig1_user_profile
+from repro.analysis.report import ascii_bars
+
+
+def test_fig1_single_user_profile(benchmark, context, artifact_writer):
+    result = benchmark.pedantic(
+        run_fig1_user_profile, args=(context,), rounds=1, iterations=1
+    )
+    profile = result.profile
+    artifact_writer(
+        "fig1_user_profile",
+        ascii_bars(
+            list(range(24)),
+            list(profile.mass),
+            title=f"Fig. 1 -- {result.label} (local time)",
+        ),
+    )
+    # Paper shape: clear night trough (1h-7h), activity resuming in the
+    # morning and dominating in the evening hours.
+    night = sum(profile[h] for h in range(2, 6))
+    evening = sum(profile[h] for h in range(18, 23))
+    assert evening > 2 * night
+    assert profile.flatness() > 0.15  # a human, not a bot

@@ -1,0 +1,30 @@
+"""E-F3: Fig. 3 -- EMD placement of the German Twitter crowd.
+
+Paper shape: a Gaussian placement distribution peaked at UTC+1 with
+sigma ~ 2.5, decaying in the neighbouring zones.
+"""
+
+from __future__ import annotations
+
+from _shared import render_single_country
+
+from repro.analysis.experiments import run_single_country_placement
+
+
+def test_fig3_german_placement(benchmark, context, artifact_writer):
+    result = benchmark.pedantic(
+        run_single_country_placement,
+        args=("germany", context),
+        kwargs={"n_users": 250},
+        rounds=1,
+        iterations=1,
+    )
+    artifact_writer("fig3_german_placement", render_single_country(result, "Fig. 3"))
+    assert result.center_error() <= 1.0
+    assert 0.6 <= result.fit.sigma <= 3.5
+    assert abs(result.placement.mode_offset() - 1) <= 1
+    # Mass concentrates around the true zone, as in the paper's figure.
+    nearby = sum(
+        result.placement.fraction_at(offset) for offset in range(-2, 5)
+    )
+    assert nearby > 0.8

@@ -1,0 +1,20 @@
+"""E-F4: Fig. 4 -- EMD placement of the French Twitter crowd."""
+
+from __future__ import annotations
+
+from _shared import render_single_country
+
+from repro.analysis.experiments import run_single_country_placement
+
+
+def test_fig4_french_placement(benchmark, context, artifact_writer):
+    result = benchmark.pedantic(
+        run_single_country_placement,
+        args=("france", context),
+        kwargs={"n_users": 250},
+        rounds=1,
+        iterations=1,
+    )
+    artifact_writer("fig4_french_placement", render_single_country(result, "Fig. 4"))
+    assert result.center_error() <= 1.0
+    assert abs(result.placement.mode_offset() - 1) <= 1

@@ -1,0 +1,23 @@
+"""E-F5: Fig. 5 -- EMD placement of the Malaysian Twitter crowd."""
+
+from __future__ import annotations
+
+from _shared import render_single_country
+
+from repro.analysis.experiments import run_single_country_placement
+
+
+def test_fig5_malaysian_placement(benchmark, context, artifact_writer):
+    result = benchmark.pedantic(
+        run_single_country_placement,
+        args=("malaysia", context),
+        kwargs={"n_users": 250},
+        rounds=1,
+        iterations=1,
+    )
+    artifact_writer(
+        "fig5_malaysian_placement", render_single_country(result, "Fig. 5")
+    )
+    assert result.center_error() <= 1.0
+    assert abs(result.placement.mode_offset() - 8) <= 1
+    assert result.fit_metrics.average < 0.03

@@ -1,0 +1,58 @@
+"""E-F6a/E-F6b: Fig. 6 -- Gaussian-mixture decomposition of synthetic
+multi-region crowds.
+
+Paper shape: the GMM recovers both the number of regions (3) and the
+component centres (UTC/UTC-7/UTC+9 for the relocated Malaysians; the
+Illinois/Germany/Malaysia home zones for the merged crowd).
+"""
+
+from __future__ import annotations
+
+from _shared import render_placement
+
+from repro.analysis.experiments import run_fig6_mixture
+
+
+def _render(result):
+    components = "; ".join(
+        f"mean {component.mean:+.2f} weight {component.weight:.2f}"
+        for component in result.mixture.components
+    )
+    return "\n".join(
+        [
+            render_placement(result.placement, result.label),
+            f"expected zones: {sorted(result.expected_offsets)}",
+            f"recovered components ({result.mixture.k}): {components}",
+            f"max centre error: {result.max_center_error():.2f} zones",
+            f"fit distance avg {result.fit_metrics.average:.4f} "
+            f"std {result.fit_metrics.standard_deviation:.4f}",
+        ]
+    )
+
+
+def test_fig6a_relocated_malaysians(benchmark, context, artifact_writer):
+    result = benchmark.pedantic(
+        run_fig6_mixture,
+        args=("relocated", context),
+        kwargs={"users_per_component": 120},
+        rounds=1,
+        iterations=1,
+    )
+    artifact_writer("fig6a_relocated", _render(result))
+    assert result.mixture.k == 3
+    assert result.max_center_error() <= 1.2
+    weights = [component.weight for component in result.mixture.components]
+    assert max(weights) - min(weights) < 0.2  # three equal crowds
+
+
+def test_fig6b_merged_regions(benchmark, context, artifact_writer):
+    result = benchmark.pedantic(
+        run_fig6_mixture,
+        args=("merged", context),
+        kwargs={"users_per_component": 120},
+        rounds=1,
+        iterations=1,
+    )
+    artifact_writer("fig6b_merged", _render(result))
+    assert result.mixture.k == 3
+    assert result.max_center_error() <= 1.2

@@ -1,0 +1,57 @@
+"""Paper-scale validation: Figs. 3-5 at the full Table I crowd sizes.
+
+Everything else in the suite runs on scaled-down crowds for speed; this
+bench generates the three validation countries at **exactly the paper's
+user counts** (Germany 470, France 2,222, Malaysia 1,714) and re-runs the
+single-country placements, demonstrating that the pipeline handles the
+paper's actual data volume and that the centres do not drift with scale.
+"""
+
+from __future__ import annotations
+
+from _shared import render_single_country
+
+from repro.analysis.experiments import run_single_country_placement
+from repro.analysis.report import ascii_table
+from repro.timebase.zones import get_region
+
+_FULL_SIZES = {"germany": 470, "france": 2222, "malaysia": 1714}
+
+
+def test_paper_scale_validation(benchmark, context, artifact_writer):
+    def run():
+        return {
+            region: run_single_country_placement(
+                region, context, n_users=size, seed=77
+            )
+            for region, size in _FULL_SIZES.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for region, result in results.items():
+        rows.append(
+            (
+                region,
+                _FULL_SIZES[region],
+                result.placement.n_users,
+                f"UTC{result.true_offset:+d}",
+                f"{result.fit.mean:+.2f}",
+                f"{result.fit.sigma:.2f}",
+            )
+        )
+    artifact_writer(
+        "paper_scale_validation",
+        ascii_table(
+            ["region", "paper crowd size", "placed", "true zone",
+             "fitted centre", "sigma"],
+            rows,
+            title="Figs. 3-5 at the paper's full crowd sizes",
+        ),
+    )
+    for region, result in results.items():
+        assert result.center_error() <= 1.0, region
+        # Full-size crowds fill in the Gaussian tails the small-scale
+        # benches can only sketch.
+        assert result.fit_metrics.average < 0.02
+        assert result.placement.n_users >= 0.9 * _FULL_SIZES[region]

@@ -1,0 +1,43 @@
+"""Seed-stability of the headline reproduction claims."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ascii_table
+from repro.analysis.robustness import run_seed_stability
+
+
+def test_seed_stability(benchmark, context, artifact_writer):
+    rows = benchmark.pedantic(
+        run_seed_stability,
+        args=(context,),
+        kwargs={"seeds": (1, 2, 3), "scale": 0.8},
+        rounds=1,
+        iterations=1,
+    )
+    artifact_writer(
+        "seed_stability",
+        ascii_table(
+            ["forum", "seeds", "k correct", "centre correct", "both",
+             "centre spread (zones)"],
+            [
+                (
+                    row.forum_key,
+                    row.n_seeds,
+                    row.k_correct,
+                    row.center_correct,
+                    row.both_correct,
+                    row.center_spread,
+                )
+                for row in rows
+            ],
+            title="Robustness -- headline claims across independent "
+            "generator seeds",
+        ),
+    )
+    by_forum = {row.forum_key: row for row in rows}
+    # The four well-populated forums must reproduce on every seed.
+    for key in ("crd_club", "dream_market", "majestic_garden"):
+        assert by_forum[key].center_correct == 1.0
+    # The component count holds on a clear majority of seeds everywhere.
+    for row in rows:
+        assert row.k_correct >= 2 / 3 - 1e-9

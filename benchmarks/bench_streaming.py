@@ -1,0 +1,62 @@
+"""Streaming convergence: how long must a forum be monitored?
+
+Extension grounded in Sec. VII ("one might need to monitor a sufficiently
+large number of days ... to collect 30 posts per user or more").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import ascii_table
+from repro.analysis.streaming_experiments import run_convergence_experiment
+from repro.core.streaming import StreamingGeolocator
+
+
+def test_streaming_convergence(benchmark, context, artifact_writer):
+    rows = benchmark.pedantic(
+        run_convergence_experiment,
+        args=(context,),
+        kwargs={"scale": 1.0},
+        rounds=1,
+        iterations=1,
+    )
+    artifact_writer(
+        "streaming_convergence",
+        ascii_table(
+            ["day", "events seen", "active users", "verdict", "dominant centre"],
+            [
+                (
+                    row.day,
+                    row.n_events,
+                    row.n_users_active,
+                    "yes" if row.has_verdict else "no",
+                    row.dominant_mean,
+                )
+                for row in rows
+            ],
+            title="Extension -- verdict convergence while monitoring "
+            "Dream Market",
+        ),
+    )
+    final = rows[-1]
+    assert final.has_verdict
+    # Late-campaign verdicts agree with each other within half a zone.
+    late = [row.dominant_mean for row in rows if row.day >= 240]
+    assert max(late) - min(late) < 0.5
+
+
+def test_streaming_event_throughput(benchmark, context):
+    """Microbenchmark: per-event cost of the incremental accumulator."""
+    stream = StreamingGeolocator(context.references)
+    rng = np.random.default_rng(9)
+    timestamps = rng.uniform(0, 366 * 86400.0, size=1000)
+    counter = {"i": 0}
+
+    def feed():
+        i = counter["i"]
+        stream.observe(f"user{i % 50}", float(timestamps[i % 1000]))
+        counter["i"] = i + 1
+
+    benchmark(feed)
+    assert stream.n_events > 0

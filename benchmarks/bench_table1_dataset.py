@@ -1,0 +1,29 @@
+"""E-T1: Table I -- the ground-truth dataset (active users by region)."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_table1
+from repro.analysis.report import ascii_table
+from repro.synth.twitter import build_twitter_dataset
+
+
+def test_table1_rows(benchmark, context, artifact_writer):
+    rows = benchmark.pedantic(run_table1, args=(context,), rounds=1, iterations=1)
+    rendered = ascii_table(
+        ["Country/State", "paper active users", "generated active users"],
+        rows,
+        title="Table I -- active users by country/state",
+    )
+    artifact_writer("table1", rendered)
+    assert len(rows) == 14
+    assert sum(paper for _, paper, _ in rows) == 22576
+    assert all(ours > 0 for _, _, ours in rows)
+
+
+def test_dataset_generation_speed(benchmark):
+    dataset = benchmark.pedantic(
+        lambda: build_twitter_dataset(seed=1, scale=0.01, n_days=120),
+        rounds=1,
+        iterations=1,
+    )
+    assert dataset.total_users() > 100

@@ -1,0 +1,73 @@
+"""Validation on known-origin crowds (the paper's Sec. IV experiments).
+
+Run with::
+
+    python examples/twitter_validation.py
+
+Reproduces the single-country placements of Figs. 3-5 (Gaussian placement
+distributions centred on the true zone) and the multi-country mixtures of
+Fig. 6 (EM recovery of component count and centres) on the synthetic
+ground-truth dataset.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import (
+    make_context,
+    run_fig6_mixture,
+    run_single_country_placement,
+)
+from repro.analysis.report import ascii_bars, ascii_table
+
+
+def main() -> None:
+    print("building dataset and references...")
+    context = make_context(seed=2016, scale=0.03)
+
+    rows = []
+    for region_key in ("germany", "france", "malaysia"):
+        result = run_single_country_placement(region_key, context, n_users=150)
+        rows.append(
+            (
+                region_key,
+                f"UTC{result.true_offset:+d}",
+                f"{result.fit.mean:+.2f}",
+                f"{result.fit.sigma:.2f}",
+                f"{result.fit_metrics.average:.4f}",
+            )
+        )
+    print()
+    print(
+        ascii_table(
+            ["region", "true zone", "fitted mean", "fitted sigma", "fit avg dist"],
+            rows,
+            title="Single-country placements (paper Figs. 3-5)",
+        )
+    )
+
+    malaysia = run_single_country_placement("malaysia", context, n_users=150)
+    labels = [f"UTC{offset:+d}" for offset in malaysia.placement.offsets]
+    print()
+    print(
+        ascii_bars(
+            labels,
+            list(malaysia.placement.fractions),
+            title="Malaysian crowd placement (Fig. 5)",
+        )
+    )
+
+    print()
+    for variant in ("relocated", "merged"):
+        result = run_fig6_mixture(variant, context, users_per_component=80)
+        recovered = ", ".join(
+            f"{component.mean:+.2f} (w={component.weight:.2f})"
+            for component in result.mixture.components
+        )
+        print(f"{result.label}")
+        print(f"  expected zones:  {sorted(result.expected_offsets)}")
+        print(f"  recovered:       {recovered}")
+        print(f"  max centre error: {result.max_center_error():.2f} zones")
+
+
+if __name__ == "__main__":
+    main()

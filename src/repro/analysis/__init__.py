@@ -1,0 +1,60 @@
+"""Experiment drivers and reporting for every table/figure in the paper."""
+
+from repro.analysis.experiments import (
+    ExperimentContext,
+    make_context,
+    run_fig1_user_profile,
+    run_fig2_profiles,
+    run_fig6_mixture,
+    run_fig7_flat,
+    run_forum_case_study,
+    run_hemisphere_validation,
+    run_single_country_placement,
+    run_table1,
+    run_table2,
+)
+from repro.analysis.ablations import (
+    run_metric_ablation,
+    run_sigma_init_ablation,
+    run_threshold_ablation,
+    run_trace_length_ablation,
+)
+from repro.analysis.countermeasures import (
+    run_coordination_experiment,
+    run_delay_experiment,
+    run_hidden_sections_experiment,
+    run_monitor_experiment,
+)
+from repro.analysis.robustness import run_seed_stability
+from repro.analysis.streaming_experiments import run_convergence_experiment
+from repro.analysis.sweeps import run_activity_sweep, run_crowd_size_sweep
+from repro.analysis.report import ascii_bars, ascii_table, series_csv
+
+__all__ = [
+    "ExperimentContext",
+    "make_context",
+    "run_fig1_user_profile",
+    "run_fig2_profiles",
+    "run_fig6_mixture",
+    "run_fig7_flat",
+    "run_forum_case_study",
+    "run_hemisphere_validation",
+    "run_single_country_placement",
+    "run_table1",
+    "run_table2",
+    "run_metric_ablation",
+    "run_sigma_init_ablation",
+    "run_threshold_ablation",
+    "run_trace_length_ablation",
+    "run_coordination_experiment",
+    "run_delay_experiment",
+    "run_hidden_sections_experiment",
+    "run_monitor_experiment",
+    "run_activity_sweep",
+    "run_crowd_size_sweep",
+    "run_convergence_experiment",
+    "run_seed_stability",
+    "ascii_bars",
+    "ascii_table",
+    "series_csv",
+]

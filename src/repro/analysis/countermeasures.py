@@ -1,0 +1,333 @@
+"""Quantifying the countermeasures of the paper's Discussion (Sec. VII).
+
+The paper makes three qualitative claims and this module turns each into
+a measured experiment:
+
+1. *"No timestamp on posts ... it is enough to monitor the forum"* --
+   :func:`run_monitor_experiment` reconstructs timestamps by polling and
+   compares the resulting geolocation against the timestamped scrape.
+2. *"Forum shows and timestamps posts with random delay ... to be
+   effective, the random delay must be of at least a few hours"* --
+   :func:`run_delay_experiment` sweeps the jitter magnitude and measures
+   how far the recovered crowd centre drifts.
+3. *"What if the crowd coordinates and users deliberately post with a
+   profile of a different region?"* -- :func:`run_coordination_experiment`
+   plants a coordinated decoy fraction and measures when the verdict
+   breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.experiments import ExperimentContext, make_context
+from repro.core.events import TraceSet
+from repro.core.geolocate import CrowdGeolocator
+from repro.forum.engine import ForumServer
+from repro.forum.monitor import ForumMonitor
+from repro.forum.scraper import ForumScraper
+from repro.synth.forums import FORUM_SPECS, build_forum_crowd
+from repro.synth.twitter import build_region_crowd
+from repro.timebase.clock import SECONDS_PER_DAY
+from repro.timebase.zones import get_region
+
+
+def _populated_forum(spec_key: str, seed: int, scale: float, n_days: int, **kwargs):
+    spec = FORUM_SPECS[spec_key]
+    crowd = build_forum_crowd(spec, seed=seed, scale=scale, n_days=n_days)
+    forum = ForumServer(
+        spec.name,
+        spec.onion,
+        server_offset_hours=spec.server_offset_hours,
+        **kwargs,
+    )
+    forum.import_crowd_posts(
+        {
+            trace.user_id: [float(ts) for ts in trace.timestamps]
+            for trace in crowd.traces
+        }
+    )
+    return crowd, forum
+
+
+# ---------------------------------------------------------------------------
+# 1. Timestamp-less forums: the monitoring fallback
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MonitorExperimentRow:
+    poll_interval_hours: float
+    n_polls: int
+    dominant_mean_scraped: float
+    dominant_mean_monitored: float
+    center_drift: float
+    placement_l1_distance: float
+
+
+def run_monitor_experiment(
+    context: ExperimentContext | None = None,
+    *,
+    forum_key: str = "idc",
+    poll_intervals_hours: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+    seed: int = 7,
+    scale: float = 1.0,
+) -> list[MonitorExperimentRow]:
+    """Geolocation from self-stamped observations vs from real timestamps.
+
+    The monitor never reads the forum's timestamps; each post is stamped
+    with the poll time at which it first appeared, quantising true times
+    up to one poll interval.
+    """
+    context = context or make_context()
+    crowd, forum = _populated_forum(forum_key, seed, scale, context.n_days)
+    end_time = float((context.n_days + 1) * SECONDS_PER_DAY)
+
+    scraped = ForumScraper(forum).scrape(end_time)
+    geolocator = CrowdGeolocator(context.references)
+    scraped_report = geolocator.geolocate(scraped.traces, crowd_name="scraped")
+
+    rows = []
+    for interval_hours in poll_intervals_hours:
+        monitor = ForumMonitor(forum, username=f"monitor_{interval_hours}")
+        result = monitor.run_campaign(
+            start=0.0, end=end_time, poll_interval=interval_hours * 3600.0
+        )
+        monitored_report = geolocator.geolocate(
+            result.traces, crowd_name=f"monitored@{interval_hours}h"
+        )
+        drift = abs(
+            monitored_report.mixture.dominant().mean
+            - scraped_report.mixture.dominant().mean
+        )
+        l1 = float(
+            np.abs(
+                monitored_report.placement.as_array()
+                - scraped_report.placement.as_array()
+            ).sum()
+        )
+        rows.append(
+            MonitorExperimentRow(
+                poll_interval_hours=interval_hours,
+                n_polls=result.n_polls,
+                dominant_mean_scraped=scraped_report.mixture.dominant().mean,
+                dominant_mean_monitored=monitored_report.mixture.dominant().mean,
+                center_drift=drift,
+                placement_l1_distance=l1,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# 2. Random timestamp delays
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DelayExperimentRow:
+    jitter_hours: float
+    dominant_mean: float
+    center_error: float
+    dominant_sigma: float
+    flat_removed: int
+    fit_average: float
+
+
+def run_delay_experiment(
+    context: ExperimentContext | None = None,
+    *,
+    forum_key: str = "crd_club",
+    jitter_hours: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 12.0),
+    seed: int = 7,
+    scale: float = 0.6,
+) -> list[DelayExperimentRow]:
+    """Sweep the uniform timestamp jitter and track the recovered centre.
+
+    A jitter of J hours delays every displayed timestamp by U(0, J).  The
+    scraper uses the robust (multi-probe, minimum-delay) calibration, so
+    the offset estimate stays honest and the countermeasure's real effect
+    is isolated: the per-post U(0, J) noise shifts the crowd ~J/2 zones
+    west and progressively flattens the profiles (watch the component
+    sigma and the flat-filter removals grow).  The paper claims J must
+    reach "at least a few hours" before the method breaks; the sweep
+    shows where.
+    """
+    context = context or make_context()
+    spec = FORUM_SPECS[forum_key]
+    truth_center: float | None = None
+    geolocator = CrowdGeolocator(context.references)
+    end_time = float((context.n_days + 1) * SECONDS_PER_DAY)
+
+    rows = []
+    for jitter in jitter_hours:
+        _, forum = _populated_forum(
+            forum_key,
+            seed,
+            scale,
+            context.n_days,
+            timestamp_jitter_seconds=jitter * 3600.0,
+            jitter_seed=seed,
+        )
+        scrape = ForumScraper(forum).scrape(end_time, robust_probes=5)
+        report = geolocator.geolocate(scrape.traces, crowd_name=spec.name)
+        dominant = report.mixture.dominant()
+        if truth_center is None:
+            truth_center = dominant.mean
+        rows.append(
+            DelayExperimentRow(
+                jitter_hours=jitter,
+                dominant_mean=dominant.mean,
+                center_error=abs(dominant.mean - truth_center),
+                dominant_sigma=dominant.sigma,
+                flat_removed=report.n_removed_flat,
+                fit_average=report.fit_metrics.average,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# 3. Coordinated decoy crowds
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HiddenSectionsRow:
+    hidden_fraction: float
+    n_users_visible: int
+    dominant_mean: float
+    center_drift: float
+
+
+def run_hidden_sections_experiment(
+    context: ExperimentContext | None = None,
+    *,
+    forum_key: str = "majestic_garden",
+    hidden_fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75),
+    seed: int = 7,
+    scale: float = 0.5,
+) -> list[HiddenSectionsRow]:
+    """Partial visibility: rank-gated boards the scraper cannot read.
+
+    The paper could not scrape the Pedo Support Community's hidden
+    sections nor IDC's Pro/Vendor/Elite boards.  Here a fraction of the
+    crowd's posts lands on a rank-gated board invisible to the rank-0
+    scraper; the experiment measures how much the verdict moves.  Since
+    hiding is (approximately) independent of geography, the visible
+    sample stays representative and the verdict barely drifts -- the
+    method degrades with *sample size*, not with *visibility bias*.
+    """
+    from repro.forum.engine import Board
+
+    context = context or make_context()
+    spec = FORUM_SPECS[forum_key]
+    crowd = build_forum_crowd(spec, seed=seed, scale=scale, n_days=context.n_days)
+    geolocator = CrowdGeolocator(context.references)
+    end_time = float((context.n_days + 1) * SECONDS_PER_DAY)
+    rng = np.random.default_rng(seed)
+
+    baseline_mean: float | None = None
+    rows = []
+    for fraction in hidden_fractions:
+        forum = ForumServer(
+            spec.name, spec.onion, server_offset_hours=spec.server_offset_hours
+        )
+        forum.add_board(Board("Elite", min_rank=3))
+        elite_thread = forum.create_thread("Elite", "hidden discussions")
+        public: dict[str, list[float]] = {}
+        for trace in crowd.traces:
+            if trace.user_id not in public:
+                public[trace.user_id] = []
+        for trace in crowd.traces:
+            for timestamp in trace.timestamps:
+                if rng.random() < fraction:
+                    if not forum.is_member(trace.user_id):
+                        forum.register(trace.user_id, rank=3)
+                    forum.submit_post(
+                        trace.user_id, elite_thread, float(timestamp)
+                    )
+                else:
+                    public[trace.user_id].append(float(timestamp))
+        forum.import_crowd_posts(
+            {user: stamps for user, stamps in public.items() if stamps}
+        )
+        scrape = ForumScraper(forum).scrape(end_time)
+        report = geolocator.geolocate(scrape.traces, crowd_name=spec.name)
+        mean = report.mixture.dominant().mean
+        if baseline_mean is None:
+            baseline_mean = mean
+        rows.append(
+            HiddenSectionsRow(
+                hidden_fraction=fraction,
+                n_users_visible=report.n_users,
+                dominant_mean=mean,
+                center_drift=abs(mean - baseline_mean),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class CoordinationExperimentRow:
+    decoy_fraction: float
+    recovered_zones: tuple[int, ...]
+    honest_zone_weight: float
+    decoy_zone_weight: float
+
+
+def run_coordination_experiment(
+    context: ExperimentContext | None = None,
+    *,
+    honest_region: str = "germany",
+    decoy_region: str = "japan",
+    decoy_fractions: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5, 0.75),
+    crowd_size: int = 150,
+    seed: int = 31,
+) -> list[CoordinationExperimentRow]:
+    """Plant a coordinated fraction faking another region's rhythm.
+
+    Models the Sec. VII adversary: a fraction of the crowd posts with the
+    diurnal profile of *decoy_region* (as if they had relocated there).
+    The honest component only disappears once the decoy fraction is the
+    majority -- "coordinating the behavior of hundreds of anonymous users
+    can be very hard".
+    """
+    context = context or make_context()
+    honest_offset = get_region(honest_region).base_offset
+    decoy_offset = get_region(decoy_region).base_offset
+    geolocator = CrowdGeolocator(context.references)
+
+    rows = []
+    for fraction in decoy_fractions:
+        n_decoys = int(round(crowd_size * fraction))
+        honest = build_region_crowd(
+            honest_region, crowd_size - n_decoys, seed=seed, n_days=context.n_days
+        )
+        mixed = TraceSet(trace for trace in honest)
+        if n_decoys:
+            decoys = build_region_crowd(
+                decoy_region, n_decoys, seed=seed + 1, n_days=context.n_days
+            )
+            for trace in decoys:
+                mixed.add(trace)
+        report = geolocator.geolocate(mixed, crowd_name="coordinated")
+
+        def _weight_near(offset: int) -> float:
+            return sum(
+                component.weight
+                for component in report.mixture.components
+                if abs(component.mean - offset) <= 1.5
+            )
+
+        rows.append(
+            CoordinationExperimentRow(
+                decoy_fraction=fraction,
+                recovered_zones=tuple(report.zone_offsets()),
+                honest_zone_weight=_weight_near(honest_offset),
+                decoy_zone_weight=_weight_near(decoy_offset),
+            )
+        )
+    return rows

@@ -1,0 +1,64 @@
+"""Plain-text rendering of tables and figure series.
+
+The execution environment has no plotting stack, so figures are emitted as
+aligned ASCII bar charts plus CSV series that can be re-plotted anywhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Iterable[Sequence], *, title: str | None = None
+) -> str:
+    """Render rows as an aligned monospace table."""
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in formatted:
+        lines.append(
+            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence, values: Sequence[float], *, width: int = 48, title: str | None = None
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    peak = max(max(values), 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {value:.4f}")
+    return "\n".join(lines)
+
+
+def series_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Comma-separated series for external plotting."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(_format_cell(cell) for cell in row))
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Seed-stability: do the headline claims hold across generator seeds?
+
+A reproduction that only works for one lucky seed is not a reproduction.
+This module re-runs the forum case studies across independent seeds and
+scores each paper claim (component count, centre within a zone of the
+expected zones, weight ordering), reporting the fraction of seeds on
+which it held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.experiments import (
+    ExperimentContext,
+    make_context,
+    run_forum_case_study,
+)
+from repro.synth.forums import FORUM_SPECS
+
+#: Paper claims per forum: (expected k, expected zone of the heaviest
+#: component, tolerance in zones).
+_CLAIMS = {
+    "crd_club": (1, 3.5, 1.2),
+    "idc": (1, 1.5, 1.2),
+    "dream_market": (2, 1.0, 1.2),
+    "majestic_garden": (2, -6.0, 1.2),
+    "pedo_community": (3, -7.5, 1.5),
+}
+
+
+@dataclass(frozen=True)
+class StabilityRow:
+    forum_key: str
+    n_seeds: int
+    k_correct: float
+    center_correct: float
+    both_correct: float
+    center_spread: float  # std of the dominant centre across seeds
+
+
+def run_seed_stability(
+    context: ExperimentContext | None = None,
+    *,
+    forums: tuple[str, ...] = tuple(FORUM_SPECS),
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
+    scale: float = 0.6,
+) -> list[StabilityRow]:
+    """Score every forum's paper claims across independent crowd seeds.
+
+    The heaviest-component centre is compared against the paper's zone
+    for that forum; for the pedo forum (three overlapping components) the
+    heaviest is allowed to be either of the two major zones the paper
+    reports (UTC-8/-7 or UTC-3).
+    """
+    context = context or make_context()
+    rows = []
+    for forum_key in forums:
+        expected_k, expected_center, tolerance = _CLAIMS[forum_key]
+        k_hits = 0
+        center_hits = 0
+        both_hits = 0
+        centers = []
+        for seed in seeds:
+            study = run_forum_case_study(
+                forum_key, context, seed=seed, scale=scale, via_tor=False
+            )
+            mixture = study.report.mixture
+            dominant = mixture.dominant().mean
+            centers.append(dominant)
+            k_ok = mixture.k == expected_k
+            if forum_key == "pedo_community":
+                center_ok = (
+                    abs(dominant - expected_center) <= tolerance
+                    or abs(dominant - (-3.0)) <= tolerance
+                )
+            else:
+                center_ok = abs(dominant - expected_center) <= tolerance
+            k_hits += k_ok
+            center_hits += center_ok
+            both_hits += k_ok and center_ok
+        rows.append(
+            StabilityRow(
+                forum_key=forum_key,
+                n_seeds=len(seeds),
+                k_correct=k_hits / len(seeds),
+                center_correct=center_hits / len(seeds),
+                both_correct=both_hits / len(seeds),
+                center_spread=float(np.std(centers)),
+            )
+        )
+    return rows

@@ -1,0 +1,391 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples::
+
+    darkcrowd table1
+    darkcrowd fig 3              # German placement
+    darkcrowd fig 11             # Dream Market case study
+    darkcrowd table2 --forum-scale 0.3
+    darkcrowd hemisphere
+    darkcrowd ablations
+    darkcrowd countermeasures    # Sec. VII studies
+    darkcrowd sweeps             # crowd-size / activity sensitivity
+    darkcrowd all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.ablations import (
+    run_metric_ablation,
+    run_sigma_init_ablation,
+    run_threshold_ablation,
+    run_trace_length_ablation,
+)
+from repro.analysis.countermeasures import (
+    run_coordination_experiment,
+    run_delay_experiment,
+    run_monitor_experiment,
+)
+from repro.analysis.sweeps import run_activity_sweep, run_crowd_size_sweep
+from repro.analysis.experiments import (
+    make_context,
+    run_fig1_user_profile,
+    run_fig2_profiles,
+    run_fig6_mixture,
+    run_fig7_flat,
+    run_forum_case_study,
+    run_hemisphere_validation,
+    run_single_country_placement,
+    run_table1,
+    run_table2,
+)
+from repro.analysis.report import ascii_bars, ascii_table
+
+_FIG_FORUMS = {
+    8: "crd_club",
+    9: "crd_club",
+    10: "idc",
+    11: "dream_market",
+    12: "majestic_garden",
+    13: "pedo_community",
+}
+_FIG_REGIONS = {3: "germany", 4: "france", 5: "malaysia"}
+
+
+def _print_profile(label: str, profile) -> None:
+    print(ascii_bars(list(range(24)), list(profile.mass), title=label))
+
+
+def _print_placement(label: str, placement) -> None:
+    labels = [f"UTC{offset:+d}" for offset in placement.offsets]
+    print(ascii_bars(labels, list(placement.fractions), title=label))
+
+
+def _cmd_table1(context, args) -> None:
+    rows = run_table1(context)
+    print(
+        ascii_table(
+            ["Country/State", "paper users", "generated users"],
+            rows,
+            title="Table I -- active users by country/state",
+        )
+    )
+
+
+def _cmd_fig(context, args) -> None:
+    number = args.number
+    if number == 1:
+        result = run_fig1_user_profile(context)
+        _print_profile(f"Fig. 1 -- {result.label}", result.profile)
+    elif number == 2:
+        result = run_fig2_profiles(context)
+        _print_profile("Fig. 2(a) -- German crowd profile (local time)", result.regional)
+        _print_profile("Fig. 2(b) -- generic profile", result.generic)
+        print(f"Pearson regional vs generic: {result.pearson_regional_vs_generic:.3f}")
+        print(f"Average pairwise Pearson:    {result.average_pairwise_pearson:.3f}")
+    elif number in _FIG_REGIONS:
+        result = run_single_country_placement(_FIG_REGIONS[number], context)
+        _print_placement(
+            f"Fig. {number} -- {result.region_key} placement "
+            f"(true UTC{result.true_offset:+d})",
+            result.placement,
+        )
+        print(
+            f"Gaussian fit: mean {result.fit.mean:+.2f}, sigma {result.fit.sigma:.2f}; "
+            f"fit avg {result.fit_metrics.average:.4f} "
+            f"std {result.fit_metrics.standard_deviation:.4f}"
+        )
+    elif number == 6:
+        for variant in ("relocated", "merged"):
+            result = run_fig6_mixture(variant, context)
+            _print_placement(f"Fig. 6 -- {result.label}", result.placement)
+            print(
+                f"expected zones {sorted(result.expected_offsets)}; "
+                f"recovered {result.recovered_offsets()} "
+                f"(max center error {result.max_center_error():.2f})"
+            )
+    elif number == 7:
+        result = run_fig7_flat(context)
+        _print_profile("Fig. 7 -- example flat (bot) profile", result.bot_profile)
+        print(
+            f"flat detected: {result.bot_is_flat}; polishing removed "
+            f"{result.n_removed}/{result.n_before} users "
+            f"({result.removed_are_bots:.0%} of removals were actual bots)"
+        )
+    elif number in _FIG_FORUMS:
+        study = run_forum_case_study(
+            _FIG_FORUMS[number],
+            context,
+            scale=args.forum_scale,
+            via_tor=not args.no_tor,
+            hemisphere_top_n=5 if number == 13 else 0,
+        )
+        if number == 8:
+            _print_profile(
+                "Fig. 8 -- CRD Club crowd profile (UTC)", study.report.crowd_profile
+            )
+            print(f"Pearson vs generic: {study.pearson_vs_generic:.3f}")
+            return
+        _print_placement(
+            f"Fig. {number} -- {study.spec.name} placement", study.report.placement
+        )
+        print(study.report.summary())
+        print(f"scrape: {study.scrape.summary()}")
+        print(
+            f"expected zones {list(study.expected_offsets)}; "
+            f"recovered {study.recovered_offsets()}"
+        )
+        for hemisphere in study.report.hemisphere:
+            print(
+                f"  top user {hemisphere.user_id}: {hemisphere.verdict.value} "
+                f"(margin {hemisphere.margin():.2f})"
+            )
+    else:
+        raise SystemExit(f"unknown figure number: {number}")
+
+
+def _cmd_table2(context, args) -> None:
+    rows = run_table2(
+        context, forum_scale=args.forum_scale, via_tor=not args.no_tor
+    )
+    print(
+        ascii_table(
+            ["Dataset", "Average", "Standard deviation"],
+            [(row.dataset, row.average, row.standard_deviation) for row in rows],
+            title="Table II -- Gaussian fitting metrics",
+        )
+    )
+
+
+def _cmd_hemisphere(context, args) -> None:
+    validations = run_hemisphere_validation(context)
+    rows = []
+    for validation in validations:
+        rows.append(
+            (
+                validation.region_key,
+                validation.expected.value,
+                f"{validation.n_correct()}/{len(validation.results)}",
+            )
+        )
+    print(
+        ascii_table(
+            ["Region", "expected", "correct verdicts"],
+            rows,
+            title="Sec. V-F -- hemisphere validation (5 most active users)",
+        )
+    )
+    study = run_forum_case_study(
+        "pedo_community",
+        context,
+        scale=args.forum_scale,
+        via_tor=not args.no_tor,
+        hemisphere_top_n=5,
+    )
+    print("\nPedo Support Community, 5 most active users:")
+    for result in study.report.hemisphere:
+        print(f"  {result.user_id}: {result.verdict.value}")
+
+
+def _cmd_ablations(context, args) -> None:
+    print(
+        ascii_table(
+            ["metric", "accuracy (±1 zone)", "users"],
+            [(r.metric, r.accuracy, r.n_users) for r in run_metric_ablation(context)],
+            title="Ablation -- placement distance metric",
+        )
+    )
+    print()
+    print(
+        ascii_table(
+            ["min posts", "accuracy", "users retained"],
+            [
+                (r.min_posts, r.accuracy, r.users_retained)
+                for r in run_threshold_ablation(context)
+            ],
+            title="Ablation -- activity threshold (paper: 30)",
+        )
+    )
+    print()
+    print(
+        ascii_table(
+            ["sigma init", "components", "max center error"],
+            [
+                (r.sigma_init, r.recovered_components, r.max_center_error)
+                for r in run_sigma_init_ablation(context)
+            ],
+            title="Ablation -- EM sigma initialisation (paper: 2.5)",
+        )
+    )
+    print()
+    print(
+        ascii_table(
+            ["days", "accuracy", "users retained"],
+            [
+                (r.n_days, r.accuracy, r.users_retained)
+                for r in run_trace_length_ablation(context)
+            ],
+            title="Ablation -- trace length",
+        )
+    )
+
+
+def _cmd_countermeasures(context, args) -> None:
+    print(
+        ascii_table(
+            ["poll every (h)", "polls", "drift (zones)", "placement L1"],
+            [
+                (r.poll_interval_hours, r.n_polls, r.center_drift, r.placement_l1_distance)
+                for r in run_monitor_experiment(context, scale=args.forum_scale)
+            ],
+            title="Sec. VII -- monitoring a timestamp-less forum",
+        )
+    )
+    print()
+    print(
+        ascii_table(
+            ["jitter (h)", "recovered centre", "centre error"],
+            [
+                (r.jitter_hours, r.dominant_mean, r.center_error)
+                for r in run_delay_experiment(context, scale=args.forum_scale)
+            ],
+            title="Sec. VII -- random timestamp delays",
+        )
+    )
+    print()
+    print(
+        ascii_table(
+            ["decoy fraction", "zones", "honest weight", "decoy weight"],
+            [
+                (
+                    r.decoy_fraction,
+                    str(list(r.recovered_zones)),
+                    r.honest_zone_weight,
+                    r.decoy_zone_weight,
+                )
+                for r in run_coordination_experiment(context)
+            ],
+            title="Sec. VII -- coordinated decoy crowds",
+        )
+    )
+
+
+def _cmd_sweeps(context, args) -> None:
+    print(
+        ascii_table(
+            ["users", "placed", "centre error", "90% CI width", "k"],
+            [
+                (r.n_users_requested, r.n_users_placed, r.center_error, r.ci_width, r.k_recovered)
+                for r in run_crowd_size_sweep(context)
+            ],
+            title="Sweep -- crowd size",
+        )
+    )
+    print()
+    print(
+        ascii_table(
+            ["posts/day", "median posts/user", "placed", "max centre error", "k"],
+            [
+                (
+                    r.posts_per_day,
+                    r.median_posts_per_user,
+                    r.n_users_placed,
+                    r.max_center_error,
+                    r.k_recovered,
+                )
+                for r in run_activity_sweep(context)
+            ],
+            title="Sweep -- per-user activity",
+        )
+    )
+
+
+def _cmd_all(context, args) -> None:
+    _cmd_table1(context, args)
+    print()
+    for number in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13):
+        args.number = number
+        _cmd_fig(context, args)
+        print()
+    _cmd_table2(context, args)
+    print()
+    _cmd_hemisphere(context, args)
+    print()
+    _cmd_ablations(context, args)
+    print()
+    _cmd_countermeasures(context, args)
+    print()
+    _cmd_sweeps(context, args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="darkcrowd",
+        description="Reproduce the tables and figures of the ICDCS 2018 paper "
+        "'Time-Zone Geolocation of Crowds in the Dark Web'.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2016, help="dataset generation seed"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.04,
+        help="fraction of Table I's user counts to generate (1.0 = paper size)",
+    )
+    parser.add_argument(
+        "--forum-scale",
+        type=float,
+        default=1.0,
+        help="fraction of each forum's crowd to generate",
+    )
+    parser.add_argument(
+        "--no-tor",
+        action="store_true",
+        help="scrape forums directly instead of via the simulated Tor path",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shrink every experiment (implies --scale 0.02 --forum-scale 0.3)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="Table I")
+    fig = sub.add_parser("fig", help="figure N (1..13)")
+    fig.add_argument("number", type=int)
+    sub.add_parser("table2", help="Table II")
+    sub.add_parser("hemisphere", help="Sec. V-F hemisphere experiments")
+    sub.add_parser("ablations", help="design-choice ablations")
+    sub.add_parser("countermeasures", help="Sec. VII countermeasure studies")
+    sub.add_parser("sweeps", help="crowd-size / activity sensitivity sweeps")
+    sub.add_parser("all", help="everything")
+    return parser
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "fig": _cmd_fig,
+    "table2": _cmd_table2,
+    "hemisphere": _cmd_hemisphere,
+    "ablations": _cmd_ablations,
+    "countermeasures": _cmd_countermeasures,
+    "sweeps": _cmd_sweeps,
+    "all": _cmd_all,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.fast:
+        args.scale = min(args.scale, 0.02)
+        args.forum_scale = min(args.forum_scale, 0.3)
+    context = make_context(seed=args.seed, scale=args.scale)
+    _COMMANDS[args.command](context, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

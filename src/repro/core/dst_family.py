@@ -1,0 +1,154 @@
+"""Fine-grained origin: which DST *rule family* does a user follow?
+
+An extension in the spirit of the paper's Sec. V-F ("our approach can
+also be used to discover more fine-grained information on the crowds").
+The hemisphere test tells north from south; this module distinguishes,
+within the northern hemisphere, **EU-rule** from **US-rule** residents --
+which separates, e.g., London from New York *beyond* their zone offset,
+or corroborates a zone verdict that is ambiguous between Europe and
+North-American zones.
+
+The signal is the *gap windows* in which exactly one family is on DST:
+
+* spring gap: from the US start (second Sunday of March) to the EU start
+  (last Sunday of March) -- US users have already shifted, EU users not;
+* autumn gap: from the EU end (last Sunday of October) to the US end
+  (first Sunday of November) -- EU users have shifted back, US not.
+
+During both windows a US-rule user's UTC activity matches their *summer*
+profile while an EU-rule user's matches their *winter* profile.  Each
+window votes; the verdict needs agreement or a clear margin.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.emd import ALL_DISTANCES
+from repro.core.events import ActivityTrace
+from repro.core.profiles import build_user_profile
+from repro.timebase.clock import ordinal_to_civil
+from repro.timebase.dst import EU_RULE, US_RULE
+
+#: Months with a uniform DST state for both families.
+_DEEP_WINTER_MONTHS = frozenset({12, 1, 2})
+_DEEP_SUMMER_MONTHS = frozenset({5, 6, 7, 8, 9})
+
+#: Minimum active (day, hour) cells per profile for a verdict.
+MIN_ACTIVE_CELLS = 6
+
+
+class DstFamily(enum.Enum):
+    """Verdict of the rule-family test."""
+
+    EU = "eu"
+    US = "us"
+    UNCLEAR = "unclear"
+    INSUFFICIENT_DATA = "insufficient_data"
+
+
+@dataclass(frozen=True)
+class DstFamilyResult:
+    """Verdict plus the per-window scores that produced it.
+
+    A window's score is ``d(gap, winter) - d(gap, summer)``: positive
+    means the gap activity matches the summer (shifted) profile, i.e.
+    votes for the US rule.
+    """
+
+    user_id: str
+    verdict: DstFamily
+    spring_score: float
+    autumn_score: float
+
+    def total_score(self) -> float:
+        return self.spring_score + self.autumn_score
+
+
+def _years_in_trace(trace: ActivityTrace) -> set[int]:
+    years = set()
+    for timestamp in (trace.timestamps[0], trace.timestamps[-1]):
+        years.add(ordinal_to_civil(int(timestamp // 86400.0)).year)
+    return set(range(min(years), max(years) + 1))
+
+
+def _gap_days(trace: ActivityTrace) -> tuple[set[int], set[int]]:
+    """(spring gap day ordinals, autumn gap day ordinals) for the trace."""
+    spring: set[int] = set()
+    autumn: set[int] = set()
+    for year in _years_in_trace(trace):
+        spring.update(
+            range(US_RULE.start_ordinal(year), EU_RULE.start_ordinal(year))
+        )
+        autumn.update(range(EU_RULE.end_ordinal(year), US_RULE.end_ordinal(year)))
+    return spring, autumn
+
+
+def _window_profile(trace: ActivityTrace, days: set[int]):
+    window = trace.restricted_to_days(lambda ordinal: ordinal in days)
+    if len(window.active_day_hours()) < MIN_ACTIVE_CELLS:
+        return None
+    return build_user_profile(window)
+
+
+def _months_profile(trace: ActivityTrace, months: frozenset[int]):
+    window = trace.restricted_to_days(
+        lambda ordinal: ordinal_to_civil(ordinal).month in months
+    )
+    if len(window.active_day_hours()) < MIN_ACTIVE_CELLS:
+        return None
+    return build_user_profile(window)
+
+
+def classify_dst_family(
+    trace: ActivityTrace,
+    *,
+    metric: str = "linear",
+    min_margin: float = 0.02,
+) -> DstFamilyResult:
+    """Classify a (presumed-northern) user as EU-rule or US-rule.
+
+    Should be applied after :func:`repro.core.hemisphere.classify_hemisphere`
+    returned ``NORTHERN``; for no-DST or southern users the gap windows
+    carry no signal and the verdict degrades to ``UNCLEAR``.
+    """
+    if trace.is_empty():
+        return DstFamilyResult(
+            trace.user_id, DstFamily.INSUFFICIENT_DATA, float("nan"), float("nan")
+        )
+    distance = ALL_DISTANCES[metric]
+
+    winter = _months_profile(trace, _DEEP_WINTER_MONTHS)
+    summer = _months_profile(trace, _DEEP_SUMMER_MONTHS)
+    if winter is None or summer is None:
+        return DstFamilyResult(
+            trace.user_id, DstFamily.INSUFFICIENT_DATA, float("nan"), float("nan")
+        )
+
+    spring_days, autumn_days = _gap_days(trace)
+    scores = {}
+    for label, days in (("spring", spring_days), ("autumn", autumn_days)):
+        gap_profile = _window_profile(trace, days)
+        if gap_profile is None:
+            scores[label] = 0.0
+            continue
+        scores[label] = distance(gap_profile, winter) - distance(
+            gap_profile, summer
+        )
+
+    total = scores["spring"] + scores["autumn"]
+    if scores["spring"] == 0.0 and scores["autumn"] == 0.0:
+        verdict = DstFamily.INSUFFICIENT_DATA
+    elif abs(total) < min_margin:
+        verdict = DstFamily.UNCLEAR
+    elif total > 0:
+        verdict = DstFamily.US
+    else:
+        verdict = DstFamily.EU
+    return DstFamilyResult(
+        user_id=trace.user_id,
+        verdict=verdict,
+        spring_score=scores["spring"],
+        autumn_score=scores["autumn"],
+    )

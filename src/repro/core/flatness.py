@@ -1,0 +1,93 @@
+"""Flat-profile (bot) detection and dataset polishing (Sec. IV-C).
+
+The paper removes users "whose profiles, according to the EMD, result
+being closer to an artificial profile created by us where every value is
+of 1/24 ... than to a timezone profile", noting these are typically bots
+(rarely shift workers), and applies the procedure iteratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.emd import ALL_DISTANCES
+from repro.core.events import TraceSet
+from repro.core.profiles import Profile, build_user_profile, uniform_profile
+from repro.core.reference import ReferenceProfiles
+
+
+def is_flat_profile(
+    profile: Profile,
+    references: ReferenceProfiles,
+    metric: str = "linear",
+) -> bool:
+    """True when *profile* is EMD-closer to uniform than to any zone reference."""
+    distance = ALL_DISTANCES[metric]
+    to_uniform = distance(profile, uniform_profile())
+    to_best_zone = min(
+        distance(profile, reference) for reference in references.as_list()
+    )
+    return to_uniform < to_best_zone
+
+
+@dataclass(frozen=True)
+class PolishResult:
+    """Outcome of the iterative polishing pass."""
+
+    polished: TraceSet
+    removed_user_ids: tuple[str, ...]
+    iterations: int
+
+    @property
+    def n_removed(self) -> int:
+        return len(self.removed_user_ids)
+
+
+def polish_trace_set(
+    traces: TraceSet,
+    references: ReferenceProfiles | None = None,
+    *,
+    metric: str = "linear",
+    min_posts: int = 30,
+    max_iterations: int = 10,
+) -> PolishResult:
+    """The paper's full dataset-polishing pipeline.
+
+    1. Drop non-active users (fewer than *min_posts* posts, Sec. IV).
+    2. Iteratively remove flat-profile users.  When *references* is None
+       the zone references are rebuilt each round from the surviving crowd
+       itself (the paper polishes "the generic timezone profiles" this
+       way); passing fixed references skips the rebuilding.
+    """
+    survivors = traces.with_min_posts(min_posts)
+    removed: list[str] = []
+    rebuild = references is None
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        if len(survivors) == 0:
+            break
+        profiles = {
+            trace.user_id: build_user_profile(trace) for trace in survivors
+        }
+        if rebuild:
+            crowd = Profile(
+                sum(profile.mass for profile in profiles.values())
+            )
+            references = ReferenceProfiles(crowd)
+        assert references is not None
+        flat_users = [
+            user_id
+            for user_id, profile in profiles.items()
+            if is_flat_profile(profile, references, metric=metric)
+        ]
+        if not flat_users:
+            break
+        removed.extend(flat_users)
+        survivors = survivors.without_users(flat_users)
+
+    return PolishResult(
+        polished=survivors,
+        removed_user_ids=tuple(removed),
+        iterations=iterations,
+    )

@@ -1,0 +1,127 @@
+"""Small self-contained numerical optimisers.
+
+The curve-fitting steps of the paper (Gaussian fits of placement
+distributions, Sec. IV-A/B) need a derivative-free minimiser.  We ship our
+own Nelder-Mead simplex implementation so the library has no runtime
+dependency beyond numpy; the scipy implementation is used only as an
+oracle in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FitError
+
+
+@dataclass(frozen=True)
+class OptimizeResult:
+    """Outcome of a minimisation run."""
+
+    x: np.ndarray
+    fun: float
+    iterations: int
+    converged: bool
+
+
+def nelder_mead(
+    objective: Callable[[np.ndarray], float],
+    x0: Sequence[float],
+    *,
+    initial_step: float = 0.5,
+    max_iter: int = 2000,
+    xtol: float = 1e-8,
+    ftol: float = 1e-10,
+) -> OptimizeResult:
+    """Minimise *objective* with the Nelder-Mead simplex algorithm.
+
+    Standard reflection/expansion/contraction/shrink coefficients
+    (1, 2, 0.5, 0.5).  Convergence is declared when both the simplex
+    diameter and the function spread fall below the tolerances.
+    """
+    start = np.asarray(x0, dtype=float)
+    if start.ndim != 1 or start.size == 0:
+        raise FitError("x0 must be a non-empty 1-D point")
+    dim = start.size
+
+    simplex = [start.copy()]
+    for axis in range(dim):
+        vertex = start.copy()
+        step = initial_step if vertex[axis] == 0 else initial_step * abs(vertex[axis])
+        vertex[axis] += max(step, 1e-4)
+        simplex.append(vertex)
+    values = [float(objective(vertex)) for vertex in simplex]
+
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        order = np.argsort(values)
+        simplex = [simplex[i] for i in order]
+        values = [values[i] for i in order]
+
+        diameter = max(
+            float(np.max(np.abs(vertex - simplex[0]))) for vertex in simplex[1:]
+        )
+        spread = abs(values[-1] - values[0])
+        if diameter < xtol and spread < ftol:
+            return OptimizeResult(simplex[0], values[0], iteration, True)
+
+        centroid = np.mean(simplex[:-1], axis=0)
+        worst = simplex[-1]
+
+        reflected = centroid + (centroid - worst)
+        f_reflected = float(objective(reflected))
+        if values[0] <= f_reflected < values[-2]:
+            simplex[-1], values[-1] = reflected, f_reflected
+            continue
+        if f_reflected < values[0]:
+            expanded = centroid + 2.0 * (centroid - worst)
+            f_expanded = float(objective(expanded))
+            if f_expanded < f_reflected:
+                simplex[-1], values[-1] = expanded, f_expanded
+            else:
+                simplex[-1], values[-1] = reflected, f_reflected
+            continue
+        contracted = centroid + 0.5 * (worst - centroid)
+        f_contracted = float(objective(contracted))
+        if f_contracted < values[-1]:
+            simplex[-1], values[-1] = contracted, f_contracted
+            continue
+        best = simplex[0]
+        simplex = [best] + [best + 0.5 * (vertex - best) for vertex in simplex[1:]]
+        values = [values[0]] + [float(objective(vertex)) for vertex in simplex[1:]]
+
+    order = np.argsort(values)
+    return OptimizeResult(simplex[order[0]], values[order[0]], iteration, False)
+
+
+def golden_section(
+    objective: Callable[[float], float],
+    low: float,
+    high: float,
+    *,
+    tol: float = 1e-8,
+    max_iter: int = 200,
+) -> float:
+    """Minimise a unimodal scalar function on [low, high]."""
+    if not low < high:
+        raise FitError(f"invalid bracket: [{low}, {high}]")
+    inv_phi = (np.sqrt(5.0) - 1.0) / 2.0
+    a, b = float(low), float(high)
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = float(objective(c)), float(objective(d))
+    for _ in range(max_iter):
+        if b - a < tol:
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = float(objective(c))
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = float(objective(d))
+    return (a + b) / 2.0

@@ -1,0 +1,122 @@
+"""EMD-based placement of anonymous users into time zones (Sec. IV-A).
+
+Every member of an anonymous crowd is compared, via the Earth Mover's
+Distance, against the 24 time-zone reference profiles and assigned to the
+nearest one.  The fractions of the crowd landing in each zone form the
+*placement distribution* -- the histogram the paper plots in Figs. 3-5 and
+9-13 and then fits with Gaussian (mixtures).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.emd import distance_matrix
+from repro.core.events import TraceSet
+from repro.core.profiles import Profile, build_user_profile
+from repro.core.reference import ReferenceProfiles
+from repro.errors import EmptyTraceError
+from repro.timebase.zones import ZONE_OFFSETS, normalize_offset
+
+
+@dataclass(frozen=True)
+class PlacementDistribution:
+    """Fraction of an anonymous crowd placed in each of the 24 zones."""
+
+    fractions: tuple[float, ...]
+    n_users: int
+
+    def __post_init__(self) -> None:
+        if len(self.fractions) != len(ZONE_OFFSETS):
+            raise ValueError(
+                f"expected {len(ZONE_OFFSETS)} fractions, got {len(self.fractions)}"
+            )
+
+    @property
+    def offsets(self) -> tuple[int, ...]:
+        return ZONE_OFFSETS
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.fractions, dtype=float)
+
+    def fraction_at(self, offset: int) -> float:
+        return self.fractions[ZONE_OFFSETS.index(normalize_offset(offset))]
+
+    def mode_offset(self) -> int:
+        """Zone offset receiving the largest crowd fraction."""
+        return ZONE_OFFSETS[int(np.argmax(self.fractions))]
+
+    def mean_offset(self) -> float:
+        """Crowd-weighted mean zone offset (linear, as the paper fits)."""
+        array = self.as_array()
+        return float(np.dot(array, np.asarray(ZONE_OFFSETS)) / array.sum())
+
+    def counts(self) -> np.ndarray:
+        """Approximate per-zone user counts (fractions * n_users)."""
+        return np.rint(self.as_array() * self.n_users).astype(int)
+
+    def top_zones(self, n: int = 3) -> list[tuple[int, float]]:
+        """The *n* (offset, fraction) pairs with the largest fractions."""
+        order = np.argsort(self.fractions)[::-1][:n]
+        return [(ZONE_OFFSETS[i], self.fractions[i]) for i in order]
+
+
+def place_users(
+    profiles: Mapping[str, Profile],
+    references: ReferenceProfiles,
+    metric: str = "linear",
+) -> dict[str, int]:
+    """Assign each user profile to its EMD-nearest time zone.
+
+    Returns a mapping user id -> zone offset.  Ties (rare with real-valued
+    distances) resolve to the smaller offset, matching
+    :meth:`ReferenceProfiles.nearest_zone`.
+    """
+    if not profiles:
+        return {}
+    user_ids = list(profiles)
+    matrix = distance_matrix(
+        [profiles[user_id] for user_id in user_ids],
+        references.as_list(),
+        metric=metric,
+    )
+    nearest = np.argmin(matrix, axis=1)
+    return {
+        user_id: ZONE_OFFSETS[int(index)]
+        for user_id, index in zip(user_ids, nearest)
+    }
+
+
+def placement_distribution(assignments: Iterable[int]) -> PlacementDistribution:
+    """Aggregate per-user zone assignments into a placement distribution."""
+    offsets = [normalize_offset(offset) for offset in assignments]
+    if not offsets:
+        raise EmptyTraceError("cannot build a placement from zero users")
+    counts = np.zeros(len(ZONE_OFFSETS), dtype=float)
+    for offset in offsets:
+        counts[ZONE_OFFSETS.index(offset)] += 1.0
+    fractions = counts / counts.sum()
+    return PlacementDistribution(tuple(fractions.tolist()), n_users=len(offsets))
+
+
+def place_trace_set(
+    traces: TraceSet,
+    references: ReferenceProfiles,
+    metric: str = "linear",
+) -> PlacementDistribution:
+    """Profile every trace (on UTC clocks) and place the crowd.
+
+    This is the one-call version used by the figure benches; the richer
+    pipeline (polishing, fitting, reporting) lives in
+    :class:`repro.core.geolocate.CrowdGeolocator`.
+    """
+    profiles = {
+        trace.user_id: build_user_profile(trace)
+        for trace in traces
+        if not trace.is_empty()
+    }
+    assignments = place_users(profiles, references, metric=metric)
+    return placement_distribution(assignments.values())

@@ -1,0 +1,152 @@
+"""The generic diurnal profile and the 24 time-zone reference profiles.
+
+Sec. IV of the paper: after shifting every country's crowd profile to a
+common time zone the shapes are nearly identical (mean pairwise Pearson
+~0.9), so a single *generic* profile shifted by ``k`` hours serves as the
+reference for time zone UTC+k -- "we can easily build the profile for
+every region, even those not present in Table I, by just shifting the
+generic profile".
+
+Two ways to obtain the generic profile are provided:
+
+* :func:`parametric_generic_profile` -- the canonical diurnal shape
+  reported by the Facebook/YouTube/Twitter measurement studies the paper
+  builds on (refs [5], [6]): activity grows from early morning, dips
+  slightly at lunch, peaks in the evening (~21h local) and collapses
+  during the night (trough ~4-5h local);
+* :meth:`ReferenceProfiles.from_regional_crowds` -- the paper's data-driven
+  construction, averaging region crowd profiles after shifting to UTC.
+
+Shift convention: a crowd living in UTC+k, profiled on UTC clocks, looks
+like the generic curve shifted by ``-k`` (local hour L happens at UTC hour
+L-k).  :meth:`ReferenceProfiles.for_zone` encapsulates this so callers
+never deal with the sign.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.emd import ALL_DISTANCES
+from repro.core.profiles import HOURS, Profile, build_crowd_profile
+from repro.errors import ProfileError
+from repro.timebase.zones import ZONE_OFFSETS, normalize_offset
+
+#: The canonical local-time diurnal activity curve (unnormalised weights,
+#: one per hour 0..23).  Hand-calibrated against the shapes in the paper's
+#: Figs. 1, 2 and 8 and the access-pattern studies it cites: night trough
+#: between 4h and 5h, growth through the morning, slight lunch plateau,
+#: evening peak at 21h, decay after 22h.
+_CANONICAL_WEIGHTS = (
+    0.040,  # 00
+    0.025,  # 01
+    0.017,  # 02
+    0.012,  # 03
+    0.010,  # 04
+    0.011,  # 05
+    0.014,  # 06
+    0.020,  # 07
+    0.028,  # 08
+    0.036,  # 09
+    0.042,  # 10
+    0.046,  # 11
+    0.048,  # 12
+    0.046,  # 13  (lunch dip)
+    0.048,  # 14
+    0.051,  # 15
+    0.055,  # 16
+    0.059,  # 17
+    0.063,  # 18
+    0.068,  # 19
+    0.074,  # 20
+    0.078,  # 21  (evening peak)
+    0.072,  # 22
+    0.055,  # 23
+)
+
+
+def parametric_generic_profile() -> Profile:
+    """The canonical local-time diurnal profile (normalised)."""
+    return Profile(np.asarray(_CANONICAL_WEIGHTS))
+
+
+def canonical_rate(hour: float) -> float:
+    """Periodic linear interpolation of the canonical curve at a real hour.
+
+    Used by the synthetic posting process to evaluate a user's activity
+    rate at fractional local hours (e.g. after a chronotype shift).
+    """
+    wrapped = float(hour) % HOURS
+    # Python's modulo of a tiny negative float can round up to exactly 24.0.
+    if wrapped >= HOURS:
+        wrapped = 0.0
+    low = int(wrapped)
+    high = (low + 1) % HOURS
+    frac = wrapped - low
+    return (1.0 - frac) * _CANONICAL_WEIGHTS[low] + frac * _CANONICAL_WEIGHTS[high]
+
+
+class ReferenceProfiles:
+    """The per-zone reference profiles anonymous users are matched against."""
+
+    def __init__(self, generic: Profile) -> None:
+        self._generic = generic
+        self._by_offset = {
+            offset: generic.shifted(-offset) for offset in ZONE_OFFSETS
+        }
+
+    @classmethod
+    def canonical(cls) -> "ReferenceProfiles":
+        """References derived from the parametric generic profile."""
+        return cls(parametric_generic_profile())
+
+    @classmethod
+    def from_regional_crowds(
+        cls, crowd_profiles: Mapping[int, Profile]
+    ) -> "ReferenceProfiles":
+        """The paper's construction: average region crowds shifted to UTC.
+
+        *crowd_profiles* maps each region's UTC offset to its crowd profile
+        **as built on UTC clocks**.  Each is rotated by ``+offset`` back to
+        the canonical local-time frame, then averaged.
+        """
+        if not crowd_profiles:
+            raise ProfileError("need at least one regional crowd profile")
+        aligned = [
+            profile.shifted(offset) for offset, profile in crowd_profiles.items()
+        ]
+        return cls(build_crowd_profile(aligned))
+
+    @property
+    def generic(self) -> Profile:
+        """The generic (UTC-resident / local-time) profile."""
+        return self._generic
+
+    def for_zone(self, offset: int) -> Profile:
+        """Reference profile of zone UTC+offset, expressed on UTC clocks."""
+        return self._by_offset[normalize_offset(offset)]
+
+    def offsets(self) -> tuple[int, ...]:
+        return ZONE_OFFSETS
+
+    def as_list(self) -> list[Profile]:
+        """References in plotting order (UTC-11 .. UTC+12)."""
+        return [self._by_offset[offset] for offset in ZONE_OFFSETS]
+
+    def nearest_zone(self, profile: Profile, metric: str = "linear") -> int:
+        """Offset of the zone whose reference is closest to *profile*."""
+        distance = ALL_DISTANCES[metric]
+        best_offset = min(
+            ZONE_OFFSETS,
+            key=lambda offset: distance(profile, self._by_offset[offset]),
+        )
+        return best_offset
+
+    def distance_to_zone(
+        self, profile: Profile, offset: int, metric: str = "linear"
+    ) -> float:
+        """Distance from *profile* to the reference of zone UTC+offset."""
+        distance = ALL_DISTANCES[metric]
+        return distance(profile, self._by_offset[normalize_offset(offset)])

@@ -1,0 +1,151 @@
+"""Streaming crowd geolocation: verdicts that update as posts arrive.
+
+Sec. VII of the paper: when a forum hides timestamps, "one might need to
+monitor a sufficiently large number of days, depending on the frequency
+of the posts, in order to collect 30 posts per user or more necessary to
+build meaningful profiles".  :class:`StreamingGeolocator` makes that
+operational: feed it (author, timestamp) events as they are observed and
+ask for the current verdict at any point -- the convergence experiment
+(:func:`repro.analysis.streaming_experiments.run_convergence_experiment`)
+then answers *how many days of monitoring a given forum needs*.
+
+Incremental state is kept per user as the (day, hour) active-cell counts
+of Eq. 1, so an update is O(1) and a snapshot costs one placement over
+the currently-active users.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.em import GaussianMixtureModel, select_mixture
+from repro.core.events import PostEvent
+from repro.core.flatness import is_flat_profile
+from repro.core.gaussian import PAPER_SIGMA
+from repro.core.placement import place_users, placement_distribution
+from repro.core.profiles import HOURS, Profile
+from repro.core.reference import ReferenceProfiles
+from repro.errors import EmptyTraceError
+
+
+@dataclass(frozen=True)
+class StreamSnapshot:
+    """The state of the verdict at one point in the monitoring campaign."""
+
+    n_events_seen: int
+    n_users_seen: int
+    n_users_active: int
+    mixture: GaussianMixtureModel | None
+
+    def dominant_mean(self) -> float:
+        if self.mixture is None:
+            return float("nan")
+        return self.mixture.dominant().mean
+
+    def has_verdict(self) -> bool:
+        return self.mixture is not None
+
+
+class _UserState:
+    """Incremental Eq. 1 accumulator for one user."""
+
+    __slots__ = ("cells", "counts", "n_posts")
+
+    def __init__(self) -> None:
+        self.cells: set[tuple[int, int]] = set()
+        self.counts = np.zeros(HOURS, dtype=float)
+        self.n_posts = 0
+
+    def add(self, timestamp: float) -> None:
+        self.n_posts += 1
+        day = int(timestamp // 86400.0)
+        hour = int((timestamp % 86400.0) // 3600.0)
+        if (day, hour) not in self.cells:
+            self.cells.add((day, hour))
+            self.counts[hour] += 1.0
+
+    def profile(self) -> Profile:
+        if not self.cells:
+            raise EmptyTraceError("no activity accumulated")
+        return Profile(self.counts)
+
+
+class StreamingGeolocator:
+    """Online version of the pipeline: O(1) per event, snapshot on demand."""
+
+    def __init__(
+        self,
+        references: ReferenceProfiles | None = None,
+        *,
+        metric: str = "linear",
+        min_posts: int = 30,
+        sigma_init: float = PAPER_SIGMA,
+        max_components: int = 4,
+        min_users_for_verdict: int = 10,
+    ) -> None:
+        self.references = references or ReferenceProfiles.canonical()
+        self.metric = metric
+        self.min_posts = min_posts
+        self.sigma_init = sigma_init
+        self.max_components = max_components
+        self.min_users_for_verdict = min_users_for_verdict
+        self._users: dict[str, _UserState] = {}
+        self._n_events = 0
+
+    def observe(self, user_id: str, timestamp: float) -> None:
+        """Feed one (author, UTC timestamp) observation."""
+        state = self._users.get(user_id)
+        if state is None:
+            state = self._users[user_id] = _UserState()
+        state.add(float(timestamp))
+        self._n_events += 1
+
+    def observe_events(self, events: Iterable[PostEvent]) -> None:
+        for event in events:
+            self.observe(event.user_id, event.timestamp)
+
+    @property
+    def n_events(self) -> int:
+        return self._n_events
+
+    def n_users(self) -> int:
+        return len(self._users)
+
+    def active_profiles(self) -> dict[str, Profile]:
+        """Profiles of users past the activity threshold, bots filtered."""
+        profiles = {}
+        for user_id, state in self._users.items():
+            if state.n_posts < self.min_posts:
+                continue
+            profile = state.profile()
+            if is_flat_profile(profile, self.references, metric=self.metric):
+                continue
+            profiles[user_id] = profile
+        return profiles
+
+    def snapshot(self) -> StreamSnapshot:
+        """The current verdict (or None while under-evidenced)."""
+        profiles = self.active_profiles()
+        if len(profiles) < self.min_users_for_verdict:
+            return StreamSnapshot(
+                n_events_seen=self._n_events,
+                n_users_seen=len(self._users),
+                n_users_active=len(profiles),
+                mixture=None,
+            )
+        assignments = place_users(profiles, self.references, metric=self.metric)
+        placement = placement_distribution(assignments.values())
+        mixture = select_mixture(
+            placement,
+            max_components=self.max_components,
+            sigma_init=self.sigma_init,
+        )
+        return StreamSnapshot(
+            n_events_seen=self._n_events,
+            n_users_seen=len(self._users),
+            n_users_active=len(profiles),
+            mixture=mixture,
+        )

@@ -1,0 +1,19 @@
+"""Dataset containers, region registry access and serialisation."""
+
+from repro.datasets.registry import (
+    TABLE1_ROWS,
+    table1_rows,
+)
+from repro.datasets.traces import (
+    LabeledDataset,
+    load_trace_set,
+    save_trace_set,
+)
+
+__all__ = [
+    "TABLE1_ROWS",
+    "table1_rows",
+    "LabeledDataset",
+    "load_trace_set",
+    "save_trace_set",
+]

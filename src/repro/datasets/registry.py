@@ -1,0 +1,25 @@
+"""Access to the paper's Table I region registry.
+
+The canonical region definitions live in :mod:`repro.timebase.zones`; this
+module exposes them in the shape the Table I reproduction bench needs
+(name + active-user count, in the paper's alphabetical row order).
+"""
+
+from __future__ import annotations
+
+from repro.timebase.zones import TABLE1_KEYS, Region, get_region
+
+#: (registry key, Region) pairs in the paper's Table I row order.
+TABLE1_ROWS: tuple[tuple[str, Region], ...] = tuple(
+    (key, get_region(key)) for key in TABLE1_KEYS
+)
+
+
+def table1_rows() -> list[tuple[str, int]]:
+    """(display name, active user count) rows exactly as in Table I."""
+    return [(region.name, region.twitter_active_users) for _, region in TABLE1_ROWS]
+
+
+def total_active_users() -> int:
+    """Sum of Table I's active-user column."""
+    return sum(region.twitter_active_users for _, region in TABLE1_ROWS)

@@ -1,0 +1,197 @@
+"""Labeled datasets and trace serialisation.
+
+:class:`LabeledDataset` is the ground-truth container mirroring the
+paper's Twitter dataset: per-region crowds of activity traces with the
+region verified ("hometown/country retrievable from their Twitter
+profile").  Serialisation uses a line-oriented JSON format holding only
+(user id, timestamps) -- the same minimal information the paper's ethics
+section commits to storing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator, Mapping
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.events import ActivityTrace, TraceSet
+from repro.core.profiles import (
+    Profile,
+    build_crowd_profile,
+    build_user_profile,
+    build_user_profile_civil,
+)
+from repro.core.reference import ReferenceProfiles
+from repro.errors import DatasetError
+from repro.timebase.calendar_utils import HolidayCalendar
+from repro.timebase.zones import Region, get_region
+
+
+class LabeledDataset:
+    """Per-region crowds with verified origin (the Twitter-grab stand-in)."""
+
+    def __init__(self, crowds: Mapping[str, TraceSet]) -> None:
+        self._crowds: dict[str, TraceSet] = {}
+        for key, traces in crowds.items():
+            get_region(key)  # validates the key
+            self._crowds[key] = traces
+
+    def __len__(self) -> int:
+        return len(self._crowds)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._crowds
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._crowds)
+
+    def region_keys(self) -> list[str]:
+        return list(self._crowds)
+
+    def region(self, key: str) -> Region:
+        return get_region(key)
+
+    def crowd(self, key: str) -> TraceSet:
+        try:
+            return self._crowds[key]
+        except KeyError:
+            raise DatasetError(f"region {key!r} not in dataset") from None
+
+    def total_users(self) -> int:
+        return sum(len(traces) for traces in self._crowds.values())
+
+    def total_posts(self) -> int:
+        return sum(traces.total_posts() for traces in self._crowds.values())
+
+    def with_min_posts(self, threshold: int = 30) -> "LabeledDataset":
+        """Apply the paper's >= 30 posts active-user rule to every crowd."""
+        return LabeledDataset(
+            {
+                key: traces.with_min_posts(threshold)
+                for key, traces in self._crowds.items()
+            }
+        )
+
+    def without_holidays(self, calendar: HolidayCalendar) -> "LabeledDataset":
+        """Drop posts on (windows around) holidays, per Sec. IV's polishing."""
+        return LabeledDataset(
+            {
+                key: TraceSet(
+                    trace.restricted_to_days(
+                        lambda ordinal: not calendar.is_holiday(ordinal)
+                    )
+                    for trace in traces
+                )
+                for key, traces in self._crowds.items()
+            }
+        )
+
+    def merged(self, keys: Iterable[str] | None = None) -> TraceSet:
+        """Union of the selected crowds (default: all) as one anonymous set."""
+        selected = list(keys) if keys is not None else self.region_keys()
+        combined = TraceSet()
+        for key in selected:
+            for trace in self.crowd(key):
+                combined.add(trace)
+        return combined
+
+    def crowd_profile(self, key: str, *, local_time: bool = True) -> Profile:
+        """Eq. 2 crowd profile of one region.
+
+        With ``local_time=True`` the profile is built against the region's
+        civil local clock, DST included -- the paper "considered daylight
+        saving time for all regions where it is used" (how Fig. 2(a) is
+        plotted).  Otherwise the profile stays on UTC clocks.
+        """
+        region = self.region(key)
+        crowd = self.crowd(key)
+        if len(crowd) == 0:
+            raise DatasetError(f"region {key!r} has no users")
+        if local_time:
+            return build_crowd_profile(
+                build_user_profile_civil(trace, region) for trace in crowd
+            )
+        return build_crowd_profile(build_user_profile(trace) for trace in crowd)
+
+    def generic_profile(self, keys: Iterable[str] | None = None) -> Profile:
+        """The paper's generic profile: region crowds aligned and averaged.
+
+        Each region's civil-local-time crowd profile already lives in the
+        canonical local frame, so the generic profile is their plain
+        (user-count weighted) average.
+        """
+        selected = list(keys) if keys is not None else self.region_keys()
+        weighted = []
+        for key in selected:
+            crowd = self.crowd(key)
+            if len(crowd) == 0:
+                continue
+            weighted.append(self.crowd_profile(key).mass * len(crowd))
+        if not weighted:
+            raise DatasetError("no users in the selected regions")
+        return Profile(np.sum(weighted, axis=0))
+
+    def reference_profiles(
+        self, keys: Iterable[str] | None = None
+    ) -> ReferenceProfiles:
+        """Data-driven time-zone references (the paper's construction).
+
+        Building the references from Eq. 1 profiles -- rather than from the
+        parametric curve -- matters: Eq. 1 counts active day-hours, which
+        saturates peak hours, and the anonymous users being placed are
+        profiled the same way, so the saturation cancels out.
+        """
+        return ReferenceProfiles(self.generic_profile(keys))
+
+    def dst_normalized_crowd(self, key: str) -> TraceSet:
+        """The region's traces with timestamps moved to *standard* time.
+
+        During DST the region's civil clock runs ahead, so a fixed civil
+        habit lands one hour *earlier* in UTC; adding the DST hour back
+        makes a full-year trace profile as if the region never changed
+        clocks.  Used by the validation placements (Figs. 3-5), where
+        ground truth makes the correction possible.
+        """
+        region = self.region(key)
+        normalized = TraceSet()
+        for trace in self.crowd(key):
+            stamps = [
+                float(ts)
+                + region.dst_rule.offset_adjustment(int(ts // 86400.0)) * 3600.0
+                for ts in trace.timestamps
+            ]
+            normalized.add(ActivityTrace(trace.user_id, stamps))
+        return normalized
+
+
+def save_trace_set(traces: TraceSet, path: "str | Path") -> None:
+    """Write one JSON line per user: {"user": ..., "timestamps": [...]}."""
+    destination = Path(path)
+    with destination.open("w", encoding="utf-8") as handle:
+        for trace in traces:
+            record = {
+                "user": trace.user_id,
+                "timestamps": [float(ts) for ts in trace.timestamps],
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_trace_set(path: "str | Path") -> TraceSet:
+    """Inverse of :func:`save_trace_set`."""
+    source = Path(path)
+    traces = TraceSet()
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                traces.add(ActivityTrace(record["user"], record["timestamps"]))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise DatasetError(
+                    f"{source}:{line_number}: malformed trace record"
+                ) from exc
+    return traces

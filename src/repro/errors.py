@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class EmptyTraceError(ReproError):
+    """An activity trace contained no events where at least one is required."""
+
+
+class ProfileError(ReproError):
+    """A profile is malformed (wrong length, negative mass, zero mass...)."""
+
+
+class ZoneError(ReproError):
+    """An unknown time zone or region was requested."""
+
+
+class CalendarError(ReproError):
+    """Invalid civil date arithmetic (bad month, day out of range...)."""
+
+
+class FitError(ReproError):
+    """A curve fit or EM run failed to produce a usable estimate."""
+
+
+class DatasetError(ReproError):
+    """A dataset is missing required fields or violates its invariants."""
+
+
+class ForumError(ReproError):
+    """A forum-engine operation was invalid (unknown user, bad thread...)."""
+
+
+class TorError(ReproError):
+    """A failure inside the simulated Tor substrate."""
+
+
+class CircuitError(TorError):
+    """A Tor circuit could not be built or used."""
+
+
+class DescriptorError(TorError):
+    """A hidden-service descriptor could not be published or fetched."""
+
+
+class StorageError(ReproError):
+    """The trace store rejected an operation (bad key, expired data...)."""

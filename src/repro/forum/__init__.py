@@ -1,0 +1,32 @@
+"""Dark Web forum substrate: server engine, scraper client, trace store.
+
+The paper's data-collection path (Sec. V): sign up on the forum, post in
+the Welcome/Spam thread to calibrate the offset between server time and
+UTC, then dump every post's (author id, timestamp) pair.  This package
+implements both sides of that interaction:
+
+* :mod:`repro.forum.engine`  -- the forum server (users, threads, posts,
+  a server clock with an arbitrary UTC offset),
+* :mod:`repro.forum.scraper` -- the researcher's client performing the
+  signup / probe-post / offset-calibration / dump procedure,
+* :mod:`repro.forum.storage` -- the minimal encrypted trace store the
+  ethics section (Sec. VIII) describes.
+"""
+
+from repro.forum.engine import Board, ForumServer, Post, Thread
+from repro.forum.monitor import ForumMonitor, MonitorResult, Observation
+from repro.forum.scraper import ForumScraper, ScrapeResult
+from repro.forum.storage import TraceStore
+
+__all__ = [
+    "Board",
+    "ForumServer",
+    "Post",
+    "Thread",
+    "ForumMonitor",
+    "MonitorResult",
+    "Observation",
+    "ForumScraper",
+    "ScrapeResult",
+    "TraceStore",
+]

@@ -1,0 +1,245 @@
+"""The forum server: boards, threads, posts and a skewed server clock.
+
+Modeled on the phpBB-style forums the paper scraped (CRD Club, IDC, Dream
+Market forum, ...): boards contain threads, threads contain posts, every
+post is timestamped by the *server's* clock -- which may be deliberately
+offset from UTC ("the timestamp can be deliberately shifted", Sec. V).
+Posts appear immediately ("we also checked that in all of the forums the
+posts appear with no delay"), though an optional publication delay is
+supported to exercise the paper's Discussion-section countermeasure.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ForumError
+
+#: Thread names the scraper may use for its probe post (Sec. V: "write a
+#: post in the 'Welcome' or 'Spam' thread").
+PROBE_THREADS = ("Welcome", "Spam")
+
+
+@dataclass(frozen=True)
+class Post:
+    """One post as the forum stores it (server-time stamped)."""
+
+    post_id: int
+    thread_id: int
+    author: str
+    server_time: float
+    visible_from: float
+    body: str = ""
+
+
+@dataclass
+class Thread:
+    """An ordered list of posts under a title."""
+
+    thread_id: int
+    board: str
+    title: str
+    posts: list[Post] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Board:
+    """A forum section; some require a membership rank to read."""
+
+    name: str
+    min_rank: int = 0
+
+
+class ForumServer:
+    """An in-process hidden-service forum.
+
+    *server_offset_hours* skews every stored timestamp away from UTC.
+    Two countermeasures from the paper's Discussion section are
+    modelled:
+
+    * *publication_delay* (seconds) hides fresh posts for a while,
+      defeating a monitoring observer at the cost of forum liveliness;
+    * *timestamp_jitter_seconds* adds a uniform random delay to every
+      *displayed* timestamp ("the forum shows and timestamps posts with
+      random delay") -- the paper argues it must reach several hours to
+      matter, which :mod:`repro.analysis.countermeasures` measures.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        onion: str,
+        *,
+        server_offset_hours: float = 0.0,
+        publication_delay: float = 0.0,
+        timestamp_jitter_seconds: float = 0.0,
+        jitter_seed: int = 0,
+    ) -> None:
+        import numpy as np
+
+        self.name = name
+        self.onion = onion
+        self.server_offset_hours = server_offset_hours
+        self.publication_delay = publication_delay
+        self.timestamp_jitter_seconds = timestamp_jitter_seconds
+        self._jitter_rng = np.random.default_rng(jitter_seed)
+        self._boards: dict[str, Board] = {}
+        self._threads: dict[int, Thread] = {}
+        self._members: dict[str, int] = {}
+        self._post_ids = itertools.count(1)
+        self._thread_ids = itertools.count(1)
+        #: (visible_from, post, board) sorted by visible_from; rebuilt
+        #: lazily so bulk imports stay O(P log P) overall.
+        self._visibility_index: list[tuple[float, int, Post, str]] = []
+        self._index_dirty = False
+        self.add_board(Board("Reception"))
+        for title in PROBE_THREADS:
+            self.create_thread("Reception", title)
+
+    # -- administration ---------------------------------------------------
+
+    def add_board(self, board: Board) -> None:
+        self._boards[board.name] = board
+
+    def boards(self) -> list[Board]:
+        return list(self._boards.values())
+
+    def create_thread(self, board: str, title: str) -> int:
+        if board not in self._boards:
+            raise ForumError(f"no such board: {board!r}")
+        thread_id = next(self._thread_ids)
+        self._threads[thread_id] = Thread(thread_id=thread_id, board=board, title=title)
+        return thread_id
+
+    # -- membership --------------------------------------------------------
+
+    def register(self, username: str, rank: int = 0) -> None:
+        if username in self._members:
+            raise ForumError(f"username taken: {username!r}")
+        self._members[username] = rank
+
+    def is_member(self, username: str) -> bool:
+        return username in self._members
+
+    def rank_of(self, username: str) -> int:
+        try:
+            return self._members[username]
+        except KeyError:
+            raise ForumError(f"not a member: {username!r}") from None
+
+    # -- posting & reading ---------------------------------------------------
+
+    def server_time(self, utc_now: float) -> float:
+        """The clock the forum stamps posts with (before jitter)."""
+        return utc_now + self.server_offset_hours * 3600.0
+
+    def _stamp(self, utc_now: float) -> float:
+        """Displayed timestamp: server clock plus the jitter delay."""
+        stamped = self.server_time(utc_now)
+        if self.timestamp_jitter_seconds > 0:
+            stamped += float(
+                self._jitter_rng.uniform(0.0, self.timestamp_jitter_seconds)
+            )
+        return stamped
+
+    def submit_post(
+        self, username: str, thread_id: int, utc_now: float, body: str = ""
+    ) -> Post:
+        """Store a post; returns it with the server timestamp applied."""
+        if username not in self._members:
+            raise ForumError(f"not a member: {username!r}")
+        thread = self._threads.get(thread_id)
+        if thread is None:
+            raise ForumError(f"no such thread: {thread_id}")
+        post = Post(
+            post_id=next(self._post_ids),
+            thread_id=thread_id,
+            author=username,
+            server_time=self._stamp(utc_now),
+            visible_from=utc_now + self.publication_delay,
+            body=body,
+        )
+        thread.posts.append(post)
+        self._index_dirty = True
+        return post
+
+    def thread_by_title(self, title: str) -> Thread:
+        for thread in self._threads.values():
+            if thread.title == title:
+                return thread
+        raise ForumError(f"no thread titled {title!r}")
+
+    def visible_posts(
+        self, viewer: str, utc_now: float, *, board: str | None = None
+    ) -> list[Post]:
+        """Every post the viewer may see right now (rank + delay checks)."""
+        rank = self.rank_of(viewer)
+        posts: list[Post] = []
+        for thread in self._threads.values():
+            board_obj = self._boards[thread.board]
+            if board is not None and thread.board != board:
+                continue
+            if board_obj.min_rank > rank:
+                continue
+            posts.extend(
+                post for post in thread.posts if post.visible_from <= utc_now
+            )
+        return sorted(posts, key=lambda post: post.post_id)
+
+    def total_posts(self) -> int:
+        return sum(len(thread.posts) for thread in self._threads.values())
+
+    def _rebuild_visibility_index(self) -> None:
+        entries = []
+        for thread in self._threads.values():
+            for post in thread.posts:
+                entries.append((post.visible_from, post.post_id, post, thread.board))
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        self._visibility_index = entries
+        self._index_dirty = False
+
+    def newly_visible_posts(
+        self, viewer: str, since: float, until: float
+    ) -> list[Post]:
+        """Posts that became visible in (since, until], viewer-rank gated.
+
+        This is the query a timestamp-less-forum monitor needs: O(log P +
+        k) per poll instead of scanning every post.  ``since`` may be
+        ``-inf`` for the first poll.
+        """
+        rank = self.rank_of(viewer)
+        if self._index_dirty:
+            self._rebuild_visibility_index()
+        low = bisect.bisect_right(self._visibility_index, (since, float("inf")))
+        high = bisect.bisect_right(self._visibility_index, (until, float("inf")))
+        results = []
+        for visible_from, _post_id, post, board in self._visibility_index[low:high]:
+            if self._boards[board].min_rank <= rank:
+                results.append(post)
+        return results
+
+    # -- bulk import ----------------------------------------------------------
+
+    def import_crowd_posts(
+        self,
+        timestamps_by_user: dict[str, list[float]],
+        *,
+        board: str = "Reception",
+        thread_title: str = "General",
+    ) -> int:
+        """Backfill a crowd's posting history (UTC timestamps) into a thread.
+
+        Registers unknown authors automatically.  Used to populate a forum
+        from a synthetic crowd before the scraper is pointed at it.
+        """
+        thread_id = self.create_thread(board, thread_title)
+        imported = 0
+        for username, stamps in timestamps_by_user.items():
+            if username not in self._members:
+                self.register(username)
+            for utc_time in stamps:
+                self.submit_post(username, thread_id, float(utc_time))
+                imported += 1
+        return imported

@@ -1,0 +1,134 @@
+"""Monitoring forums that hide timestamps (paper Sec. VII).
+
+    "Timestamps are always shown in the Dark Web forums under
+    investigation.  However, the forum might remove them ... This is
+    actually not stopping our methodology -- it is enough to monitor the
+    forum, see when posts are made and timestamp them ourselves."
+
+:class:`ForumMonitor` implements that fallback: it polls the forum on a
+schedule, diffs the visible post ids against the previous poll, and
+stamps every newly-appeared post with the *observation* time.  The
+recovered timestamp is therefore quantised to the polling interval --
+coarse polling adds uniform noise of up to one interval per post, which
+the paper argues (and :mod:`repro.analysis.countermeasures` measures)
+still supports profile building as long as the interval stays well below
+a few hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import ActivityTrace, TraceSet
+from repro.errors import ForumError
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One sighting of a new post."""
+
+    post_id: int
+    author: str
+    observed_at: float
+
+
+@dataclass(frozen=True)
+class MonitorResult:
+    """The outcome of a monitoring campaign."""
+
+    forum_name: str
+    traces: TraceSet
+    n_polls: int
+    poll_interval: float
+    observations: tuple[Observation, ...]
+
+    def summary(self) -> str:
+        return (
+            f"{self.forum_name}: {len(self.traces)} authors observed over "
+            f"{self.n_polls} polls every {self.poll_interval / 3600:.2f}h "
+            f"({len(self.observations)} posts stamped)"
+        )
+
+
+class ForumMonitor:
+    """Reconstructs post times by polling a timestamp-less forum.
+
+    *forum* needs only the ``visible_posts`` / ``register`` / ``is_member``
+    surface; the monitor never reads ``server_time`` -- it pretends the
+    field does not exist, exactly the scenario of Sec. VII.
+    """
+
+    def __init__(self, forum, username: str = "crowd_monitor") -> None:
+        self.forum = forum
+        self.username = username
+        self._last_poll_time = float("-inf")
+        self._observations: list[Observation] = []
+        self._polls = 0
+
+    def _ensure_membership(self) -> None:
+        if not self.forum.is_member(self.username):
+            self.forum.register(self.username)
+
+    def poll(self, utc_now: float) -> list[Observation]:
+        """One poll: stamp every post that appeared since the last poll.
+
+        Posts present at the *first* poll have unknown creation times and
+        are deliberately discarded -- stamping them with the first-poll
+        time would concentrate spurious mass in one hour bin.
+        """
+        self._ensure_membership()
+        new_posts = self.forum.newly_visible_posts(
+            self.username, self._last_poll_time, utc_now
+        )
+        previous_poll = self._last_poll_time
+        self._last_poll_time = utc_now
+        first_poll = self._polls == 0
+        self._polls += 1
+        if first_poll:
+            return []
+        # A post that appeared between two polls was created uniformly at
+        # random within the window; stamping with the window midpoint is
+        # unbiased, where stamping with the poll time would shift every
+        # trace half an interval late (and the crowd half a zone west per
+        # two hours of interval).
+        stamp = (previous_poll + utc_now) / 2.0
+        fresh = [
+            Observation(
+                post_id=post.post_id, author=post.author, observed_at=stamp
+            )
+            for post in new_posts
+            if post.author != self.username
+        ]
+        self._observations.extend(fresh)
+        return fresh
+
+    def run_campaign(
+        self,
+        start: float,
+        end: float,
+        poll_interval: float,
+        forum_name: str | None = None,
+    ) -> MonitorResult:
+        """Poll from *start* to *end* every *poll_interval* seconds."""
+        if poll_interval <= 0:
+            raise ForumError(f"poll interval must be positive: {poll_interval}")
+        if end <= start:
+            raise ForumError("campaign must end after it starts")
+        time = start
+        while time <= end:
+            self.poll(time)
+            time += poll_interval
+        buckets: dict[str, list[float]] = {}
+        for observation in self._observations:
+            buckets.setdefault(observation.author, []).append(
+                observation.observed_at
+            )
+        return MonitorResult(
+            forum_name=forum_name or getattr(self.forum, "name", "forum"),
+            traces=TraceSet(
+                ActivityTrace(author, stamps) for author, stamps in buckets.items()
+            ),
+            n_polls=self._polls,
+            poll_interval=poll_interval,
+            observations=tuple(self._observations),
+        )

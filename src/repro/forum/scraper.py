@@ -1,0 +1,135 @@
+"""The researcher's scraper (the paper's data-collection procedure).
+
+Sec. V: "First, we sign up in the forum and write a post in the 'Welcome'
+or 'Spam' thread to calculate the offset between the server time (the one
+on the post) and UTC. ... once the offset from UTC is known we can collect
+the timestamps of the posts in a sound and consistent way."
+
+The scraper only ever extracts (author id, server timestamp) pairs and
+corrects them to UTC -- mirroring both the methodology and the ethics
+commitments (no post bodies are retained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import ActivityTrace, TraceSet
+from repro.errors import ForumError
+from repro.forum.engine import PROBE_THREADS
+
+
+@dataclass(frozen=True)
+class ScrapeResult:
+    """Everything the scraper walks away with."""
+
+    forum_name: str
+    server_offset_hours: float
+    traces: TraceSet
+    n_posts: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.forum_name}: {len(self.traces)} authors, "
+            f"{self.n_posts} posts, server offset "
+            f"{self.server_offset_hours:+.2f}h from UTC"
+        )
+
+
+class ForumScraper:
+    """Signs up, calibrates the server clock, dumps author/timestamp pairs.
+
+    *forum* is anything exposing the :class:`repro.forum.engine.ForumServer`
+    API -- the engine itself, or the Tor-side remote proxy.
+    """
+
+    def __init__(self, forum, username: str = "crowd_researcher") -> None:
+        self.forum = forum
+        self.username = username
+
+    def calibrate_offset(self, utc_now: float) -> float:
+        """Probe post in the Welcome/Spam thread; return offset in hours.
+
+        The offset is rounded to the nearest quarter hour: real forum
+        clocks sit on timezone-shaped offsets, and the rounding absorbs
+        the seconds between composing and the server stamping the post.
+        """
+        if not self.forum.is_member(self.username):
+            self.forum.register(self.username)
+        thread = None
+        for title in PROBE_THREADS:
+            try:
+                thread = self.forum.thread_by_title(title)
+                break
+            except ForumError:
+                continue
+        if thread is None:
+            raise ForumError("forum has no Welcome/Spam thread to probe")
+        post = self.forum.submit_post(
+            self.username, thread.thread_id, utc_now, body="hello"
+        )
+        raw_offset_hours = (post.server_time - utc_now) / 3600.0
+        return round(raw_offset_hours * 4.0) / 4.0
+
+    def calibrate_offset_robust(
+        self, utc_now: float, *, n_probes: int = 5, spacing: float = 600.0
+    ) -> float:
+        """Offset calibration that survives jittered server timestamps.
+
+        Against a forum that adds a random delay to displayed timestamps
+        (the Sec. VII countermeasure), a single probe absorbs its own
+        random delay into the offset estimate.  Posting several probes
+        and taking the *minimum* observed (server - true) difference
+        converges on the real clock offset, since the jitter is
+        nonnegative.  Rounded to the nearest quarter hour like
+        :meth:`calibrate_offset`.
+        """
+        if not self.forum.is_member(self.username):
+            self.forum.register(self.username)
+        thread = None
+        for title in PROBE_THREADS:
+            try:
+                thread = self.forum.thread_by_title(title)
+                break
+            except ForumError:
+                continue
+        if thread is None:
+            raise ForumError("forum has no Welcome/Spam thread to probe")
+        deltas = []
+        for index in range(max(n_probes, 1)):
+            at = utc_now + index * spacing
+            post = self.forum.submit_post(
+                self.username, thread.thread_id, at, body=f"probe {index}"
+            )
+            deltas.append((post.server_time - at) / 3600.0)
+        return round(min(deltas) * 4.0) / 4.0
+
+    def scrape(self, utc_now: float, *, robust_probes: int = 1) -> ScrapeResult:
+        """Full collection run: calibrate, dump, correct to UTC.
+
+        ``robust_probes > 1`` switches to the multi-probe minimum-delay
+        calibration, which matters only against timestamp-jittering
+        forums.
+        """
+        if robust_probes > 1:
+            offset_hours = self.calibrate_offset_robust(
+                utc_now, n_probes=robust_probes
+            )
+        else:
+            offset_hours = self.calibrate_offset(utc_now)
+        posts = self.forum.visible_posts(self.username, utc_now)
+        by_author: dict[str, list[float]] = {}
+        for post in posts:
+            if post.author == self.username:
+                continue  # our own probe post is not part of the crowd
+            corrected_utc = post.server_time - offset_hours * 3600.0
+            by_author.setdefault(post.author, []).append(corrected_utc)
+        traces = TraceSet(
+            ActivityTrace(author, stamps) for author, stamps in by_author.items()
+        )
+        return ScrapeResult(
+            forum_name=getattr(self.forum, "name", "forum"),
+            server_offset_hours=offset_hours,
+            traces=traces,
+            n_posts=traces.total_posts(),
+        )

@@ -1,0 +1,97 @@
+"""The minimal, encrypted, retention-limited trace store (Sec. VIII).
+
+The paper's ethics section: "The data collected (only author ID and time
+of posting, without the body of the forum post) was stored for a limited
+amount of time in our servers in an encrypted form."  This module models
+those commitments:
+
+* only (hashed author id, timestamp) pairs are persisted -- bodies are
+  rejected by construction,
+* records are encrypted at rest with a keyed XOR stream (a stand-in for a
+  real AEAD cipher; the point is the *workflow*, not the cryptography),
+* every record carries an expiry; reads past the retention window fail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.core.events import ActivityTrace, TraceSet
+from repro.errors import StorageError
+from repro.tor.cells import xor_cipher as _xor_cipher  # same keyed-XOR stream
+
+#: Default retention: 90 days of simulation time.
+DEFAULT_RETENTION_SECONDS = 90 * 86400.0
+
+
+def pseudonymize(author: str, salt: str) -> str:
+    """Stable salted hash of an author id (12 hex chars)."""
+    digest = hashlib.sha256(f"{salt}:{author}".encode("utf-8")).hexdigest()
+    return digest[:12]
+
+
+class TraceStore:
+    """Encrypted, expiring storage of (pseudonym, timestamps) records."""
+
+    def __init__(
+        self,
+        key: bytes,
+        *,
+        salt: str = "repro",
+        retention_seconds: float = DEFAULT_RETENTION_SECONDS,
+    ) -> None:
+        if len(key) < 8:
+            raise StorageError("key must be at least 8 bytes")
+        self._key = key
+        self._salt = salt
+        self._retention = retention_seconds
+        self._records: dict[str, tuple[bytes, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def put(self, dataset_name: str, traces: TraceSet, stored_at: float) -> None:
+        """Encrypt and store a trace set under *dataset_name*."""
+        payload = {
+            pseudonymize(trace.user_id, self._salt): [
+                float(ts) for ts in trace.timestamps
+            ]
+            for trace in traces
+        }
+        plaintext = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._records[dataset_name] = (
+            _xor_cipher(self._key, plaintext),
+            stored_at + self._retention,
+        )
+
+    def get(self, dataset_name: str, key: bytes, read_at: float) -> TraceSet:
+        """Decrypt a stored trace set; enforces key match and retention."""
+        try:
+            ciphertext, expires_at = self._records[dataset_name]
+        except KeyError:
+            raise StorageError(f"no dataset named {dataset_name!r}") from None
+        if read_at > expires_at:
+            self._records.pop(dataset_name)
+            raise StorageError(
+                f"dataset {dataset_name!r} expired (retention window passed)"
+            )
+        plaintext = _xor_cipher(key, ciphertext)
+        try:
+            payload = json.loads(plaintext.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise StorageError("wrong key (decryption failed)") from None
+        return TraceSet(
+            ActivityTrace(pseudonym, stamps) for pseudonym, stamps in payload.items()
+        )
+
+    def purge_expired(self, now: float) -> int:
+        """Drop expired records; returns how many were removed."""
+        expired = [
+            name
+            for name, (_, expires_at) in self._records.items()
+            if now > expires_at
+        ]
+        for name in expired:
+            self._records.pop(name)
+        return len(expired)

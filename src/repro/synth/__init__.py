@@ -1,0 +1,53 @@
+"""Synthetic data substrate.
+
+Stands in for the two data sources the paper used but which cannot be
+redistributed: the 2016 Twitter live-stream grab (ground-truth region
+profiles, Table I) and the scrapes of five Dark Web forums.  See DESIGN.md
+for the substitution rationale.
+"""
+
+from repro.synth.bots import generate_bot_trace, generate_shift_worker_trace
+from repro.synth.diurnal import (
+    CANONICAL,
+    CULTURES,
+    DiurnalModel,
+    model_for_region,
+)
+from repro.synth.forums import (
+    FORUM_SPECS,
+    ForumCrowd,
+    ForumSpec,
+    build_forum_crowd,
+    build_merged_crowd,
+    build_relocated_crowd,
+)
+from repro.synth.population import UserSpec, sample_population, sample_user
+from repro.synth.posting import generate_crowd, generate_trace
+from repro.synth.twitter import (
+    build_region_crowd,
+    build_twitter_dataset,
+    scaled_user_count,
+)
+
+__all__ = [
+    "generate_bot_trace",
+    "generate_shift_worker_trace",
+    "CANONICAL",
+    "CULTURES",
+    "DiurnalModel",
+    "model_for_region",
+    "FORUM_SPECS",
+    "ForumCrowd",
+    "ForumSpec",
+    "build_forum_crowd",
+    "build_merged_crowd",
+    "build_relocated_crowd",
+    "UserSpec",
+    "sample_population",
+    "sample_user",
+    "generate_crowd",
+    "generate_trace",
+    "build_region_crowd",
+    "build_twitter_dataset",
+    "scaled_user_count",
+]

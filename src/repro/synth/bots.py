@@ -1,0 +1,69 @@
+"""Flat-profile users: bots and shift workers (paper Sec. IV-C, Fig. 7).
+
+The paper's polishing step removes users whose activity is spread almost
+uniformly over the day -- "typically bots; rarely, they can be shift
+workers".  This module generates both kinds so the filter has something
+real to catch:
+
+* a *bot* posts at uniformly random times around the clock,
+* a *shift worker* follows the normal diurnal curve, but the curve's phase
+  rotates through the day as their shift schedule rotates week over week,
+  which flattens the long-run profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.events import ActivityTrace
+from repro.synth.diurnal import CANONICAL, DiurnalModel
+from repro.timebase.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+def generate_bot_trace(
+    user_id: str,
+    rng: np.random.Generator,
+    *,
+    start_day: int = 0,
+    n_days: int = 366,
+    posts_per_day: float = 2.0,
+) -> ActivityTrace:
+    """A bot: Poisson posts at uniform times of day, every day."""
+    timestamps: list[float] = []
+    for ordinal in range(start_day, start_day + n_days):
+        for _ in range(int(rng.poisson(posts_per_day))):
+            timestamps.append(
+                ordinal * SECONDS_PER_DAY + rng.random() * SECONDS_PER_DAY
+            )
+    return ActivityTrace(user_id, timestamps)
+
+
+def generate_shift_worker_trace(
+    user_id: str,
+    rng: np.random.Generator,
+    *,
+    start_day: int = 0,
+    n_days: int = 366,
+    posts_per_active_day: float = 1.5,
+    active_day_probability: float = 0.8,
+    rotation_days: int = 7,
+    model: DiurnalModel = CANONICAL,
+    utc_offset: int = 0,
+) -> ActivityTrace:
+    """A rotating-shift worker: normal rhythm whose phase cycles 0/8/16 h."""
+    phases = (0.0, 8.0, 16.0)
+    timestamps: list[float] = []
+    for ordinal in range(start_day, start_day + n_days):
+        if rng.random() >= active_day_probability:
+            continue
+        phase = phases[((ordinal - start_day) // rotation_days) % len(phases)]
+        n_posts = int(rng.poisson(posts_per_active_day))
+        if n_posts == 0:
+            continue
+        hours = model.sample_hours(n_posts, rng, chronotype_shift=phase)
+        for hour in hours:
+            timestamps.append(
+                ordinal * SECONDS_PER_DAY
+                + (float(hour) - utc_offset) * SECONDS_PER_HOUR
+            )
+    return ActivityTrace(user_id, timestamps)

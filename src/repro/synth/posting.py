@@ -1,0 +1,73 @@
+"""Generating post timestamps: the inhomogeneous posting process.
+
+For every local civil day in the requested range a user is active with
+their active-day probability (modulated on weekends); on an active day the
+number of posts is Poisson with the user's rate and each post's local hour
+is drawn from the user's (chronotype-shifted) diurnal curve.  Local times
+are converted to UTC with the region's *effective* offset -- standard
+offset plus the DST adjustment of that day -- which is exactly the
+mechanism the hemisphere test of Sec. V-F later exploits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.events import ActivityTrace, TraceSet
+from repro.synth.population import UserSpec
+from repro.timebase.calendar_utils import is_weekend
+from repro.timebase.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+#: Default generation window: the full simulation year 2016 (the year of
+#: the Twitter grab), expressed in day ordinals.
+DEFAULT_START_DAY = 0
+DEFAULT_N_DAYS = 366
+
+
+def generate_trace(
+    spec: UserSpec,
+    rng: np.random.Generator,
+    *,
+    start_day: int = DEFAULT_START_DAY,
+    n_days: int = DEFAULT_N_DAYS,
+) -> ActivityTrace:
+    """Simulate one user's posting history over [start_day, start_day+n_days)."""
+    region = spec.region
+    timestamps: list[float] = []
+    for ordinal in range(start_day, start_day + n_days):
+        probability = spec.active_day_probability
+        if is_weekend(ordinal):
+            probability = min(probability * spec.weekend_factor, 1.0)
+        if rng.random() >= probability:
+            continue
+        n_posts = int(rng.poisson(spec.posts_per_active_day))
+        if n_posts == 0:
+            continue
+        offset = region.utc_offset_at(ordinal)
+        local_hours = spec.model.sample_hours(
+            n_posts, rng, chronotype_shift=spec.chronotype_shift
+        )
+        for local_hour in local_hours:
+            utc_seconds = (
+                ordinal * SECONDS_PER_DAY
+                + float(local_hour) * SECONDS_PER_HOUR
+                - offset * SECONDS_PER_HOUR
+            )
+            timestamps.append(utc_seconds)
+    return ActivityTrace(spec.user_id, timestamps)
+
+
+def generate_crowd(
+    specs: Iterable[UserSpec],
+    rng: np.random.Generator,
+    *,
+    start_day: int = DEFAULT_START_DAY,
+    n_days: int = DEFAULT_N_DAYS,
+) -> TraceSet:
+    """Simulate a whole crowd."""
+    return TraceSet(
+        generate_trace(spec, rng, start_day=start_day, n_days=n_days)
+        for spec in specs
+    )

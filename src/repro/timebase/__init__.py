@@ -1,0 +1,88 @@
+"""Civil-time substrate: clocks, calendars, time zones and DST rules.
+
+The geolocation method of the paper hinges entirely on civil-time
+book-keeping: post timestamps are collected in UTC (after calibrating the
+forum server offset) and interpreted against the 24 integer time zones of
+the world, with daylight-saving-time corrections applied per region.  This
+package implements that substrate from first principles:
+
+* :mod:`repro.timebase.clock` -- the simulation epoch, timestamp arithmetic
+  and proleptic-Gregorian civil date conversions,
+* :mod:`repro.timebase.dst` -- rule-based daylight-saving-time engines for
+  the northern and southern hemisphere conventions,
+* :mod:`repro.timebase.zones` -- the time-zone/region registry,
+* :mod:`repro.timebase.calendar_utils` -- weekday/holiday calendars used to
+  filter low-activity periods out of the datasets (Sec. IV of the paper).
+"""
+
+from repro.timebase.clock import (
+    EPOCH_YEAR,
+    HOURS_PER_DAY,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    CivilDate,
+    civil_to_ordinal,
+    day_ordinal,
+    hour_of_day,
+    is_leap_year,
+    make_timestamp,
+    ordinal_to_civil,
+    weekday,
+)
+from repro.timebase.dst import (
+    DstObservance,
+    DstRule,
+    EU_RULE,
+    US_RULE,
+    AU_RULE,
+    BR_RULE,
+    NO_DST,
+)
+from repro.timebase.zones import (
+    Hemisphere,
+    Region,
+    TimeZone,
+    ZONE_OFFSETS,
+    all_zones,
+    get_region,
+    get_zone,
+    normalize_offset,
+)
+from repro.timebase.calendar_utils import (
+    HolidayCalendar,
+    is_weekend,
+    standard_holidays,
+)
+
+__all__ = [
+    "EPOCH_YEAR",
+    "HOURS_PER_DAY",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "CivilDate",
+    "civil_to_ordinal",
+    "day_ordinal",
+    "hour_of_day",
+    "is_leap_year",
+    "make_timestamp",
+    "ordinal_to_civil",
+    "weekday",
+    "DstObservance",
+    "DstRule",
+    "EU_RULE",
+    "US_RULE",
+    "AU_RULE",
+    "BR_RULE",
+    "NO_DST",
+    "Hemisphere",
+    "Region",
+    "TimeZone",
+    "ZONE_OFFSETS",
+    "all_zones",
+    "get_region",
+    "get_zone",
+    "normalize_offset",
+    "HolidayCalendar",
+    "is_weekend",
+    "standard_holidays",
+]

@@ -1,0 +1,76 @@
+"""Weekday and holiday calendars.
+
+Sec. IV of the paper: *"we have filtered out periods of particularly low
+activity, like holidays"*.  This module provides the holiday calendars the
+dataset-polishing step uses, plus weekend helpers consumed by the synthetic
+posting process (activity is modulated on weekends).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.timebase.clock import (
+    CivilDate,
+    civil_to_ordinal,
+    ordinal_to_civil,
+    weekday,
+)
+
+_SATURDAY = 5
+_SUNDAY = 6
+
+
+def is_weekend(ordinal: int) -> bool:
+    """True when day *ordinal* is a Saturday or Sunday."""
+    return weekday(ordinal) in (_SATURDAY, _SUNDAY)
+
+
+@dataclass(frozen=True)
+class HolidayCalendar:
+    """A set of (month, day) fixed-date holidays, plus surrounding windows.
+
+    ``window`` extends each holiday by that many days on each side, which
+    models the low-activity periods around holidays the paper filters out.
+    """
+
+    name: str
+    fixed_dates: frozenset[tuple[int, int]] = field(default_factory=frozenset)
+    window: int = 0
+
+    def is_holiday(self, ordinal: int) -> bool:
+        """True when *ordinal* falls on (or within ``window`` days of) a holiday."""
+        for delta in range(-self.window, self.window + 1):
+            date = ordinal_to_civil(ordinal + delta)
+            if (date.month, date.day) in self.fixed_dates:
+                return True
+        return False
+
+    def holidays_in_year(self, year: int) -> list[int]:
+        """Day ordinals of the holidays (excluding windows) in *year*."""
+        ordinals = []
+        for month, day in sorted(self.fixed_dates):
+            try:
+                ordinals.append(civil_to_ordinal(CivilDate(year, month, day)))
+            except Exception:  # pragma: no cover - (2, 30) style entries
+                continue
+        return ordinals
+
+
+#: The generic western holiday calendar used to polish the datasets:
+#: New Year (with a 1-day window) and the Christmas/New Year stretch.
+_WESTERN_DATES = frozenset(
+    {
+        (1, 1),
+        (12, 24),
+        (12, 25),
+        (12, 26),
+        (12, 31),
+        (5, 1),
+    }
+)
+
+
+def standard_holidays(window: int = 1) -> HolidayCalendar:
+    """The default holiday calendar used by the dataset polishing step."""
+    return HolidayCalendar(name="western", fixed_dates=_WESTERN_DATES, window=window)

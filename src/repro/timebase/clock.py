@@ -1,0 +1,172 @@
+"""Simulation clock and proleptic-Gregorian civil-date arithmetic.
+
+All timestamps in the library are **seconds since the simulation epoch**,
+which is 2016-01-01 00:00:00 UTC -- the year of the Twitter live-stream
+grab the paper profiles were built from.  Timestamps are plain floats, so
+they compose with numpy without any wrapper types.
+
+The civil-date conversions are implemented from first principles (days
+since epoch <-> (year, month, day)) rather than via :mod:`datetime`, so the
+whole substrate is self-contained, deterministic and easily property-tested
+against the standard library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CalendarError
+
+#: Calendar year in which the simulation epoch (timestamp 0.0) falls.
+EPOCH_YEAR = 2016
+
+HOURS_PER_DAY = 24
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86400
+
+#: Day of week of the epoch date 2016-01-01 (0=Monday ... 6=Sunday): Friday.
+_EPOCH_WEEKDAY = 4
+
+_DAYS_IN_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def is_leap_year(year: int) -> bool:
+    """Return True when *year* is a Gregorian leap year."""
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def days_in_month(year: int, month: int) -> int:
+    """Return the number of days in *month* of *year* (month is 1-based)."""
+    if not 1 <= month <= 12:
+        raise CalendarError(f"month out of range: {month}")
+    if month == 2 and is_leap_year(year):
+        return 29
+    return _DAYS_IN_MONTH[month - 1]
+
+
+def days_in_year(year: int) -> int:
+    """Return 365 or 366 depending on leap status."""
+    return 366 if is_leap_year(year) else 365
+
+
+@dataclass(frozen=True, order=True)
+class CivilDate:
+    """A (year, month, day) triple on the proleptic Gregorian calendar."""
+
+    year: int
+    month: int
+    day: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.month <= 12:
+            raise CalendarError(f"month out of range: {self.month}")
+        if not 1 <= self.day <= days_in_month(self.year, self.month):
+            raise CalendarError(
+                f"day out of range for {self.year}-{self.month:02d}: {self.day}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.year:04d}-{self.month:02d}-{self.day:02d}"
+
+
+def civil_to_ordinal(date: CivilDate) -> int:
+    """Convert a civil date to days since the epoch (2016-01-01 -> 0).
+
+    Dates before the epoch yield negative ordinals.
+    """
+    ordinal = 0
+    if date.year >= EPOCH_YEAR:
+        for year in range(EPOCH_YEAR, date.year):
+            ordinal += days_in_year(year)
+    else:
+        for year in range(date.year, EPOCH_YEAR):
+            ordinal -= days_in_year(year)
+    for month in range(1, date.month):
+        ordinal += days_in_month(date.year, month)
+    return ordinal + date.day - 1
+
+
+def ordinal_to_civil(ordinal: int) -> CivilDate:
+    """Convert days since the epoch back to a civil date."""
+    year = EPOCH_YEAR
+    remaining = int(ordinal)
+    while remaining < 0:
+        year -= 1
+        remaining += days_in_year(year)
+    while remaining >= days_in_year(year):
+        remaining -= days_in_year(year)
+        year += 1
+    month = 1
+    while remaining >= days_in_month(year, month):
+        remaining -= days_in_month(year, month)
+        month += 1
+    return CivilDate(year, month, remaining + 1)
+
+
+def weekday(ordinal: int) -> int:
+    """Return the weekday of a day ordinal (0=Monday ... 6=Sunday)."""
+    return (_EPOCH_WEEKDAY + int(ordinal)) % 7
+
+
+def make_timestamp(
+    year: int,
+    month: int,
+    day: int,
+    hour: int = 0,
+    minute: int = 0,
+    second: float = 0.0,
+) -> float:
+    """Build a UTC timestamp (seconds since the simulation epoch).
+
+    The time-of-day components follow the usual ranges; *hour* may be any
+    integer, which allows convenient expressions like ``hour=25`` meaning
+    01:00 on the following day (useful when applying zone offsets).
+    """
+    if not 0 <= minute < 60:
+        raise CalendarError(f"minute out of range: {minute}")
+    if not 0 <= second < 60:
+        raise CalendarError(f"second out of range: {second}")
+    ordinal = civil_to_ordinal(CivilDate(year, month, day))
+    return (
+        ordinal * SECONDS_PER_DAY
+        + hour * SECONDS_PER_HOUR
+        + minute * 60
+        + second
+    )
+
+
+def day_ordinal(timestamp: float, offset_hours: float = 0.0) -> int:
+    """Return the civil-day ordinal of *timestamp* in zone UTC+offset."""
+    shifted = timestamp + offset_hours * SECONDS_PER_HOUR
+    return int(shifted // SECONDS_PER_DAY)
+
+
+def hour_of_day(timestamp: float, offset_hours: float = 0.0) -> int:
+    """Return the hour-of-day (0..23) of *timestamp* in zone UTC+offset.
+
+    This is the quantity the paper's Eq. 1 indicator ``a_d(h)`` is keyed on.
+    """
+    shifted = timestamp + offset_hours * SECONDS_PER_HOUR
+    return int((shifted % SECONDS_PER_DAY) // SECONDS_PER_HOUR)
+
+
+def nth_weekday_of_month(year: int, month: int, target_weekday: int, n: int) -> int:
+    """Day ordinal of the n-th *target_weekday* of *month* (n>=1).
+
+    With ``n=-1`` returns the *last* such weekday of the month.  Used by the
+    DST rule engine (e.g. "last Sunday of March").
+    """
+    if n == 0:
+        raise CalendarError("n must be nonzero")
+    first = civil_to_ordinal(CivilDate(year, month, 1))
+    if n > 0:
+        delta = (target_weekday - weekday(first)) % 7
+        ordinal = first + delta + 7 * (n - 1)
+        if ordinal_to_civil(ordinal).month != month:
+            raise CalendarError(
+                f"no {n}th weekday {target_weekday} in {year}-{month:02d}"
+            )
+        return ordinal
+    last = first + days_in_month(year, month) - 1
+    delta = (weekday(last) - target_weekday) % 7
+    return last - delta + 7 * (n + 1)

@@ -1,0 +1,45 @@
+"""Simulated Tor substrate: relays, circuits, directories, hidden services.
+
+Implements the access path of Sec. II of the paper: a client builds a
+three-hop circuit (guard / middle / exit), hidden services publish
+descriptors naming their introduction points to hidden-service
+directories, and client and service meet at a rendezvous relay so neither
+learns the other's address.  The onion layering uses a toy keyed-XOR
+stream -- the protocol *structure* is what matters for the reproduction;
+the paper's method deliberately needs no cryptographic or traffic-level
+capability at all.
+"""
+
+from repro.tor.bridges import (
+    BridgeAuthority,
+    Censor,
+    build_censored_circuit,
+    make_bridges,
+)
+from repro.tor.cells import Cell, layer_decrypt, layer_encrypt
+from repro.tor.circuit import Circuit
+from repro.tor.directory import Consensus, HiddenServiceDirectory, ServiceDescriptor
+from repro.tor.hidden_service import HiddenServiceHost, RemoteForum, TorClient
+from repro.tor.network import TorNetwork, build_network
+from repro.tor.relay import Relay, RelayFlag
+
+__all__ = [
+    "BridgeAuthority",
+    "Censor",
+    "build_censored_circuit",
+    "make_bridges",
+    "Cell",
+    "layer_decrypt",
+    "layer_encrypt",
+    "Circuit",
+    "Consensus",
+    "HiddenServiceDirectory",
+    "ServiceDescriptor",
+    "HiddenServiceHost",
+    "RemoteForum",
+    "TorClient",
+    "TorNetwork",
+    "build_network",
+    "Relay",
+    "RelayFlag",
+]

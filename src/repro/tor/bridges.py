@@ -1,0 +1,147 @@
+"""Bridges: unlisted entry relays for censored users (paper Sec. II-A).
+
+    "Some Tor relays -- 'bridges' -- are not listed in the main Tor
+    directory, to make it more difficult for ISPs or other entities to
+    identify or block access to Tor."
+
+A :class:`Censor` models an ISP/state blocking every relay it can see in
+the public consensus; the :class:`BridgeAuthority` hands out a small,
+per-client ration of unlisted bridges (as the real BridgeDB does) that
+can serve as the circuit's entry hop instead of a consensus guard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import CircuitError, TorError
+from repro.tor.directory import Consensus
+from repro.tor.relay import Relay, RelayFlag
+
+
+@dataclass(frozen=True)
+class Censor:
+    """An adversary that blocks direct connections to known relay IPs."""
+
+    blocked_relay_ids: frozenset[str]
+
+    @classmethod
+    def blocking_consensus(cls, consensus: Consensus) -> "Censor":
+        """The strongest realistic censor: blocks every listed relay."""
+        return cls(
+            blocked_relay_ids=frozenset(
+                relay.relay_id for relay in consensus.all_relays()
+            )
+        )
+
+    def allows(self, relay_id: str) -> bool:
+        return relay_id not in self.blocked_relay_ids
+
+
+class BridgeAuthority:
+    """Distributes unlisted bridge relays, a few per requester.
+
+    Hand-outs are deterministic per client id (hash-based), mirroring how
+    BridgeDB rations bridges so one requester cannot enumerate them all.
+    """
+
+    def __init__(self, bridges: list[Relay], ration: int = 3) -> None:
+        for bridge in bridges:
+            if not bridge.can_serve(RelayFlag.GUARD):
+                raise TorError(
+                    f"bridge {bridge.nickname} cannot serve as an entry"
+                )
+        self._bridges = {bridge.relay_id: bridge for bridge in bridges}
+        self.ration = ration
+
+    def __len__(self) -> int:
+        return len(self._bridges)
+
+    def request_bridges(self, client_id: str) -> list[Relay]:
+        """The client's ration, stable across calls."""
+        if not self._bridges:
+            raise TorError("no bridges available")
+        ranked = sorted(
+            self._bridges.values(),
+            key=lambda bridge: hashlib.sha256(
+                f"{client_id}:{bridge.relay_id}".encode("utf-8")
+            ).hexdigest(),
+        )
+        return ranked[: min(self.ration, len(ranked))]
+
+    def is_bridge(self, relay_id: str) -> bool:
+        return relay_id in self._bridges
+
+
+def usable_entry(
+    candidates: list[Relay], censor: "Censor | None"
+) -> list[Relay]:
+    """Filter entry candidates through the censor's blocklist."""
+    if censor is None:
+        return candidates
+    allowed = [relay for relay in candidates if censor.allows(relay.relay_id)]
+    return allowed
+
+
+def build_censored_circuit(
+    consensus: Consensus,
+    rng,
+    *,
+    censor: Censor,
+    bridge_authority: "BridgeAuthority | None" = None,
+    client_id: str = "client",
+    exit_required: bool = False,
+):
+    """Build a circuit for a censored client.
+
+    Only the *entry* hop needs to be reachable directly -- middle and
+    exit are reached through the circuit itself.  If the censor blocks
+    every consensus guard, the client falls back to its bridge ration;
+    with no bridges the build fails, which is exactly the paper's point
+    about why bridges exist.
+    """
+    from repro.tor.circuit import Circuit, _weighted_choice
+
+    guards = usable_entry(consensus.relays_with(RelayFlag.GUARD), censor)
+    entry: Relay | None = None
+    if guards:
+        entry = _weighted_choice(guards, rng, exclude=set())
+    elif bridge_authority is not None:
+        ration = usable_entry(
+            bridge_authority.request_bridges(client_id), censor
+        )
+        if ration:
+            entry = ration[int(rng.integers(len(ration)))]
+    if entry is None:
+        raise CircuitError(
+            "censor blocks every reachable entry (no guards, no bridges)"
+        )
+
+    exclude = {entry.relay_id}
+    exit_pool = (
+        consensus.relays_with(RelayFlag.EXIT)
+        if exit_required
+        else consensus.all_relays()
+    )
+    exit_relay = _weighted_choice(exit_pool, rng, exclude)
+    exclude.add(exit_relay.relay_id)
+    middle = _weighted_choice(consensus.all_relays(), rng, exclude)
+    return Circuit([entry, middle, exit_relay])
+
+
+def make_bridges(n: int, *, seed: int = 0) -> list[Relay]:
+    """Generate unlisted bridge relays (never added to a consensus)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    return [
+        Relay(
+            relay_id=f"bridge-{index:04d}",
+            nickname=f"obfs{index:04d}",
+            bandwidth=float(rng.lognormal(mean=1.2, sigma=0.8)),
+            flags=RelayFlag.GUARD | RelayFlag.FAST,
+            latency_ms=float(rng.uniform(20.0, 120.0)),
+        )
+        for index in range(n)
+    ]

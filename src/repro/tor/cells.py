@@ -1,0 +1,92 @@
+"""Cells and onion layering.
+
+Each hop of a circuit shares a symmetric key with the client; a payload
+sent down the circuit is encrypted once per hop, outermost layer first
+peeled by the guard.  The "cipher" is a SHA-256-keyed XOR stream: it is
+*not* secure cryptography, it exists so the relaying code has real
+byte-level layers to peel and tests can assert that no single relay can
+read the payload with its own key alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _keystream(key: bytes, length: int) -> bytes:
+    blocks = []
+    produced = 0
+    counter = 0
+    while produced < length:
+        block = hashlib.sha256(key + counter.to_bytes(8, "big")).digest()
+        blocks.append(block)
+        produced += len(block)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def xor_cipher(key: bytes, data: bytes) -> bytes:
+    stream = np.frombuffer(_keystream(key, len(data)), dtype=np.uint8)
+    return (np.frombuffer(data, dtype=np.uint8) ^ stream).tobytes()
+
+
+def layer_encrypt(keys: list[bytes], payload: bytes) -> bytes:
+    """Wrap *payload* in one XOR layer per key, innermost key first.
+
+    ``keys`` is ordered hop-by-hop from the client: guard first.  The
+    guard's layer must be outermost, so encryption applies the *last* key
+    first and the guard key last.
+    """
+    wrapped = payload
+    for key in reversed(keys):
+        wrapped = xor_cipher(key, wrapped)
+    return wrapped
+
+
+def layer_decrypt(key: bytes, payload: bytes) -> bytes:
+    """Peel a single layer (what one relay does)."""
+    return xor_cipher(key, payload)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """The unit relayed through the network."""
+
+    circuit_id: int
+    command: str  # "relay", "begin", "introduce", "rendezvous" ...
+    payload: bytes
+
+    def sized(self) -> int:
+        return len(self.payload)
+
+
+def encode_request(method: str, args: tuple, kwargs: dict) -> bytes:
+    """Marshal an application-level RPC into a cell payload."""
+    return json.dumps(
+        {"method": method, "args": list(args), "kwargs": kwargs},
+        default=_jsonable,
+    ).encode("utf-8")
+
+
+def decode_request(payload: bytes) -> tuple[str, list, dict]:
+    record = json.loads(payload.decode("utf-8"))
+    return record["method"], record["args"], record["kwargs"]
+
+
+def encode_response(value) -> bytes:
+    return json.dumps({"value": value}, default=_jsonable).encode("utf-8")
+
+
+def decode_response(payload: bytes):
+    return json.loads(payload.decode("utf-8"))["value"]
+
+
+def _jsonable(obj):
+    """Fallback serialiser for dataclass-like application objects."""
+    if hasattr(obj, "__dict__"):
+        return {"__type__": type(obj).__name__, **obj.__dict__}
+    raise TypeError(f"not JSON-serialisable: {type(obj).__name__}")

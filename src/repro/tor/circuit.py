@@ -1,0 +1,120 @@
+"""Three-hop circuits: construction, relaying, teardown.
+
+"The user selects a circuit that typically consists of three relays -- an
+entry, a middle, and an exit node.  The user negotiates session keys with
+all the relays and each packet is encrypted multiple times" (Sec. II-A).
+The forward path peels one layer per hop; the backward path adds one layer
+per hop and the client peels them all.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.tor.cells import layer_decrypt, layer_encrypt
+from repro.tor.directory import Consensus
+from repro.tor.relay import Relay, RelayFlag
+
+_circuit_ids = itertools.count(1)
+
+
+def _weighted_choice(
+    relays: list[Relay], rng: np.random.Generator, exclude: set[str]
+) -> Relay:
+    candidates = [relay for relay in relays if relay.relay_id not in exclude]
+    if not candidates:
+        raise CircuitError("no eligible relay left for this position")
+    weights = np.asarray([relay.bandwidth for relay in candidates], dtype=float)
+    weights = weights / weights.sum()
+    return candidates[int(rng.choice(len(candidates), p=weights))]
+
+
+class Circuit:
+    """A client-owned path through guard, middle and exit."""
+
+    def __init__(self, hops: list[Relay]) -> None:
+        if len(hops) != 3:
+            raise CircuitError(f"a circuit needs exactly 3 hops, got {len(hops)}")
+        if len({relay.relay_id for relay in hops}) != 3:
+            raise CircuitError("circuit hops must be distinct relays")
+        self.circuit_id = next(_circuit_ids)
+        self.hops = hops
+        self._keys = [relay.negotiate_key(self.circuit_id) for relay in hops]
+        self.cells_forward = 0
+        self.cells_backward = 0
+        self.open = True
+
+    @classmethod
+    def build(
+        cls,
+        consensus: Consensus,
+        rng: np.random.Generator,
+        *,
+        exit_required: bool = True,
+    ) -> "Circuit":
+        """Bandwidth-weighted guard/middle/exit selection (distinct relays)."""
+        exclude: set[str] = set()
+        guard = _weighted_choice(consensus.relays_with(RelayFlag.GUARD), rng, exclude)
+        exclude.add(guard.relay_id)
+        exit_pool = (
+            consensus.relays_with(RelayFlag.EXIT)
+            if exit_required
+            else consensus.all_relays()
+        )
+        exit_relay = _weighted_choice(exit_pool, rng, exclude)
+        exclude.add(exit_relay.relay_id)
+        middle = _weighted_choice(consensus.all_relays(), rng, exclude)
+        return cls([guard, middle, exit_relay])
+
+    @property
+    def guard(self) -> Relay:
+        return self.hops[0]
+
+    @property
+    def exit(self) -> Relay:
+        return self.hops[2]
+
+    def latency_ms(self) -> float:
+        """One-way latency of the full path."""
+        return sum(relay.latency_ms for relay in self.hops)
+
+    def send_forward(self, payload: bytes) -> bytes:
+        """Onion-wrap and push a payload through all hops; returns what
+        the exit node hands to the destination."""
+        if not self.open:
+            raise CircuitError(f"circuit {self.circuit_id} is closed")
+        wrapped = layer_encrypt(self._keys, payload)
+        for relay in self.hops:
+            wrapped = relay.peel(self.circuit_id, wrapped)
+            self.cells_forward += 1
+        return wrapped
+
+    def receive_backward(self, payload: bytes) -> bytes:
+        """Wrap a destination reply hop-by-hop and peel it client-side."""
+        if not self.open:
+            raise CircuitError(f"circuit {self.circuit_id} is closed")
+        wrapped = payload
+        for relay in reversed(self.hops):
+            wrapped = relay.wrap(self.circuit_id, wrapped)
+            self.cells_backward += 1
+        for key in self._keys:
+            wrapped = layer_decrypt(key, wrapped)
+        return wrapped
+
+    def round_trip(self, payload: bytes, handler) -> tuple[bytes, float]:
+        """Send forward, let *handler* produce the reply, bring it back.
+
+        Returns (reply payload, round-trip latency in ms).
+        """
+        at_exit = self.send_forward(payload)
+        reply = handler(at_exit)
+        back = self.receive_backward(reply)
+        return back, 2.0 * self.latency_ms()
+
+    def close(self) -> None:
+        for relay in self.hops:
+            relay.drop_circuit(self.circuit_id)
+        self.open = False

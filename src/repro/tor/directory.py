@@ -1,0 +1,104 @@
+"""Directory infrastructure: the consensus and hidden-service directories.
+
+The consensus lists every public relay (bridges are kept out of it, as in
+the real network).  Hidden-service directories are the special relays
+storing service descriptors: "the hidden service directories are special
+Tor relays that store all the information useful to allow the client to
+know the introduction point of the hidden services" (Sec. II-B).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import DescriptorError
+from repro.tor.relay import Relay, RelayFlag
+
+
+def onion_address(public_key: str) -> str:
+    """Derive the 16-character .onion host name from a service key.
+
+    Mirrors the scheme the paper describes: "their host name consists of
+    a string of 16 characters derived from the service's public key".
+    """
+    digest = hashlib.sha256(public_key.encode("utf-8")).hexdigest()
+    return digest[:16] + ".onion"
+
+
+@dataclass(frozen=True)
+class ServiceDescriptor:
+    """What a hidden service publishes: its intro points, signed-ish."""
+
+    onion: str
+    public_key: str
+    intro_point_ids: tuple[str, ...]
+
+    def verify(self) -> bool:
+        """Check the descriptor's onion address matches its key."""
+        return onion_address(self.public_key) == self.onion
+
+
+class Consensus:
+    """The signed list of public relays, queryable by flag."""
+
+    def __init__(self, relays: list[Relay]) -> None:
+        self._relays = {relay.relay_id: relay for relay in relays}
+
+    def __len__(self) -> int:
+        return len(self._relays)
+
+    def relay(self, relay_id: str) -> Relay:
+        try:
+            return self._relays[relay_id]
+        except KeyError:
+            raise DescriptorError(f"relay {relay_id!r} not in consensus") from None
+
+    def relays_with(self, flag: RelayFlag) -> list[Relay]:
+        return [relay for relay in self._relays.values() if relay.can_serve(flag)]
+
+    def all_relays(self) -> list[Relay]:
+        return list(self._relays.values())
+
+
+class HiddenServiceDirectory:
+    """One HSDir relay's descriptor store."""
+
+    def __init__(self, relay: Relay) -> None:
+        if not relay.can_serve(RelayFlag.HSDIR):
+            raise DescriptorError(
+                f"relay {relay.nickname} does not carry the HSDir flag"
+            )
+        self.relay = relay
+        self._descriptors: dict[str, ServiceDescriptor] = {}
+
+    def publish(self, descriptor: ServiceDescriptor) -> None:
+        if not descriptor.verify():
+            raise DescriptorError(
+                f"descriptor for {descriptor.onion} fails verification"
+            )
+        self._descriptors[descriptor.onion] = descriptor
+
+    def fetch(self, onion: str) -> ServiceDescriptor:
+        try:
+            return self._descriptors[onion]
+        except KeyError:
+            raise DescriptorError(f"no descriptor for {onion}") from None
+
+    def knows(self, onion: str) -> bool:
+        return onion in self._descriptors
+
+
+def responsible_directories(
+    onion: str, directories: list[HiddenServiceDirectory], replicas: int = 2
+) -> list[HiddenServiceDirectory]:
+    """The HSDirs responsible for an onion address (hash-ring style)."""
+    if not directories:
+        raise DescriptorError("no hidden-service directories in the network")
+    ranked = sorted(
+        directories,
+        key=lambda directory: hashlib.sha256(
+            (onion + directory.relay.relay_id).encode("utf-8")
+        ).hexdigest(),
+    )
+    return ranked[: min(replicas, len(ranked))]

@@ -1,0 +1,241 @@
+"""Hidden-service hosting and the client rendezvous protocol.
+
+Implements the setup and connection flow of Sec. II-B:
+
+1. the service picks introduction points and publishes a descriptor
+   naming them to the responsible hidden-service directories;
+2. the client fetches the descriptor, picks a rendezvous relay, builds a
+   circuit to it, and asks an introduction point to forward the
+   rendezvous address to the service;
+3. the service builds its own circuit to the rendezvous; from then on
+   client and service exchange cells across the two joined circuits, each
+   side anonymous to the other.
+
+The application protocol on top is a tiny RPC: :class:`RemoteForum`
+proxies the forum-engine API across the rendezvous so the scraper code
+works identically against a local engine or a hidden service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DescriptorError, TorError
+from repro.tor.cells import (
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.tor.circuit import Circuit
+from repro.tor.directory import ServiceDescriptor, onion_address
+from repro.tor.network import TorNetwork
+from repro.tor.relay import RelayFlag
+
+#: Forum-engine methods the RPC endpoint will execute.  An allowlist keeps
+#: the duck-typed proxy from becoming an arbitrary-call gadget.
+_ALLOWED_METHODS = frozenset(
+    {
+        "register",
+        "is_member",
+        "thread_by_title",
+        "submit_post",
+        "visible_posts",
+        "newly_visible_posts",
+        "total_posts",
+        "boards",
+    }
+)
+
+
+@dataclass
+class HiddenServiceHost:
+    """A hidden service wrapping an application object (the forum)."""
+
+    network: TorNetwork
+    application: object
+    private_key: str
+    n_intro_points: int = 3
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    descriptor: ServiceDescriptor | None = None
+    service_circuits: list[Circuit] = field(default_factory=list)
+
+    @property
+    def onion(self) -> str:
+        return onion_address(self.private_key)
+
+    def setup(self) -> ServiceDescriptor:
+        """Choose intro points and publish the descriptor (setup phase)."""
+        candidates = self.network.consensus.all_relays()
+        if len(candidates) < self.n_intro_points:
+            raise TorError("not enough relays for the introduction points")
+        order = self.rng.permutation(len(candidates))
+        intro_ids = tuple(
+            candidates[int(i)].relay_id for i in order[: self.n_intro_points]
+        )
+        self.descriptor = ServiceDescriptor(
+            onion=self.onion,
+            public_key=self.private_key,  # toy model: pk == sk string
+            intro_point_ids=intro_ids,
+        )
+        self.network.publish_descriptor(self.descriptor)
+        return self.descriptor
+
+    def accept_rendezvous(self, rendezvous_relay_id: str) -> Circuit:
+        """Build the service-side circuit toward the rendezvous point."""
+        self.network.consensus.relay(rendezvous_relay_id)  # must exist
+        circuit = Circuit.build(
+            self.network.consensus, self.rng, exit_required=False
+        )
+        self.service_circuits.append(circuit)
+        return circuit
+
+    def handle_request(self, payload: bytes) -> bytes:
+        """Execute one RPC against the application and encode the reply."""
+        method, args, kwargs = decode_request(payload)
+        if method not in _ALLOWED_METHODS:
+            raise TorError(f"method {method!r} not exposed by the service")
+        result = getattr(self.application, method)(*args, **kwargs)
+        return encode_response(result)
+
+
+@dataclass(frozen=True)
+class RendezvousSession:
+    """The joined pair of circuits meeting at the rendezvous relay."""
+
+    rendezvous_relay_id: str
+    client_circuit: Circuit
+    service_circuit: Circuit
+    host: HiddenServiceHost
+
+    def round_trip(self, payload: bytes) -> tuple[bytes, float]:
+        """Client -> rendezvous -> service -> application and back."""
+        at_rendezvous = self.client_circuit.send_forward(payload)
+        at_service = self.service_circuit.receive_backward(at_rendezvous)
+        reply = self.host.handle_request(at_service)
+        back_at_rendezvous = self.service_circuit.send_forward(reply)
+        answer = self.client_circuit.receive_backward(back_at_rendezvous)
+        latency = 2.0 * (
+            self.client_circuit.latency_ms() + self.service_circuit.latency_ms()
+        )
+        return answer, latency
+
+    def close(self) -> None:
+        self.client_circuit.close()
+        self.service_circuit.close()
+
+
+class TorClient:
+    """A user of the network: connects to onions via rendezvous."""
+
+    def __init__(self, network: TorNetwork, *, seed: int = 0) -> None:
+        self.network = network
+        self.rng = np.random.default_rng(seed)
+        self.total_latency_ms = 0.0
+        self.rpc_count = 0
+
+    def connect(self, onion: str, host_registry: dict[str, HiddenServiceHost]):
+        """Run the rendezvous protocol; returns a :class:`RemoteForum`.
+
+        *host_registry* plays the role of the network delivering the
+        introduce cell to the service -- the descriptor tells us the intro
+        points; the registry is how the simulation reaches the host's
+        event loop behind them.
+        """
+        descriptor = self.network.fetch_descriptor(onion)
+        if not descriptor.verify():
+            raise DescriptorError(f"descriptor for {onion} fails verification")
+        host = host_registry.get(onion)
+        if host is None:
+            raise TorError(f"hidden service {onion} is not reachable")
+        if not set(descriptor.intro_point_ids) & {
+            relay.relay_id for relay in self.network.consensus.all_relays()
+        }:
+            raise TorError("no introduction point of the service is known")
+
+        rendezvous = self._pick_rendezvous()
+        client_circuit = Circuit.build(
+            self.network.consensus, self.rng, exit_required=False
+        )
+        service_circuit = host.accept_rendezvous(rendezvous)
+        session = RendezvousSession(
+            rendezvous_relay_id=rendezvous,
+            client_circuit=client_circuit,
+            service_circuit=service_circuit,
+            host=host,
+        )
+        return RemoteForum(session, self)
+
+    def _pick_rendezvous(self) -> str:
+        relays = self.network.consensus.relays_with(RelayFlag.FAST)
+        if not relays:
+            raise TorError("no relay available as rendezvous point")
+        return relays[int(self.rng.integers(len(relays)))].relay_id
+
+
+class RemoteForum:
+    """Forum-engine API proxied over a rendezvous session.
+
+    Presents the same surface :class:`repro.forum.scraper.ForumScraper`
+    expects, so scraping over Tor is a drop-in swap for direct access.
+    """
+
+    def __init__(self, session: RendezvousSession, client: TorClient) -> None:
+        self._session = session
+        self._client = client
+        self.name = getattr(session.host.application, "name", "hidden forum")
+
+    def _call(self, method: str, *args, **kwargs):
+        payload = encode_request(method, args, kwargs)
+        answer, latency = self._session.round_trip(payload)
+        self._client.total_latency_ms += latency
+        self._client.rpc_count += 1
+        return decode_response(answer)
+
+    def register(self, username: str, rank: int = 0) -> None:
+        self._call("register", username, rank)
+
+    def is_member(self, username: str) -> bool:
+        return bool(self._call("is_member", username))
+
+    def thread_by_title(self, title: str):
+        record = self._call("thread_by_title", title)
+        return _AttrView(record)
+
+    def submit_post(self, username: str, thread_id: int, utc_now: float, body: str = ""):
+        return _AttrView(self._call("submit_post", username, thread_id, utc_now, body))
+
+    def visible_posts(self, viewer: str, utc_now: float):
+        return [_AttrView(record) for record in self._call("visible_posts", viewer, utc_now)]
+
+    def newly_visible_posts(self, viewer: str, since: float, until: float):
+        return [
+            _AttrView(record)
+            for record in self._call("newly_visible_posts", viewer, since, until)
+        ]
+
+    def total_posts(self) -> int:
+        return int(self._call("total_posts"))
+
+    def disconnect(self) -> None:
+        self._session.close()
+
+
+class _AttrView:
+    """Read-only attribute access over a decoded JSON object."""
+
+    def __init__(self, record: dict) -> None:
+        if not isinstance(record, dict):
+            raise TorError(f"malformed RPC record: {record!r}")
+        self._record = record
+
+    def __getattr__(self, item: str):
+        try:
+            return self._record[item]
+        except KeyError:
+            raise AttributeError(item) from None
+
+    def __repr__(self) -> str:
+        return f"_AttrView({self._record.get('__type__', 'dict')})"

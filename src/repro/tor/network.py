@@ -1,0 +1,74 @@
+"""The simulated Tor network: relay population + directory infrastructure."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tor.directory import (
+    Consensus,
+    HiddenServiceDirectory,
+    ServiceDescriptor,
+    responsible_directories,
+)
+from repro.errors import DescriptorError
+from repro.tor.relay import Relay, RelayFlag
+
+
+class TorNetwork:
+    """Relays, the consensus over them, and the HSDir ring."""
+
+    def __init__(self, relays: list[Relay]) -> None:
+        self.consensus = Consensus(relays)
+        self.hs_directories = [
+            HiddenServiceDirectory(relay)
+            for relay in self.consensus.relays_with(RelayFlag.HSDIR)
+        ]
+
+    def publish_descriptor(self, descriptor: ServiceDescriptor) -> int:
+        """Store a descriptor on its responsible HSDirs; returns replica count."""
+        targets = responsible_directories(descriptor.onion, self.hs_directories)
+        for directory in targets:
+            directory.publish(descriptor)
+        return len(targets)
+
+    def fetch_descriptor(self, onion: str) -> ServiceDescriptor:
+        """Client-side lookup walking the responsible HSDirs."""
+        for directory in responsible_directories(onion, self.hs_directories):
+            if directory.knows(onion):
+                return directory.fetch(onion)
+        raise DescriptorError(f"no responsible HSDir knows {onion}")
+
+
+def build_network(
+    n_relays: int = 60,
+    *,
+    seed: int = 0,
+    guard_fraction: float = 0.35,
+    exit_fraction: float = 0.25,
+    hsdir_fraction: float = 0.2,
+) -> TorNetwork:
+    """A random relay population with realistic-ish bandwidth skew."""
+    rng = np.random.default_rng(seed)
+    relays = []
+    for index in range(n_relays):
+        flags = RelayFlag.FAST
+        if rng.random() < guard_fraction:
+            flags |= RelayFlag.GUARD
+        if rng.random() < exit_fraction:
+            flags |= RelayFlag.EXIT
+        if rng.random() < hsdir_fraction:
+            flags |= RelayFlag.HSDIR
+        relays.append(
+            Relay(
+                relay_id=f"relay-{index:04d}",
+                nickname=f"tor{index:04d}",
+                bandwidth=float(rng.lognormal(mean=2.0, sigma=1.0)),
+                flags=flags,
+                latency_ms=float(rng.uniform(10.0, 80.0)),
+            )
+        )
+    # Guarantee at least one relay per role so small networks stay usable.
+    relays[0].flags |= RelayFlag.GUARD
+    relays[1].flags |= RelayFlag.EXIT
+    relays[2].flags |= RelayFlag.HSDIR
+    return TorNetwork(relays)

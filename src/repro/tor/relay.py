@@ -1,0 +1,75 @@
+"""Tor relays.
+
+A relay has a nickname, a bandwidth (drives path-selection weighting, as
+in the real network -- and in the low-resource attacks the paper's related
+work discusses), role flags, and a per-relay latency.  Session keys are
+negotiated per circuit; the relay keeps one key per circuit id.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import CircuitError
+from repro.tor.cells import layer_decrypt
+
+
+class RelayFlag(enum.Flag):
+    """Consensus flags deciding which positions a relay may fill."""
+
+    NONE = 0
+    GUARD = enum.auto()
+    EXIT = enum.auto()
+    HSDIR = enum.auto()
+    FAST = enum.auto()
+
+
+@dataclass
+class Relay:
+    """One onion router."""
+
+    relay_id: str
+    nickname: str
+    bandwidth: float
+    flags: RelayFlag = RelayFlag.FAST
+    latency_ms: float = 20.0
+    #: circuit id -> session key shared with the circuit owner.
+    _session_keys: dict[int, bytes] = field(default_factory=dict, repr=False)
+
+    def identity_digest(self) -> str:
+        return hashlib.sha256(self.relay_id.encode("utf-8")).hexdigest()[:20]
+
+    def can_serve(self, flag: RelayFlag) -> bool:
+        return bool(self.flags & flag)
+
+    # -- key management ---------------------------------------------------
+
+    def negotiate_key(self, circuit_id: int) -> bytes:
+        """Derive (and remember) the session key for a circuit.
+
+        Stands in for the Diffie-Hellman handshake of the real protocol:
+        deterministic per (relay, circuit) so both sides can derive it.
+        """
+        key = hashlib.sha256(
+            f"{self.relay_id}:{circuit_id}".encode("utf-8")
+        ).digest()
+        self._session_keys[circuit_id] = key
+        return key
+
+    def drop_circuit(self, circuit_id: int) -> None:
+        self._session_keys.pop(circuit_id, None)
+
+    def peel(self, circuit_id: int, payload: bytes) -> bytes:
+        """Remove this relay's onion layer from a forward payload."""
+        key = self._session_keys.get(circuit_id)
+        if key is None:
+            raise CircuitError(
+                f"relay {self.nickname} has no key for circuit {circuit_id}"
+            )
+        return layer_decrypt(key, payload)
+
+    def wrap(self, circuit_id: int, payload: bytes) -> bytes:
+        """Add this relay's onion layer to a backward payload."""
+        return self.peel(circuit_id, payload)  # XOR: peel == wrap

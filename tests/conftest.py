@@ -1,0 +1,38 @@
+"""Shared fixtures.
+
+The expensive artifacts (the synthetic Twitter dataset and the reference
+profiles derived from it) are built once per session at a small scale and
+shared; :func:`repro.analysis.experiments.make_context` memoises on its
+parameters, so repeated fixture use is free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentContext, make_context
+from repro.core.reference import ReferenceProfiles
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """Small but statistically usable experiment context."""
+    return make_context(seed=2016, scale=0.02, n_days=366)
+
+
+@pytest.fixture(scope="session")
+def references(context) -> ReferenceProfiles:
+    """Data-driven time-zone references from the session dataset."""
+    return context.references
+
+
+@pytest.fixture(scope="session")
+def canonical_references() -> ReferenceProfiles:
+    """Parametric references (no dataset needed)."""
+    return ReferenceProfiles.canonical()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

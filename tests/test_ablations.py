@@ -1,0 +1,68 @@
+"""Ablation drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ablations import (
+    run_metric_ablation,
+    run_sigma_init_ablation,
+    run_threshold_ablation,
+    run_trace_length_ablation,
+)
+
+
+class TestMetricAblation:
+    def test_all_metrics_evaluated(self, context):
+        rows = run_metric_ablation(context, regions=("malaysia",), n_users=40)
+        assert [row.metric for row in rows] == ["linear", "circular", "l1", "l2"]
+        assert all(0.0 <= row.accuracy <= 1.0 for row in rows)
+
+    def test_emd_metrics_competitive(self, context):
+        rows = run_metric_ablation(
+            context, regions=("malaysia", "germany"), n_users=50
+        )
+        by_metric = {row.metric: row.accuracy for row in rows}
+        assert by_metric["linear"] >= 0.5
+
+
+class TestThresholdAblation:
+    def test_retention_monotone_decreasing(self, context):
+        rows = run_threshold_ablation(
+            context, thresholds=(5, 30, 80), n_users=60
+        )
+        retained = [row.users_retained for row in rows]
+        assert retained == sorted(retained, reverse=True)
+
+    def test_row_fields(self, context):
+        rows = run_threshold_ablation(context, thresholds=(30,), n_users=40)
+        assert rows[0].min_posts == 30
+
+
+class TestSigmaInitAblation:
+    def test_paper_sigma_recovers_components(self, context):
+        rows = run_sigma_init_ablation(
+            context, sigma_inits=(2.5,), users_per_component=60
+        )
+        assert rows[0].recovered_components == 3
+        assert rows[0].max_center_error <= 1.5
+
+    def test_sweep_shape(self, context):
+        rows = run_sigma_init_ablation(
+            context, sigma_inits=(1.0, 2.5), users_per_component=50
+        )
+        assert [row.sigma_init for row in rows] == [1.0, 2.5]
+
+
+class TestTraceLengthAblation:
+    def test_longer_traces_not_worse(self, context):
+        rows = run_trace_length_ablation(
+            context, day_counts=(45, 366), n_users=60
+        )
+        assert rows[-1].accuracy >= rows[0].accuracy - 0.1
+
+    def test_short_traces_lose_users(self, context):
+        rows = run_trace_length_ablation(
+            context, day_counts=(30, 366), n_users=60
+        )
+        assert rows[0].users_retained <= rows[1].users_retained

@@ -1,0 +1,46 @@
+"""Bot and shift-worker trace generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.profiles import build_user_profile
+from repro.synth.bots import generate_bot_trace, generate_shift_worker_trace
+
+
+class TestBotTraces:
+    def test_volume(self, rng):
+        bot = generate_bot_trace("b", rng, n_days=200, posts_per_day=2.0)
+        assert 250 <= len(bot) <= 550
+
+    def test_profile_is_nearly_uniform(self, rng):
+        bot = generate_bot_trace("b", rng, n_days=365, posts_per_day=4.0)
+        profile = build_user_profile(bot)
+        assert profile.flatness() < 0.15
+
+    def test_window(self, rng):
+        bot = generate_bot_trace("b", rng, start_day=100, n_days=10)
+        days = np.asarray(bot.timestamps) // 86400
+        assert days.min() >= 100 and days.max() < 110
+
+
+class TestShiftWorkers:
+    def test_flatter_than_regular_user(self, rng):
+        worker = generate_shift_worker_trace("w", rng, n_days=365)
+        profile = build_user_profile(worker)
+        # Rotating phases flatten the long-run profile well below a
+        # normal user's concentration.
+        assert profile.flatness() < 0.35
+
+    def test_respects_activity_probability(self, rng):
+        worker = generate_shift_worker_trace(
+            "w", rng, n_days=300, active_day_probability=0.1
+        )
+        heavy = generate_shift_worker_trace(
+            "w2", rng, n_days=300, active_day_probability=0.95
+        )
+        assert len(heavy) > len(worker)
+
+    def test_offset_applied(self, rng):
+        worker = generate_shift_worker_trace("w", rng, n_days=50, utc_offset=8)
+        assert len(worker) > 0

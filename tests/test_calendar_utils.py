@@ -1,0 +1,69 @@
+"""Weekend/holiday calendars."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.timebase.calendar_utils import (
+    HolidayCalendar,
+    is_weekend,
+    standard_holidays,
+)
+from repro.timebase.clock import CivilDate, civil_to_ordinal, weekday
+
+
+def _ordinal(year, month, day):
+    return civil_to_ordinal(CivilDate(year, month, day))
+
+
+class TestWeekend:
+    def test_epoch_is_friday(self):
+        assert not is_weekend(0)
+
+    def test_saturday(self):
+        assert is_weekend(1)  # 2016-01-02
+
+    def test_sunday(self):
+        assert is_weekend(2)  # 2016-01-03
+
+    @given(st.integers(-5000, 5000))
+    def test_consistent_with_weekday(self, ordinal):
+        assert is_weekend(ordinal) == (weekday(ordinal) >= 5)
+
+    @given(st.integers(0, 1000))
+    def test_two_weekend_days_per_week(self, start):
+        week = range(start * 7, start * 7 + 7)
+        assert sum(1 for day in week if is_weekend(day)) == 2
+
+
+class TestHolidayCalendar:
+    def test_christmas_is_holiday(self):
+        calendar = standard_holidays(window=0)
+        assert calendar.is_holiday(_ordinal(2016, 12, 25))
+
+    def test_window_extends(self):
+        calendar = standard_holidays(window=1)
+        # May 2 is within one day of May 1.
+        assert calendar.is_holiday(_ordinal(2016, 5, 2))
+
+    def test_regular_day_is_not(self):
+        calendar = standard_holidays(window=1)
+        assert not calendar.is_holiday(_ordinal(2016, 7, 14))
+
+    def test_custom_calendar(self):
+        calendar = HolidayCalendar(
+            name="custom", fixed_dates=frozenset({(7, 4)}), window=0
+        )
+        assert calendar.is_holiday(_ordinal(2016, 7, 4))
+        assert not calendar.is_holiday(_ordinal(2016, 7, 5))
+
+    def test_holidays_in_year_sorted_count(self):
+        calendar = standard_holidays()
+        ordinals = calendar.holidays_in_year(2016)
+        assert len(ordinals) == 6
+        assert ordinals == sorted(ordinals)
+
+    def test_empty_calendar(self):
+        calendar = HolidayCalendar(name="empty")
+        assert not calendar.is_holiday(0)
+        assert calendar.holidays_in_year(2016) == []

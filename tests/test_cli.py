@@ -1,0 +1,66 @@
+"""The darkcrowd command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig_number(self):
+        args = build_parser().parse_args(["fig", "3"])
+        assert args.command == "fig"
+        assert args.number == 3
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.scale == 0.04
+        assert args.forum_scale == 1.0
+        assert not args.no_tor
+
+    def test_fast_flag(self):
+        args = build_parser().parse_args(["--fast", "table1"])
+        assert args.fast
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["--scale", "0.02", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Brazil" in out
+        assert "3763" in out
+
+    def test_fig1(self, capsys):
+        assert main(["--scale", "0.02", "fig", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+
+    def test_fig2(self, capsys):
+        assert main(["--scale", "0.02", "fig", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pearson" in out
+
+    def test_fig7(self, capsys):
+        assert main(["--scale", "0.02", "fig", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "flat" in out
+
+    def test_unknown_fig(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "0.02", "fig", "99"])
+
+    def test_fig10_fast_forum(self, capsys):
+        assert (
+            main(
+                ["--scale", "0.02", "--forum-scale", "0.4", "--no-tor", "fig", "10"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Italian DarkNet Community" in out
+        assert "recovered" in out

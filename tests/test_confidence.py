@@ -1,0 +1,97 @@
+"""Bootstrap confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.confidence import bootstrap_mixture
+from repro.core.em import fit_mixture
+from repro.core.placement import placement_distribution
+from repro.errors import FitError
+
+
+def _assignments(rng, centers_weights, n):
+    offsets = []
+    for center, weight in centers_weights:
+        count = int(round(n * weight))
+        draws = np.clip(
+            np.rint(rng.normal(center, 1.5, size=count)), -11, 12
+        ).astype(int)
+        offsets.extend(draws.tolist())
+    return offsets
+
+
+class TestBootstrap:
+    def test_interval_contains_estimate(self, rng):
+        offsets = _assignments(rng, [(1, 1.0)], 150)
+        placement = placement_distribution(offsets)
+        mixture = fit_mixture(placement, 1)
+        result = bootstrap_mixture(offsets, mixture, n_resamples=80, seed=2)
+        interval = result.intervals[0]
+        assert interval.mean_low <= interval.mean_estimate <= interval.mean_high
+        assert interval.weight_low <= 1.0 <= interval.weight_high + 1e-9
+
+    def test_more_users_tighter_interval(self, rng):
+        small_offsets = _assignments(rng, [(3, 1.0)], 25)
+        large_offsets = _assignments(rng, [(3, 1.0)], 400)
+        small = bootstrap_mixture(
+            small_offsets,
+            fit_mixture(placement_distribution(small_offsets), 1),
+            n_resamples=80,
+            seed=3,
+        )
+        large = bootstrap_mixture(
+            large_offsets,
+            fit_mixture(placement_distribution(large_offsets), 1),
+            n_resamples=80,
+            seed=3,
+        )
+        assert large.widest_mean_interval() < small.widest_mean_interval()
+
+    def test_two_components_matched(self, rng):
+        offsets = _assignments(rng, [(-6, 0.5), (4, 0.5)], 300)
+        placement = placement_distribution(offsets)
+        mixture = fit_mixture(placement, 2)
+        result = bootstrap_mixture(offsets, mixture, n_resamples=60, seed=4)
+        assert len(result.intervals) == 2
+        assert result.k_stability > 0.8
+        means = sorted(interval.mean_estimate for interval in result.intervals)
+        assert means[0] < 0 < means[1]
+
+    def test_accepts_dict_assignments(self, rng):
+        offsets = _assignments(rng, [(0, 1.0)], 60)
+        assignments = {f"u{i}": offset for i, offset in enumerate(offsets)}
+        placement = placement_distribution(offsets)
+        mixture = fit_mixture(placement, 1)
+        result = bootstrap_mixture(assignments, mixture, n_resamples=40, seed=5)
+        assert result.n_users == 60
+
+    def test_empty_rejected(self, rng):
+        offsets = _assignments(rng, [(0, 1.0)], 40)
+        mixture = fit_mixture(placement_distribution(offsets), 1)
+        with pytest.raises(FitError):
+            bootstrap_mixture([], mixture)
+
+    def test_bad_confidence_rejected(self, rng):
+        offsets = _assignments(rng, [(0, 1.0)], 40)
+        mixture = fit_mixture(placement_distribution(offsets), 1)
+        with pytest.raises(FitError):
+            bootstrap_mixture(offsets, mixture, confidence=1.5)
+
+    def test_coverage_of_true_center(self):
+        """90% intervals should cover the true centre in most replicas."""
+        covered = 0
+        replicas = 20
+        for replica in range(replicas):
+            rng = np.random.default_rng(1000 + replica)
+            offsets = _assignments(rng, [(2, 1.0)], 120)
+            placement = placement_distribution(offsets)
+            mixture = fit_mixture(placement, 1)
+            result = bootstrap_mixture(
+                offsets, mixture, n_resamples=60, seed=replica
+            )
+            interval = result.intervals[0]
+            if interval.mean_low - 0.2 <= 2.0 <= interval.mean_high + 0.2:
+                covered += 1
+        assert covered >= 15

@@ -1,0 +1,130 @@
+"""Countermeasure experiments (paper Sec. VII)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.countermeasures import (
+    run_coordination_experiment,
+    run_delay_experiment,
+    run_hidden_sections_experiment,
+    run_monitor_experiment,
+)
+from repro.forum.engine import ForumServer
+
+
+class TestTimestampJitter:
+    def test_zero_jitter_exact(self):
+        forum = ForumServer("F", "x.onion", server_offset_hours=2)
+        forum.register("u")
+        thread = forum.thread_by_title("Welcome")
+        post = forum.submit_post("u", thread.thread_id, 1000.0)
+        assert post.server_time == 1000.0 + 7200.0
+
+    def test_jitter_delays_within_bound(self):
+        forum = ForumServer(
+            "F", "x.onion", timestamp_jitter_seconds=3600.0, jitter_seed=5
+        )
+        forum.register("u")
+        thread = forum.thread_by_title("Welcome")
+        for index in range(50):
+            post = forum.submit_post("u", thread.thread_id, float(index))
+            delay = post.server_time - float(index)
+            assert 0.0 <= delay <= 3600.0
+
+    def test_jitter_varies_per_post(self):
+        forum = ForumServer(
+            "F", "x.onion", timestamp_jitter_seconds=3600.0, jitter_seed=5
+        )
+        forum.register("u")
+        thread = forum.thread_by_title("Welcome")
+        delays = {
+            forum.submit_post("u", thread.thread_id, 0.0).server_time
+            for _ in range(10)
+        }
+        assert len(delays) > 1
+
+
+class TestMonitorExperiment:
+    def test_fine_polling_matches_scrape(self, context):
+        rows = run_monitor_experiment(
+            context, poll_intervals_hours=(0.5, 4.0), scale=1.0
+        )
+        fine, coarse = rows[0], rows[1]
+        # Sub-hour polling reproduces the scraped verdict almost exactly
+        # (the paper's "it is enough to monitor the forum").
+        assert fine.center_drift < 0.3
+        assert fine.center_drift <= coarse.center_drift + 0.1
+        assert fine.n_polls > coarse.n_polls
+
+
+class TestDelayExperiment:
+    def test_few_hours_needed_to_break(self, context):
+        rows = run_delay_experiment(
+            context, jitter_hours=(0.0, 1.0, 8.0), scale=0.5
+        )
+        by_jitter = {row.jitter_hours: row for row in rows}
+        assert by_jitter[0.0].center_error == 0.0
+        # One hour of jitter barely moves the verdict...
+        assert by_jitter[1.0].center_error < 0.8
+        # ...but "at least a few hours" (8h) visibly degrades it.
+        assert by_jitter[8.0].center_error > by_jitter[1.0].center_error
+        assert by_jitter[8.0].center_error > 0.6
+
+
+class TestHiddenSections:
+    def test_partial_visibility_barely_moves_verdict(self, context):
+        rows = run_hidden_sections_experiment(
+            context, hidden_fractions=(0.0, 0.5), scale=0.4
+        )
+        assert rows[0].n_users_visible > rows[1].n_users_visible
+        assert rows[1].center_drift < 0.8
+
+
+class TestRobustCalibration:
+    def test_min_probe_beats_single_probe_under_jitter(self):
+        single_errors = []
+        robust_errors = []
+        for seed in range(5):
+            forum = ForumServer(
+                "F",
+                "x.onion",
+                server_offset_hours=3,
+                timestamp_jitter_seconds=6 * 3600.0,
+                jitter_seed=seed,
+            )
+            from repro.forum.scraper import ForumScraper
+
+            single = ForumScraper(forum, username=f"s{seed}")
+            robust = ForumScraper(forum, username=f"r{seed}")
+            single_errors.append(abs(single.calibrate_offset(0.0) - 3.0))
+            robust_errors.append(
+                abs(robust.calibrate_offset_robust(0.0, n_probes=8) - 3.0)
+            )
+        assert sum(robust_errors) < sum(single_errors)
+
+    def test_robust_equals_plain_without_jitter(self):
+        from repro.forum.scraper import ForumScraper
+
+        forum = ForumServer("F", "x.onion", server_offset_hours=-5)
+        scraper = ForumScraper(forum)
+        assert scraper.calibrate_offset_robust(0.0) == -5.0
+
+
+class TestCoordinationExperiment:
+    def test_minority_decoy_is_visible_not_dominant(self, context):
+        rows = run_coordination_experiment(
+            context, decoy_fractions=(0.0, 0.25, 0.75), crowd_size=100
+        )
+        by_fraction = {row.decoy_fraction: row for row in rows}
+        # No decoys: the honest zone carries everything.
+        assert by_fraction[0.0].honest_zone_weight > 0.9
+        assert by_fraction[0.0].decoy_zone_weight < 0.1
+        # A 25% coordinated minority appears as its own component but the
+        # honest crowd stays dominant.
+        assert by_fraction[0.25].honest_zone_weight > 0.5
+        # Only a coordinated majority flips the verdict.
+        assert (
+            by_fraction[0.75].decoy_zone_weight
+            > by_fraction[0.75].honest_zone_weight
+        )

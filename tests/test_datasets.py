@@ -1,0 +1,207 @@
+"""Labeled datasets, filtering and serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import ActivityTrace, TraceSet
+from repro.datasets.registry import TABLE1_ROWS, table1_rows, total_active_users
+from repro.datasets.traces import LabeledDataset, load_trace_set, save_trace_set
+from repro.errors import DatasetError
+from repro.timebase.calendar_utils import standard_holidays
+from repro.timebase.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR, make_timestamp
+
+
+def _simple_dataset():
+    german = TraceSet(
+        [
+            ActivityTrace(
+                "hans",
+                [
+                    day * SECONDS_PER_DAY + 19 * SECONDS_PER_HOUR
+                    for day in range(40)
+                ],
+            )
+        ]
+    )
+    japanese = TraceSet(
+        [ActivityTrace("yuki", [day * SECONDS_PER_DAY + 11 * SECONDS_PER_HOUR for day in range(40)])]
+    )
+    return LabeledDataset({"germany": german, "japan": japanese})
+
+
+class TestRegistry:
+    def test_rows_in_paper_order(self):
+        names = [name for name, _ in table1_rows()]
+        assert names[0] == "Brazil"
+        assert names[-1] == "United Kingdom"
+        assert len(names) == 14
+
+    def test_total(self):
+        assert total_active_users() == sum(count for _, count in table1_rows())
+        assert total_active_users() == 22576
+
+    def test_rows_regions_consistent(self):
+        for key, region in TABLE1_ROWS:
+            assert region.twitter_active_users >= 0
+
+
+class TestLabeledDataset:
+    def test_unknown_region_rejected(self):
+        with pytest.raises(Exception):
+            LabeledDataset({"atlantis": TraceSet()})
+
+    def test_crowd_access(self):
+        dataset = _simple_dataset()
+        assert len(dataset.crowd("germany")) == 1
+        with pytest.raises(DatasetError):
+            dataset.crowd("france")
+
+    def test_totals(self):
+        dataset = _simple_dataset()
+        assert dataset.total_users() == 2
+        assert dataset.total_posts() == 80
+
+    def test_min_posts_filter(self):
+        dataset = _simple_dataset().with_min_posts(50)
+        assert dataset.total_users() == 0
+
+    def test_merged(self):
+        merged = _simple_dataset().merged()
+        assert set(merged.user_ids()) == {"hans", "yuki"}
+
+    def test_merged_subset(self):
+        merged = _simple_dataset().merged(["japan"])
+        assert merged.user_ids() == ["yuki"]
+
+    def test_contains_and_iter(self):
+        dataset = _simple_dataset()
+        assert "germany" in dataset
+        assert set(iter(dataset)) == {"germany", "japan"}
+
+
+class TestHolidayFilter:
+    def test_posts_on_holidays_removed(self):
+        christmas = make_timestamp(2016, 12, 25, hour=12)
+        workday = make_timestamp(2016, 7, 12, hour=12)
+        dataset = LabeledDataset(
+            {"germany": TraceSet([ActivityTrace("u", [christmas, workday])])}
+        )
+        cleaned = dataset.without_holidays(standard_holidays())
+        assert len(cleaned.crowd("germany")["u"]) == 1
+
+
+class TestCrowdProfiles:
+    def test_local_profile_centred_on_local_hour(self):
+        dataset = _simple_dataset()
+        profile = dataset.crowd_profile("japan")  # posts at 11h UTC = 20h JST
+        assert profile.peak_hour() == 20
+
+    def test_utc_profile(self):
+        dataset = _simple_dataset()
+        profile = dataset.crowd_profile("japan", local_time=False)
+        assert profile.peak_hour() == 11
+
+    def test_empty_region_rejected(self):
+        dataset = LabeledDataset({"germany": TraceSet()})
+        with pytest.raises(DatasetError):
+            dataset.crowd_profile("germany")
+
+    def test_generic_profile_averages(self):
+        dataset = _simple_dataset()
+        generic = dataset.generic_profile()
+        # hans posts 19 UTC = 20 CET (winter); yuki 11 UTC = 20 JST: the
+        # aligned generic profile must concentrate at 20h local.
+        assert generic.peak_hour() == 20
+
+    def test_generic_profile_no_users(self):
+        dataset = LabeledDataset({"germany": TraceSet()})
+        with pytest.raises(DatasetError):
+            dataset.generic_profile()
+
+    def test_reference_profiles_roundtrip(self):
+        dataset = _simple_dataset()
+        references = dataset.reference_profiles()
+        assert references.nearest_zone(references.for_zone(9)) == 9
+
+
+class TestDstNormalization:
+    def test_summer_posts_shifted_forward(self):
+        summer_post = make_timestamp(2016, 7, 10, hour=18)
+        dataset = LabeledDataset(
+            {"germany": TraceSet([ActivityTrace("u", [summer_post] )])}
+        )
+        normalized = dataset.dst_normalized_crowd("germany")
+        assert normalized["u"].timestamps[0] == summer_post + 3600.0
+
+    def test_winter_posts_untouched(self):
+        winter_post = make_timestamp(2016, 1, 10, hour=18)
+        dataset = LabeledDataset(
+            {"germany": TraceSet([ActivityTrace("u", [winter_post])])}
+        )
+        normalized = dataset.dst_normalized_crowd("germany")
+        assert normalized["u"].timestamps[0] == winter_post
+
+    def test_no_dst_region_is_identity(self):
+        stamps = [make_timestamp(2016, month, 1, hour=9) for month in (1, 7)]
+        dataset = LabeledDataset(
+            {"malaysia": TraceSet([ActivityTrace("u", stamps)])}
+        )
+        normalized = dataset.dst_normalized_crowd("malaysia")
+        assert list(normalized["u"].timestamps) == stamps
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        traces = TraceSet(
+            [
+                ActivityTrace("a", [1.5, 2.5]),
+                ActivityTrace("b", [100.0]),
+            ]
+        )
+        path = tmp_path / "traces.jsonl"
+        save_trace_set(traces, path)
+        loaded = load_trace_set(path)
+        assert set(loaded.user_ids()) == {"a", "b"}
+        assert list(loaded["a"].timestamps) == [1.5, 2.5]
+
+    @given(
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+                min_size=1,
+                max_size=8,
+            ),
+            st.lists(st.floats(0, 1e8, allow_nan=False), min_size=1, max_size=20),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=20)
+    def test_roundtrip_property(self, data):
+        import tempfile
+        from pathlib import Path
+
+        traces = TraceSet(
+            ActivityTrace(user, stamps) for user, stamps in data.items()
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.jsonl"
+            save_trace_set(traces, path)
+            loaded = load_trace_set(path)
+        assert set(loaded.user_ids()) == set(traces.user_ids())
+        for user in traces.user_ids():
+            assert np.allclose(loaded[user].timestamps, traces[user].timestamps)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"user": "a"}\n')
+        with pytest.raises(DatasetError):
+            load_trace_set(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text('\n{"user": "a", "timestamps": [1.0]}\n\n')
+        assert len(load_trace_set(path)) == 1

@@ -1,0 +1,116 @@
+"""Diurnal activity models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.emd import emd_linear
+from repro.core.reference import parametric_generic_profile
+from repro.synth.diurnal import (
+    CANONICAL,
+    CULTURES,
+    EARLY,
+    NIGHT,
+    REGION_CULTURES,
+    SIESTA,
+    DiurnalModel,
+    model_for_region,
+)
+
+
+class TestDiurnalModel:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalModel(name="bad", weights=(1.0,) * 23)
+
+    def test_negative_weight_rejected(self):
+        weights = [1.0] * 24
+        weights[5] = -1.0
+        with pytest.raises(ValueError):
+            DiurnalModel(name="bad", weights=tuple(weights))
+
+    def test_pmf_normalised(self):
+        assert np.isclose(CANONICAL.pmf().sum(), 1.0)
+
+    @given(st.floats(-12.0, 12.0, allow_nan=False))
+    @settings(max_examples=30)
+    def test_shifted_pmf_normalised(self, shift):
+        assert np.isclose(CANONICAL.pmf(shift).sum(), 1.0)
+
+    def test_positive_shift_moves_later(self):
+        base_peak = int(np.argmax(CANONICAL.pmf()))
+        shifted_peak = int(np.argmax(CANONICAL.pmf(3.0)))
+        assert (shifted_peak - base_peak) % 24 == 3
+
+    def test_profile_matches_pmf(self):
+        assert np.allclose(CANONICAL.profile().mass, CANONICAL.pmf())
+
+    def test_rate_at_integer_matches_weights(self):
+        assert CANONICAL.rate_at(21.0) == pytest.approx(CANONICAL.weights[21])
+
+    def test_sample_hours_respects_distribution(self, rng):
+        hours = CANONICAL.sample_hours(8000, rng)
+        assert hours.min() >= 0.0 and hours.max() < 24.0
+        histogram = np.histogram(hours, bins=24, range=(0, 24))[0]
+        # Evening (21h) must dominate the night trough (4h) decisively.
+        assert histogram[21] > 3 * histogram[4]
+
+    def test_canonical_matches_reference_profile(self):
+        assert np.allclose(
+            CANONICAL.profile().mass, parametric_generic_profile().mass
+        )
+
+
+class TestCultures:
+    def test_registry_complete(self):
+        assert set(CULTURES) == {"canonical", "siesta", "early", "night"}
+
+    def test_region_mapping(self):
+        assert model_for_region("italy") is SIESTA
+        assert model_for_region("japan") is EARLY
+        assert model_for_region("malaysia") is CANONICAL
+
+    def test_mapping_case_insensitive(self):
+        assert model_for_region("Italy") is SIESTA
+
+    @pytest.mark.parametrize("model", [SIESTA, EARLY, NIGHT])
+    def test_variants_phase_aligned_with_canonical(self, model):
+        # Re-centering guarantees the variant is EMD-closest to the
+        # canonical curve at (near) zero shift.
+        distances = {
+            shift: emd_linear(model.pmf(shift), CANONICAL.pmf())
+            for shift in (-2, -1, 0, 1, 2)
+        }
+        assert min(distances, key=distances.get) == 0
+
+    def test_siesta_has_deeper_afternoon_dip(self):
+        siesta_pmf = SIESTA.pmf()
+        canonical_pmf = CANONICAL.pmf()
+        assert siesta_pmf[14] < canonical_pmf[14]
+
+    def test_all_regions_resolve(self):
+        for region in REGION_CULTURES:
+            assert model_for_region(region) in CULTURES.values()
+
+
+class TestPersonalized:
+    def test_personalized_is_sharper(self, rng):
+        personal = CANONICAL.personalized(rng, concentration=2.5)
+        base_entropy = CANONICAL.profile().entropy()
+        assert personal.profile().entropy() < base_entropy
+
+    def test_personalized_keeps_phase(self, rng):
+        # Over many draws the personalised peak stays in the evening.
+        peaks = [
+            int(np.argmax(CANONICAL.personalized(rng).pmf())) for _ in range(40)
+        ]
+        evening = sum(1 for peak in peaks if 18 <= peak <= 23)
+        assert evening >= 30
+
+    def test_concentration_one_without_noise_is_identity(self, rng):
+        personal = CANONICAL.personalized(
+            rng, concentration=1.0, noise_dispersion=10**9
+        )
+        assert np.allclose(personal.pmf(), CANONICAL.pmf(), atol=1e-3)

@@ -1,0 +1,108 @@
+"""DST rule engine: boundaries and hemisphere conventions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.timebase.clock import CivilDate, civil_to_ordinal
+from repro.timebase.dst import (
+    AU_RULE,
+    BR_RULE,
+    EU_RULE,
+    NO_DST,
+    RULES,
+    US_RULE,
+    DstObservance,
+)
+
+
+def _ordinal(year, month, day):
+    return civil_to_ordinal(CivilDate(year, month, day))
+
+
+class TestEuRule:
+    def test_starts_last_sunday_of_march(self):
+        assert not EU_RULE.is_dst(_ordinal(2016, 3, 26))
+        assert EU_RULE.is_dst(_ordinal(2016, 3, 27))
+
+    def test_ends_last_sunday_of_october(self):
+        assert EU_RULE.is_dst(_ordinal(2016, 10, 29))
+        assert not EU_RULE.is_dst(_ordinal(2016, 10, 30))
+
+    def test_midsummer(self):
+        assert EU_RULE.is_dst(_ordinal(2016, 7, 1))
+
+    def test_midwinter(self):
+        assert not EU_RULE.is_dst(_ordinal(2016, 1, 15))
+
+    def test_offset_adjustment(self):
+        assert EU_RULE.offset_adjustment(_ordinal(2016, 7, 1)) == 1
+        assert EU_RULE.offset_adjustment(_ordinal(2016, 1, 1)) == 0
+
+
+class TestUsRule:
+    def test_starts_second_sunday_of_march(self):
+        assert not US_RULE.is_dst(_ordinal(2016, 3, 12))
+        assert US_RULE.is_dst(_ordinal(2016, 3, 13))
+
+    def test_ends_first_sunday_of_november(self):
+        assert US_RULE.is_dst(_ordinal(2016, 11, 5))
+        assert not US_RULE.is_dst(_ordinal(2016, 11, 6))
+
+
+class TestSouthernRules:
+    def test_au_summer_wraps_new_year(self):
+        assert AU_RULE.is_dst(_ordinal(2016, 12, 25))
+        assert AU_RULE.is_dst(_ordinal(2017, 1, 15))
+        assert not AU_RULE.is_dst(_ordinal(2016, 7, 1))
+
+    def test_au_boundaries_2016(self):
+        # First Sunday of October 2016: Oct 2; of April: Apr 3.
+        assert not AU_RULE.is_dst(_ordinal(2016, 10, 1))
+        assert AU_RULE.is_dst(_ordinal(2016, 10, 2))
+        assert AU_RULE.is_dst(_ordinal(2016, 4, 2))
+        assert not AU_RULE.is_dst(_ordinal(2016, 4, 3))
+
+    def test_br_boundaries_2016(self):
+        # Third Sunday of October 2016: Oct 16; of February: Feb 21.
+        assert not BR_RULE.is_dst(_ordinal(2016, 10, 15))
+        assert BR_RULE.is_dst(_ordinal(2016, 10, 16))
+        assert BR_RULE.is_dst(_ordinal(2016, 2, 20))
+        assert not BR_RULE.is_dst(_ordinal(2016, 2, 21))
+
+
+class TestNoDst:
+    @given(st.integers(-2000, 2000))
+    def test_never_dst(self, ordinal):
+        assert not NO_DST.is_dst(ordinal)
+        assert NO_DST.offset_adjustment(ordinal) == 0
+
+
+class TestRuleInvariants:
+    @pytest.mark.parametrize("rule", [EU_RULE, US_RULE])
+    @given(year=st.integers(2000, 2050))
+    def test_northern_january_standard_july_dst(self, rule, year):
+        assert not rule.is_dst(_ordinal(year, 1, 10))
+        assert rule.is_dst(_ordinal(year, 7, 10))
+
+    @pytest.mark.parametrize("rule", [AU_RULE, BR_RULE])
+    @given(year=st.integers(2000, 2050))
+    def test_southern_january_dst_july_standard(self, rule, year):
+        assert rule.is_dst(_ordinal(year, 1, 10))
+        assert not rule.is_dst(_ordinal(year, 7, 10))
+
+    def test_registry_contains_all_rules(self):
+        assert set(RULES) == {"none", "eu", "us", "au", "br"}
+
+    @pytest.mark.parametrize("rule", [EU_RULE, US_RULE, AU_RULE, BR_RULE])
+    def test_dst_days_per_year_plausible(self, rule):
+        days = sum(
+            1
+            for ordinal in range(_ordinal(2017, 1, 1), _ordinal(2018, 1, 1))
+            if rule.is_dst(ordinal)
+        )
+        if rule.observance is DstObservance.NORTHERN:
+            assert 200 <= days <= 250
+        else:
+            assert 120 <= days <= 190

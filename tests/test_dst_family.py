@@ -1,0 +1,82 @@
+"""EU-rule vs US-rule classification (fine-grained extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dst_family import (
+    DstFamily,
+    classify_dst_family,
+)
+from repro.core.events import ActivityTrace
+from repro.synth.population import sample_user
+from repro.synth.posting import generate_trace
+
+
+def _resident(region_key, rng, rate=10.0):
+    spec = sample_user(
+        "u", region_key, rng, posts_per_day_mean=rate, chronotype_std=0.5
+    )
+    return generate_trace(spec, rng, n_days=366)
+
+
+class TestClassification:
+    def test_eu_residents(self, rng):
+        verdicts = [
+            classify_dst_family(_resident("germany", rng)).verdict
+            for _ in range(8)
+        ]
+        assert verdicts.count(DstFamily.EU) >= 5
+
+    def test_us_residents(self, rng):
+        verdicts = [
+            classify_dst_family(_resident("new_york", rng)).verdict
+            for _ in range(8)
+        ]
+        assert verdicts.count(DstFamily.US) >= 5
+
+    def test_empty_trace(self):
+        result = classify_dst_family(ActivityTrace("u"))
+        assert result.verdict is DstFamily.INSUFFICIENT_DATA
+
+    def test_sparse_trace_insufficient(self, rng):
+        result = classify_dst_family(ActivityTrace("u", [0.0, 86400.0]))
+        assert result.verdict is DstFamily.INSUFFICIENT_DATA
+
+    def test_no_gap_activity_insufficient(self, rng):
+        # A user active only in deep winter/summer gives no gap signal.
+        stamps = []
+        for day in list(range(0, 60)) + list(range(150, 240)):
+            stamps.append(day * 86400.0 + 20 * 3600.0)
+        result = classify_dst_family(ActivityTrace("u", stamps))
+        assert result.verdict in (
+            DstFamily.INSUFFICIENT_DATA,
+            DstFamily.UNCLEAR,
+        )
+
+    def test_scores_recorded(self, rng):
+        result = classify_dst_family(_resident("california", rng))
+        assert np.isfinite(result.spring_score)
+        assert np.isfinite(result.autumn_score)
+        assert result.total_score() == pytest.approx(
+            result.spring_score + result.autumn_score
+        )
+
+    def test_high_margin_forces_unclear(self, rng):
+        result = classify_dst_family(_resident("germany", rng), min_margin=100.0)
+        assert result.verdict in (DstFamily.UNCLEAR, DstFamily.INSUFFICIENT_DATA)
+
+
+class TestPopulationAccuracy:
+    @pytest.mark.parametrize(
+        "region_key,expected",
+        [("united_kingdom", DstFamily.EU), ("illinois", DstFamily.US)],
+    )
+    def test_majority_accuracy(self, region_key, expected):
+        rng = np.random.default_rng(777)
+        verdicts = [
+            classify_dst_family(_resident(region_key, rng)).verdict
+            for _ in range(15)
+        ]
+        assert verdicts.count(expected) >= 9  # ~60%+ on high-activity users

@@ -1,0 +1,158 @@
+"""EM mixture fitting and model selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.em import (
+    GaussianMixtureModel,
+    fit_mixture,
+    select_mixture,
+)
+from repro.core.gaussian import GaussianComponent, mixture_pdf
+from repro.core.placement import PlacementDistribution
+from repro.errors import FitError
+from repro.timebase.zones import ZONE_OFFSETS
+
+
+def _placement(components, n_users=500):
+    offsets = np.asarray(ZONE_OFFSETS, dtype=float)
+    density = np.asarray(mixture_pdf(components, offsets))
+    fractions = density / density.sum()
+    return PlacementDistribution(tuple(fractions.tolist()), n_users=n_users)
+
+
+def _components(*specs):
+    return [GaussianComponent(mean=m, sigma=s, weight=w) for m, s, w in specs]
+
+
+class TestFitMixture:
+    def test_single_component_recovery(self):
+        placement = _placement(_components((2.0, 2.0, 1.0)))
+        model = fit_mixture(placement, 1)
+        assert model.k == 1
+        assert model.components[0].mean == pytest.approx(2.0, abs=0.2)
+        assert model.components[0].sigma == pytest.approx(2.0, abs=0.3)
+
+    def test_two_component_recovery(self):
+        placement = _placement(
+            _components((-6.0, 1.6, 0.4), (1.0, 1.6, 0.6))
+        )
+        model = fit_mixture(placement, 2)
+        means = sorted(component.mean for component in model.components)
+        assert means[0] == pytest.approx(-6.0, abs=0.4)
+        assert means[1] == pytest.approx(1.0, abs=0.4)
+        weights = sorted(component.weight for component in model.components)
+        assert weights == pytest.approx([0.4, 0.6], abs=0.05)
+
+    def test_three_component_recovery(self):
+        placement = _placement(
+            _components((-7.0, 1.5, 0.33), (0.0, 1.5, 0.34), (8.0, 1.5, 0.33))
+        )
+        model = fit_mixture(placement, 3)
+        means = sorted(component.mean for component in model.components)
+        assert means == pytest.approx([-7.0, 0.0, 8.0], abs=0.5)
+
+    def test_invalid_k(self):
+        placement = _placement(_components((0.0, 2.0, 1.0)))
+        with pytest.raises(FitError):
+            fit_mixture(placement, 0)
+
+    def test_components_sorted_by_weight(self):
+        placement = _placement(
+            _components((-6.0, 1.5, 0.25), (2.0, 1.5, 0.75))
+        )
+        model = fit_mixture(placement, 2)
+        assert model.components[0].weight >= model.components[1].weight
+
+    def test_likelihood_not_worse_with_more_components(self):
+        placement = _placement(
+            _components((-6.0, 1.5, 0.5), (4.0, 1.5, 0.5))
+        )
+        single = fit_mixture(placement, 1)
+        double = fit_mixture(placement, 2)
+        assert double.log_likelihood >= single.log_likelihood - 1e-6
+
+    def test_mixing_weights_sum_to_one(self):
+        placement = _placement(
+            _components((-4.0, 2.0, 0.5), (5.0, 2.0, 0.5))
+        )
+        model = fit_mixture(placement, 2)
+        assert sum(c.weight for c in model.components) == pytest.approx(1.0)
+
+
+class TestSelectMixture:
+    def test_selects_one_for_single_crowd(self):
+        placement = _placement(_components((3.0, 2.0, 1.0)))
+        model = select_mixture(placement)
+        assert model.k == 1
+
+    def test_selects_two_for_distant_pair(self):
+        placement = _placement(
+            _components((-6.0, 1.6, 0.5), (2.0, 1.6, 0.5))
+        )
+        model = select_mixture(placement)
+        assert model.k == 2
+
+    def test_selects_three_for_distant_triple(self):
+        placement = _placement(
+            _components((-7.0, 1.4, 0.33), (0.0, 1.4, 0.34), (8.0, 1.4, 0.33))
+        )
+        model = select_mixture(placement)
+        assert model.k == 3
+
+    def test_close_crowds_merge(self):
+        # Two crowds 1.5 zones apart are below the method's resolution.
+        placement = _placement(
+            _components((0.0, 2.0, 0.5), (1.5, 2.0, 0.5))
+        )
+        model = select_mixture(placement)
+        assert model.k == 1
+
+    def test_unknown_criterion(self):
+        placement = _placement(_components((0.0, 2.0, 1.0)))
+        with pytest.raises(FitError):
+            select_mixture(placement, criterion="hqc")
+
+    def test_bic_more_conservative_than_aic(self):
+        placement = _placement(
+            _components((-5.0, 2.2, 0.6), (0.5, 2.2, 0.4)), n_users=120
+        )
+        bic_model = select_mixture(placement, criterion="bic")
+        aic_model = select_mixture(placement, criterion="aic")
+        assert bic_model.k <= aic_model.k
+
+    def test_zone_offsets_ranked_by_weight(self):
+        placement = _placement(
+            _components((-6.0, 1.5, 0.3), (2.0, 1.5, 0.7))
+        )
+        model = select_mixture(placement)
+        assert model.zone_offsets() == [2, -6]
+
+    def test_dominant(self):
+        placement = _placement(
+            _components((-6.0, 1.5, 0.3), (2.0, 1.5, 0.7))
+        )
+        model = select_mixture(placement)
+        assert model.dominant().nearest_zone() == 2
+
+
+class TestModelProperties:
+    def test_bic_formula(self):
+        placement = _placement(_components((0.0, 2.0, 1.0)))
+        model = fit_mixture(placement, 2)
+        expected = -2.0 * model.log_likelihood + (3 * 2 - 1) * np.log(
+            model.n_effective
+        )
+        assert model.bic == pytest.approx(expected)
+
+    def test_density_on_zones_shape(self):
+        placement = _placement(_components((0.0, 2.0, 1.0)))
+        model = fit_mixture(placement, 1)
+        assert model.density_on_zones().shape == (24,)
+
+    def test_n_effective_equals_users(self):
+        placement = _placement(_components((0.0, 2.0, 1.0)), n_users=321)
+        model = fit_mixture(placement, 1)
+        assert model.n_effective == pytest.approx(321.0)

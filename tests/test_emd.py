@@ -1,0 +1,140 @@
+"""Earth Mover's Distance: closed forms, metric axioms, oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.stats import wasserstein_distance
+
+from repro.core.emd import (
+    ALL_DISTANCES,
+    distance_matrix,
+    emd_circular,
+    emd_linear,
+    l1_distance,
+    l2_distance,
+)
+from repro.core.profiles import HOURS, Profile, uniform_profile
+
+mass = st.lists(
+    st.floats(0.01, 5.0, allow_nan=False), min_size=HOURS, max_size=HOURS
+)
+
+
+class TestLinearEmd:
+    def test_identical_is_zero(self):
+        assert emd_linear(uniform_profile(), uniform_profile()) == pytest.approx(0.0)
+
+    def test_adjacent_point_masses(self):
+        a = Profile([1.0] + [0.0] * 23)
+        b = Profile([0.0, 1.0] + [0.0] * 22)
+        assert emd_linear(a, b) == pytest.approx(1.0)
+
+    def test_distance_scales_with_separation(self):
+        a = Profile([1.0] + [0.0] * 23)
+        for gap in (2, 5, 9):
+            shifted = [0.0] * HOURS
+            shifted[gap] = 1.0
+            assert emd_linear(a, Profile(shifted)) == pytest.approx(float(gap))
+
+    @given(mass, mass)
+    @settings(max_examples=60)
+    def test_matches_scipy(self, p, q):
+        positions = np.arange(HOURS, dtype=float)
+        expected = wasserstein_distance(
+            positions, positions, u_weights=p, v_weights=q
+        )
+        assert emd_linear(np.asarray(p), np.asarray(q)) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    @given(mass, mass)
+    @settings(max_examples=40)
+    def test_symmetry(self, p, q):
+        p_arr, q_arr = np.asarray(p), np.asarray(q)
+        assert emd_linear(p_arr, q_arr) == pytest.approx(emd_linear(q_arr, p_arr))
+
+    @given(mass, mass, mass)
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, p, q, r):
+        p_arr, q_arr, r_arr = map(np.asarray, (p, q, r))
+        assert emd_linear(p_arr, r_arr) <= emd_linear(p_arr, q_arr) + emd_linear(
+            q_arr, r_arr
+        ) + 1e-9
+
+
+class TestCircularEmd:
+    def test_wraparound_cheaper_than_linear(self):
+        a = Profile([1.0] + [0.0] * 23)
+        b = Profile([0.0] * 23 + [1.0])
+        assert emd_linear(a, b) == pytest.approx(23.0)
+        assert emd_circular(a, b) == pytest.approx(1.0)
+
+    @given(mass, st.integers(0, 23))
+    @settings(max_examples=40)
+    def test_rotation_invariance(self, p, shift):
+        profile = Profile(p)
+        rotated = profile.shifted(shift)
+        other = uniform_profile()
+        rotated_other = other  # uniform is rotation-invariant
+        assert emd_circular(profile, other) == pytest.approx(
+            emd_circular(rotated, rotated_other), abs=1e-9
+        )
+
+    @given(mass, mass, st.integers(0, 23))
+    @settings(max_examples=40)
+    def test_joint_rotation_invariance(self, p, q, shift):
+        a, b = Profile(p), Profile(q)
+        assert emd_circular(a, b) == pytest.approx(
+            emd_circular(a.shifted(shift), b.shifted(shift)), abs=1e-9
+        )
+
+    @given(mass, mass)
+    @settings(max_examples=40)
+    def test_never_exceeds_linear(self, p, q):
+        a, b = np.asarray(p), np.asarray(q)
+        assert emd_circular(a, b) <= emd_linear(a, b) + 1e-9
+
+    @given(mass)
+    @settings(max_examples=30)
+    def test_identity(self, p):
+        assert emd_circular(np.asarray(p), np.asarray(p)) == pytest.approx(0.0)
+
+
+class TestOtherDistances:
+    def test_l1_known_value(self):
+        a = Profile([1.0] + [0.0] * 23)
+        assert l1_distance(a, uniform_profile()) == pytest.approx(2 * 23 / 24)
+
+    def test_l2_vs_numpy(self):
+        a = Profile(np.arange(1.0, 25.0))
+        b = uniform_profile()
+        assert l2_distance(a, b) == pytest.approx(np.linalg.norm(a.mass - b.mass))
+
+    def test_zero_mass_input_rejected(self):
+        with pytest.raises(ValueError):
+            emd_linear(np.zeros(HOURS), np.ones(HOURS))
+
+
+class TestDistanceMatrix:
+    @pytest.mark.parametrize("metric", sorted(ALL_DISTANCES))
+    def test_matches_scalar_function(self, metric):
+        rng = np.random.default_rng(5)
+        profiles = [Profile(rng.random(HOURS) + 0.01) for _ in range(4)]
+        references = [Profile(rng.random(HOURS) + 0.01) for _ in range(6)]
+        matrix = distance_matrix(profiles, references, metric=metric)
+        func = ALL_DISTANCES[metric]
+        for i, p in enumerate(profiles):
+            for j, q in enumerate(references):
+                assert matrix[i, j] == pytest.approx(func(p, q), abs=1e-9)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            distance_matrix([uniform_profile()], [uniform_profile()], metric="cosine")
+
+    def test_shape(self):
+        matrix = distance_matrix(
+            [uniform_profile()] * 3, [uniform_profile()] * 24
+        )
+        assert matrix.shape == (3, 24)

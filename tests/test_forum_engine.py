@@ -1,0 +1,137 @@
+"""The forum server engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ForumError
+from repro.forum.engine import Board, ForumServer
+
+
+@pytest.fixture()
+def forum():
+    return ForumServer("Test Forum", "abcdefgh12345678.onion", server_offset_hours=3)
+
+
+class TestSetup:
+    def test_probe_threads_exist(self, forum):
+        assert forum.thread_by_title("Welcome").title == "Welcome"
+        assert forum.thread_by_title("Spam").title == "Spam"
+
+    def test_missing_thread(self, forum):
+        with pytest.raises(ForumError):
+            forum.thread_by_title("Nonexistent")
+
+    def test_create_thread_unknown_board(self, forum):
+        with pytest.raises(ForumError):
+            forum.create_thread("Ghost Board", "Hello")
+
+    def test_boards_listing(self, forum):
+        forum.add_board(Board("Market", min_rank=2))
+        names = {board.name for board in forum.boards()}
+        assert {"Reception", "Market"} <= names
+
+
+class TestMembership:
+    def test_register_and_check(self, forum):
+        forum.register("alice")
+        assert forum.is_member("alice")
+        assert not forum.is_member("bob")
+
+    def test_duplicate_username(self, forum):
+        forum.register("alice")
+        with pytest.raises(ForumError):
+            forum.register("alice")
+
+    def test_rank(self, forum):
+        forum.register("pro", rank=2)
+        assert forum.rank_of("pro") == 2
+        with pytest.raises(ForumError):
+            forum.rank_of("ghost")
+
+
+class TestPosting:
+    def test_server_time_offset(self, forum):
+        assert forum.server_time(1000.0) == 1000.0 + 3 * 3600.0
+
+    def test_post_stamped_in_server_time(self, forum):
+        forum.register("alice")
+        thread = forum.thread_by_title("Welcome")
+        post = forum.submit_post("alice", thread.thread_id, 500.0, body="hi")
+        assert post.server_time == 500.0 + 3 * 3600.0
+        assert post.author == "alice"
+
+    def test_non_member_cannot_post(self, forum):
+        thread = forum.thread_by_title("Welcome")
+        with pytest.raises(ForumError):
+            forum.submit_post("stranger", thread.thread_id, 0.0)
+
+    def test_unknown_thread(self, forum):
+        forum.register("alice")
+        with pytest.raises(ForumError):
+            forum.submit_post("alice", 999, 0.0)
+
+    def test_post_ids_increase(self, forum):
+        forum.register("alice")
+        thread = forum.thread_by_title("Welcome")
+        first = forum.submit_post("alice", thread.thread_id, 0.0)
+        second = forum.submit_post("alice", thread.thread_id, 1.0)
+        assert second.post_id > first.post_id
+
+
+class TestVisibility:
+    def test_rank_gating(self, forum):
+        forum.add_board(Board("Elite", min_rank=3))
+        elite_thread = forum.create_thread("Elite", "Secrets")
+        forum.register("vip", rank=3)
+        forum.register("pleb", rank=0)
+        forum.submit_post("vip", elite_thread, 100.0)
+        assert len(forum.visible_posts("vip", 200.0)) == 1
+        assert len(forum.visible_posts("pleb", 200.0)) == 0
+
+    def test_publication_delay(self):
+        delayed = ForumServer("D", "x.onion", publication_delay=3600.0)
+        delayed.register("alice")
+        thread = delayed.thread_by_title("Welcome")
+        delayed.submit_post("alice", thread.thread_id, 0.0)
+        assert len(delayed.visible_posts("alice", 1800.0)) == 0
+        assert len(delayed.visible_posts("alice", 3601.0)) == 1
+
+    def test_board_filter(self, forum):
+        forum.add_board(Board("Main"))
+        main_thread = forum.create_thread("Main", "Chat")
+        forum.register("alice")
+        forum.submit_post("alice", main_thread, 0.0)
+        welcome = forum.thread_by_title("Welcome")
+        forum.submit_post("alice", welcome.thread_id, 0.0)
+        assert len(forum.visible_posts("alice", 10.0, board="Main")) == 1
+
+    def test_posts_sorted_by_id(self, forum):
+        forum.register("alice")
+        thread = forum.thread_by_title("Welcome")
+        for utc in (5.0, 1.0, 3.0):
+            forum.submit_post("alice", thread.thread_id, utc)
+        posts = forum.visible_posts("alice", 100.0)
+        assert [post.post_id for post in posts] == sorted(
+            post.post_id for post in posts
+        )
+
+
+class TestImport:
+    def test_import_registers_and_counts(self, forum):
+        imported = forum.import_crowd_posts(
+            {"u1": [0.0, 60.0], "u2": [120.0]}, thread_title="History"
+        )
+        assert imported == 3
+        assert forum.is_member("u1") and forum.is_member("u2")
+        assert forum.total_posts() == 3
+
+    def test_import_applies_server_offset(self, forum):
+        forum.import_crowd_posts({"u": [1000.0]})
+        forum.register("viewer")
+        posts = [
+            post
+            for post in forum.visible_posts("viewer", 10_000.0)
+            if post.author == "u"
+        ]
+        assert posts[0].server_time == 1000.0 + 3 * 3600.0

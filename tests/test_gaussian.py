@@ -1,0 +1,124 @@
+"""Gaussian components, mixtures and least-squares fits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.stats import norm
+
+from repro.core.gaussian import (
+    PAPER_SIGMA,
+    GaussianComponent,
+    evaluate_on_zones,
+    fit_gaussian,
+    gaussian_residual_stats,
+    mixture_pdf,
+)
+from repro.core.placement import PlacementDistribution
+from repro.errors import FitError
+from repro.timebase.zones import ZONE_OFFSETS
+
+
+def _placement_from(components, n_users=400):
+    offsets = np.asarray(ZONE_OFFSETS, dtype=float)
+    density = np.asarray(mixture_pdf(components, offsets))
+    fractions = density / density.sum()
+    return PlacementDistribution(tuple(fractions.tolist()), n_users=n_users)
+
+
+class TestGaussianComponent:
+    def test_pdf_matches_scipy(self):
+        component = GaussianComponent(mean=1.5, sigma=2.0, weight=0.7)
+        xs = np.linspace(-11, 12, 47)
+        expected = 0.7 * norm.pdf(xs, loc=1.5, scale=2.0)
+        assert np.allclose(component.pdf(xs), expected)
+
+    def test_scalar_input_returns_float(self):
+        component = GaussianComponent(mean=0.0, sigma=1.0)
+        assert isinstance(component.pdf(0.0), float)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(FitError):
+            GaussianComponent(mean=0.0, sigma=0.0)
+
+    def test_negative_weight(self):
+        with pytest.raises(FitError):
+            GaussianComponent(mean=0.0, sigma=1.0, weight=-0.1)
+
+    @given(st.floats(-11.4, 12.4))
+    def test_nearest_zone_in_range(self, mean):
+        component = GaussianComponent(mean=mean, sigma=1.0)
+        assert component.nearest_zone() in ZONE_OFFSETS
+
+    def test_nearest_zone_rounds(self):
+        assert GaussianComponent(mean=3.4, sigma=1.0).nearest_zone() == 3
+        assert GaussianComponent(mean=3.6, sigma=1.0).nearest_zone() == 4
+
+
+class TestMixturePdf:
+    def test_sum_of_components(self):
+        a = GaussianComponent(mean=-5.0, sigma=1.0, weight=0.5)
+        b = GaussianComponent(mean=5.0, sigma=1.0, weight=0.5)
+        xs = np.array([0.0, 5.0])
+        assert np.allclose(mixture_pdf([a, b], xs), a.pdf(xs) + b.pdf(xs))
+
+    def test_empty_mixture_is_zero(self):
+        assert mixture_pdf([], 0.0) == 0.0
+
+    def test_evaluate_on_zones_shape(self):
+        values = evaluate_on_zones([GaussianComponent(mean=0.0, sigma=2.0)])
+        assert values.shape == (24,)
+
+
+class TestFitGaussian:
+    @given(
+        mean=st.floats(-8.0, 9.0),
+        sigma=st.floats(1.0, 3.5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_recovers_parameters(self, mean, sigma):
+        truth = GaussianComponent(mean=mean, sigma=sigma, weight=1.0)
+        placement = _placement_from([truth])
+        fit = fit_gaussian(placement)
+        assert fit.mean == pytest.approx(mean, abs=0.15)
+        assert fit.sigma == pytest.approx(sigma, abs=0.25)
+
+    def test_paper_sigma_default(self):
+        assert PAPER_SIGMA == 2.5
+
+    def test_accepts_raw_array(self):
+        truth = GaussianComponent(mean=2.0, sigma=2.0, weight=1.0)
+        placement = _placement_from([truth])
+        fit = fit_gaussian(placement.as_array())
+        assert fit.mean == pytest.approx(2.0, abs=0.2)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(FitError):
+            fit_gaussian(np.ones(10))
+
+    def test_point_mass_fit_centres_correctly(self):
+        fractions = [0.0] * 24
+        fractions[ZONE_OFFSETS.index(4)] = 1.0
+        placement = PlacementDistribution(tuple(fractions), n_users=50)
+        fit = fit_gaussian(placement)
+        assert fit.mean == pytest.approx(4.0, abs=0.3)
+
+
+class TestResidualStats:
+    def test_perfect_fit_zero_mean_residual(self):
+        truth = GaussianComponent(mean=0.0, sigma=2.0, weight=1.0)
+        placement = _placement_from([truth])
+        # The placement was renormalised, so scale the component to match.
+        density_sum = float(np.asarray(evaluate_on_zones([truth])).sum())
+        scaled = GaussianComponent(mean=0.0, sigma=2.0, weight=1.0 / density_sum)
+        avg, std = gaussian_residual_stats(placement, [scaled])
+        assert avg == pytest.approx(0.0, abs=1e-9)
+        assert std == pytest.approx(0.0, abs=1e-9)
+
+    def test_shifted_fit_large_residual(self):
+        truth = GaussianComponent(mean=0.0, sigma=2.0, weight=1.0)
+        placement = _placement_from([truth])
+        shifted = GaussianComponent(mean=12.0, sigma=2.0, weight=1.0)
+        avg, _ = gaussian_residual_stats(placement, [shifted])
+        assert avg > 0.01

@@ -1,0 +1,89 @@
+"""The DST-based hemisphere test (Sec. V-F)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.events import ActivityTrace, TraceSet
+from repro.core.hemisphere import (
+    HemisphereVerdict,
+    classify_hemisphere,
+    classify_most_active,
+)
+from repro.synth.population import sample_user
+from repro.synth.posting import generate_trace
+
+
+def _resident_trace(region_key, rng, *, n_days=366, rate=8.0):
+    # High activity, like the "5 most active users" the paper tests.
+    spec = sample_user(
+        "u", region_key, rng, posts_per_day_mean=rate, chronotype_std=0.5
+    )
+    return generate_trace(spec, rng, n_days=n_days)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "region_key", ["germany", "united_kingdom", "california", "italy"]
+    )
+    def test_northern_residents(self, region_key, rng):
+        trace = _resident_trace(region_key, rng)
+        result = classify_hemisphere(trace)
+        assert result.verdict is HemisphereVerdict.NORTHERN
+
+    @pytest.mark.parametrize("region_key", ["brazil", "new_south_wales"])
+    def test_southern_residents(self, region_key, rng):
+        trace = _resident_trace(region_key, rng)
+        result = classify_hemisphere(trace)
+        assert result.verdict is HemisphereVerdict.SOUTHERN
+
+    @pytest.mark.parametrize("region_key", ["malaysia", "japan", "turkey"])
+    def test_no_dst_residents(self, region_key, rng):
+        trace = _resident_trace(region_key, rng)
+        result = classify_hemisphere(trace)
+        assert result.verdict is HemisphereVerdict.NO_DST
+
+    def test_insufficient_data(self):
+        result = classify_hemisphere(ActivityTrace("u", [0.0, 3600.0]))
+        assert result.verdict is HemisphereVerdict.INSUFFICIENT_DATA
+        assert np.isnan(result.distance_forward)
+
+    def test_summer_only_trace_insufficient(self, rng):
+        trace = _resident_trace("germany", rng, n_days=90)  # Jan-Mar only
+        result = classify_hemisphere(trace)
+        assert result.verdict is HemisphereVerdict.INSUFFICIENT_DATA
+
+
+class TestMargins:
+    def test_margin_positive_for_dst_resident(self, rng):
+        trace = _resident_trace("germany", rng)
+        result = classify_hemisphere(trace)
+        assert result.margin() > 0.25
+
+    def test_high_margin_threshold_forces_no_dst(self, rng):
+        trace = _resident_trace("germany", rng)
+        result = classify_hemisphere(trace, asymmetry_threshold=5.0)
+        assert result.verdict is HemisphereVerdict.NO_DST
+
+    def test_distances_recorded(self, rng):
+        trace = _resident_trace("brazil", rng)
+        result = classify_hemisphere(trace)
+        assert result.distance_backward < result.distance_forward
+        assert result.user_id == "u"
+
+
+class TestMostActive:
+    def test_runs_on_top_n(self, rng):
+        specs = [
+            sample_user(f"u{i}", "italy", rng, posts_per_day_mean=2.0)
+            for i in range(8)
+        ]
+        crowd = TraceSet(generate_trace(spec, rng) for spec in specs)
+        results = classify_most_active(crowd, 3)
+        assert len(results) == 3
+        verdicts = {result.verdict for result in results}
+        assert verdicts <= {
+            HemisphereVerdict.NORTHERN,
+            HemisphereVerdict.NO_DST,
+        }

@@ -1,0 +1,96 @@
+"""Pearson and Table II fit-distance metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gaussian import GaussianComponent, mixture_pdf
+from repro.core.metrics import (
+    baseline_metrics,
+    fit_distance_metrics,
+    pearson,
+)
+from repro.core.placement import PlacementDistribution
+from repro.core.profiles import Profile
+from repro.timebase.zones import ZONE_OFFSETS
+
+
+def _placement(components, n_users=300):
+    offsets = np.asarray(ZONE_OFFSETS, dtype=float)
+    density = np.asarray(mixture_pdf(components, offsets))
+    fractions = density / density.sum()
+    return PlacementDistribution(tuple(fractions.tolist()), n_users=n_users)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        a = Profile(np.arange(1.0, 25.0))
+        b = Profile(2.0 * np.arange(1.0, 25.0))
+        assert pearson(a, b) == pytest.approx(1.0)
+
+    def test_anti_correlation(self):
+        a = Profile(np.arange(1.0, 25.0))
+        b = Profile(np.arange(24.0, 0.0, -1.0))
+        assert pearson(a, b) == pytest.approx(-1.0)
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        x = rng.random(24) + 0.01
+        y = rng.random(24) + 0.01
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson(np.ones(24), np.ones(23))
+
+    def test_accepts_profiles_and_arrays(self):
+        profile = Profile(np.arange(1.0, 25.0))
+        assert pearson(profile, profile.mass) == pytest.approx(1.0)
+
+
+class TestFitDistanceMetrics:
+    def test_good_fit_small_metrics(self):
+        truth = GaussianComponent(mean=1.0, sigma=2.0, weight=1.0)
+        placement = _placement([truth])
+        # Rescale weight to account for the renormalisation of fractions.
+        offsets = np.asarray(ZONE_OFFSETS, dtype=float)
+        scale = float(np.asarray(truth.pdf(offsets)).sum())
+        fitted = GaussianComponent(mean=1.0, sigma=2.0, weight=1.0 / scale)
+        metrics = fit_distance_metrics(placement, [fitted])
+        assert metrics.average < 1e-9
+        assert metrics.standard_deviation < 1e-9
+
+    def test_shift_degrades_metrics(self):
+        truth = GaussianComponent(mean=1.0, sigma=2.0, weight=1.0)
+        placement = _placement([truth])
+        aligned = fit_distance_metrics(placement, [truth])
+        shifted = fit_distance_metrics(placement, [truth], shift_hours=12.0)
+        assert shifted.average > aligned.average
+
+    def test_baseline_is_12h_shift(self):
+        truth = GaussianComponent(mean=1.0, sigma=2.0, weight=1.0)
+        placement = _placement([truth])
+        assert baseline_metrics(placement, [truth]) == fit_distance_metrics(
+            placement, [truth], shift_hours=12.0
+        )
+
+    def test_as_row(self):
+        truth = GaussianComponent(mean=1.0, sigma=2.0, weight=1.0)
+        placement = _placement([truth])
+        metrics = fit_distance_metrics(placement, [truth])
+        label, avg, std = metrics.as_row("German Twitter")
+        assert label == "German Twitter"
+        assert avg == metrics.average
+        assert std == metrics.standard_deviation
+
+    def test_paper_shape_baseline_much_worse(self):
+        # Table II's point: baseline (shifted) metrics dwarf real fits.
+        truth = GaussianComponent(mean=8.0, sigma=2.0, weight=1.0)
+        placement = _placement([truth])
+        offsets = np.asarray(ZONE_OFFSETS, dtype=float)
+        scale = float(np.asarray(truth.pdf(offsets)).sum())
+        fitted = GaussianComponent(mean=8.0, sigma=2.0, weight=1.0 / scale)
+        good = fit_distance_metrics(placement, [fitted])
+        bad = baseline_metrics(placement, [fitted])
+        assert bad.average > 5 * max(good.average, 1e-6)

@@ -1,0 +1,85 @@
+"""Multi-year traces: the seasonal classifiers sharpen with history.
+
+The generation window is not limited to 2016 -- the civil calendar and
+every DST rule family extend indefinitely, so two-year traces double the
+number of DST transitions (and gap windows) available to the hemisphere
+and rule-family tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dst_family import DstFamily, classify_dst_family
+from repro.core.hemisphere import HemisphereVerdict, classify_hemisphere
+from repro.synth.population import sample_user
+from repro.synth.posting import generate_trace
+from repro.timebase.clock import CivilDate, civil_to_ordinal
+
+
+class TestMultiYearGeneration:
+    def test_trace_spans_two_years(self, rng):
+        spec = sample_user("u", "germany", rng, posts_per_day_mean=2.0)
+        trace = generate_trace(spec, rng, n_days=730)
+        assert trace.span_days() > 600
+
+    def test_second_year_dst_applies(self, rng):
+        # 2017: EU DST runs Mar 26 .. Oct 29.
+        spec = sample_user(
+            "u", "germany", rng, posts_per_day_mean=8.0, chronotype_std=0.01
+        )
+        trace = generate_trace(spec, rng, n_days=730)
+        stamps = np.asarray(trace.timestamps)
+        july_2017 = civil_to_ordinal(CivilDate(2017, 7, 10))
+        jan_2017 = civil_to_ordinal(CivilDate(2017, 1, 10))
+        summer = stamps[
+            (stamps >= july_2017 * 86400.0)
+            & (stamps < (july_2017 + 40) * 86400.0)
+        ]
+        winter = stamps[
+            (stamps >= jan_2017 * 86400.0) & (stamps < (jan_2017 + 40) * 86400.0)
+        ]
+        hist_summer = np.bincount(
+            ((summer % 86400) // 3600).astype(int), minlength=24
+        ).astype(float)
+        hist_winter = np.bincount(
+            ((winter % 86400) // 3600).astype(int), minlength=24
+        ).astype(float)
+        correlations = {
+            shift: float(np.dot(np.roll(hist_summer, shift), hist_winter))
+            for shift in range(-3, 4)
+        }
+        assert max(correlations, key=correlations.get) == 1
+
+
+class TestClassifiersWithTwoYears:
+    def test_hemisphere_still_correct(self, rng):
+        spec = sample_user(
+            "u", "brazil", rng, posts_per_day_mean=6.0, chronotype_std=0.5
+        )
+        trace = generate_trace(spec, rng, n_days=730)
+        result = classify_hemisphere(trace)
+        assert result.verdict is HemisphereVerdict.SOUTHERN
+
+    def test_dst_family_accuracy_improves_with_years(self):
+        def accuracy(n_days: int, n: int = 12) -> float:
+            rng = np.random.default_rng(2024)
+            hits = 0
+            for index in range(n):
+                spec = sample_user(
+                    f"u{index}",
+                    "new_york",
+                    rng,
+                    posts_per_day_mean=6.0,
+                    chronotype_std=0.8,
+                )
+                trace = generate_trace(spec, rng, n_days=n_days)
+                if classify_dst_family(trace).verdict is DstFamily.US:
+                    hits += 1
+            return hits / n
+
+        one_year = accuracy(366)
+        two_years = accuracy(730)
+        assert two_years >= one_year - 0.1  # never materially worse
+        assert two_years >= 0.6

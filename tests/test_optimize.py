@@ -1,0 +1,81 @@
+"""Nelder-Mead and golden-section minimisers, with scipy as oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.optimize import minimize as scipy_minimize
+
+from repro.core.optimize import golden_section, nelder_mead
+from repro.errors import FitError
+
+
+class TestNelderMead:
+    def test_quadratic_1d(self):
+        result = nelder_mead(lambda x: (x[0] - 3.0) ** 2, [0.0])
+        assert result.converged
+        assert result.x[0] == pytest.approx(3.0, abs=1e-4)
+
+    def test_quadratic_3d(self):
+        target = np.array([1.0, -2.0, 0.5])
+
+        def objective(x):
+            return float(np.sum((x - target) ** 2))
+
+        result = nelder_mead(objective, [0.0, 0.0, 0.0])
+        assert np.allclose(result.x, target, atol=1e-3)
+
+    def test_rosenbrock(self):
+        def rosenbrock(x):
+            return float(
+                100.0 * (x[1] - x[0] ** 2) ** 2 + (1.0 - x[0]) ** 2
+            )
+
+        result = nelder_mead(rosenbrock, [-1.2, 1.0], max_iter=5000)
+        assert np.allclose(result.x, [1.0, 1.0], atol=1e-2)
+
+    def test_matches_scipy_on_skewed_quadratic(self):
+        matrix = np.array([[2.0, 0.4], [0.4, 1.0]])
+        shift = np.array([0.7, -1.3])
+
+        def objective(x):
+            delta = np.asarray(x) - shift
+            return float(delta @ matrix @ delta)
+
+        ours = nelder_mead(objective, [0.0, 0.0])
+        scipys = scipy_minimize(objective, [0.0, 0.0], method="Nelder-Mead")
+        assert ours.fun == pytest.approx(scipys.fun, abs=1e-6)
+
+    def test_handles_plateau_without_crash(self):
+        result = nelder_mead(lambda x: 1.0, [0.0, 0.0])
+        assert result.fun == 1.0
+
+    def test_empty_start_rejected(self):
+        with pytest.raises(FitError):
+            nelder_mead(lambda x: 0.0, [])
+
+    def test_iteration_budget_respected(self):
+        result = nelder_mead(
+            lambda x: float(np.sum(np.asarray(x) ** 2)), [50.0] * 4, max_iter=3
+        )
+        assert result.iterations <= 3
+        assert not result.converged
+
+
+class TestGoldenSection:
+    def test_parabola(self):
+        assert golden_section(lambda x: (x - 1.7) ** 2, -5, 5) == pytest.approx(
+            1.7, abs=1e-5
+        )
+
+    def test_asymmetric_function(self):
+        assert golden_section(lambda x: abs(x + 2.0) + 0.1 * x, -10, 10) == pytest.approx(
+            -2.0, abs=1e-4
+        )
+
+    def test_boundary_minimum(self):
+        assert golden_section(lambda x: x, 0.0, 1.0) == pytest.approx(0.0, abs=1e-5)
+
+    def test_invalid_bracket(self):
+        with pytest.raises(FitError):
+            golden_section(lambda x: x * x, 2.0, 1.0)

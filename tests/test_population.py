@@ -1,0 +1,128 @@
+"""User population sampling and post generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.events import ActivityTrace
+from repro.errors import ZoneError
+from repro.synth.population import (
+    CHRONOTYPE_CLIP,
+    UserSpec,
+    sample_population,
+    sample_user,
+)
+from repro.synth.posting import generate_crowd, generate_trace
+from repro.timebase.clock import SECONDS_PER_DAY, CivilDate, civil_to_ordinal
+from repro.timebase.zones import get_region
+
+
+class TestSampleUser:
+    def test_fields_in_range(self, rng):
+        for index in range(50):
+            user = sample_user(f"u{index}", "germany", rng)
+            assert abs(user.chronotype_shift) <= CHRONOTYPE_CLIP
+            assert user.posts_per_active_day > 0
+            assert 0.15 <= user.active_day_probability <= 0.98
+            assert 0.7 <= user.weekend_factor <= 1.3
+
+    def test_region_resolution(self, rng):
+        user = sample_user("u", "brazil", rng)
+        assert user.region.name == "Brazil"
+
+    def test_with_region_relocates(self, rng):
+        user = sample_user("u", "germany", rng)
+        relocated = user.with_region("japan")
+        assert relocated.region_key == "japan"
+        assert relocated.chronotype_shift == user.chronotype_shift
+
+    def test_unknown_region_rejected(self, rng):
+        with pytest.raises(ZoneError):
+            sample_population("narnia", 3, rng)
+
+
+class TestSamplePopulation:
+    def test_count_and_ids(self, rng):
+        users = sample_population("italy", 7, rng)
+        assert len(users) == 7
+        assert len({user.user_id for user in users}) == 7
+        assert all(user.user_id.startswith("italy_") for user in users)
+
+    def test_prefix_override(self, rng):
+        users = sample_population("italy", 2, rng, prefix="forum_x")
+        assert users[0].user_id.startswith("forum_x_")
+
+    def test_chronotypes_vary(self, rng):
+        users = sample_population("france", 40, rng)
+        shifts = [user.chronotype_shift for user in users]
+        assert np.std(shifts) > 0.5
+
+
+class TestGenerateTrace:
+    def test_deterministic_given_seed(self):
+        spec = sample_user("u", "germany", np.random.default_rng(7))
+        a = generate_trace(spec, np.random.default_rng(42), n_days=60)
+        b = generate_trace(spec, np.random.default_rng(42), n_days=60)
+        assert np.array_equal(a.timestamps, b.timestamps)
+
+    def test_window_respected(self, rng):
+        spec = sample_user("u", "malaysia", rng, posts_per_day_mean=3.0)
+        trace = generate_trace(spec, rng, start_day=10, n_days=20)
+        if len(trace):
+            days = trace.timestamps // SECONDS_PER_DAY
+            # Posts are stamped in UTC; Malaysians (UTC+8) posting in the
+            # local early morning land on the previous UTC day.
+            assert days.min() >= 9
+            assert days.max() <= 30
+
+    def test_rate_scales_volume(self, rng):
+        quiet_spec = sample_user("q", "japan", rng, posts_per_day_mean=0.3)
+        busy_spec = sample_user("b", "japan", rng, posts_per_day_mean=6.0)
+        quiet = generate_trace(quiet_spec, rng, n_days=120)
+        busy = generate_trace(busy_spec, rng, n_days=120)
+        assert len(busy) > len(quiet)
+
+    def test_night_trough_in_local_time(self, rng):
+        spec = sample_user(
+            "u", "malaysia", rng, posts_per_day_mean=6.0, chronotype_std=0.01
+        )
+        trace = generate_trace(spec, rng, n_days=366)
+        local_hours = ((trace.timestamps / 3600.0 + 8) % 24).astype(int)
+        histogram = np.bincount(local_hours, minlength=24)
+        assert histogram[19:23].sum() > 4 * histogram[3:7].sum()
+
+    def test_dst_shifts_utc_hours(self, rng):
+        # A low-chronotype German posts one UTC hour earlier in summer.
+        spec = sample_user(
+            "u", "germany", rng, posts_per_day_mean=8.0, chronotype_std=0.01
+        )
+        trace = generate_trace(spec, rng, n_days=366)
+        stamps = np.asarray(trace.timestamps)
+        july = civil_to_ordinal(CivilDate(2016, 7, 1))
+        winter = stamps[stamps < 60 * SECONDS_PER_DAY]
+        summer = stamps[
+            (stamps >= july * SECONDS_PER_DAY)
+            & (stamps < (july + 60) * SECONDS_PER_DAY)
+        ]
+        hist_winter = np.bincount(
+            ((winter % 86400) // 3600).astype(int), minlength=24
+        ).astype(float)
+        hist_summer = np.bincount(
+            ((summer % 86400) // 3600).astype(int), minlength=24
+        ).astype(float)
+        # Summer activity happens one UTC hour earlier: rolling the summer
+        # histogram forward by one hour must align it best with winter.
+        correlations = {
+            shift: float(np.dot(np.roll(hist_summer, shift), hist_winter))
+            for shift in range(-3, 4)
+        }
+        assert max(correlations, key=correlations.get) == 1
+
+
+class TestGenerateCrowd:
+    def test_one_trace_per_user(self, rng):
+        users = sample_population("poland", 5, rng, posts_per_day_mean=2.0)
+        crowd = generate_crowd(users, rng, n_days=90)
+        assert len(crowd) <= 5
+        assert set(crowd.user_ids()) <= {user.user_id for user in users}

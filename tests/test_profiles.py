@@ -1,0 +1,197 @@
+"""Eq. 1 / Eq. 2 profiles and the shift convention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.events import ActivityTrace
+from repro.core.profiles import (
+    HOURS,
+    Profile,
+    average_pairwise_pearson,
+    build_crowd_profile,
+    build_user_profile,
+    build_user_profile_civil,
+    uniform_profile,
+)
+from repro.errors import EmptyTraceError, ProfileError
+from repro.timebase.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR, make_timestamp
+from repro.timebase.zones import get_region
+
+positive_mass = st.lists(
+    st.floats(0.0, 10.0, allow_nan=False), min_size=HOURS, max_size=HOURS
+).filter(lambda mass: sum(mass) > 1e-6)
+
+
+class TestProfileInvariants:
+    @given(positive_mass)
+    def test_normalised(self, mass):
+        assert np.isclose(Profile(mass).mass.sum(), 1.0)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ProfileError):
+            Profile([1.0] * 23)
+
+    def test_negative_mass_rejected(self):
+        mass = [1.0] * HOURS
+        mass[3] = -0.5
+        with pytest.raises(ProfileError):
+            Profile(mass)
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ProfileError):
+            Profile([0.0] * HOURS)
+
+    def test_mass_read_only(self):
+        profile = uniform_profile()
+        with pytest.raises(ValueError):
+            profile.mass[0] = 1.0
+
+    def test_indexing_wraps(self):
+        profile = Profile([1.0] + [0.0] * 23)
+        assert profile[24] == profile[0] == 1.0
+
+    def test_equality(self):
+        assert uniform_profile() == uniform_profile()
+        assert uniform_profile() != Profile([1.0] + [0.0] * 23)
+
+
+class TestShift:
+    @given(positive_mass, st.integers(-30, 30))
+    def test_shift_definition(self, mass, shift):
+        profile = Profile(mass)
+        shifted = profile.shifted(shift)
+        for hour in range(HOURS):
+            assert np.isclose(shifted[hour], profile[hour - shift])
+
+    @given(positive_mass)
+    def test_full_cycle_identity(self, mass):
+        profile = Profile(mass)
+        assert profile.shifted(24) == profile
+        assert profile.shifted(0) == profile
+
+    @given(positive_mass, st.integers(-12, 12))
+    def test_shift_roundtrip(self, mass, shift):
+        profile = Profile(mass)
+        assert profile.shifted(shift).shifted(-shift) == profile
+
+    def test_peak_moves_with_shift(self):
+        profile = Profile([0.0] * 20 + [1.0] + [0.0] * 3)  # peak at 20
+        assert profile.shifted(3).peak_hour() == 23
+
+
+class TestStatistics:
+    def test_uniform_entropy(self):
+        assert np.isclose(uniform_profile().entropy(), np.log2(24))
+
+    def test_point_mass_entropy(self):
+        assert Profile([1.0] + [0.0] * 23).entropy() == 0.0
+
+    def test_uniform_flatness_zero(self):
+        assert uniform_profile().flatness() == pytest.approx(0.0)
+
+    def test_point_mass_flatness(self):
+        assert Profile([1.0] + [0.0] * 23).flatness() == pytest.approx(23 / 24)
+
+    def test_mixed_with(self):
+        peaked = Profile([1.0] + [0.0] * 23)
+        mixed = peaked.mixed_with(uniform_profile(), 0.5)
+        assert mixed[0] == pytest.approx(0.5 + 0.5 / 24)
+
+    def test_mixed_with_invalid_weight(self):
+        with pytest.raises(ProfileError):
+            uniform_profile().mixed_with(uniform_profile(), 1.5)
+
+
+class TestBuildUserProfile:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(EmptyTraceError):
+            build_user_profile(ActivityTrace("u"))
+
+    def test_saturation_per_day_hour(self):
+        # Ten posts at 21h of the same day weigh the same as one post at 9h
+        # of another day: Eq. 1 counts active day-hours, not posts.
+        base_evening = 21 * SECONDS_PER_HOUR
+        stamps = [base_evening + i for i in range(10)]
+        stamps.append(SECONDS_PER_DAY + 9 * SECONDS_PER_HOUR)
+        profile = build_user_profile(ActivityTrace("u", stamps))
+        assert profile[21] == pytest.approx(0.5)
+        assert profile[9] == pytest.approx(0.5)
+
+    def test_offset_shifts_hours(self):
+        stamps = [23 * SECONDS_PER_HOUR + day * SECONDS_PER_DAY for day in range(5)]
+        profile = build_user_profile(ActivityTrace("u", stamps), offset_hours=2)
+        assert profile[1] == pytest.approx(1.0)
+
+    def test_distribution_over_days(self):
+        stamps = []
+        for day in range(4):
+            stamps.append(day * SECONDS_PER_DAY + 8 * SECONDS_PER_HOUR)
+        stamps.append(20 * SECONDS_PER_HOUR)
+        profile = build_user_profile(ActivityTrace("u", stamps))
+        assert profile[8] == pytest.approx(4 / 5)
+        assert profile[20] == pytest.approx(1 / 5)
+
+
+class TestCivilProfile:
+    def test_matches_plain_profile_without_dst(self):
+        malaysia = get_region("malaysia")
+        stamps = [
+            make_timestamp(2016, month, 10, hour=12) for month in range(1, 13)
+        ]
+        trace = ActivityTrace("u", stamps)
+        civil = build_user_profile_civil(trace, malaysia)
+        plain = build_user_profile(trace, offset_hours=8)
+        assert civil == plain
+
+    def test_dst_stabilises_hour(self):
+        # A German posting at 20h local civil time year-round: in UTC the
+        # hour flips between 19 (winter) and 18 (summer), but the civil
+        # profile sees 20h everywhere.
+        germany = get_region("germany")
+        stamps = [
+            make_timestamp(2016, 1, 10, hour=19),
+            make_timestamp(2016, 7, 10, hour=18),
+        ]
+        profile = build_user_profile_civil(ActivityTrace("u", stamps), germany)
+        assert profile[20] == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyTraceError):
+            build_user_profile_civil(ActivityTrace("u"), get_region("italy"))
+
+
+class TestCrowdProfile:
+    def test_average_of_user_profiles(self):
+        a = Profile([1.0] + [0.0] * 23)
+        b = Profile([0.0, 1.0] + [0.0] * 22)
+        crowd = build_crowd_profile([a, b])
+        assert crowd[0] == pytest.approx(0.5)
+        assert crowd[1] == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyTraceError):
+            build_crowd_profile([])
+
+    @given(st.lists(positive_mass, min_size=2, max_size=6))
+    def test_normalised(self, masses):
+        crowd = build_crowd_profile([Profile(mass) for mass in masses])
+        assert np.isclose(crowd.mass.sum(), 1.0)
+
+
+class TestPairwisePearson:
+    def test_identical_profiles_correlate_fully(self):
+        profile = Profile(np.arange(1.0, 25.0))
+        assert average_pairwise_pearson([profile, profile]) == pytest.approx(1.0)
+
+    def test_needs_two(self):
+        with pytest.raises(ProfileError):
+            average_pairwise_pearson([uniform_profile()])
+
+    def test_shifted_crowds_correlate_after_alignment(self):
+        base = Profile(np.arange(1.0, 25.0) ** 2)
+        shifted = base.shifted(5)
+        aligned = shifted.shifted(-5)
+        assert average_pairwise_pearson([base, aligned]) == pytest.approx(1.0)

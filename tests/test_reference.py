@@ -1,0 +1,109 @@
+"""Generic profile and zone references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profiles import Profile
+from repro.core.reference import (
+    ReferenceProfiles,
+    canonical_rate,
+    parametric_generic_profile,
+)
+from repro.errors import ProfileError
+from repro.timebase.zones import ZONE_OFFSETS
+
+
+class TestParametricGeneric:
+    def test_shape_matches_paper(self):
+        generic = parametric_generic_profile()
+        assert generic.peak_hour() == 21
+        assert generic.trough_hour() == 4
+
+    def test_evening_heavier_than_morning(self):
+        generic = parametric_generic_profile()
+        assert generic[21] > generic[9] > generic[4]
+
+    def test_lunch_dip(self):
+        generic = parametric_generic_profile()
+        assert generic[13] < generic[12]
+        assert generic[13] < generic[14]
+
+    def test_normalised(self):
+        assert np.isclose(parametric_generic_profile().mass.sum(), 1.0)
+
+
+class TestCanonicalRate:
+    def test_integer_hours_match_weights(self):
+        generic = parametric_generic_profile()
+        # canonical_rate returns the unnormalised weight; ratios must agree.
+        assert canonical_rate(21) / canonical_rate(4) == pytest.approx(
+            generic[21] / generic[4]
+        )
+
+    @given(st.floats(-48.0, 48.0, allow_nan=False))
+    def test_periodic(self, hour):
+        assert canonical_rate(hour) == pytest.approx(canonical_rate(hour + 24))
+
+    @given(st.floats(0.0, 23.999, allow_nan=False))
+    def test_interpolation_bounded_by_neighbours(self, hour):
+        low = canonical_rate(float(int(hour)))
+        high = canonical_rate(float((int(hour) + 1) % 24))
+        value = canonical_rate(hour)
+        assert min(low, high) - 1e-12 <= value <= max(low, high) + 1e-12
+
+
+class TestReferenceProfiles:
+    def test_zone_zero_is_generic(self, canonical_references):
+        assert canonical_references.for_zone(0) == canonical_references.generic
+
+    @pytest.mark.parametrize("offset", ZONE_OFFSETS)
+    def test_nearest_zone_roundtrip(self, canonical_references, offset):
+        reference = canonical_references.for_zone(offset)
+        assert canonical_references.nearest_zone(reference) == offset
+
+    def test_zone_peak_moves_west_with_offset(self, canonical_references):
+        # Higher offsets (east) see their evening peak earlier in UTC.
+        east = canonical_references.for_zone(8).peak_hour()
+        utc = canonical_references.for_zone(0).peak_hour()
+        assert (utc - east) % 24 == 8
+
+    def test_offsets_order(self, canonical_references):
+        assert canonical_references.offsets() == tuple(range(-11, 13))
+
+    def test_as_list_length(self, canonical_references):
+        assert len(canonical_references.as_list()) == 24
+
+    def test_distance_to_zone_zero_for_own_reference(self, canonical_references):
+        reference = canonical_references.for_zone(5)
+        assert canonical_references.distance_to_zone(reference, 5) == pytest.approx(0.0)
+
+    def test_for_zone_normalizes(self, canonical_references):
+        assert canonical_references.for_zone(13) == canonical_references.for_zone(-11)
+
+
+class TestFromRegionalCrowds:
+    def test_empty_rejected(self):
+        with pytest.raises(ProfileError):
+            ReferenceProfiles.from_regional_crowds({})
+
+    def test_single_region_recovers_generic(self):
+        generic = parametric_generic_profile()
+        # A UTC+3 crowd's UTC-clock profile is generic shifted by -3.
+        crowd_utc_profile = generic.shifted(-3)
+        references = ReferenceProfiles.from_regional_crowds({3: crowd_utc_profile})
+        assert references.generic == generic
+
+    def test_multiple_aligned_regions_average(self):
+        generic = parametric_generic_profile()
+        references = ReferenceProfiles.from_regional_crowds(
+            {offset: generic.shifted(-offset) for offset in (-5, 0, 8)}
+        )
+        assert references.generic == generic
+
+    def test_data_driven_references_place_own_zones(self, references):
+        # The session dataset's references must self-identify per zone.
+        for offset in (-8, -3, 0, 1, 8, 9):
+            assert references.nearest_zone(references.for_zone(offset)) == offset

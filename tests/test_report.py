@@ -1,0 +1,60 @@
+"""ASCII table/figure rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ascii_bars, ascii_table, series_csv
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        rendered = ascii_table(
+            ["name", "value"], [("a", 1.0), ("long-name", 2.5)], title="T"
+        )
+        lines = rendered.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        # All data rows have the same width up to trailing spaces.
+        assert len(lines[3].rstrip()) <= len(lines[1])
+
+    def test_float_formatting(self):
+        rendered = ascii_table(["x"], [(0.123456,)])
+        assert "0.1235" in rendered
+
+    def test_large_float_formatting(self):
+        rendered = ascii_table(["x"], [(12345.678,)])
+        assert "12345.7" in rendered
+
+    def test_no_title(self):
+        rendered = ascii_table(["a"], [(1,)])
+        assert rendered.splitlines()[0].startswith("a")
+
+
+class TestAsciiBars:
+    def test_bar_lengths_proportional(self):
+        rendered = ascii_bars(["x", "y"], [1.0, 0.5], width=10)
+        lines = rendered.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["x"], [1.0, 2.0])
+
+    def test_zero_values_no_crash(self):
+        rendered = ascii_bars(["x"], [0.0])
+        assert "#" not in rendered
+
+    def test_title(self):
+        rendered = ascii_bars(["x"], [1.0], title="Figure 3")
+        assert rendered.splitlines()[0] == "Figure 3"
+
+
+class TestSeriesCsv:
+    def test_header_and_rows(self):
+        csv = series_csv(["hour", "value"], [(0, 0.25), (1, 0.5)])
+        lines = csv.splitlines()
+        assert lines[0] == "hour,value"
+        assert lines[1] == "0,0.2500"
+        assert lines[2] == "1,0.5000"

@@ -1,0 +1,27 @@
+"""Seed-stability driver."""
+
+from __future__ import annotations
+
+from repro.analysis.robustness import run_seed_stability
+
+
+class TestSeedStability:
+    def test_big_forums_stable(self, context):
+        rows = run_seed_stability(
+            context,
+            forums=("crd_club", "majestic_garden"),
+            seeds=(1, 2),
+            scale=0.5,
+        )
+        by_forum = {row.forum_key: row for row in rows}
+        assert by_forum["crd_club"].both_correct == 1.0
+        assert by_forum["majestic_garden"].center_correct == 1.0
+
+    def test_row_bookkeeping(self, context):
+        rows = run_seed_stability(
+            context, forums=("dream_market",), seeds=(1, 2), scale=0.4
+        )
+        row = rows[0]
+        assert row.n_seeds == 2
+        assert 0.0 <= row.both_correct <= min(row.k_correct, row.center_correct)
+        assert row.center_spread >= 0.0

@@ -1,0 +1,88 @@
+"""The scraping procedure: probe, calibrate, dump, correct."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ForumError
+from repro.forum.engine import ForumServer
+from repro.forum.scraper import ForumScraper
+
+
+def _forum_with_history(offset_hours):
+    forum = ForumServer("F", "x.onion", server_offset_hours=offset_hours)
+    forum.import_crowd_posts(
+        {
+            "alice": [1000.0, 5000.0, 9000.0],
+            "bob": [2000.0],
+        }
+    )
+    return forum
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("offset", [-5, 0, 3, 11, 0.5])
+    def test_offset_recovered(self, offset):
+        forum = ForumServer("F", "x.onion", server_offset_hours=offset)
+        scraper = ForumScraper(forum)
+        assert scraper.calibrate_offset(10_000.0) == pytest.approx(offset)
+
+    def test_quarter_hour_rounding(self):
+        forum = ForumServer("F", "x.onion", server_offset_hours=2.07)
+        scraper = ForumScraper(forum)
+        assert scraper.calibrate_offset(0.0) == pytest.approx(2.0)
+
+    def test_registers_researcher(self):
+        forum = ForumServer("F", "x.onion")
+        scraper = ForumScraper(forum, username="probe_account")
+        scraper.calibrate_offset(0.0)
+        assert forum.is_member("probe_account")
+
+    def test_idempotent_registration(self):
+        forum = ForumServer("F", "x.onion")
+        scraper = ForumScraper(forum)
+        scraper.calibrate_offset(0.0)
+        scraper.calibrate_offset(100.0)  # must not raise on second signup
+
+
+class TestScrape:
+    def test_recovers_utc_timestamps(self):
+        forum = _forum_with_history(offset_hours=7)
+        result = ForumScraper(forum).scrape(50_000.0)
+        assert result.server_offset_hours == pytest.approx(7.0)
+        assert np.allclose(
+            result.traces["alice"].timestamps, [1000.0, 5000.0, 9000.0]
+        )
+        assert np.allclose(result.traces["bob"].timestamps, [2000.0])
+
+    def test_probe_post_excluded(self):
+        forum = _forum_with_history(offset_hours=0)
+        result = ForumScraper(forum, username="researcher").scrape(50_000.0)
+        assert "researcher" not in result.traces
+
+    def test_counts(self):
+        forum = _forum_with_history(offset_hours=3)
+        result = ForumScraper(forum).scrape(50_000.0)
+        assert result.n_posts == 4
+        assert len(result.traces) == 2
+
+    def test_summary_mentions_offset(self):
+        forum = _forum_with_history(offset_hours=3)
+        result = ForumScraper(forum).scrape(50_000.0)
+        assert "+3.00h" in result.summary()
+
+    def test_negative_offset_forum(self):
+        forum = _forum_with_history(offset_hours=-6)
+        result = ForumScraper(forum).scrape(50_000.0)
+        assert np.allclose(
+            result.traces["alice"].timestamps, [1000.0, 5000.0, 9000.0]
+        )
+
+    def test_scrape_is_offset_invariant(self):
+        # The recovered traces must not depend on the server clock skew.
+        base = ForumScraper(_forum_with_history(0)).scrape(50_000.0)
+        skewed = ForumScraper(_forum_with_history(9)).scrape(50_000.0)
+        assert np.allclose(
+            base.traces["alice"].timestamps, skewed.traces["alice"].timestamps
+        )

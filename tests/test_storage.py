@@ -1,0 +1,85 @@
+"""The encrypted, retention-limited trace store (Sec. VIII)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import ActivityTrace, TraceSet
+from repro.errors import StorageError
+from repro.forum.storage import TraceStore, pseudonymize
+
+
+def _traces():
+    return TraceSet(
+        [ActivityTrace("alice", [1.0, 2.0]), ActivityTrace("bob", [3.0])]
+    )
+
+
+class TestPseudonymization:
+    def test_stable(self):
+        assert pseudonymize("alice", "salt") == pseudonymize("alice", "salt")
+
+    def test_salt_matters(self):
+        assert pseudonymize("alice", "a") != pseudonymize("alice", "b")
+
+    def test_not_reversible_trivially(self):
+        assert "alice" not in pseudonymize("alice", "salt")
+
+    @given(st.text(min_size=1, max_size=30))
+    @settings(max_examples=30)
+    def test_fixed_length(self, author):
+        assert len(pseudonymize(author, "s")) == 12
+
+
+class TestTraceStore:
+    def test_short_key_rejected(self):
+        with pytest.raises(StorageError):
+            TraceStore(b"short")
+
+    def test_roundtrip(self):
+        store = TraceStore(b"supersecretkey01")
+        store.put("crd", _traces(), stored_at=0.0)
+        loaded = store.get("crd", b"supersecretkey01", read_at=10.0)
+        assert len(loaded) == 2
+        assert loaded.total_posts() == 3
+
+    def test_author_ids_pseudonymized(self):
+        store = TraceStore(b"supersecretkey01")
+        store.put("crd", _traces(), stored_at=0.0)
+        loaded = store.get("crd", b"supersecretkey01", read_at=10.0)
+        assert "alice" not in loaded
+        assert pseudonymize("alice", "repro") in loaded
+
+    def test_wrong_key_fails(self):
+        store = TraceStore(b"supersecretkey01")
+        store.put("crd", _traces(), stored_at=0.0)
+        with pytest.raises(StorageError):
+            store.get("crd", b"wrongkey_wrongkey", read_at=10.0)
+
+    def test_missing_dataset(self):
+        store = TraceStore(b"supersecretkey01")
+        with pytest.raises(StorageError):
+            store.get("nothing", b"supersecretkey01", read_at=0.0)
+
+    def test_retention_enforced(self):
+        store = TraceStore(b"supersecretkey01", retention_seconds=100.0)
+        store.put("crd", _traces(), stored_at=0.0)
+        with pytest.raises(StorageError):
+            store.get("crd", b"supersecretkey01", read_at=200.0)
+        # Expired data is also physically dropped.
+        assert len(store) == 0
+
+    def test_purge_expired(self):
+        store = TraceStore(b"supersecretkey01", retention_seconds=100.0)
+        store.put("old", _traces(), stored_at=0.0)
+        store.put("new", _traces(), stored_at=500.0)
+        assert store.purge_expired(now=300.0) == 1
+        assert len(store) == 1
+
+    def test_timestamps_preserved_exactly(self):
+        store = TraceStore(b"supersecretkey01")
+        store.put("d", _traces(), stored_at=0.0)
+        loaded = store.get("d", b"supersecretkey01", read_at=1.0)
+        pseudonym = pseudonymize("alice", "repro")
+        assert list(loaded[pseudonym].timestamps) == [1.0, 2.0]

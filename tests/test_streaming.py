@@ -1,0 +1,86 @@
+"""Streaming geolocation and the convergence experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.streaming_experiments import run_convergence_experiment
+from repro.core.events import PostEvent
+from repro.core.streaming import StreamingGeolocator
+from repro.synth.twitter import build_region_crowd
+
+
+class TestStreamingGeolocator:
+    def test_no_verdict_before_evidence(self, references):
+        stream = StreamingGeolocator(references)
+        stream.observe("u", 1000.0)
+        snapshot = stream.snapshot()
+        assert not snapshot.has_verdict()
+        assert np.isnan(snapshot.dominant_mean())
+        assert snapshot.n_events_seen == 1
+        assert snapshot.n_users_seen == 1
+
+    def test_matches_batch_pipeline(self, references):
+        crowd = build_region_crowd("malaysia", 50, seed=21, n_days=366)
+        stream = StreamingGeolocator(references)
+        for trace in crowd:
+            for timestamp in trace.timestamps:
+                stream.observe(trace.user_id, float(timestamp))
+        snapshot = stream.snapshot()
+        assert snapshot.has_verdict()
+        assert abs(snapshot.dominant_mean() - 8.0) <= 1.2
+
+    def test_incremental_profile_equals_batch_profile(self, references):
+        from repro.core.profiles import build_user_profile
+
+        crowd = build_region_crowd("japan", 3, seed=5, n_days=200)
+        stream = StreamingGeolocator(references, min_posts=1)
+        for trace in crowd:
+            for timestamp in trace.timestamps:
+                stream.observe(trace.user_id, float(timestamp))
+        profiles = stream.active_profiles()
+        for trace in crowd:
+            if trace.user_id in profiles:
+                assert profiles[trace.user_id] == build_user_profile(trace)
+
+    def test_observe_events(self, references):
+        stream = StreamingGeolocator(references)
+        stream.observe_events(
+            [PostEvent(100.0, "a"), PostEvent(200.0, "a"), PostEvent(300.0, "b")]
+        )
+        assert stream.n_events == 3
+        assert stream.n_users() == 2
+
+    def test_threshold_gates_activity(self, references):
+        stream = StreamingGeolocator(references, min_posts=5)
+        for index in range(4):
+            stream.observe("u", index * 86400.0 + 20 * 3600.0)
+        assert stream.active_profiles() == {}
+        stream.observe("u", 4 * 86400.0 + 20 * 3600.0)
+        assert "u" in stream.active_profiles()
+
+    def test_flat_users_filtered(self, references, rng):
+        stream = StreamingGeolocator(references, min_posts=30)
+        # A bot posting at uniformly random hours.
+        for index in range(400):
+            stream.observe("bot", float(rng.uniform(0, 366 * 86400.0)))
+        assert "bot" not in stream.active_profiles()
+
+
+class TestConvergence:
+    def test_verdict_appears_and_stabilises(self, context):
+        rows = run_convergence_experiment(
+            context, checkpoint_days=(7, 60, 366), scale=0.6
+        )
+        by_day = {row.day: row for row in rows}
+        assert not by_day[7].has_verdict
+        assert by_day[366].has_verdict
+        assert by_day[366].n_users_active > by_day[60].n_users_active
+
+    def test_events_monotone(self, context):
+        rows = run_convergence_experiment(
+            context, checkpoint_days=(30, 120, 366), scale=0.4
+        )
+        counts = [row.n_events for row in rows]
+        assert counts == sorted(counts)

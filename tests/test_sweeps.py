@@ -1,0 +1,45 @@
+"""Sensitivity sweeps."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.sweeps import run_activity_sweep, run_crowd_size_sweep
+
+
+class TestCrowdSizeSweep:
+    def test_ci_shrinks_with_crowd(self, context):
+        rows = run_crowd_size_sweep(
+            context, crowd_sizes=(15, 120), n_resamples=40
+        )
+        assert rows[0].ci_width > rows[-1].ci_width
+
+    def test_large_crowd_recovers_center(self, context):
+        rows = run_crowd_size_sweep(
+            context, crowd_sizes=(120,), n_resamples=40
+        )
+        assert rows[0].center_error <= 1.2
+        assert rows[0].k_recovered == 1
+
+    def test_row_bookkeeping(self, context):
+        rows = run_crowd_size_sweep(context, crowd_sizes=(20,), n_resamples=30)
+        assert rows[0].n_users_requested == 20
+        assert 0 < rows[0].n_users_placed <= 20
+
+
+class TestActivitySweep:
+    def test_low_rate_loses_users(self, context):
+        rows = run_activity_sweep(
+            context, rates=(0.1, 3.0), users_per_region=50
+        )
+        assert rows[0].n_users_placed < rows[1].n_users_placed
+        assert rows[0].median_posts_per_user < rows[1].median_posts_per_user
+
+    def test_high_rate_recovers_both_zones(self, context):
+        rows = run_activity_sweep(
+            context, rates=(3.0,), users_per_region=60
+        )
+        row = rows[0]
+        assert row.k_recovered == 2
+        assert not math.isnan(row.max_center_error)
+        assert row.max_center_error <= 1.5

@@ -1,0 +1,128 @@
+"""Bridges and censorship circumvention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError, TorError
+from repro.tor.bridges import (
+    BridgeAuthority,
+    Censor,
+    build_censored_circuit,
+    make_bridges,
+)
+from repro.tor.network import build_network
+from repro.tor.relay import Relay, RelayFlag
+
+
+@pytest.fixture()
+def network():
+    return build_network(n_relays=30, seed=9)
+
+
+@pytest.fixture()
+def authority():
+    return BridgeAuthority(make_bridges(10, seed=9))
+
+
+class TestCensor:
+    def test_blocking_consensus_blocks_all(self, network):
+        censor = Censor.blocking_consensus(network.consensus)
+        for relay in network.consensus.all_relays():
+            assert not censor.allows(relay.relay_id)
+
+    def test_bridges_not_blocked(self, network, authority):
+        censor = Censor.blocking_consensus(network.consensus)
+        for bridge in authority.request_bridges("alice"):
+            assert censor.allows(bridge.relay_id)
+
+
+class TestBridgeAuthority:
+    def test_bridges_unlisted(self, network, authority):
+        consensus_ids = {r.relay_id for r in network.consensus.all_relays()}
+        for bridge in authority.request_bridges("alice"):
+            assert bridge.relay_id not in consensus_ids
+
+    def test_ration_size(self, authority):
+        assert len(authority.request_bridges("alice")) == 3
+
+    def test_ration_stable_per_client(self, authority):
+        first = [b.relay_id for b in authority.request_bridges("alice")]
+        second = [b.relay_id for b in authority.request_bridges("alice")]
+        assert first == second
+
+    def test_different_clients_different_rations(self, authority):
+        alice = {b.relay_id for b in authority.request_bridges("alice")}
+        others = set()
+        for name in ("bob", "carol", "dave", "erin"):
+            others |= {b.relay_id for b in authority.request_bridges(name)}
+        assert others - alice  # the authority does not hand everyone the same set
+
+    def test_empty_authority(self):
+        authority = BridgeAuthority([])
+        with pytest.raises(TorError):
+            authority.request_bridges("alice")
+
+    def test_non_guard_bridge_rejected(self):
+        bad = Relay("b", "b", 1.0, flags=RelayFlag.FAST)
+        with pytest.raises(TorError):
+            BridgeAuthority([bad])
+
+
+class TestCensoredCircuits:
+    def test_uncensored_uses_guard(self, network):
+        rng = np.random.default_rng(1)
+        censor = Censor(blocked_relay_ids=frozenset())
+        circuit = build_censored_circuit(
+            network.consensus, rng, censor=censor
+        )
+        assert circuit.guard.can_serve(RelayFlag.GUARD)
+
+    def test_full_censorship_without_bridges_fails(self, network):
+        rng = np.random.default_rng(1)
+        censor = Censor.blocking_consensus(network.consensus)
+        with pytest.raises(CircuitError):
+            build_censored_circuit(network.consensus, rng, censor=censor)
+
+    def test_bridge_restores_access(self, network, authority):
+        rng = np.random.default_rng(1)
+        censor = Censor.blocking_consensus(network.consensus)
+        circuit = build_censored_circuit(
+            network.consensus,
+            rng,
+            censor=censor,
+            bridge_authority=authority,
+            client_id="alice",
+        )
+        assert authority.is_bridge(circuit.guard.relay_id)
+        # The rest of the circuit still runs over public relays.
+        assert not authority.is_bridge(circuit.hops[1].relay_id)
+        assert not authority.is_bridge(circuit.exit.relay_id)
+
+    def test_bridge_circuit_relays_traffic(self, network, authority):
+        rng = np.random.default_rng(2)
+        censor = Censor.blocking_consensus(network.consensus)
+        circuit = build_censored_circuit(
+            network.consensus,
+            rng,
+            censor=censor,
+            bridge_authority=authority,
+            client_id="alice",
+        )
+        reply, _ = circuit.round_trip(b"ping", lambda payload: b"pong:" + payload)
+        assert reply == b"pong:ping"
+
+    def test_censor_blocking_bridges_too(self, network, authority):
+        rng = np.random.default_rng(3)
+        blocked = {r.relay_id for r in network.consensus.all_relays()}
+        blocked |= {b.relay_id for b in authority.request_bridges("alice")}
+        censor = Censor(blocked_relay_ids=frozenset(blocked))
+        with pytest.raises(CircuitError):
+            build_censored_circuit(
+                network.consensus,
+                rng,
+                censor=censor,
+                bridge_authority=authority,
+                client_id="alice",
+            )

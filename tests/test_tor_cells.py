@@ -1,0 +1,97 @@
+"""Onion layering and the RPC encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tor.cells import (
+    Cell,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    layer_decrypt,
+    layer_encrypt,
+    xor_cipher,
+)
+
+keys = st.lists(st.binary(min_size=8, max_size=32), min_size=1, max_size=4)
+payloads = st.binary(min_size=0, max_size=400)
+
+
+class TestXorCipher:
+    @given(st.binary(min_size=8, max_size=32), payloads)
+    @settings(max_examples=40)
+    def test_involution(self, key, payload):
+        assert xor_cipher(key, xor_cipher(key, payload)) == payload
+
+    def test_different_keys_differ(self):
+        payload = b"hello dark web forum"
+        assert xor_cipher(b"key-one-", payload) != xor_cipher(b"key-two-", payload)
+
+    def test_ciphertext_differs_from_plaintext(self):
+        payload = b"some meaningful plaintext content"
+        assert xor_cipher(b"key-one-", payload) != payload
+
+
+class TestOnionLayers:
+    @given(keys, payloads)
+    @settings(max_examples=40)
+    def test_peel_in_hop_order_recovers(self, key_list, payload):
+        wrapped = layer_encrypt(key_list, payload)
+        for key in key_list:  # guard first
+            wrapped = layer_decrypt(key, wrapped)
+        assert wrapped == payload
+
+    def test_single_relay_cannot_read(self):
+        key_list = [b"guardkey", b"midkey__", b"exitkey_"]
+        payload = b"GET /forum/posts"
+        wrapped = layer_encrypt(key_list, payload)
+        # Peeling only the middle layer (out of order) must not reveal it.
+        partially = layer_decrypt(b"midkey__", wrapped)
+        assert partially != payload
+
+    def test_wrong_order_fails(self):
+        key_list = [b"guardkey", b"midkey__", b"exitkey_"]
+        payload = b"GET /forum/posts"
+        wrapped = layer_encrypt(key_list, payload)
+        out = wrapped
+        for key in reversed(key_list):
+            out = layer_decrypt(key, out)
+        # XOR layers commute mathematically; the structural protection is
+        # that each relay only ever holds its own key.  Full unwrap with
+        # all three keys still succeeds regardless of order:
+        assert out == payload
+
+
+class TestCell:
+    def test_sized(self):
+        assert Cell(1, "relay", b"abc").sized() == 3
+
+
+class TestRpcEncoding:
+    def test_request_roundtrip(self):
+        payload = encode_request("submit_post", ("alice", 3, 100.0), {"body": "hi"})
+        method, args, kwargs = decode_request(payload)
+        assert method == "submit_post"
+        assert args == ["alice", 3, 100.0]
+        assert kwargs == {"body": "hi"}
+
+    def test_response_roundtrip(self):
+        payload = encode_response({"value": [1, 2, 3]})
+        assert decode_response(payload) == {"value": [1, 2, 3]}
+
+    def test_response_with_object(self):
+        class Record:
+            def __init__(self):
+                self.author = "alice"
+                self.server_time = 9.0
+
+        decoded = decode_response(encode_response(Record()))
+        assert decoded["author"] == "alice"
+        assert decoded["__type__"] == "Record"
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(TypeError):
+            encode_response(object())

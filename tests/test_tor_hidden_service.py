@@ -1,0 +1,106 @@
+"""Hidden-service hosting and the rendezvous RPC path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TorError
+from repro.forum.engine import ForumServer
+from repro.forum.scraper import ForumScraper
+from repro.tor.hidden_service import HiddenServiceHost, TorClient
+from repro.tor.network import build_network
+
+
+@pytest.fixture()
+def stack():
+    network = build_network(seed=11)
+    forum = ForumServer("Hidden Forum", "ignored.onion", server_offset_hours=2)
+    forum.import_crowd_posts({"alice": [100.0, 5000.0], "bob": [900.0]})
+    host = HiddenServiceHost(
+        network=network,
+        application=forum,
+        private_key="secret-key-123",
+        rng=np.random.default_rng(11),
+    )
+    descriptor = host.setup()
+    client = TorClient(network, seed=12)
+    return network, forum, host, descriptor, client
+
+
+class TestSetup:
+    def test_descriptor_published(self, stack):
+        network, _, host, descriptor, _ = stack
+        assert network.fetch_descriptor(host.onion) == descriptor
+        assert descriptor.verify()
+        assert len(descriptor.intro_point_ids) == 3
+
+    def test_onion_derived_from_key(self, stack):
+        _, _, host, descriptor, _ = stack
+        assert descriptor.onion == host.onion
+        assert descriptor.onion.endswith(".onion")
+
+
+class TestConnect:
+    def test_connect_and_call(self, stack):
+        _, forum, host, descriptor, client = stack
+        remote = client.connect(descriptor.onion, {descriptor.onion: host})
+        assert remote.total_posts() == forum.total_posts()
+        assert client.rpc_count == 1
+        assert client.total_latency_ms > 0
+
+    def test_unknown_onion(self, stack):
+        _, _, host, descriptor, client = stack
+        with pytest.raises(Exception):
+            client.connect("ffffffffffffffff.onion", {})
+
+    def test_unreachable_host(self, stack):
+        _, _, _, descriptor, client = stack
+        with pytest.raises(TorError):
+            client.connect(descriptor.onion, {})
+
+
+class TestRemoteForum:
+    def test_full_scrape_over_tor_matches_direct(self, stack):
+        _, forum, host, descriptor, client = stack
+        remote = client.connect(descriptor.onion, {descriptor.onion: host})
+        over_tor = ForumScraper(remote, username="tor_researcher").scrape(10_000.0)
+        direct = ForumScraper(forum, username="direct_researcher").scrape(10_000.0)
+        assert over_tor.server_offset_hours == direct.server_offset_hours
+        assert set(over_tor.traces.user_ids()) >= {"alice", "bob"}
+        assert np.allclose(
+            over_tor.traces["alice"].timestamps, direct.traces["alice"].timestamps
+        )
+
+    def test_membership_via_proxy(self, stack):
+        _, forum, host, descriptor, client = stack
+        remote = client.connect(descriptor.onion, {descriptor.onion: host})
+        remote.register("newcomer")
+        assert forum.is_member("newcomer")
+        assert remote.is_member("newcomer")
+
+    def test_submit_post_via_proxy(self, stack):
+        _, forum, host, descriptor, client = stack
+        remote = client.connect(descriptor.onion, {descriptor.onion: host})
+        remote.register("poster")
+        thread = remote.thread_by_title("Welcome")
+        post = remote.submit_post("poster", thread.thread_id, 777.0, "hello")
+        assert post.server_time == pytest.approx(777.0 + 2 * 3600.0)
+
+    def test_disconnect_closes_circuits(self, stack):
+        _, _, host, descriptor, client = stack
+        remote = client.connect(descriptor.onion, {descriptor.onion: host})
+        remote.disconnect()
+        with pytest.raises(Exception):
+            remote.total_posts()
+
+    def test_method_allowlist(self, stack):
+        _, _, host, descriptor, client = stack
+        remote = client.connect(descriptor.onion, {descriptor.onion: host})
+        with pytest.raises(TorError):
+            remote._call("import_crowd_posts", {})
+
+    def test_name_exposed(self, stack):
+        _, _, host, descriptor, client = stack
+        remote = client.connect(descriptor.onion, {descriptor.onion: host})
+        assert remote.name == "Hidden Forum"

@@ -1,0 +1,213 @@
+"""Relays, circuits, directories and the network builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError, DescriptorError
+from repro.tor.circuit import Circuit
+from repro.tor.directory import (
+    Consensus,
+    HiddenServiceDirectory,
+    ServiceDescriptor,
+    onion_address,
+    responsible_directories,
+)
+from repro.tor.network import TorNetwork, build_network
+from repro.tor.relay import Relay, RelayFlag
+
+
+def _relay(index, flags=RelayFlag.FAST | RelayFlag.GUARD | RelayFlag.EXIT):
+    return Relay(
+        relay_id=f"r{index}",
+        nickname=f"nick{index}",
+        bandwidth=10.0,
+        flags=flags,
+        latency_ms=10.0,
+    )
+
+
+class TestRelay:
+    def test_flags(self):
+        relay = _relay(0, RelayFlag.GUARD | RelayFlag.FAST)
+        assert relay.can_serve(RelayFlag.GUARD)
+        assert not relay.can_serve(RelayFlag.EXIT)
+
+    def test_key_negotiation_deterministic(self):
+        relay = _relay(0)
+        assert relay.negotiate_key(7) == relay.negotiate_key(7)
+        assert relay.negotiate_key(7) != relay.negotiate_key(8)
+
+    def test_peel_without_key(self):
+        relay = _relay(0)
+        with pytest.raises(CircuitError):
+            relay.peel(99, b"data")
+
+    def test_drop_circuit(self):
+        relay = _relay(0)
+        relay.negotiate_key(1)
+        relay.drop_circuit(1)
+        with pytest.raises(CircuitError):
+            relay.peel(1, b"data")
+
+    def test_identity_digest_stable(self):
+        relay = _relay(0)
+        assert relay.identity_digest() == relay.identity_digest()
+        assert len(relay.identity_digest()) == 20
+
+
+class TestCircuit:
+    def test_needs_three_distinct_hops(self):
+        with pytest.raises(CircuitError):
+            Circuit([_relay(0), _relay(1)])
+        duplicate = _relay(0)
+        with pytest.raises(CircuitError):
+            Circuit([duplicate, duplicate, _relay(1)])
+
+    def test_forward_backward_roundtrip(self):
+        circuit = Circuit([_relay(0), _relay(1), _relay(2)])
+        payload = b"fetch the welcome thread"
+        at_exit = circuit.send_forward(payload)
+        assert at_exit == payload  # all layers peeled at the exit
+        back = circuit.receive_backward(b"response body")
+        assert back == b"response body"
+
+    def test_payload_obscured_in_flight(self):
+        guard, middle, exit_relay = _relay(0), _relay(1), _relay(2)
+        circuit = Circuit([guard, middle, exit_relay])
+        payload = b"a secret request payload!!"
+        from repro.tor.cells import layer_encrypt
+
+        wrapped = layer_encrypt(circuit._keys, payload)
+        assert wrapped != payload
+        after_guard = guard.peel(circuit.circuit_id, wrapped)
+        assert after_guard != payload  # still two layers on
+
+    def test_cell_counters(self):
+        circuit = Circuit([_relay(0), _relay(1), _relay(2)])
+        circuit.send_forward(b"x")
+        circuit.receive_backward(b"y")
+        assert circuit.cells_forward == 3
+        assert circuit.cells_backward == 3
+
+    def test_latency_sum(self):
+        circuit = Circuit([_relay(0), _relay(1), _relay(2)])
+        assert circuit.latency_ms() == pytest.approx(30.0)
+
+    def test_round_trip_helper(self):
+        circuit = Circuit([_relay(0), _relay(1), _relay(2)])
+        reply, latency = circuit.round_trip(b"ping", lambda req: b"pong:" + req)
+        assert reply == b"pong:ping"
+        assert latency == pytest.approx(60.0)
+
+    def test_closed_circuit_unusable(self):
+        circuit = Circuit([_relay(0), _relay(1), _relay(2)])
+        circuit.close()
+        with pytest.raises(CircuitError):
+            circuit.send_forward(b"x")
+
+    def test_build_selects_roles(self):
+        relays = [_relay(i) for i in range(10)]
+        consensus = Consensus(relays)
+        rng = np.random.default_rng(0)
+        circuit = Circuit.build(consensus, rng)
+        assert circuit.guard.can_serve(RelayFlag.GUARD)
+        assert circuit.exit.can_serve(RelayFlag.EXIT)
+        assert len({relay.relay_id for relay in circuit.hops}) == 3
+
+    def test_build_fails_without_guards(self):
+        relays = [_relay(i, RelayFlag.FAST | RelayFlag.EXIT) for i in range(5)]
+        consensus = Consensus(relays)
+        with pytest.raises(CircuitError):
+            Circuit.build(consensus, np.random.default_rng(0))
+
+
+class TestDirectory:
+    def test_onion_derivation(self):
+        onion = onion_address("my-public-key")
+        assert onion.endswith(".onion")
+        assert len(onion) == 16 + 6
+
+    def test_descriptor_verification(self):
+        good = ServiceDescriptor(
+            onion=onion_address("pk"), public_key="pk", intro_point_ids=("r1",)
+        )
+        bad = ServiceDescriptor(
+            onion="0000000000000000.onion", public_key="pk", intro_point_ids=("r1",)
+        )
+        assert good.verify()
+        assert not bad.verify()
+
+    def test_hsdir_requires_flag(self):
+        with pytest.raises(DescriptorError):
+            HiddenServiceDirectory(_relay(0, RelayFlag.FAST))
+
+    def test_publish_and_fetch(self):
+        directory = HiddenServiceDirectory(_relay(0, RelayFlag.HSDIR))
+        descriptor = ServiceDescriptor(
+            onion=onion_address("pk"), public_key="pk", intro_point_ids=("r1",)
+        )
+        directory.publish(descriptor)
+        assert directory.knows(descriptor.onion)
+        assert directory.fetch(descriptor.onion) == descriptor
+
+    def test_publish_rejects_bad_descriptor(self):
+        directory = HiddenServiceDirectory(_relay(0, RelayFlag.HSDIR))
+        bad = ServiceDescriptor(
+            onion="0000000000000000.onion", public_key="pk", intro_point_ids=()
+        )
+        with pytest.raises(DescriptorError):
+            directory.publish(bad)
+
+    def test_fetch_unknown(self):
+        directory = HiddenServiceDirectory(_relay(0, RelayFlag.HSDIR))
+        with pytest.raises(DescriptorError):
+            directory.fetch("whatever.onion")
+
+    def test_responsible_directories_deterministic(self):
+        directories = [
+            HiddenServiceDirectory(_relay(i, RelayFlag.HSDIR)) for i in range(6)
+        ]
+        first = responsible_directories("x.onion", directories)
+        second = responsible_directories("x.onion", directories)
+        assert [d.relay.relay_id for d in first] == [
+            d.relay.relay_id for d in second
+        ]
+        assert len(first) == 2
+
+    def test_no_directories(self):
+        with pytest.raises(DescriptorError):
+            responsible_directories("x.onion", [])
+
+    def test_consensus_lookup(self):
+        consensus = Consensus([_relay(0)])
+        assert consensus.relay("r0").nickname == "nick0"
+        with pytest.raises(DescriptorError):
+            consensus.relay("missing")
+
+
+class TestBuildNetwork:
+    def test_roles_guaranteed(self):
+        network = build_network(n_relays=8, seed=1)
+        assert network.consensus.relays_with(RelayFlag.GUARD)
+        assert network.consensus.relays_with(RelayFlag.EXIT)
+        assert network.hs_directories
+
+    def test_descriptor_publication_roundtrip(self):
+        network = build_network(seed=2)
+        descriptor = ServiceDescriptor(
+            onion=onion_address("key"), public_key="key", intro_point_ids=("relay-0001",)
+        )
+        replicas = network.publish_descriptor(descriptor)
+        assert replicas == 2
+        assert network.fetch_descriptor(descriptor.onion) == descriptor
+
+    def test_fetch_unknown_service(self):
+        network = build_network(seed=2)
+        with pytest.raises(DescriptorError):
+            network.fetch_descriptor("ffffffffffffffff.onion")
+
+    def test_relay_count(self):
+        network = build_network(n_relays=25, seed=3)
+        assert len(network.consensus) == 25

@@ -1,0 +1,68 @@
+"""The synthetic Table-I Twitter dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth.twitter import (
+    build_region_crowd,
+    build_twitter_dataset,
+    scaled_user_count,
+)
+from repro.timebase.zones import TABLE1_KEYS
+
+
+class TestScaledCounts:
+    def test_full_scale_matches_table1(self):
+        assert scaled_user_count("brazil", 1.0) == 3763
+
+    def test_small_regions_floored(self):
+        assert scaled_user_count("finland", 0.01) == 8
+
+    def test_scale_halves(self):
+        assert scaled_user_count("japan", 0.5) == pytest.approx(1872, abs=1)
+
+
+class TestBuildDataset:
+    def test_all_regions_present(self, context):
+        assert set(context.dataset.region_keys()) == set(TABLE1_KEYS)
+
+    def test_deterministic(self):
+        a = build_twitter_dataset(seed=5, scale=0.005, n_days=30, regions=("finland",))
+        b = build_twitter_dataset(seed=5, scale=0.005, n_days=30, regions=("finland",))
+        crowd_a, crowd_b = a.crowd("finland"), b.crowd("finland")
+        assert crowd_a.user_ids() == crowd_b.user_ids()
+        assert crowd_a.total_posts() == crowd_b.total_posts()
+
+    def test_seed_changes_data(self):
+        a = build_twitter_dataset(seed=5, scale=0.005, n_days=30, regions=("finland",))
+        b = build_twitter_dataset(seed=6, scale=0.005, n_days=30, regions=("finland",))
+        assert a.crowd("finland").total_posts() != b.crowd("finland").total_posts()
+
+    def test_bots_included(self):
+        dataset = build_twitter_dataset(
+            seed=5, scale=0.05, n_days=30, bot_fraction=0.5, regions=("finland",)
+        )
+        bots = [
+            user
+            for user in dataset.crowd("finland").user_ids()
+            if "bot" in user
+        ]
+        assert len(bots) >= 1
+
+    def test_no_bots_when_disabled(self):
+        dataset = build_twitter_dataset(
+            seed=5, scale=0.005, n_days=30, bot_fraction=0.0, regions=("finland",)
+        )
+        assert all("bot" not in user for user in dataset.crowd("finland").user_ids())
+
+
+class TestRegionCrowd:
+    def test_user_count(self):
+        crowd = build_region_crowd("turkey", 12, seed=3, n_days=60)
+        assert len(crowd) <= 12  # users with zero posts drop out
+
+    def test_respects_seed(self):
+        a = build_region_crowd("turkey", 6, seed=3, n_days=60)
+        b = build_region_crowd("turkey", 6, seed=3, n_days=60)
+        assert a.total_posts() == b.total_posts()

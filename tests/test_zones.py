@@ -1,0 +1,136 @@
+"""Time-zone and region registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ZoneError
+from repro.timebase.clock import CivilDate, civil_to_ordinal
+from repro.timebase.zones import (
+    TABLE1_KEYS,
+    Hemisphere,
+    TimeZone,
+    ZONE_OFFSETS,
+    all_zones,
+    get_region,
+    get_zone,
+    normalize_offset,
+    region_keys,
+)
+
+
+class TestNormalizeOffset:
+    @given(st.integers(-100, 100))
+    def test_range(self, offset):
+        assert -11 <= normalize_offset(offset) <= 12
+
+    @given(st.integers(-11, 12))
+    def test_identity_in_range(self, offset):
+        assert normalize_offset(offset) == offset
+
+    @given(st.integers(-100, 100))
+    def test_mod_24_equivalence(self, offset):
+        assert (normalize_offset(offset) - offset) % 24 == 0
+
+    def test_wrap_east(self):
+        assert normalize_offset(13) == -11
+
+    def test_wrap_west(self):
+        assert normalize_offset(-12) == 12
+
+
+class TestTimeZone:
+    def test_name_positive(self):
+        assert TimeZone(3).name == "UTC+3"
+
+    def test_name_negative(self):
+        assert TimeZone(-5).name == "UTC-5"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ZoneError):
+            TimeZone(13)
+
+    def test_all_zones_count_and_order(self):
+        zones = all_zones()
+        assert len(zones) == 24
+        assert zones[0].offset == -11
+        assert zones[-1].offset == 12
+
+    def test_get_zone_normalizes(self):
+        assert get_zone(14).offset == -10
+
+
+class TestRegionRegistry:
+    def test_table1_has_14_regions(self):
+        assert len(TABLE1_KEYS) == 14
+
+    def test_unknown_region(self):
+        with pytest.raises(ZoneError):
+            get_region("atlantis")
+
+    def test_lookup_case_insensitive(self):
+        assert get_region("Germany").name == "Germany"
+
+    def test_germany(self):
+        germany = get_region("germany")
+        assert germany.base_offset == 1
+        assert germany.hemisphere is Hemisphere.NORTHERN
+        assert germany.uses_dst
+        assert germany.twitter_active_users == 470
+
+    def test_malaysia_no_dst(self):
+        malaysia = get_region("malaysia")
+        assert malaysia.base_offset == 8
+        assert not malaysia.uses_dst
+
+    def test_brazil_southern(self):
+        brazil = get_region("brazil")
+        assert brazil.hemisphere is Hemisphere.SOUTHERN
+        assert brazil.base_offset == -3
+
+    def test_table1_counts_match_paper(self):
+        expected = {
+            "brazil": 3763,
+            "california": 2868,
+            "finland": 73,
+            "france": 2222,
+            "germany": 470,
+            "illinois": 794,
+            "italy": 734,
+            "japan": 3745,
+            "malaysia": 1714,
+            "new_south_wales": 151,
+            "new_york": 1417,
+            "poland": 375,
+            "turkey": 1019,
+            "united_kingdom": 3231,
+        }
+        for key, count in expected.items():
+            assert get_region(key).twitter_active_users == count
+
+    def test_effective_offset_summer_germany(self):
+        germany = get_region("germany")
+        july = civil_to_ordinal(CivilDate(2016, 7, 1))
+        january = civil_to_ordinal(CivilDate(2016, 1, 5))
+        assert germany.utc_offset_at(july) == 2
+        assert germany.utc_offset_at(january) == 1
+
+    def test_effective_offset_summer_brazil(self):
+        brazil = get_region("brazil")
+        july = civil_to_ordinal(CivilDate(2016, 7, 1))
+        december = civil_to_ordinal(CivilDate(2016, 12, 20))
+        assert brazil.utc_offset_at(july) == -3
+        assert brazil.utc_offset_at(december) == -2
+
+    def test_zone_property_normalized(self):
+        assert get_region("new_south_wales").zone.offset == 10
+
+    def test_extra_case_study_regions_exist(self):
+        for key in ("russia_moscow", "paraguay", "us_pacific", "caucasus"):
+            assert key in region_keys()
+
+    @pytest.mark.parametrize("key", TABLE1_KEYS)
+    def test_every_table1_offset_canonical(self, key):
+        region = get_region(key)
+        assert region.base_offset in ZONE_OFFSETS
