@@ -9,13 +9,19 @@ in the code the figure benches lean on.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
+from _shared import synthetic_crowd
+from repro.core.batch import ProfileMatrix
 from repro.core.emd import distance_matrix, emd_circular, emd_linear
 from repro.core.em import fit_mixture
 from repro.core.events import ActivityTrace
+from repro.core.flatness import polish_trace_set
 from repro.core.gaussian import GaussianComponent, mixture_pdf
+from repro.core.geolocate import CrowdGeolocator
 from repro.core.placement import PlacementDistribution
 from repro.core.profiles import Profile, build_user_profile
+from repro.core.reference import ReferenceProfiles
 from repro.timebase.zones import ZONE_OFFSETS
 
 
@@ -62,6 +68,28 @@ def test_em_fit_speed(benchmark):
     )
     model = benchmark(fit_mixture, placement, 2)
     assert model.k == 2
+
+
+@pytest.fixture(scope="module")
+def crowd_5k():
+    return synthetic_crowd(5_000, seed=11)
+
+
+def test_profile_matrix_build_speed(benchmark, crowd_5k):
+    matrix = benchmark(ProfileMatrix.from_trace_set, crowd_5k)
+    assert len(matrix) == 5_000
+
+
+def test_polish_trace_set_speed(benchmark, crowd_5k):
+    references = ReferenceProfiles.canonical()
+    result = benchmark(polish_trace_set, crowd_5k, references)
+    assert result.n_removed > 0
+
+
+def test_geolocate_end_to_end_speed(benchmark, crowd_5k):
+    locator = CrowdGeolocator()
+    report = benchmark(locator.geolocate, crowd_5k)
+    assert report.n_users > 4_000
 
 
 def test_tor_rpc_roundtrip_speed(benchmark):

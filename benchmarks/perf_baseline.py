@@ -1,0 +1,132 @@
+"""Record the batch-engine perf trajectory into ``BENCH_core.json``.
+
+Times the hot inference paths both ways -- the vectorised batch engine and
+the per-:class:`Profile` reference implementation it replaced -- on a
+synthetic 5k-user crowd, and dumps the numbers (plus a small smoke-sized
+set used by :mod:`perf_smoke`) to ``BENCH_core.json`` at the repo root so
+the speedups are tracked across PRs.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_baseline.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _shared import synthetic_crowd
+from repro._version import __version__
+from repro.core.batch import ProfileMatrix
+from repro.core.emd import distance_matrix
+from repro.core.flatness import polish_trace_set, polish_trace_set_reference
+from repro.core.geolocate import CrowdGeolocator
+from repro.core.placement import placement_distribution
+from repro.core.profiles import build_user_profile
+from repro.core.reference import ReferenceProfiles
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+#: Crowd size of the headline numbers (the ISSUE's acceptance criterion).
+FULL_USERS = 5_000
+#: Crowd size of the seconds-fast smoke set gated by perf_smoke.py.
+SMOKE_USERS = 1_000
+
+
+def _time(func, *args, repeat: int = 1, **kwargs) -> float:
+    """Best-of-*repeat* wall time of one call (seconds), after one warmup."""
+    func(*args, **kwargs)  # warm caches/allocator so first-call cost is excluded
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        func(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _timings(n_users: int, *, repeat: int) -> dict[str, dict[str, float]]:
+    crowd = synthetic_crowd(n_users, seed=11)
+    references = ReferenceProfiles.canonical()
+    locator = CrowdGeolocator()
+    results: dict[str, dict[str, float]] = {}
+
+    def record(name: str, fast_s: float, reference_s: float | None) -> None:
+        entry = {"fast_s": round(fast_s, 6)}
+        if reference_s is not None:
+            entry["reference_s"] = round(reference_s, 6)
+            entry["speedup"] = round(reference_s / fast_s, 2)
+        results[name] = entry
+
+    record(
+        "profile_build",
+        _time(ProfileMatrix.from_trace_set, crowd, repeat=repeat),
+        _time(
+            lambda: {t.user_id: build_user_profile(t) for t in crowd},
+            repeat=repeat,
+        ),
+    )
+
+    matrix = ProfileMatrix.from_trace_set(crowd)
+    record(
+        "distance_matrix",
+        _time(distance_matrix, matrix, references, repeat=repeat),
+        None,
+    )
+
+    record(
+        "polish_trace_set",
+        _time(polish_trace_set, crowd, references, repeat=repeat),
+        _time(polish_trace_set_reference, crowd, references, repeat=repeat),
+    )
+
+    record(
+        "geolocate",
+        _time(locator.geolocate, crowd, engine="batch", repeat=repeat),
+        _time(locator.geolocate, crowd, engine="reference", repeat=repeat),
+    )
+
+    assignments = list(
+        locator.geolocate(crowd, engine="batch").user_zones.values()
+    )
+    record(
+        "placement_distribution",
+        _time(placement_distribution, assignments, repeat=repeat),
+        None,
+    )
+    return results
+
+
+def run() -> dict:
+    payload = {
+        "meta": {
+            "version": __version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "full_users": FULL_USERS,
+            "smoke_users": SMOKE_USERS,
+        },
+        "full": _timings(FULL_USERS, repeat=1),
+        "smoke": _timings(SMOKE_USERS, repeat=3),
+    }
+    return payload
+
+
+def main() -> int:
+    payload = run()
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {BENCH_PATH}")
+    for name, entry in payload["full"].items():
+        speedup = entry.get("speedup")
+        suffix = f"  ({speedup:.1f}x vs reference)" if speedup else ""
+        print(f"  {name:24s} {entry['fast_s'] * 1e3:9.2f} ms{suffix}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""CI perf smoke test: fail loudly on >2x regression vs BENCH_core.json.
+
+Re-times the smoke-sized fast paths recorded by :mod:`perf_baseline` and
+exits non-zero when any of them runs more than :data:`TOLERANCE` times
+slower than the recorded baseline.  Completes in a few seconds, so it is
+suitable as a CI gate::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py            # check
+    PYTHONPATH=src python benchmarks/perf_baseline.py         # re-baseline
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from perf_baseline import BENCH_PATH, SMOKE_USERS, _timings
+
+#: Maximum tolerated slowdown factor vs the recorded smoke baseline.
+TOLERANCE = 2.0
+
+#: Absolute slack (seconds) so sub-millisecond entries are not failed on
+#: scheduler noise: a path only regresses when it is both TOLERANCE times
+#: and ABSOLUTE_SLACK_S slower than its baseline.
+ABSOLUTE_SLACK_S = 0.010
+
+
+def main() -> int:
+    if not BENCH_PATH.exists():
+        print(
+            f"perf_smoke: no baseline at {BENCH_PATH}; "
+            "run benchmarks/perf_baseline.py first",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    recorded = baseline.get("smoke", {})
+    if not recorded:
+        print("perf_smoke: baseline has no 'smoke' section", file=sys.stderr)
+        return 2
+
+    current = _timings(SMOKE_USERS, repeat=5)
+    failures = []
+    for name, entry in recorded.items():
+        now = current.get(name)
+        if now is None:
+            continue
+        ratio = now["fast_s"] / entry["fast_s"]
+        regressed = (
+            ratio > TOLERANCE
+            and now["fast_s"] > entry["fast_s"] + ABSOLUTE_SLACK_S
+        )
+        status = "FAIL" if regressed else "ok"
+        print(
+            f"  {name:24s} baseline {entry['fast_s'] * 1e3:8.2f} ms  "
+            f"now {now['fast_s'] * 1e3:8.2f} ms  ({ratio:.2f}x)  {status}"
+        )
+        if regressed:
+            failures.append((name, ratio))
+
+    if failures:
+        worst = ", ".join(f"{name} {ratio:.2f}x" for name, ratio in failures)
+        print(
+            f"perf_smoke: REGRESSION above {TOLERANCE:.1f}x tolerance: {worst}",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf_smoke: all hot paths within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,9 +36,11 @@ from repro.core import (
     PlacementDistribution,
     PostEvent,
     Profile,
+    ProfileMatrix,
     ReferenceProfiles,
     TraceSet,
     build_crowd_profile,
+    build_profile_matrix,
     build_user_profile,
     classify_hemisphere,
     emd_circular,
@@ -60,9 +62,11 @@ __all__ = [
     "PlacementDistribution",
     "PostEvent",
     "Profile",
+    "ProfileMatrix",
     "ReferenceProfiles",
     "TraceSet",
     "build_crowd_profile",
+    "build_profile_matrix",
     "build_user_profile",
     "classify_hemisphere",
     "emd_circular",

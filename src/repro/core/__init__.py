@@ -17,16 +17,29 @@ Pipeline (Secs. IV and V of the paper):
 from repro.core.events import ActivityTrace, PostEvent, TraceSet
 from repro.core.profiles import (
     Profile,
+    active_hour_counts,
     build_crowd_profile,
     build_user_profile,
     uniform_profile,
 )
-from repro.core.emd import emd_circular, emd_linear
+from repro.core.batch import ProfileMatrix, build_profile_matrix
+from repro.core.emd import distance_matrix, emd_circular, emd_linear
 from repro.core.reference import ReferenceProfiles, parametric_generic_profile
-from repro.core.placement import PlacementDistribution, place_trace_set, place_users
+from repro.core.placement import (
+    PlacementDistribution,
+    place_profile_matrix,
+    place_trace_set,
+    place_users,
+)
 from repro.core.gaussian import GaussianComponent, fit_gaussian, mixture_pdf
 from repro.core.em import GaussianMixtureModel, fit_mixture, select_mixture
-from repro.core.flatness import is_flat_profile, polish_trace_set
+from repro.core.flatness import (
+    flat_profile_mask,
+    is_flat_profile,
+    polish_profile_matrix,
+    polish_trace_set,
+    polish_trace_set_reference,
+)
 from repro.core.hemisphere import HemisphereVerdict, classify_hemisphere
 from repro.core.dst_family import DstFamily, classify_dst_family
 from repro.core.confidence import BootstrapResult, bootstrap_mixture
@@ -39,14 +52,19 @@ __all__ = [
     "PostEvent",
     "TraceSet",
     "Profile",
+    "ProfileMatrix",
+    "active_hour_counts",
     "build_crowd_profile",
+    "build_profile_matrix",
     "build_user_profile",
     "uniform_profile",
+    "distance_matrix",
     "emd_circular",
     "emd_linear",
     "ReferenceProfiles",
     "parametric_generic_profile",
     "PlacementDistribution",
+    "place_profile_matrix",
     "place_trace_set",
     "place_users",
     "GaussianComponent",
@@ -55,8 +73,11 @@ __all__ = [
     "GaussianMixtureModel",
     "fit_mixture",
     "select_mixture",
+    "flat_profile_mask",
     "is_flat_profile",
+    "polish_profile_matrix",
     "polish_trace_set",
+    "polish_trace_set_reference",
     "HemisphereVerdict",
     "classify_hemisphere",
     "DstFamily",

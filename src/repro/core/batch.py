@@ -1,0 +1,333 @@
+"""Vectorised batch-profile engine: Eq. 1 for whole crowds at once.
+
+The per-:class:`~repro.core.profiles.Profile` API is convenient but pays a
+Python-object toll per user, which dominates the pipeline on crowds of
+thousands to millions of users.  :class:`ProfileMatrix` stores an entire
+crowd as one contiguous ``(N, 24)`` row-stochastic array keyed by user id
+and is built in a single vectorised pass over *all* timestamps of a
+:class:`~repro.core.events.TraceSet`: every post is encoded into a flat
+``user * span + (day*24 + hour)`` cell, one ``np.unique`` drops the
+duplicate day-hours (the paper's indicator ``a_d(h)``), and one
+``np.bincount`` accumulates the per-hour counts for every user at once.
+
+For very large crowds the build can fan out over a
+``concurrent.futures.ProcessPoolExecutor`` (off by default, auto-enabled
+above :data:`PARALLEL_USER_THRESHOLD` users, silently falling back to the
+serial path when a pool cannot be spawned).
+
+Downstream, :func:`repro.core.emd.distance_matrix`,
+:func:`repro.core.flatness.polish_profile_matrix` and
+:func:`repro.core.placement.place_profile_matrix` consume the matrix
+directly, so the whole polish -> place -> crowd-profile pipeline touches
+NumPy arrays only.  The per-``Profile`` functions remain as the reference
+implementation the batch paths are property-tested against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.events import TraceSet
+from repro.core.profiles import HOURS, Profile
+from repro.errors import EmptyTraceError, ProfileError
+from repro.timebase.clock import split_day_hours
+
+#: Crowd size above which :meth:`ProfileMatrix.from_trace_set` spreads the
+#: build over a process pool when ``parallel`` is left unset.
+PARALLEL_USER_THRESHOLD = 50_000
+
+#: Users per worker chunk on the parallel path.
+PARALLEL_CHUNK_USERS = 8_192
+
+
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Unique values via an explicit sort + diff.
+
+    Equivalent to ``np.unique`` for 1-D int arrays but avoids its
+    hash-table machinery, which is an order of magnitude slower than a
+    plain sort for the hundreds of thousands of encoded cells a large
+    crowd produces.
+    """
+    if values.size == 0:
+        return values
+    ordered = np.sort(values)
+    keep = np.empty(ordered.shape, dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]
+
+
+def _flat_segment_counts(
+    stamps: np.ndarray, lengths: np.ndarray, offset_hours: float
+) -> np.ndarray:
+    """Counts kernel over a pre-concatenated timestamp array.
+
+    *stamps* holds every user's timestamps back to back; *lengths* gives
+    the per-user segment sizes.  Returns ``(len(lengths), 24)`` counts.
+    """
+    n_users = int(lengths.size)
+    if stamps.size == 0:
+        return np.zeros((n_users, HOURS), dtype=float)
+    user_index = np.repeat(np.arange(n_users, dtype=np.int64), lengths)
+    days, hours = split_day_hours(stamps, offset_hours)
+    cells = days * HOURS + hours
+    cell_min = int(cells.min())
+    span = int(cells.max()) - cell_min + 1
+    encoded = user_index * span + (cells - cell_min)
+    unique = _sorted_unique(encoded)
+    owners = unique // span
+    unique_hours = (unique % span + cell_min) % HOURS
+    flat = np.bincount(owners * HOURS + unique_hours, minlength=n_users * HOURS)
+    return flat.reshape(n_users, HOURS).astype(float)
+
+
+def segmented_hour_counts(
+    timestamp_arrays: list[np.ndarray], offset_hours: float = 0.0
+) -> np.ndarray:
+    """Eq. 1 numerators for many users in one flat pass.
+
+    *timestamp_arrays* is one array of UTC timestamps per user; the result
+    is an ``(N, 24)`` float array of unique active-cell counts per hour.
+    Users with no posts get an all-zero row (callers decide whether that is
+    an error).
+    """
+    n_users = len(timestamp_arrays)
+    if n_users == 0:
+        return np.zeros((0, HOURS), dtype=float)
+    lengths = np.fromiter(
+        (array.size for array in timestamp_arrays), dtype=np.int64, count=n_users
+    )
+    if int(lengths.sum()) == 0:
+        return np.zeros((n_users, HOURS), dtype=float)
+    stamps = np.concatenate(timestamp_arrays)
+    return _flat_segment_counts(stamps, lengths, offset_hours)
+
+
+def _parallel_chunk_counts(
+    payload: tuple[float, np.ndarray, np.ndarray]
+) -> np.ndarray:
+    """Process-pool worker: counts for one contiguous chunk of users.
+
+    The payload ships one concatenated stamp array plus per-user lengths --
+    two large picklable buffers -- rather than thousands of small arrays,
+    which keeps serialisation cost negligible next to the kernel itself.
+    """
+    offset_hours, stamps, lengths = payload
+    return _flat_segment_counts(stamps, lengths, offset_hours)
+
+
+def _counts_parallel(
+    timestamp_arrays: list[np.ndarray],
+    offset_hours: float,
+    max_workers: int | None,
+) -> np.ndarray:
+    import os
+    from concurrent.futures import ProcessPoolExecutor
+
+    n_users = len(timestamp_arrays)
+    lengths = np.fromiter(
+        (array.size for array in timestamp_arrays), dtype=np.int64, count=n_users
+    )
+    stamps = np.concatenate(timestamp_arrays)
+    starts = np.concatenate([[0], np.cumsum(lengths)])
+    if max_workers is None:
+        max_workers = min(8, os.cpu_count() or 1)
+    n_chunks = max(1, min(max_workers * 2, n_users // PARALLEL_CHUNK_USERS + 1))
+    bounds = np.linspace(0, n_users, n_chunks + 1).astype(np.int64)
+    payloads = [
+        (
+            offset_hours,
+            stamps[starts[lo] : starts[hi]],
+            lengths[lo:hi],
+        )
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        results = list(pool.map(_parallel_chunk_counts, payloads))
+    return np.vstack(results)
+
+
+class ProfileMatrix:
+    """A crowd's Eq. 1 profiles as one contiguous ``(N, 24)`` array.
+
+    Rows are normalised (each sums to one) and kept in user-id order of
+    construction, which mirrors :class:`TraceSet` iteration order so the
+    batch and per-``Profile`` pipelines visit users identically.
+    """
+
+    __slots__ = ("_user_ids", "_index", "_matrix", "_cumulative")
+
+    def __init__(self, user_ids: Iterable[str], matrix: np.ndarray) -> None:
+        self._user_ids = tuple(user_ids)
+        values = np.ascontiguousarray(matrix, dtype=float)
+        if values.ndim != 2 or values.shape[1] != HOURS:
+            raise ProfileError(
+                f"profile matrix must be (N, {HOURS}), got {values.shape}"
+            )
+        if values.shape[0] != len(self._user_ids):
+            raise ProfileError(
+                f"{len(self._user_ids)} user ids for {values.shape[0]} rows"
+            )
+        if np.any(values < -1e-12):
+            raise ProfileError("profile matrix has negative mass")
+        totals = values.sum(axis=1, keepdims=True)
+        if np.any(totals <= 0.0):
+            empty = [
+                self._user_ids[i] for i in np.flatnonzero(totals[:, 0] <= 0.0)[:3]
+            ]
+            raise EmptyTraceError(f"users with no activity: {empty}")
+        self._matrix = np.clip(values, 0.0, None) / totals
+        self._index = {user_id: i for i, user_id in enumerate(self._user_ids)}
+        if len(self._index) != len(self._user_ids):
+            raise ProfileError("duplicate user ids in profile matrix")
+        self._cumulative: np.ndarray | None = None
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_trace_set(
+        cls,
+        traces: TraceSet,
+        offset_hours: float = 0.0,
+        *,
+        skip_empty: bool = True,
+        parallel: bool | None = None,
+        max_workers: int | None = None,
+    ) -> "ProfileMatrix":
+        """One-pass vectorised Eq. 1 over a whole crowd.
+
+        *parallel* ``None`` auto-enables the process-pool path above
+        :data:`PARALLEL_USER_THRESHOLD` users; ``True``/``False`` force it.
+        The pool path falls back to the serial build whenever a pool cannot
+        be spawned (restricted environments, pickling limits).
+        """
+        ids: list[str] = []
+        arrays: list[np.ndarray] = []
+        for trace in traces:
+            if trace.is_empty():
+                if skip_empty:
+                    continue
+                raise EmptyTraceError(f"user {trace.user_id!r} has no posts")
+            ids.append(trace.user_id)
+            arrays.append(trace.timestamps)
+        if parallel is None:
+            parallel = len(ids) >= PARALLEL_USER_THRESHOLD
+        counts: np.ndarray | None = None
+        if parallel and len(ids) > 1:
+            try:
+                counts = _counts_parallel(arrays, offset_hours, max_workers)
+            except Exception:
+                counts = None  # pool unavailable: fall back to the serial pass
+        if counts is None:
+            counts = segmented_hour_counts(arrays, offset_hours)
+        return cls(ids, counts)
+
+    @classmethod
+    def from_profiles(
+        cls, profiles: Mapping[str, Profile] | Iterable[tuple[str, Profile]]
+    ) -> "ProfileMatrix":
+        """Wrap already-built per-user profiles (no recomputation)."""
+        items = profiles.items() if isinstance(profiles, Mapping) else profiles
+        ids, rows = [], []
+        for user_id, profile in items:
+            ids.append(user_id)
+            rows.append(profile.mass)
+        if not ids:
+            return cls.empty()
+        return cls(ids, np.vstack(rows))
+
+    @classmethod
+    def from_counts(
+        cls, user_ids: Iterable[str], counts: np.ndarray
+    ) -> "ProfileMatrix":
+        """Build from raw per-hour count rows (e.g. streaming accumulators)."""
+        return cls(user_ids, counts)
+
+    @classmethod
+    def empty(cls) -> "ProfileMatrix":
+        return cls((), np.zeros((0, HOURS), dtype=float))
+
+    # -- container protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._user_ids)
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._index
+
+    def __repr__(self) -> str:
+        return f"ProfileMatrix(n_users={len(self)})"
+
+    @property
+    def user_ids(self) -> tuple[str, ...]:
+        return self._user_ids
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The normalised ``(N, 24)`` array (read-only view)."""
+        view = self._matrix.view()
+        view.flags.writeable = False
+        return view
+
+    def cumulative(self) -> np.ndarray:
+        """Row-wise cumulative sums (the EMD CDFs), computed once and cached."""
+        if self._cumulative is None:
+            self._cumulative = np.cumsum(self._matrix, axis=1)
+            self._cumulative.flags.writeable = False
+        return self._cumulative
+
+    def index_of(self, user_id: str) -> int:
+        try:
+            return self._index[user_id]
+        except KeyError:
+            raise EmptyTraceError(f"no profile for user {user_id!r}") from None
+
+    def row(self, user_id: str) -> np.ndarray:
+        view = self._matrix[self.index_of(user_id)].view()
+        view.flags.writeable = False
+        return view
+
+    def profile(self, user_id: str) -> Profile:
+        return Profile(self._matrix[self.index_of(user_id)])
+
+    def profiles(self) -> dict[str, Profile]:
+        """Materialise per-user :class:`Profile` objects (reference API)."""
+        return {
+            user_id: Profile(row)
+            for user_id, row in zip(self._user_ids, self._matrix)
+        }
+
+    # -- subsetting and aggregation --------------------------------------
+
+    def select(self, mask: np.ndarray) -> "ProfileMatrix":
+        """Rows where the boolean *mask* is true, order preserved."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise ProfileError(f"mask shape {mask.shape} != ({len(self)},)")
+        ids = [user_id for user_id, keep in zip(self._user_ids, mask) if keep]
+        return ProfileMatrix(ids, self._matrix[mask])
+
+    def without_users(self, user_ids: Iterable[str]) -> "ProfileMatrix":
+        excluded = set(user_ids)
+        keep = np.fromiter(
+            (user_id not in excluded for user_id in self._user_ids),
+            dtype=bool,
+            count=len(self),
+        )
+        return self.select(keep)
+
+    def crowd_profile(self) -> Profile:
+        """Eq. 2: the normalised aggregate of the rows."""
+        if len(self) == 0:
+            raise EmptyTraceError("cannot build a crowd profile from zero users")
+        return Profile(self._matrix.sum(axis=0))
+
+
+def build_profile_matrix(
+    traces: TraceSet, offset_hours: float = 0.0, **kwargs
+) -> ProfileMatrix:
+    """Convenience alias for :meth:`ProfileMatrix.from_trace_set`."""
+    return ProfileMatrix.from_trace_set(traces, offset_hours, **kwargs)

@@ -17,7 +17,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.profiles import Profile
+from repro.core.profiles import HOURS, Profile
+
+#: Row-block size for the pairwise (P, Q, 24) broadcasts: bounds peak memory
+#: to ~blocksize*Q*24 floats so million-user crowds stream through.
+_BLOCK_ROWS = 8192
 
 
 def _as_mass(dist: "Profile | np.ndarray") -> np.ndarray:
@@ -66,30 +70,84 @@ ALL_DISTANCES = {
 }
 
 
+def as_profile_matrix(profiles) -> np.ndarray:
+    """Coerce any profile collection to a normalised ``(N, 24)`` array.
+
+    Accepts a list of :class:`Profile`, a raw array (rows are normalised),
+    a :class:`repro.core.batch.ProfileMatrix` (``.matrix`` attribute) or a
+    :class:`repro.core.reference.ReferenceProfiles` (``.stacked()``).
+    """
+    if isinstance(profiles, np.ndarray):
+        values = np.asarray(profiles, dtype=float)
+        if values.ndim == 1:
+            values = values[None, :]
+        if values.ndim != 2 or values.shape[1] != HOURS:
+            raise ValueError(f"expected (N, {HOURS}) profiles, got {values.shape}")
+        totals = values.sum(axis=1, keepdims=True)
+        if np.any(totals <= 0):
+            raise ValueError("distribution has zero mass")
+        return values / totals
+    matrix = getattr(profiles, "matrix", None)
+    if isinstance(matrix, np.ndarray):
+        return matrix
+    stacked = getattr(profiles, "stacked", None)
+    if callable(stacked):
+        return stacked()
+    rows = [_as_mass(profile) for profile in profiles]
+    if not rows:
+        return np.zeros((0, HOURS), dtype=float)
+    return np.vstack(rows)
+
+
+def _cumulative_of(profiles, stack: np.ndarray) -> np.ndarray:
+    """Cumulative sums of a profile collection, reusing caches when offered.
+
+    ``ProfileMatrix`` and ``ReferenceProfiles`` both precompute their CDFs
+    (``.cumulative()``); anything else is cumsum-ed on the spot.
+    """
+    cumulative = getattr(profiles, "cumulative", None)
+    if callable(cumulative):
+        return cumulative()
+    return np.cumsum(stack, axis=1)
+
+
 def distance_matrix(
-    profiles: list[Profile],
-    references: list[Profile],
+    profiles,
+    references,
     metric: str = "linear",
 ) -> np.ndarray:
     """Pairwise distances, shape (len(profiles), len(references)).
 
-    Vectorised implementations of the two EMD variants; used by the
-    placement step which compares every user to all 24 zone references.
+    Fully vectorised for all four metrics; *profiles* and *references* may
+    each be a list of :class:`Profile`, an ``(N, 24)`` array, a
+    ``ProfileMatrix`` or ``ReferenceProfiles`` (whose cached CDFs are
+    reused for the EMD variants).  Rows are processed in blocks of
+    :data:`_BLOCK_ROWS` so memory stays bounded for very large crowds.
     """
-    p_stack = np.vstack([profile.mass for profile in profiles])
-    q_stack = np.vstack([reference.mass for reference in references])
-    # cumulative differences for every (p, q) pair: shape (P, Q, 24)
-    p_cum = np.cumsum(p_stack, axis=1)[:, None, :]
-    q_cum = np.cumsum(q_stack, axis=1)[None, :, :]
-    cumdiff = p_cum - q_cum
-    if metric == "linear":
-        return np.abs(cumdiff).sum(axis=2)
-    if metric == "circular":
-        med = np.median(cumdiff, axis=2, keepdims=True)
-        return np.abs(cumdiff - med).sum(axis=2)
-    if metric in ALL_DISTANCES:
-        func = ALL_DISTANCES[metric]
-        return np.array(
-            [[func(p, q) for q in references] for p in profiles], dtype=float
+    if metric not in ALL_DISTANCES:
+        raise ValueError(
+            f"unknown metric {metric!r}; options: {sorted(ALL_DISTANCES)}"
         )
-    raise ValueError(f"unknown metric {metric!r}; options: {sorted(ALL_DISTANCES)}")
+    p_stack = as_profile_matrix(profiles)
+    q_stack = as_profile_matrix(references)
+    n_p, n_q = p_stack.shape[0], q_stack.shape[0]
+    out = np.empty((n_p, n_q), dtype=float)
+    if metric in ("linear", "circular"):
+        p_left = _cumulative_of(profiles, p_stack)
+        q_right = _cumulative_of(references, q_stack)[None, :, :]
+    else:
+        p_left = p_stack
+        q_right = q_stack[None, :, :]
+    for start in range(0, n_p, _BLOCK_ROWS):
+        stop = min(start + _BLOCK_ROWS, n_p)
+        block = p_left[start:stop, None, :] - q_right
+        if metric == "linear":
+            out[start:stop] = np.abs(block).sum(axis=2)
+        elif metric == "circular":
+            median = np.median(block, axis=2, keepdims=True)
+            out[start:stop] = np.abs(block - median).sum(axis=2)
+        elif metric == "l1":
+            out[start:stop] = np.abs(block).sum(axis=2)
+        else:  # l2
+            out[start:stop] = np.sqrt(np.square(block).sum(axis=2))
+    return out

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import EmptyTraceError
-from repro.timebase.clock import day_ordinal, hour_of_day
+from repro.timebase.clock import day_ordinal, hour_of_day, split_day_hours
 
 
 @dataclass(frozen=True, order=True)
@@ -106,9 +106,7 @@ class ActivityTrace:
 
         This is the support of the paper's indicator ``a_d(h)`` (Eq. 1).
         """
-        shifted = self._timestamps + offset_hours * 3600.0
-        days = (shifted // 86400.0).astype(int)
-        hours = ((shifted % 86400.0) // 3600.0).astype(int)
+        days, hours = split_day_hours(self._timestamps, offset_hours)
         return set(zip(days.tolist(), hours.tolist()))
 
 

@@ -4,15 +4,33 @@ The paper removes users "whose profiles, according to the EMD, result
 being closer to an artificial profile created by us where every value is
 of 1/24 ... than to a timezone profile", noting these are typically bots
 (rarely shift workers), and applies the procedure iteratively.
+
+Two implementations live here.  The fast path
+(:func:`polish_trace_set` / :func:`polish_profile_matrix`) builds the
+crowd's :class:`~repro.core.batch.ProfileMatrix` once, performs one
+:func:`~repro.core.emd.distance_matrix` call per iteration against
+``[uniform] + references`` and drops flat users with a boolean mask --
+survivors' profiles are reused across iterations, never recomputed.  The
+per-:class:`Profile` path (:func:`is_flat_profile`,
+:func:`polish_trace_set_reference`) is the reference implementation the
+fast path is property-tested against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.emd import ALL_DISTANCES
+import numpy as np
+
+from repro.core.batch import ProfileMatrix
+from repro.core.emd import ALL_DISTANCES, as_profile_matrix, distance_matrix
 from repro.core.events import TraceSet
-from repro.core.profiles import Profile, build_user_profile, uniform_profile
+from repro.core.profiles import (
+    HOURS,
+    Profile,
+    build_user_profile,
+    uniform_profile,
+)
 from repro.core.reference import ReferenceProfiles
 
 
@@ -30,6 +48,28 @@ def is_flat_profile(
     return to_uniform < to_best_zone
 
 
+def flat_profile_mask(
+    profiles,
+    references,
+    metric: str = "linear",
+) -> np.ndarray:
+    """Vectorised :func:`is_flat_profile` over a whole crowd.
+
+    One distance-matrix call against ``[uniform] + references`` yields the
+    per-user boolean "closer to uniform than to every zone" in a single
+    pass.  *profiles* may be a :class:`ProfileMatrix`, array or Profile
+    list; *references* likewise (typically :class:`ReferenceProfiles`).
+    """
+    reference_stack = as_profile_matrix(references)
+    combined = np.vstack(
+        [np.full((1, HOURS), 1.0 / HOURS), reference_stack]
+    )
+    distances = distance_matrix(profiles, combined, metric=metric)
+    if distances.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    return distances[:, 0] < distances[:, 1:].min(axis=1)
+
+
 @dataclass(frozen=True)
 class PolishResult:
     """Outcome of the iterative polishing pass."""
@@ -43,6 +83,42 @@ class PolishResult:
         return len(self.removed_user_ids)
 
 
+def polish_profile_matrix(
+    matrix: ProfileMatrix,
+    references: ReferenceProfiles | None = None,
+    *,
+    metric: str = "linear",
+    max_iterations: int = 10,
+) -> tuple[ProfileMatrix, tuple[str, ...], int]:
+    """Iterative flat-user removal on an already-built profile matrix.
+
+    Returns ``(survivors, removed_user_ids, iterations)``.  When
+    *references* is None the zone references are rebuilt each round from
+    the surviving crowd itself; survivor profiles are always reused, only
+    the (24, 24) reference stack is ever recomputed.
+    """
+    survivors = matrix
+    removed: list[str] = []
+    rebuild = references is None
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        if len(survivors) == 0:
+            break
+        if rebuild:
+            references = ReferenceProfiles(survivors.crowd_profile())
+        assert references is not None
+        mask = flat_profile_mask(survivors, references, metric=metric)
+        if not mask.any():
+            break
+        removed.extend(
+            user_id for user_id, flat in zip(survivors.user_ids, mask) if flat
+        )
+        survivors = survivors.select(~mask)
+
+    return survivors, tuple(removed), iterations
+
+
 def polish_trace_set(
     traces: TraceSet,
     references: ReferenceProfiles | None = None,
@@ -51,13 +127,41 @@ def polish_trace_set(
     min_posts: int = 30,
     max_iterations: int = 10,
 ) -> PolishResult:
-    """The paper's full dataset-polishing pipeline.
+    """The paper's full dataset-polishing pipeline (batch fast path).
 
     1. Drop non-active users (fewer than *min_posts* posts, Sec. IV).
     2. Iteratively remove flat-profile users.  When *references* is None
        the zone references are rebuilt each round from the surviving crowd
        itself (the paper polishes "the generic timezone profiles" this
        way); passing fixed references skips the rebuilding.
+    """
+    survivors = traces.with_min_posts(min_posts)
+    matrix = ProfileMatrix.from_trace_set(survivors)
+    _, removed, iterations = polish_profile_matrix(
+        matrix, references, metric=metric, max_iterations=max_iterations
+    )
+    polished = survivors.without_users(removed) if removed else survivors
+    return PolishResult(
+        polished=polished,
+        removed_user_ids=removed,
+        iterations=iterations,
+    )
+
+
+def polish_trace_set_reference(
+    traces: TraceSet,
+    references: ReferenceProfiles | None = None,
+    *,
+    metric: str = "linear",
+    min_posts: int = 30,
+    max_iterations: int = 10,
+) -> PolishResult:
+    """Per-:class:`Profile` polishing loop (pre-batch reference path).
+
+    Rebuilds every surviving user's profile from its trace on every
+    iteration and evaluates scalar EMDs pair by pair; kept as the oracle
+    the vectorised :func:`polish_trace_set` is tested and benchmarked
+    against.
     """
     survivors = traces.with_min_posts(min_posts)
     removed: list[str] = []

@@ -19,14 +19,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.batch import ProfileMatrix
 from repro.core.em import GaussianMixtureModel, select_mixture
 from repro.core.events import TraceSet
-from repro.core.flatness import PolishResult, polish_trace_set
+from repro.core.flatness import (
+    PolishResult,
+    polish_profile_matrix,
+    polish_trace_set,
+    polish_trace_set_reference,
+)
 from repro.core.gaussian import PAPER_SIGMA
 from repro.core.hemisphere import HemisphereResult, classify_most_active
 from repro.core.metrics import FitDistanceMetrics, fit_distance_metrics, pearson
 from repro.core.placement import (
     PlacementDistribution,
+    place_profile_matrix,
     place_users,
     placement_distribution,
 )
@@ -115,13 +122,10 @@ class CrowdGeolocator:
 
     def place(self, traces: TraceSet) -> tuple[dict[str, int], PlacementDistribution]:
         """Per-user zone assignments and the aggregate placement."""
-        profiles = {
-            trace.user_id: build_user_profile(trace) for trace in traces
-        }
-        if not profiles:
+        matrix = ProfileMatrix.from_trace_set(traces, skip_empty=False)
+        if len(matrix) == 0:
             raise EmptyTraceError("no users left to place")
-        assignments = place_users(profiles, self.references, metric=self.metric)
-        return assignments, placement_distribution(assignments.values())
+        return place_profile_matrix(matrix, self.references, metric=self.metric)
 
     def geolocate(
         self,
@@ -130,10 +134,92 @@ class CrowdGeolocator:
         crowd_name: str = "crowd",
         polish: bool = True,
         hemisphere_top_n: int = 0,
+        engine: str = "batch",
     ) -> GeolocationReport:
-        """Run the full pipeline on an anonymous crowd's traces."""
+        """Run the full pipeline on an anonymous crowd's traces.
+
+        *engine* selects the implementation: ``"batch"`` (default) builds
+        the crowd's :class:`ProfileMatrix` exactly once and shares it
+        across the polish, placement, crowd-profile and Pearson stages;
+        ``"reference"`` runs the original per-:class:`Profile` pipeline
+        (used as the correctness oracle and the benchmark baseline).
+        """
+        if engine == "reference":
+            return self._geolocate_reference(
+                traces,
+                crowd_name=crowd_name,
+                polish=polish,
+                hemisphere_top_n=hemisphere_top_n,
+            )
+        if engine != "batch":
+            raise ValueError(f"unknown engine {engine!r}; options: batch, reference")
+
+        active = traces.with_min_posts(self.min_posts)
+        matrix = ProfileMatrix.from_trace_set(active)
         if polish:
-            polish_result = self.polish(traces)
+            matrix, removed_ids, _ = polish_profile_matrix(
+                matrix, self.references, metric=self.metric
+            )
+            crowd = active.without_users(removed_ids) if removed_ids else active
+            n_removed = len(removed_ids)
+        else:
+            crowd = active
+            n_removed = 0
+        if len(matrix) == 0:
+            raise EmptyTraceError(
+                f"{crowd_name}: no active users after polishing "
+                f"(threshold {self.min_posts} posts)"
+            )
+
+        assignments, placement = place_profile_matrix(
+            matrix, self.references, metric=self.metric
+        )
+        mixture = select_mixture(
+            placement,
+            max_components=self.max_components,
+            sigma_init=self.sigma_init,
+            min_weight=self.min_component_weight,
+            criterion=self.criterion,
+        )
+        crowd_profile = matrix.crowd_profile()
+        hemisphere = (
+            tuple(classify_most_active(crowd, hemisphere_top_n, metric=self.metric))
+            if hemisphere_top_n > 0
+            else ()
+        )
+        return GeolocationReport(
+            crowd_name=crowd_name,
+            n_users=len(crowd),
+            n_posts=crowd.total_posts(),
+            n_removed_flat=n_removed,
+            crowd_profile=crowd_profile,
+            pearson_vs_generic=pearson(
+                crowd_profile,
+                self.references.for_zone(placement.mode_offset()),
+            ),
+            placement=placement,
+            mixture=mixture,
+            fit_metrics=fit_distance_metrics(placement, mixture.components),
+            user_zones=assignments,
+            hemisphere=hemisphere,
+        )
+
+    def _geolocate_reference(
+        self,
+        traces: TraceSet,
+        *,
+        crowd_name: str = "crowd",
+        polish: bool = True,
+        hemisphere_top_n: int = 0,
+    ) -> GeolocationReport:
+        """The pre-batch per-``Profile`` pipeline, preserved verbatim."""
+        if polish:
+            polish_result = polish_trace_set_reference(
+                traces,
+                self.references,
+                metric=self.metric,
+                min_posts=self.min_posts,
+            )
             crowd = polish_result.polished
             n_removed = polish_result.n_removed
         else:
@@ -145,7 +231,11 @@ class CrowdGeolocator:
                 f"(threshold {self.min_posts} posts)"
             )
 
-        assignments, placement = self.place(crowd)
+        profiles = {
+            trace.user_id: build_user_profile(trace) for trace in crowd
+        }
+        assignments = place_users(profiles, self.references, metric=self.metric)
+        placement = placement_distribution(assignments.values())
         mixture = select_mixture(
             placement,
             max_components=self.max_components,

@@ -14,9 +14,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import ProfileMatrix
 from repro.core.emd import distance_matrix
 from repro.core.events import TraceSet
-from repro.core.profiles import Profile, build_user_profile
+from repro.core.profiles import Profile
 from repro.core.reference import ReferenceProfiles
 from repro.errors import EmptyTraceError
 from repro.timebase.zones import ZONE_OFFSETS, normalize_offset
@@ -64,8 +65,18 @@ class PlacementDistribution:
         return [(ZONE_OFFSETS[i], self.fractions[i]) for i in order]
 
 
+def _nearest_zone_indices(
+    profiles, references: ReferenceProfiles, metric: str
+) -> np.ndarray:
+    """Index (0..23, in ZONE_OFFSETS order) of each profile's nearest zone."""
+    matrix = distance_matrix(profiles, references, metric=metric)
+    # argmin takes the first minimum: ties resolve to the smaller offset,
+    # matching ReferenceProfiles.nearest_zone.
+    return np.argmin(matrix, axis=1)
+
+
 def place_users(
-    profiles: Mapping[str, Profile],
+    profiles: "Mapping[str, Profile] | ProfileMatrix",
     references: ReferenceProfiles,
     metric: str = "linear",
 ) -> dict[str, int]:
@@ -73,17 +84,18 @@ def place_users(
 
     Returns a mapping user id -> zone offset.  Ties (rare with real-valued
     distances) resolve to the smaller offset, matching
-    :meth:`ReferenceProfiles.nearest_zone`.
+    :meth:`ReferenceProfiles.nearest_zone`.  *profiles* may be a plain
+    mapping of :class:`Profile` or a whole :class:`ProfileMatrix`.
     """
-    if not profiles:
+    if isinstance(profiles, ProfileMatrix):
+        user_ids: list[str] | tuple[str, ...] = profiles.user_ids
+        stack = profiles
+    else:
+        user_ids = list(profiles)
+        stack = [profiles[user_id] for user_id in user_ids]
+    if not user_ids:
         return {}
-    user_ids = list(profiles)
-    matrix = distance_matrix(
-        [profiles[user_id] for user_id in user_ids],
-        references.as_list(),
-        metric=metric,
-    )
-    nearest = np.argmin(matrix, axis=1)
+    nearest = _nearest_zone_indices(stack, references, metric)
     return {
         user_id: ZONE_OFFSETS[int(index)]
         for user_id, index in zip(user_ids, nearest)
@@ -92,14 +104,44 @@ def place_users(
 
 def placement_distribution(assignments: Iterable[int]) -> PlacementDistribution:
     """Aggregate per-user zone assignments into a placement distribution."""
-    offsets = [normalize_offset(offset) for offset in assignments]
-    if not offsets:
+    offsets = np.fromiter(
+        (int(offset) for offset in assignments), dtype=np.int64
+    )
+    if offsets.size == 0:
         raise EmptyTraceError("cannot build a placement from zero users")
-    counts = np.zeros(len(ZONE_OFFSETS), dtype=float)
-    for offset in offsets:
-        counts[ZONE_OFFSETS.index(offset)] += 1.0
+    # normalize_offset(o) == ((o + 11) % 24) - 11, and ZONE_OFFSETS.index of
+    # a normalised offset is offset + 11 -- so one bincount does both.
+    counts = np.bincount(
+        (offsets + 11) % 24, minlength=len(ZONE_OFFSETS)
+    ).astype(float)
     fractions = counts / counts.sum()
-    return PlacementDistribution(tuple(fractions.tolist()), n_users=len(offsets))
+    return PlacementDistribution(
+        tuple(fractions.tolist()), n_users=int(offsets.size)
+    )
+
+
+def place_profile_matrix(
+    matrix: ProfileMatrix,
+    references: ReferenceProfiles,
+    metric: str = "linear",
+) -> tuple[dict[str, int], PlacementDistribution]:
+    """Batch placement: per-user assignments plus the aggregate, one pass.
+
+    The placement histogram is bincounted straight from the argmin indices,
+    so the crowd is placed with exactly one distance-matrix evaluation.
+    """
+    if len(matrix) == 0:
+        raise EmptyTraceError("cannot build a placement from zero users")
+    nearest = _nearest_zone_indices(matrix, references, metric)
+    assignments = {
+        user_id: ZONE_OFFSETS[int(index)]
+        for user_id, index in zip(matrix.user_ids, nearest)
+    }
+    counts = np.bincount(nearest, minlength=len(ZONE_OFFSETS)).astype(float)
+    distribution = PlacementDistribution(
+        tuple((counts / counts.sum()).tolist()), n_users=len(matrix)
+    )
+    return assignments, distribution
 
 
 def place_trace_set(
@@ -113,10 +155,8 @@ def place_trace_set(
     pipeline (polishing, fitting, reporting) lives in
     :class:`repro.core.geolocate.CrowdGeolocator`.
     """
-    profiles = {
-        trace.user_id: build_user_profile(trace)
-        for trace in traces
-        if not trace.is_empty()
-    }
-    assignments = place_users(profiles, references, metric=metric)
-    return placement_distribution(assignments.values())
+    matrix = ProfileMatrix.from_trace_set(traces)
+    if len(matrix) == 0:
+        raise EmptyTraceError("cannot build a placement from zero users")
+    _, distribution = place_profile_matrix(matrix, references, metric=metric)
+    return distribution

@@ -22,8 +22,29 @@ import numpy as np
 
 from repro.core.events import ActivityTrace
 from repro.errors import EmptyTraceError, ProfileError
+from repro.timebase.clock import split_day_hours
 
 HOURS = 24
+
+
+def active_hour_counts(timestamps: "Iterable[float] | np.ndarray") -> np.ndarray:
+    """Eq. 1 numerator, vectorised: per-hour counts of unique (day, hour) cells.
+
+    Posting ten times within the same hour of the same day contributes one
+    unit, exactly as :meth:`ActivityTrace.active_day_hours` — but computed
+    with a single ``np.unique`` over encoded ``day*24 + hour`` cells instead
+    of a Python set.  Shared by the per-user builders below and the batch
+    engine in :mod:`repro.core.batch`.
+    """
+    days, hours = split_day_hours(timestamps)
+    if days.size == 0:
+        return np.zeros(HOURS, dtype=float)
+    cells = days * HOURS + hours
+    ordered = np.sort(cells)
+    keep = np.empty(ordered.shape, dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return np.bincount(ordered[keep] % HOURS, minlength=HOURS).astype(float)
 
 
 class Profile:
@@ -114,10 +135,8 @@ def build_user_profile(trace: ActivityTrace, offset_hours: float = 0.0) -> Profi
     """
     if trace.is_empty():
         raise EmptyTraceError(f"user {trace.user_id!r} has no posts")
-    counts = np.zeros(HOURS, dtype=float)
-    for _day, hour in trace.active_day_hours(offset_hours):
-        counts[hour] += 1.0
-    return Profile(counts)
+    shifted = trace.timestamps + offset_hours * 3600.0
+    return Profile(active_hour_counts(shifted))
 
 
 def build_user_profile_civil(trace: ActivityTrace, region) -> Profile:
@@ -131,18 +150,15 @@ def build_user_profile_civil(trace: ActivityTrace, region) -> Profile:
     """
     if trace.is_empty():
         raise EmptyTraceError(f"user {trace.user_id!r} has no posts")
-    counts = np.zeros(HOURS, dtype=float)
-    seen: set[tuple[int, int]] = set()
-    for timestamp in trace.timestamps:
-        utc_day = int(timestamp // 86400.0)
-        offset = region.utc_offset_at(utc_day)
-        shifted = timestamp + offset * 3600.0
-        cell = (int(shifted // 86400.0), int((shifted % 86400.0) // 3600.0))
-        if cell in seen:
-            continue
-        seen.add(cell)
-        counts[cell[1]] += 1.0
-    return Profile(counts)
+    stamps = trace.timestamps
+    utc_days = np.floor_divide(stamps, 86400.0).astype(np.int64)
+    # The offset only changes at (rare) DST transitions, so look it up once
+    # per distinct UTC day and broadcast back over the posts.
+    unique_days, inverse = np.unique(utc_days, return_inverse=True)
+    offsets = np.array(
+        [region.utc_offset_at(int(day)) for day in unique_days], dtype=float
+    )
+    return Profile(active_hour_counts(stamps + offsets[inverse] * 3600.0))
 
 
 def build_crowd_profile(profiles: Iterable[Profile]) -> Profile:

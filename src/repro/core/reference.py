@@ -29,7 +29,7 @@ from collections.abc import Mapping
 
 import numpy as np
 
-from repro.core.emd import ALL_DISTANCES
+from repro.core.emd import ALL_DISTANCES, distance_matrix
 from repro.core.profiles import HOURS, Profile, build_crowd_profile
 from repro.errors import ProfileError
 from repro.timebase.zones import ZONE_OFFSETS, normalize_offset
@@ -96,6 +96,12 @@ class ReferenceProfiles:
         self._by_offset = {
             offset: generic.shifted(-offset) for offset in ZONE_OFFSETS
         }
+        # Lazily-built caches: the (24, 24) stacked reference matrix and its
+        # row-wise cumulative sums (the EMD CDFs).  References are immutable
+        # after construction, so every distance_matrix call can reuse them
+        # instead of re-stacking and re-cumsum-ing the same 24 rows.
+        self._stacked: np.ndarray | None = None
+        self._cumulative: np.ndarray | None = None
 
     @classmethod
     def canonical(cls) -> "ReferenceProfiles":
@@ -135,14 +141,27 @@ class ReferenceProfiles:
         """References in plotting order (UTC-11 .. UTC+12)."""
         return [self._by_offset[offset] for offset in ZONE_OFFSETS]
 
+    def stacked(self) -> np.ndarray:
+        """The 24 references as a (24, 24) array in plotting order (cached)."""
+        if self._stacked is None:
+            self._stacked = np.vstack(
+                [self._by_offset[offset].mass for offset in ZONE_OFFSETS]
+            )
+            self._stacked.flags.writeable = False
+        return self._stacked
+
+    def cumulative(self) -> np.ndarray:
+        """Row-wise cumulative sums of :meth:`stacked` (cached EMD CDFs)."""
+        if self._cumulative is None:
+            self._cumulative = np.cumsum(self.stacked(), axis=1)
+            self._cumulative.flags.writeable = False
+        return self._cumulative
+
     def nearest_zone(self, profile: Profile, metric: str = "linear") -> int:
         """Offset of the zone whose reference is closest to *profile*."""
-        distance = ALL_DISTANCES[metric]
-        best_offset = min(
-            ZONE_OFFSETS,
-            key=lambda offset: distance(profile, self._by_offset[offset]),
-        )
-        return best_offset
+        row = distance_matrix([profile], self, metric=metric)[0]
+        # argmin takes the first minimum, i.e. the smallest offset on ties.
+        return ZONE_OFFSETS[int(np.argmin(row))]
 
     def distance_to_zone(
         self, profile: Profile, offset: int, metric: str = "linear"

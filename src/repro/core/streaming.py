@@ -21,11 +21,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import ProfileMatrix
 from repro.core.em import GaussianMixtureModel, select_mixture
 from repro.core.events import PostEvent
-from repro.core.flatness import is_flat_profile
+from repro.core.flatness import flat_profile_mask
 from repro.core.gaussian import PAPER_SIGMA
-from repro.core.placement import place_users, placement_distribution
+from repro.core.placement import place_profile_matrix
 from repro.core.profiles import HOURS, Profile
 from repro.core.reference import ReferenceProfiles
 from repro.errors import EmptyTraceError
@@ -50,14 +51,20 @@ class StreamSnapshot:
 
 
 class _UserState:
-    """Incremental Eq. 1 accumulator for one user."""
+    """Incremental Eq. 1 accumulator for one user.
 
-    __slots__ = ("cells", "counts", "n_posts")
+    The normalised profile row is cached and invalidated only when a new
+    active cell appears, so snapshots reuse the row of every user whose
+    activity pattern did not change since the previous snapshot.
+    """
+
+    __slots__ = ("cells", "counts", "n_posts", "_mass")
 
     def __init__(self) -> None:
         self.cells: set[tuple[int, int]] = set()
         self.counts = np.zeros(HOURS, dtype=float)
         self.n_posts = 0
+        self._mass: np.ndarray | None = None
 
     def add(self, timestamp: float) -> None:
         self.n_posts += 1
@@ -66,6 +73,15 @@ class _UserState:
         if (day, hour) not in self.cells:
             self.cells.add((day, hour))
             self.counts[hour] += 1.0
+            self._mass = None
+
+    def mass(self) -> np.ndarray:
+        """Cached normalised 24-vector of the accumulated cells."""
+        if self._mass is None:
+            if not self.cells:
+                raise EmptyTraceError("no activity accumulated")
+            self._mass = self.counts / self.counts.sum()
+        return self._mass
 
     def profile(self) -> Profile:
         if not self.cells:
@@ -114,30 +130,43 @@ class StreamingGeolocator:
     def n_users(self) -> int:
         return len(self._users)
 
-    def active_profiles(self) -> dict[str, Profile]:
-        """Profiles of users past the activity threshold, bots filtered."""
-        profiles = {}
+    def _active_matrix(self) -> ProfileMatrix:
+        """One matrix of all threshold-passing, non-flat users.
+
+        Rows come straight from the per-user cached masses (no profile is
+        rebuilt unless the user posted into a new cell since the last
+        snapshot); the flat-profile filter is one vectorised distance call.
+        """
+        ids = []
+        rows = []
         for user_id, state in self._users.items():
             if state.n_posts < self.min_posts:
                 continue
-            profile = state.profile()
-            if is_flat_profile(profile, self.references, metric=self.metric):
-                continue
-            profiles[user_id] = profile
-        return profiles
+            ids.append(user_id)
+            rows.append(state.mass())
+        if not ids:
+            return ProfileMatrix.empty()
+        matrix = ProfileMatrix(ids, np.vstack(rows))
+        flat = flat_profile_mask(matrix, self.references, metric=self.metric)
+        return matrix.select(~flat)
+
+    def active_profiles(self) -> dict[str, Profile]:
+        """Profiles of users past the activity threshold, bots filtered."""
+        return self._active_matrix().profiles()
 
     def snapshot(self) -> StreamSnapshot:
         """The current verdict (or None while under-evidenced)."""
-        profiles = self.active_profiles()
-        if len(profiles) < self.min_users_for_verdict:
+        matrix = self._active_matrix()
+        if len(matrix) < self.min_users_for_verdict:
             return StreamSnapshot(
                 n_events_seen=self._n_events,
                 n_users_seen=len(self._users),
-                n_users_active=len(profiles),
+                n_users_active=len(matrix),
                 mixture=None,
             )
-        assignments = place_users(profiles, self.references, metric=self.metric)
-        placement = placement_distribution(assignments.values())
+        _, placement = place_profile_matrix(
+            matrix, self.references, metric=self.metric
+        )
         mixture = select_mixture(
             placement,
             max_components=self.max_components,
@@ -146,6 +175,6 @@ class StreamingGeolocator:
         return StreamSnapshot(
             n_events_seen=self._n_events,
             n_users_seen=len(self._users),
-            n_users_active=len(profiles),
+            n_users_active=len(matrix),
             mixture=mixture,
         )

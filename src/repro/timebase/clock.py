@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import CalendarError
 
 #: Calendar year in which the simulation epoch (timestamp 0.0) falls.
@@ -148,6 +150,24 @@ def hour_of_day(timestamp: float, offset_hours: float = 0.0) -> int:
     """
     shifted = timestamp + offset_hours * SECONDS_PER_HOUR
     return int((shifted % SECONDS_PER_DAY) // SECONDS_PER_HOUR)
+
+
+def split_day_hours(timestamps, offset_hours: float = 0.0):
+    """Vectorised :func:`day_ordinal` / :func:`hour_of_day` over an array.
+
+    Returns ``(days, hours)`` int64 arrays; the element-wise results match
+    the scalar functions.  This is the shared kernel of every Eq. 1
+    profile builder (per-trace and batch).
+    """
+    stamps = np.asarray(timestamps, dtype=float)
+    shifted = stamps + offset_hours * SECONDS_PER_HOUR
+    days = np.floor_divide(shifted, SECONDS_PER_DAY).astype(np.int64)
+    seconds = np.mod(shifted, SECONDS_PER_DAY)
+    hours = np.floor_divide(seconds, SECONDS_PER_HOUR).astype(np.int64)
+    # Guard the float artifact where a tiny negative remainder rounds the
+    # modulo up to exactly SECONDS_PER_DAY, yielding hour 24.
+    np.clip(hours, 0, HOURS_PER_DAY - 1, out=hours)
+    return days, hours
 
 
 def nth_weekday_of_month(year: int, month: int, target_weekday: int, n: int) -> int:

@@ -1,0 +1,378 @@
+"""Property tests: the batch fast paths equal the per-Profile reference paths.
+
+Every vectorised path added by the batch engine (one-pass Eq. 1 profiles,
+matrix distances for all four metrics, mask-based polishing, bincount
+placement, the shared-matrix geolocator, streaming snapshots) is checked
+here against the naive per-user implementation it replaced, including
+empty-trace, single-user and tie-breaking edge cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import ProfileMatrix, segmented_hour_counts
+from repro.core.emd import ALL_DISTANCES, as_profile_matrix, distance_matrix
+from repro.core.events import ActivityTrace, TraceSet
+from repro.core.flatness import (
+    flat_profile_mask,
+    is_flat_profile,
+    polish_trace_set,
+    polish_trace_set_reference,
+)
+from repro.core.geolocate import CrowdGeolocator
+from repro.core.placement import (
+    PlacementDistribution,
+    place_profile_matrix,
+    place_trace_set,
+    place_users,
+    placement_distribution,
+)
+from repro.core.profiles import (
+    HOURS,
+    Profile,
+    active_hour_counts,
+    build_crowd_profile,
+    build_user_profile,
+    build_user_profile_civil,
+)
+from repro.core.reference import ReferenceProfiles
+from repro.core.streaming import StreamingGeolocator
+from repro.errors import EmptyTraceError
+from repro.timebase.zones import ZONE_OFFSETS, get_region, normalize_offset
+
+SECONDS_90_DAYS = 90 * 86400.0
+
+timestamps_strategy = st.lists(
+    st.floats(0.0, SECONDS_90_DAYS, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+trace_set_strategy = st.lists(timestamps_strategy, min_size=0, max_size=8).map(
+    lambda lists: TraceSet(
+        ActivityTrace(f"u{i:03d}", stamps) for i, stamps in enumerate(lists)
+    )
+)
+
+mass_strategy = st.lists(
+    st.floats(0.01, 5.0, allow_nan=False), min_size=HOURS, max_size=HOURS
+)
+
+
+def _diurnal_trace(user_id, zone, rng, n_days=30, posts_per_day=4):
+    """A plausibly diurnal user resident in UTC+zone (evening-heavy)."""
+    hours = rng.choice([18, 19, 20, 21, 22], size=n_days * posts_per_day)
+    days = rng.integers(0, n_days, size=n_days * posts_per_day)
+    stamps = days * 86400.0 + (hours - zone) * 3600.0 + rng.uniform(
+        0, 3600.0, size=hours.size
+    )
+    return ActivityTrace(user_id, np.abs(stamps))
+
+
+def _uniform_trace(user_id, rng, n_days=30):
+    """A bot: one post in every hour of every day (perfectly flat)."""
+    days = np.repeat(np.arange(n_days), HOURS)
+    hours = np.tile(np.arange(HOURS), n_days)
+    return ActivityTrace(user_id, days * 86400.0 + hours * 3600.0 + 30.0)
+
+
+def _mixed_crowd(seed=0, n_diurnal=12, n_flat=4):
+    rng = np.random.default_rng(seed)
+    traces = [
+        _diurnal_trace(f"d{i:02d}", int(rng.integers(-11, 13)), rng)
+        for i in range(n_diurnal)
+    ]
+    traces += [_uniform_trace(f"flat{i:02d}", rng) for i in range(n_flat)]
+    return TraceSet(traces)
+
+
+class TestProfileEquivalence:
+    @given(trace_set_strategy, st.floats(-12.0, 12.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_rows_equal_reference_profiles(self, traces, offset):
+        matrix = ProfileMatrix.from_trace_set(traces, offset_hours=offset)
+        assert matrix.user_ids == tuple(
+            trace.user_id for trace in traces if not trace.is_empty()
+        )
+        for trace in traces:
+            if trace.is_empty():
+                continue
+            expected = build_user_profile(trace, offset_hours=offset).mass
+            np.testing.assert_allclose(
+                matrix.row(trace.user_id), expected, atol=1e-12
+            )
+
+    @given(trace_set_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_segmented_counts_equal_per_trace_counts(self, traces):
+        arrays = [trace.timestamps for trace in traces]
+        segmented = segmented_hour_counts(arrays)
+        for i, trace in enumerate(traces):
+            np.testing.assert_array_equal(
+                segmented[i], active_hour_counts(trace.timestamps)
+            )
+
+    @given(timestamps_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_active_hour_counts_match_cell_set(self, stamps):
+        trace = ActivityTrace("u", stamps)
+        counts = np.zeros(HOURS)
+        for _day, hour in trace.active_day_hours():
+            counts[hour] += 1.0
+        np.testing.assert_array_equal(active_hour_counts(trace.timestamps), counts)
+
+    def test_empty_trace_set(self):
+        matrix = ProfileMatrix.from_trace_set(TraceSet())
+        assert len(matrix) == 0
+        assert matrix.matrix.shape == (0, HOURS)
+        with pytest.raises(EmptyTraceError):
+            matrix.crowd_profile()
+
+    def test_single_user(self):
+        traces = TraceSet([ActivityTrace("solo", [100.0, 7200.0, 7300.0])])
+        matrix = ProfileMatrix.from_trace_set(traces)
+        assert len(matrix) == 1
+        assert matrix.profile("solo") == build_user_profile(traces["solo"])
+
+    def test_empty_traces_skipped_or_raise(self):
+        traces = TraceSet([ActivityTrace("a", [100.0]), ActivityTrace("b", [])])
+        matrix = ProfileMatrix.from_trace_set(traces)
+        assert matrix.user_ids == ("a",)
+        with pytest.raises(EmptyTraceError):
+            ProfileMatrix.from_trace_set(traces, skip_empty=False)
+
+    def test_parallel_path_equals_serial(self):
+        crowd = _mixed_crowd(seed=3)
+        serial = ProfileMatrix.from_trace_set(crowd, parallel=False)
+        forced = ProfileMatrix.from_trace_set(crowd, parallel=True, max_workers=2)
+        assert serial.user_ids == forced.user_ids
+        np.testing.assert_allclose(serial.matrix, forced.matrix)
+
+    def test_crowd_profile_matches_reference(self):
+        crowd = _mixed_crowd(seed=4)
+        matrix = ProfileMatrix.from_trace_set(crowd)
+        expected = build_crowd_profile(
+            build_user_profile(trace) for trace in crowd
+        )
+        np.testing.assert_allclose(
+            matrix.crowd_profile().mass, expected.mass, atol=1e-12
+        )
+
+
+class TestCivilProfile:
+    @given(
+        st.sampled_from(["germany", "brazil", "new_south_wales", "japan"]),
+        st.lists(
+            st.floats(0.0, 360 * 86400.0, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_vectorised_equals_naive_loop(self, region_key, stamps):
+        region = get_region(region_key)
+        trace = ActivityTrace("u", stamps)
+        # The pre-vectorisation implementation, kept verbatim as the oracle.
+        counts = np.zeros(HOURS, dtype=float)
+        seen: set[tuple[int, int]] = set()
+        for timestamp in trace.timestamps:
+            utc_day = int(timestamp // 86400.0)
+            offset = region.utc_offset_at(utc_day)
+            shifted = timestamp + offset * 3600.0
+            cell = (int(shifted // 86400.0), int((shifted % 86400.0) // 3600.0))
+            if cell in seen:
+                continue
+            seen.add(cell)
+            counts[cell[1]] += 1.0
+        expected = Profile(counts)
+        assert build_user_profile_civil(trace, region) == expected
+
+
+class TestDistanceMatrix:
+    @given(
+        st.lists(mass_strategy, min_size=1, max_size=6),
+        st.lists(mass_strategy, min_size=1, max_size=6),
+        st.sampled_from(sorted(ALL_DISTANCES)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_equals_scalar_loop(self, p_masses, q_masses, metric):
+        profiles = [Profile(m) for m in p_masses]
+        references = [Profile(m) for m in q_masses]
+        matrix = distance_matrix(profiles, references, metric=metric)
+        scalar = ALL_DISTANCES[metric]
+        expected = np.array(
+            [[scalar(p, q) for q in references] for p in profiles]
+        )
+        np.testing.assert_allclose(matrix, expected, atol=1e-9)
+
+    def test_reference_profiles_cached_cumsum_used(self):
+        references = ReferenceProfiles.canonical()
+        fresh = np.cumsum(
+            np.vstack([r.mass for r in references.as_list()]), axis=1
+        )
+        np.testing.assert_allclose(references.cumulative(), fresh)
+        profiles = [Profile(np.arange(1.0, 25.0))]
+        via_object = distance_matrix(profiles, references)
+        via_list = distance_matrix(profiles, references.as_list())
+        np.testing.assert_allclose(via_object, via_list, atol=1e-12)
+
+    def test_profile_matrix_input(self):
+        crowd = _mixed_crowd(seed=5)
+        matrix = ProfileMatrix.from_trace_set(crowd)
+        references = ReferenceProfiles.canonical()
+        via_matrix = distance_matrix(matrix, references)
+        via_lists = distance_matrix(
+            [matrix.profile(u) for u in matrix.user_ids], references.as_list()
+        )
+        np.testing.assert_allclose(via_matrix, via_lists, atol=1e-9)
+
+    def test_empty_profiles(self):
+        references = ReferenceProfiles.canonical()
+        out = distance_matrix(np.zeros((0, HOURS)) + 1.0, references)
+        assert out.shape == (0, len(ZONE_OFFSETS))
+
+    def test_as_profile_matrix_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            as_profile_matrix(np.zeros((2, HOURS)))
+
+
+class TestFlatnessEquivalence:
+    @given(st.lists(mass_strategy, min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_mask_equals_scalar(self, masses):
+        profiles = [Profile(m) for m in masses]
+        references = ReferenceProfiles.canonical()
+        mask = flat_profile_mask(
+            np.vstack([p.mass for p in profiles]), references
+        )
+        expected = [is_flat_profile(p, references) for p in profiles]
+        assert mask.tolist() == expected
+
+    @pytest.mark.parametrize("fixed_references", [True, False])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_polish_survivors_match_reference(self, fixed_references, seed):
+        crowd = _mixed_crowd(seed=seed)
+        references = ReferenceProfiles.canonical() if fixed_references else None
+        fast = polish_trace_set(crowd, references, min_posts=10)
+        slow = polish_trace_set_reference(crowd, references, min_posts=10)
+        assert fast.removed_user_ids == slow.removed_user_ids
+        assert fast.iterations == slow.iterations
+        assert fast.polished.user_ids() == slow.polished.user_ids()
+        assert all(u.startswith("flat") for u in fast.removed_user_ids)
+
+    def test_polish_empty_crowd(self):
+        fast = polish_trace_set(TraceSet(), None)
+        slow = polish_trace_set_reference(TraceSet(), None)
+        assert fast.removed_user_ids == slow.removed_user_ids == ()
+        assert fast.iterations == slow.iterations == 1
+
+
+class TestPlacementEquivalence:
+    @given(st.lists(st.integers(-40, 40), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_bincount_distribution_matches_loop(self, assignments):
+        fast = placement_distribution(assignments)
+        offsets = [normalize_offset(o) for o in assignments]
+        counts = np.zeros(len(ZONE_OFFSETS), dtype=float)
+        for offset in offsets:
+            counts[ZONE_OFFSETS.index(offset)] += 1.0
+        expected = PlacementDistribution(
+            tuple((counts / counts.sum()).tolist()), n_users=len(offsets)
+        )
+        assert fast.n_users == expected.n_users
+        np.testing.assert_allclose(fast.as_array(), expected.as_array())
+
+    def test_placement_distribution_empty(self):
+        with pytest.raises(EmptyTraceError):
+            placement_distribution([])
+
+    def test_matrix_placement_matches_dict_path(self):
+        crowd = _mixed_crowd(seed=6)
+        references = ReferenceProfiles.canonical()
+        matrix = ProfileMatrix.from_trace_set(crowd)
+        assignments, distribution = place_profile_matrix(matrix, references)
+        dict_assignments = place_users(
+            {u: matrix.profile(u) for u in matrix.user_ids}, references
+        )
+        assert assignments == dict_assignments
+        np.testing.assert_allclose(
+            distribution.as_array(),
+            placement_distribution(assignments.values()).as_array(),
+        )
+        assert place_trace_set(crowd, references).as_array() == pytest.approx(
+            distribution.as_array()
+        )
+
+    def test_tie_breaking_resolves_to_smaller_offset(self):
+        # A 12-hour-periodic generic profile makes references for offsets o
+        # and o+/-12 identical, so every user ties across two zones; both
+        # paths must agree on the smaller offset, like nearest_zone does.
+        periodic = Profile(np.tile([1.0, 2.0, 4.0, 2.0, 1.0, 0.5, 0.25, 0.5,
+                                    1.0, 2.0, 4.0, 2.0], 2))
+        references = ReferenceProfiles(periodic)
+        user = periodic.shifted(-5)  # resident of UTC+5, ties with UTC-7
+        assert references.nearest_zone(user) == -7
+        assignments = place_users({"u": user}, references)
+        assert assignments["u"] == -7
+        matrix = ProfileMatrix.from_profiles({"u": user})
+        batch_assignments, _ = place_profile_matrix(matrix, references)
+        assert batch_assignments["u"] == -7
+
+
+class TestPipelineEquivalence:
+    @pytest.mark.parametrize("polish", [True, False])
+    def test_geolocate_engines_agree(self, polish):
+        crowd = _mixed_crowd(seed=7, n_diurnal=20, n_flat=5)
+        locator = CrowdGeolocator(min_posts=10)
+        fast = locator.geolocate(
+            crowd, crowd_name="c", polish=polish, engine="batch"
+        )
+        slow = locator.geolocate(
+            crowd, crowd_name="c", polish=polish, engine="reference"
+        )
+        assert fast.n_users == slow.n_users
+        assert fast.n_posts == slow.n_posts
+        assert fast.n_removed_flat == slow.n_removed_flat
+        assert fast.user_zones == slow.user_zones
+        np.testing.assert_allclose(
+            fast.placement.as_array(), slow.placement.as_array()
+        )
+        np.testing.assert_allclose(
+            fast.crowd_profile.mass, slow.crowd_profile.mass, atol=1e-12
+        )
+        assert fast.pearson_vs_generic == pytest.approx(slow.pearson_vs_generic)
+
+    def test_geolocate_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            CrowdGeolocator().geolocate(_mixed_crowd(), engine="warp")
+
+
+class TestStreamingEquivalence:
+    def test_snapshot_matches_batch_pipeline(self):
+        crowd = _mixed_crowd(seed=8, n_diurnal=15, n_flat=3)
+        stream = StreamingGeolocator(min_posts=10, min_users_for_verdict=5)
+        for trace in crowd:
+            for stamp in trace.timestamps:
+                stream.observe(trace.user_id, float(stamp))
+        profiles = stream.active_profiles()
+        # Oracle: per-user threshold + scalar flat filter.
+        references = stream.references
+        expected = {}
+        for trace in crowd:
+            if len(trace) < 10:
+                continue
+            profile = build_user_profile(trace)
+            if is_flat_profile(profile, references):
+                continue
+            expected[trace.user_id] = profile
+        assert set(profiles) == set(expected)
+        for user_id, profile in expected.items():
+            np.testing.assert_allclose(
+                profiles[user_id].mass, profile.mass, atol=1e-12
+            )
+        snapshot = stream.snapshot()
+        assert snapshot.has_verdict()
+        assert snapshot.n_users_active == len(expected)
