@@ -34,7 +34,7 @@ from repro.timebase.clock import SECONDS_PER_DAY
 from repro.timebase.zones import get_region
 
 
-def _populated_forum(spec_key: str, seed: int, scale: float, n_days: int, **kwargs):
+def populated_forum(spec_key: str, seed: int, scale: float, n_days: int, **kwargs):
     spec = FORUM_SPECS[spec_key]
     crowd = build_forum_crowd(spec, seed=seed, scale=scale, n_days=n_days)
     forum = ForumServer(
@@ -82,7 +82,7 @@ def run_monitor_experiment(
     up to one poll interval.
     """
     context = context or make_context()
-    crowd, forum = _populated_forum(forum_key, seed, scale, context.n_days)
+    crowd, forum = populated_forum(forum_key, seed, scale, context.n_days)
     end_time = float((context.n_days + 1) * SECONDS_PER_DAY)
 
     scraped = ForumScraper(forum).scrape(end_time)
@@ -163,7 +163,7 @@ def run_delay_experiment(
 
     rows = []
     for jitter in jitter_hours:
-        _, forum = _populated_forum(
+        _, forum = populated_forum(
             forum_key,
             seed,
             scale,

@@ -10,6 +10,9 @@ Examples::
     darkcrowd ablations
     darkcrowd countermeasures    # Sec. VII studies
     darkcrowd sweeps             # crowd-size / activity sensitivity
+    darkcrowd monitor --fault-rate 0.2 --checkpoint campaign.json
+    darkcrowd monitor --resume campaign.json
+    darkcrowd geolocate traces.jsonl --quarantine
     darkcrowd all --fast
 """
 
@@ -17,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis.ablations import (
     run_metric_ablation,
@@ -43,6 +47,13 @@ from repro.analysis.experiments import (
     run_table2,
 )
 from repro.analysis.report import ascii_bars, ascii_table
+from repro.core.geolocate import CrowdGeolocator
+from repro.datasets.traces import load_trace_set, load_trace_set_resilient
+from repro.errors import EmptyTraceError
+from repro.forum.monitor import ForumMonitor
+from repro.reliability import FaultSpec, FlakyForumProxy, ManualClock, RetryPolicy
+from repro.synth.forums import FORUM_SPECS
+from repro.timebase.clock import SECONDS_PER_DAY
 
 _FIG_FORUMS = {
     8: "crd_club",
@@ -303,6 +314,75 @@ def _cmd_sweeps(context, args) -> None:
     )
 
 
+def _cmd_monitor(context, args) -> None:
+    """Resilient monitoring campaign with optional faults and checkpoints."""
+    from repro.analysis.countermeasures import populated_forum
+
+    _, forum = populated_forum(
+        args.forum, seed=7, scale=args.forum_scale, n_days=context.n_days
+    )
+    if args.fault_rate > 0.0:
+        forum = FlakyForumProxy(
+            forum, FaultSpec(failure_rate=args.fault_rate, seed=args.seed)
+        )
+    policy = (
+        RetryPolicy(max_attempts=6, base_delay=1.0, seed=args.seed)
+        if args.fault_rate > 0.0
+        else None
+    )
+    clock = ManualClock()  # backoff sleeps are simulated, not slept
+    if args.resume:
+        monitor = ForumMonitor.from_checkpoint(
+            forum, args.resume, retry_policy=policy, clock=clock
+        )
+        checkpoint_path = args.checkpoint or args.resume
+    else:
+        monitor = ForumMonitor(forum, retry_policy=policy, clock=clock)
+        checkpoint_path = args.checkpoint
+    days = args.days if args.days is not None else context.n_days + 1
+    result = monitor.run_campaign(
+        start=0.0,
+        end=days * SECONDS_PER_DAY,
+        poll_interval=args.poll_hours * 3600.0,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=args.checkpoint_every,
+    )
+    print(result.summary())
+    if checkpoint_path:
+        print(f"checkpoint saved to {checkpoint_path}")
+    try:
+        report = CrowdGeolocator(context.references).geolocate(
+            result.traces, crowd_name=result.forum_name
+        )
+    except EmptyTraceError:
+        print("too few active users to geolocate (campaign too short?)")
+        return
+    _print_placement(f"{result.forum_name} placement (monitored)", report.placement)
+    print(report.summary())
+
+
+def _cmd_geolocate(context, args) -> None:
+    """Geolocate a JSONL trace set, optionally quarantining corrupt data."""
+    if args.quarantine:
+        traces, load_report = load_trace_set_resilient(args.traces)
+        if not load_report.is_clean():
+            print(f"load: {load_report.summary()}")
+            for entry in load_report.quarantined:
+                print(f"  rejected {entry.user_id}: {entry.reason}")
+    else:
+        traces = load_trace_set(args.traces)
+    report = CrowdGeolocator(context.references).geolocate(
+        traces,
+        crowd_name=Path(args.traces).stem,
+        quarantine=args.quarantine,
+    )
+    _print_placement(f"{report.crowd_name} placement", report.placement)
+    print(report.summary())
+    if report.data_quality is not None and not report.data_quality.is_clean():
+        for entry in report.data_quality.quarantined:
+            print(f"  quarantined {entry.user_id}: {entry.reason}")
+
+
 def _cmd_all(context, args) -> None:
     _cmd_table1(context, args)
     print()
@@ -361,6 +441,49 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("ablations", help="design-choice ablations")
     sub.add_parser("countermeasures", help="Sec. VII countermeasure studies")
     sub.add_parser("sweeps", help="crowd-size / activity sensitivity sweeps")
+    monitor = sub.add_parser(
+        "monitor",
+        help="resilient monitoring campaign (retries, faults, checkpoints)",
+    )
+    monitor.add_argument(
+        "--forum", default="idc", choices=sorted(FORUM_SPECS), help="forum to monitor"
+    )
+    monitor.add_argument(
+        "--poll-hours", type=float, default=1.0, help="polling interval in hours"
+    )
+    monitor.add_argument(
+        "--days", type=float, default=None, help="campaign length in days"
+    )
+    monitor.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="injected transient-failure probability per forum call",
+    )
+    monitor.add_argument(
+        "--checkpoint", default=None, metavar="PATH", help="checkpoint file to write"
+    )
+    monitor.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=24,
+        help="successful polls between checkpoint writes",
+    )
+    monitor.add_argument(
+        "--resume",
+        default=None,
+        metavar="CHECKPOINT",
+        help="resume the campaign from this checkpoint file",
+    )
+    geolocate = sub.add_parser(
+        "geolocate", help="geolocate a JSONL trace set (see datasets.save_trace_set)"
+    )
+    geolocate.add_argument("traces", help="path to a JSONL trace-set file")
+    geolocate.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="set corrupt traces aside and report them instead of failing",
+    )
     sub.add_parser("all", help="everything")
     return parser
 
@@ -373,6 +496,8 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "countermeasures": _cmd_countermeasures,
     "sweeps": _cmd_sweeps,
+    "monitor": _cmd_monitor,
+    "geolocate": _cmd_geolocate,
     "all": _cmd_all,
 }
 

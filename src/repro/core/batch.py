@@ -12,8 +12,9 @@ duplicate day-hours (the paper's indicator ``a_d(h)``), and one
 
 For very large crowds the build can fan out over a
 ``concurrent.futures.ProcessPoolExecutor`` (off by default, auto-enabled
-above :data:`PARALLEL_USER_THRESHOLD` users, silently falling back to the
-serial path when a pool cannot be spawned).
+above :data:`PARALLEL_USER_THRESHOLD` users, falling back to the serial
+path with a ``RuntimeWarning`` when the pool cannot be spawned or breaks
+mid-build).
 
 Downstream, :func:`repro.core.emd.distance_matrix`,
 :func:`repro.core.flatness.polish_profile_matrix` and
@@ -25,6 +26,7 @@ implementation the batch paths are property-tested against.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable, Mapping
 
 import numpy as np
@@ -201,8 +203,10 @@ class ProfileMatrix:
 
         *parallel* ``None`` auto-enables the process-pool path above
         :data:`PARALLEL_USER_THRESHOLD` users; ``True``/``False`` force it.
-        The pool path falls back to the serial build whenever a pool cannot
-        be spawned (restricted environments, pickling limits).
+        The pool path falls back to the serial build, with a
+        ``RuntimeWarning``, whenever the pool cannot be spawned or breaks
+        mid-build (restricted environments, pickling limits, killed
+        workers).
         """
         ids: list[str] = []
         arrays: list[np.ndarray] = []
@@ -219,8 +223,17 @@ class ProfileMatrix:
         if parallel and len(ids) > 1:
             try:
                 counts = _counts_parallel(arrays, offset_hours, max_workers)
-            except Exception:
-                counts = None  # pool unavailable: fall back to the serial pass
+            except Exception as exc:
+                # A crashed worker (BrokenProcessPool), a pool that cannot
+                # be spawned, or a pickling limit must degrade to the
+                # serial pass, not lose the build -- but never silently.
+                warnings.warn(
+                    f"parallel profile build failed ({type(exc).__name__}: "
+                    f"{exc}); falling back to the serial pass",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                counts = None
         if counts is None:
             counts = segmented_hour_counts(arrays, offset_hours)
         return cls(ids, counts)

@@ -17,7 +17,7 @@ everything the paper reports per forum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.batch import ProfileMatrix
 from repro.core.em import GaussianMixtureModel, select_mixture
@@ -40,6 +40,11 @@ from repro.core.placement import (
 from repro.core.profiles import Profile, build_crowd_profile, build_user_profile
 from repro.core.reference import ReferenceProfiles
 from repro.errors import EmptyTraceError
+from repro.reliability.quality import (
+    DataQualityReport,
+    assert_traces_clean,
+    partition_trace_set,
+)
 
 
 @dataclass(frozen=True)
@@ -57,6 +62,10 @@ class GeolocationReport:
     fit_metrics: FitDistanceMetrics
     user_zones: dict[str, int] = field(repr=False, default_factory=dict)
     hemisphere: tuple[HemisphereResult, ...] = ()
+    #: Populated by ``geolocate(..., quarantine=True)``: which users were
+    #: set aside as corrupt and what fraction of the crowd the verdict
+    #: actually rests on.  ``None`` on the strict (non-quarantine) path.
+    data_quality: DataQualityReport | None = field(repr=False, default=None)
 
     def zone_offsets(self) -> list[int]:
         """Component zones, largest crowd share first."""
@@ -71,13 +80,16 @@ class GeolocationReport:
                 sorted(self.mixture.components, key=lambda c: -c.weight),
             )
         )
-        return (
+        verdict = (
             f"{self.crowd_name}: {self.n_users} users / {self.n_posts} posts "
             f"-> {self.mixture.k} component(s): {zones}; "
             f"fit avg {self.fit_metrics.average:.3f} "
             f"std {self.fit_metrics.standard_deviation:.3f}; "
             f"Pearson vs generic {self.pearson_vs_generic:.2f}"
         )
+        if self.data_quality is not None and not self.data_quality.is_clean():
+            verdict += f" [{self.data_quality.summary()}]"
+        return verdict
 
 
 class CrowdGeolocator:
@@ -135,6 +147,7 @@ class CrowdGeolocator:
         polish: bool = True,
         hemisphere_top_n: int = 0,
         engine: str = "batch",
+        quarantine: bool = False,
     ) -> GeolocationReport:
         """Run the full pipeline on an anonymous crowd's traces.
 
@@ -143,14 +156,29 @@ class CrowdGeolocator:
         across the polish, placement, crowd-profile and Pearson stages;
         ``"reference"`` runs the original per-:class:`Profile` pipeline
         (used as the correctness oracle and the benchmark baseline).
+
+        With ``quarantine=True`` corrupt traces (empty, or with NaN/inf
+        timestamps) are set aside instead of poisoning the analysis: the
+        healthy remainder is geolocated and the report's ``data_quality``
+        field names every quarantined user and reason -- partial results
+        with an honest accounting.  With ``quarantine=False`` (the
+        default) corrupt traces raise
+        :class:`~repro.errors.CorruptTraceError`, never a silently wrong
+        placement.
         """
+        quality: DataQualityReport | None = None
+        if quarantine:
+            traces, quality = partition_trace_set(traces)
+        else:
+            assert_traces_clean(traces)
         if engine == "reference":
-            return self._geolocate_reference(
+            report = self._geolocate_reference(
                 traces,
                 crowd_name=crowd_name,
                 polish=polish,
                 hemisphere_top_n=hemisphere_top_n,
             )
+            return replace(report, data_quality=quality) if quarantine else report
         if engine != "batch":
             raise ValueError(f"unknown engine {engine!r}; options: batch, reference")
 
@@ -202,6 +230,7 @@ class CrowdGeolocator:
             fit_metrics=fit_distance_metrics(placement, mixture.components),
             user_zones=assignments,
             hemisphere=hemisphere,
+            data_quality=quality,
         )
 
     def _geolocate_reference(

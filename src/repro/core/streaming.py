@@ -12,6 +12,12 @@ then answers *how many days of monitoring a given forum needs*.
 Incremental state is kept per user as the (day, hour) active-cell counts
 of Eq. 1, so an update is O(1) and a snapshot costs one placement over
 the currently-active users.
+
+A monitoring campaign runs for months, so the geolocator's full state
+(configuration, reference profiles, every user's active cells) round-trips
+through :meth:`StreamingGeolocator.save_checkpoint` /
+:meth:`StreamingGeolocator.load_checkpoint` -- kill the process at any
+point and the reloaded instance produces the same snapshots.
 """
 
 from __future__ import annotations
@@ -29,7 +35,12 @@ from repro.core.gaussian import PAPER_SIGMA
 from repro.core.placement import place_profile_matrix
 from repro.core.profiles import HOURS, Profile
 from repro.core.reference import ReferenceProfiles
-from repro.errors import EmptyTraceError
+from repro.errors import CheckpointError, EmptyTraceError
+from repro.reliability.checkpoint import read_checkpoint, write_checkpoint
+
+#: Checkpoint envelope identifiers for :class:`StreamingGeolocator` state.
+STREAM_CHECKPOINT_KIND = "streaming-geolocator"
+STREAM_CHECKPOINT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -178,3 +189,84 @@ class StreamingGeolocator:
             n_users_active=len(matrix),
             mixture=mixture,
         )
+
+    # -- checkpoint / resume ----------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The full resumable state as plain JSON-serialisable python.
+
+        Per-user counts are not stored: they are a pure function of the
+        active-cell sets and are rebuilt on load, which keeps the
+        checkpoint minimal and impossible to desynchronise.
+        """
+        return {
+            "config": {
+                "metric": self.metric,
+                "min_posts": self.min_posts,
+                "sigma_init": self.sigma_init,
+                "max_components": self.max_components,
+                "min_users_for_verdict": self.min_users_for_verdict,
+            },
+            "generic_profile": [float(x) for x in self.references.generic.mass],
+            "n_events": self._n_events,
+            "users": {
+                user_id: {
+                    "cells": sorted([day, hour] for day, hour in state.cells),
+                    "n_posts": state.n_posts,
+                }
+                for user_id, state in self._users.items()
+            },
+        }
+
+    def save_checkpoint(self, path) -> None:
+        """Atomically persist :meth:`state_dict` as a JSON checkpoint."""
+        write_checkpoint(
+            path, STREAM_CHECKPOINT_KIND, STREAM_CHECKPOINT_VERSION, self.state_dict()
+        )
+
+    @classmethod
+    def from_state_dict(
+        cls, state: dict, *, references: ReferenceProfiles | None = None
+    ) -> "StreamingGeolocator":
+        """Inverse of :meth:`state_dict`.
+
+        The reference profiles are rebuilt from the checkpointed generic
+        profile unless an explicit *references* object is supplied.
+        """
+        try:
+            config = state["config"]
+            if references is None:
+                references = ReferenceProfiles(
+                    Profile(np.asarray(state["generic_profile"], dtype=float))
+                )
+            geolocator = cls(
+                references,
+                metric=str(config["metric"]),
+                min_posts=int(config["min_posts"]),
+                sigma_init=float(config["sigma_init"]),
+                max_components=int(config["max_components"]),
+                min_users_for_verdict=int(config["min_users_for_verdict"]),
+            )
+            geolocator._n_events = int(state["n_events"])
+            for user_id, user_state in state["users"].items():
+                restored = _UserState()
+                restored.n_posts = int(user_state["n_posts"])
+                for day, hour in user_state["cells"]:
+                    restored.cells.add((int(day), int(hour)))
+                    restored.counts[int(hour)] += 1.0
+                geolocator._users[user_id] = restored
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed streaming-geolocator state: {exc!r}"
+            ) from exc
+        return geolocator
+
+    @classmethod
+    def load_checkpoint(
+        cls, path, *, references: ReferenceProfiles | None = None
+    ) -> "StreamingGeolocator":
+        """Rebuild a geolocator from :meth:`save_checkpoint` output."""
+        state = read_checkpoint(
+            path, STREAM_CHECKPOINT_KIND, STREAM_CHECKPOINT_VERSION
+        )
+        return cls.from_state_dict(state, references=references)

@@ -7,6 +7,7 @@ from repro.datasets.registry import (
 from repro.datasets.traces import (
     LabeledDataset,
     load_trace_set,
+    load_trace_set_resilient,
     save_trace_set,
 )
 
@@ -15,5 +16,6 @@ __all__ = [
     "table1_rows",
     "LabeledDataset",
     "load_trace_set",
+    "load_trace_set_resilient",
     "save_trace_set",
 ]

@@ -178,8 +178,43 @@ def save_trace_set(traces: TraceSet, path: "str | Path") -> None:
             handle.write(json.dumps(record) + "\n")
 
 
+def _parse_trace_line(line: str) -> ActivityTrace:
+    """Decode and validate one JSONL record into an :class:`ActivityTrace`.
+
+    Raises :class:`DatasetError` on anything malformed -- truncated JSON,
+    wrong field types, non-finite or negative timestamps -- never a bare
+    ``KeyError``/``ValueError`` from deep inside the decoder.
+    """
+    try:
+        record = json.loads(line)
+    except ValueError as exc:
+        raise DatasetError(f"unparseable JSON: {exc}") from exc
+    if not isinstance(record, dict):
+        raise DatasetError(f"record is not an object: {type(record).__name__}")
+    user = record.get("user")
+    if not isinstance(user, str) or not user:
+        raise DatasetError(f"missing or invalid 'user' field: {user!r}")
+    stamps = record.get("timestamps")
+    if not isinstance(stamps, list) or not all(
+        isinstance(ts, (int, float)) and not isinstance(ts, bool) for ts in stamps
+    ):
+        raise DatasetError(f"user {user!r}: 'timestamps' must be a list of numbers")
+    values = np.asarray(stamps, dtype=float)
+    if values.size and not np.all(np.isfinite(values)):
+        raise DatasetError(f"user {user!r}: non-finite timestamp")
+    if values.size and float(values.min()) < 0.0:
+        raise DatasetError(f"user {user!r}: negative timestamp {values.min()}")
+    return ActivityTrace(user, values)
+
+
 def load_trace_set(path: "str | Path") -> TraceSet:
-    """Inverse of :func:`save_trace_set`."""
+    """Inverse of :func:`save_trace_set`; strict about malformed records.
+
+    Any malformed line (truncated JSON, wrong types, non-finite or
+    negative timestamps) raises :class:`DatasetError` naming the file and
+    line.  Use :func:`load_trace_set_resilient` to quarantine bad lines
+    instead of failing the whole load.
+    """
     source = Path(path)
     traces = TraceSet()
     with source.open("r", encoding="utf-8") as handle:
@@ -188,10 +223,52 @@ def load_trace_set(path: "str | Path") -> TraceSet:
             if not line:
                 continue
             try:
-                record = json.loads(line)
-                traces.add(ActivityTrace(record["user"], record["timestamps"]))
-            except (KeyError, TypeError, ValueError) as exc:
+                traces.add(_parse_trace_line(line))
+            except DatasetError as exc:
                 raise DatasetError(
-                    f"{source}:{line_number}: malformed trace record"
+                    f"{source}:{line_number}: malformed trace record ({exc})"
                 ) from exc
     return traces
+
+
+def load_trace_set_resilient(
+    path: "str | Path",
+) -> "tuple[TraceSet, DataQualityReport]":
+    """Load what can be loaded; quarantine malformed lines with reasons.
+
+    The degradation-aware twin of :func:`load_trace_set`: every malformed
+    line becomes a :class:`~repro.reliability.quality.QuarantinedUser`
+    entry in the returned report (keyed by the record's user id when one
+    could be decoded, else by ``<line N>``), and the healthy records are
+    returned as a normal :class:`TraceSet`.
+    """
+    from repro.reliability.quality import DataQualityReport, QuarantinedUser
+
+    source = Path(path)
+    traces = TraceSet()
+    quarantined: list[QuarantinedUser] = []
+    n_records = 0
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            n_records += 1
+            try:
+                traces.add(_parse_trace_line(line))
+            except DatasetError as exc:
+                user = f"<line {line_number}>"
+                try:
+                    decoded = json.loads(line)
+                    if isinstance(decoded, dict) and isinstance(
+                        decoded.get("user"), str
+                    ):
+                        user = decoded["user"]
+                except ValueError:
+                    pass
+                quarantined.append(QuarantinedUser(user, str(exc), 0))
+    return traces, DataQualityReport(
+        n_input_users=n_records,
+        n_retained_users=len(traces),
+        quarantined=tuple(quarantined),
+    )

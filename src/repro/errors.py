@@ -40,6 +40,39 @@ class ForumError(ReproError):
     """A forum-engine operation was invalid (unknown user, bad thread...)."""
 
 
+class TransientForumError(ForumError):
+    """A forum call failed transiently (timeout, temporary unavailability).
+
+    Retrying the same call may succeed; :class:`repro.reliability.RetryPolicy`
+    treats this class (and only this class, by default) as retryable.
+    """
+
+
+class RetryExhaustedError(ReproError):
+    """Every allowed attempt of a retried operation failed.
+
+    Carries the number of *attempts* made and the *last_error* that caused
+    the final failure, so callers can log an honest post-mortem.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0, last_error: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open: the protected call was not even attempted."""
+
+
+class CorruptTraceError(ReproError):
+    """An activity trace violates basic sanity (non-finite or negative stamps)."""
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint could not be written, read or applied."""
+
+
 class TorError(ReproError):
     """A failure inside the simulated Tor substrate."""
 

@@ -15,7 +15,12 @@ implements both sides of that interaction:
 
 from repro.forum.engine import Board, ForumServer, Post, Thread
 from repro.forum.monitor import ForumMonitor, MonitorResult, Observation
-from repro.forum.scraper import ForumScraper, ScrapeResult
+from repro.forum.scraper import (
+    CampaignResult,
+    ForumScraper,
+    ScrapeResult,
+    normalize_offset_hours,
+)
 from repro.forum.storage import TraceStore
 
 __all__ = [
@@ -26,7 +31,9 @@ __all__ = [
     "ForumMonitor",
     "MonitorResult",
     "Observation",
+    "CampaignResult",
     "ForumScraper",
     "ScrapeResult",
+    "normalize_offset_hours",
     "TraceStore",
 ]

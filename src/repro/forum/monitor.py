@@ -13,14 +13,29 @@ coarse polling adds uniform noise of up to one interval per post, which
 the paper argues (and :mod:`repro.analysis.countermeasures` measures)
 still supports profile building as long as the interval stays well below
 a few hours.
+
+A multi-month campaign must survive a flaky forum and a dying collector:
+polls retry under an optional :class:`~repro.reliability.policy.RetryPolicy`,
+a poll that still fails is skipped (its window folds into the next
+successful poll), replayed posts are deduplicated by id, and the full
+monitor state checkpoints to an atomic JSON file from which
+:meth:`ForumMonitor.from_checkpoint` resumes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.core.events import ActivityTrace, TraceSet
-from repro.errors import ForumError
+from repro.errors import ForumError, RetryExhaustedError, TransientForumError
+from repro.reliability.checkpoint import read_checkpoint, write_checkpoint
+from repro.reliability.clocks import Clock
+from repro.reliability.policy import RetryPolicy
+
+#: Checkpoint envelope identifiers for :class:`ForumMonitor` state.
+MONITOR_CHECKPOINT_KIND = "forum-monitor"
+MONITOR_CHECKPOINT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -41,12 +56,16 @@ class MonitorResult:
     n_polls: int
     poll_interval: float
     observations: tuple[Observation, ...]
+    n_failed_polls: int = 0
 
     def summary(self) -> str:
+        degraded = (
+            f", {self.n_failed_polls} polls failed" if self.n_failed_polls else ""
+        )
         return (
             f"{self.forum_name}: {len(self.traces)} authors observed over "
             f"{self.n_polls} polls every {self.poll_interval / 3600:.2f}h "
-            f"({len(self.observations)} posts stamped)"
+            f"({len(self.observations)} posts stamped{degraded})"
         )
 
 
@@ -55,36 +74,66 @@ class ForumMonitor:
 
     *forum* needs only the ``visible_posts`` / ``register`` / ``is_member``
     surface; the monitor never reads ``server_time`` -- it pretends the
-    field does not exist, exactly the scenario of Sec. VII.
+    field does not exist, exactly the scenario of Sec. VII.  With a
+    *retry_policy* every poll survives transient forum failures; *clock*
+    is what backoff sleeps run on (tests inject a
+    :class:`~repro.reliability.clocks.ManualClock`).
     """
 
-    def __init__(self, forum, username: str = "crowd_monitor") -> None:
+    def __init__(
+        self,
+        forum,
+        username: str = "crowd_monitor",
+        *,
+        retry_policy: RetryPolicy | None = None,
+        clock: Clock | None = None,
+    ) -> None:
         self.forum = forum
         self.username = username
+        self.retry_policy = retry_policy
+        self.clock = clock
         self._last_poll_time = float("-inf")
         self._observations: list[Observation] = []
+        self._seen_post_ids: set[int] = set()
         self._polls = 0
+        self._failed_polls = 0
+
+    def _call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        if self.retry_policy is None:
+            return fn(*args, **kwargs)
+        return self.retry_policy.execute(fn, *args, clock=self.clock, **kwargs)
 
     def _ensure_membership(self) -> None:
-        if not self.forum.is_member(self.username):
-            self.forum.register(self.username)
+        if not self._call(self.forum.is_member, self.username):
+            self._call(self.forum.register, self.username)
+
+    @property
+    def n_failed_polls(self) -> int:
+        return self._failed_polls
 
     def poll(self, utc_now: float) -> list[Observation]:
         """One poll: stamp every post that appeared since the last poll.
 
         Posts present at the *first* poll have unknown creation times and
         are deliberately discarded -- stamping them with the first-poll
-        time would concentrate spurious mass in one hour bin.
+        time would concentrate spurious mass in one hour bin.  Posts the
+        forum replays (already stamped in an earlier poll) are dropped by
+        id: re-stamping a replay would double-count the author and smear
+        their profile toward the replay time.
         """
         self._ensure_membership()
-        new_posts = self.forum.newly_visible_posts(
-            self.username, self._last_poll_time, utc_now
+        new_posts = self._call(
+            self.forum.newly_visible_posts,
+            self.username,
+            self._last_poll_time,
+            utc_now,
         )
         previous_poll = self._last_poll_time
         self._last_poll_time = utc_now
         first_poll = self._polls == 0
         self._polls += 1
         if first_poll:
+            self._seen_post_ids.update(post.post_id for post in new_posts)
             return []
         # A post that appeared between two polls was created uniformly at
         # random within the window; stamping with the window midpoint is
@@ -92,13 +141,18 @@ class ForumMonitor:
         # trace half an interval late (and the crowd half a zone west per
         # two hours of interval).
         stamp = (previous_poll + utc_now) / 2.0
-        fresh = [
-            Observation(
-                post_id=post.post_id, author=post.author, observed_at=stamp
+        fresh = []
+        for post in new_posts:
+            if post.post_id in self._seen_post_ids:
+                continue
+            self._seen_post_ids.add(post.post_id)
+            if post.author == self.username:
+                continue
+            fresh.append(
+                Observation(
+                    post_id=post.post_id, author=post.author, observed_at=stamp
+                )
             )
-            for post in new_posts
-            if post.author != self.username
-        ]
         self._observations.extend(fresh)
         return fresh
 
@@ -108,16 +162,44 @@ class ForumMonitor:
         end: float,
         poll_interval: float,
         forum_name: str | None = None,
+        *,
+        checkpoint_path=None,
+        checkpoint_every: int = 1,
     ) -> MonitorResult:
-        """Poll from *start* to *end* every *poll_interval* seconds."""
+        """Poll from *start* to *end* every *poll_interval* seconds.
+
+        A poll whose forum calls fail (transiently without a retry
+        policy, or exhausting one) is skipped and counted; its window is
+        folded into the next successful poll, whose wider midpoint stamp
+        degrades resolution for those posts instead of losing them.
+        Polls at or before the monitor's last completed poll time are
+        skipped entirely, which is what resumes a checkpointed campaign
+        from where it stopped.  When *checkpoint_path* is given the full
+        monitor state is persisted after every *checkpoint_every*-th
+        successful poll and once more at campaign end.
+        """
         if poll_interval <= 0:
             raise ForumError(f"poll interval must be positive: {poll_interval}")
         if end <= start:
             raise ForumError("campaign must end after it starts")
+        if checkpoint_every < 1:
+            raise ForumError(f"checkpoint_every must be >= 1: {checkpoint_every}")
         time = start
         while time <= end:
-            self.poll(time)
+            if time > self._last_poll_time:
+                try:
+                    self.poll(time)
+                except (TransientForumError, RetryExhaustedError):
+                    self._failed_polls += 1
+                else:
+                    if (
+                        checkpoint_path is not None
+                        and self._polls % checkpoint_every == 0
+                    ):
+                        self.save_checkpoint(checkpoint_path)
             time += poll_interval
+        if checkpoint_path is not None:
+            self.save_checkpoint(checkpoint_path)
         buckets: dict[str, list[float]] = {}
         for observation in self._observations:
             buckets.setdefault(observation.author, []).append(
@@ -131,4 +213,60 @@ class ForumMonitor:
             n_polls=self._polls,
             poll_interval=poll_interval,
             observations=tuple(self._observations),
+            n_failed_polls=self._failed_polls,
         )
+
+    # -- checkpoint / resume ----------------------------------------------
+
+    def save_checkpoint(self, path) -> None:
+        """Persist the full monitor state atomically to *path* (JSON)."""
+        write_checkpoint(
+            path,
+            MONITOR_CHECKPOINT_KIND,
+            MONITOR_CHECKPOINT_VERSION,
+            {
+                "username": self.username,
+                "last_poll_time": self._last_poll_time,
+                "n_polls": self._polls,
+                "n_failed_polls": self._failed_polls,
+                "seen_post_ids": sorted(self._seen_post_ids),
+                "observations": [
+                    [obs.post_id, obs.author, obs.observed_at]
+                    for obs in self._observations
+                ],
+            },
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        forum,
+        path,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        clock: Clock | None = None,
+    ) -> "ForumMonitor":
+        """Rebuild a monitor from :meth:`save_checkpoint` state.
+
+        Re-running :meth:`run_campaign` with the original arguments then
+        continues from the last completed poll: already-performed polls
+        are skipped and already-stamped posts are deduplicated.
+        """
+        state = read_checkpoint(
+            path, MONITOR_CHECKPOINT_KIND, MONITOR_CHECKPOINT_VERSION
+        )
+        monitor = cls(
+            forum,
+            username=str(state["username"]),
+            retry_policy=retry_policy,
+            clock=clock,
+        )
+        monitor._last_poll_time = float(state["last_poll_time"])
+        monitor._polls = int(state["n_polls"])
+        monitor._failed_polls = int(state["n_failed_polls"])
+        monitor._seen_post_ids = set(int(pid) for pid in state["seen_post_ids"])
+        monitor._observations = [
+            Observation(int(pid), str(author), float(at))
+            for pid, author, at in state["observations"]
+        ]
+        return monitor

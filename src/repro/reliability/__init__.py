@@ -1,0 +1,48 @@
+"""Reliability layer: retries, fault injection, checkpoints, quarantine.
+
+Real collection against hidden services is messy -- timeouts, clock skew,
+duplicated and out-of-order listings, processes dying mid-campaign.  This
+package holds the policy primitives that make the collection and analysis
+layers degrade gracefully instead of losing the campaign:
+
+* :mod:`repro.reliability.clocks`     -- injectable clocks (tests run the
+  whole retry/breaker machinery instantly via :class:`ManualClock`);
+* :mod:`repro.reliability.policy`     -- :class:`RetryPolicy` (exponential
+  backoff, seeded jitter, deadlines) and :class:`CircuitBreaker`;
+* :mod:`repro.reliability.faults`     -- :class:`FlakyForumProxy`, the
+  fault-injection harness wrapping any forum-API object;
+* :mod:`repro.reliability.checkpoint` -- atomic, versioned JSON
+  checkpoints for resumable campaigns;
+* :mod:`repro.reliability.quality`    -- corrupt-trace quarantine and the
+  :class:`DataQualityReport` honest accounting.
+"""
+
+from repro.reliability.checkpoint import read_checkpoint, write_checkpoint
+from repro.reliability.clocks import Clock, ManualClock, SystemClock
+from repro.reliability.faults import FaultSpec, FlakyForumProxy
+from repro.reliability.policy import CircuitBreaker, CircuitState, RetryPolicy
+from repro.reliability.quality import (
+    DataQualityReport,
+    QuarantinedUser,
+    assert_traces_clean,
+    partition_trace_set,
+    trace_fault,
+)
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "SystemClock",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitState",
+    "FaultSpec",
+    "FlakyForumProxy",
+    "read_checkpoint",
+    "write_checkpoint",
+    "DataQualityReport",
+    "QuarantinedUser",
+    "assert_traces_clean",
+    "partition_trace_set",
+    "trace_fault",
+]

@@ -1,0 +1,63 @@
+"""Atomic JSON checkpoints for long-running campaigns.
+
+A multi-month monitoring campaign (Sec. VII) must survive the collecting
+process dying mid-run.  Components persist their resumable state through
+these helpers: one JSON document per checkpoint, written atomically
+(temp file + ``os.replace``) so a crash mid-write can never leave a
+half-checkpoint behind, and versioned so a resumed process refuses state
+it does not understand instead of silently misreading it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CheckpointError
+
+
+def write_checkpoint(path: "str | Path", kind: str, version: int, state: dict[str, Any]) -> None:
+    """Atomically persist *state* under a ``{kind, version, state}`` envelope."""
+    destination = Path(path)
+    payload = {"kind": kind, "version": version, "state": state}
+    try:
+        document = json.dumps(payload)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"checkpoint state is not JSON-serialisable: {exc}") from exc
+    temp = destination.with_name(destination.name + ".tmp")
+    try:
+        temp.write_text(document, encoding="utf-8")
+        os.replace(temp, destination)
+    except OSError as exc:
+        raise CheckpointError(f"cannot write checkpoint {destination}: {exc}") from exc
+
+
+def read_checkpoint(path: "str | Path", kind: str, version: int) -> dict[str, Any]:
+    """Load and validate a checkpoint written by :func:`write_checkpoint`."""
+    source = Path(path)
+    try:
+        document = source.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {source}: {exc}") from exc
+    try:
+        payload = json.loads(document)
+    except ValueError as exc:
+        raise CheckpointError(f"corrupt checkpoint {source}: {exc}") from exc
+    if not isinstance(payload, dict) or "state" not in payload:
+        raise CheckpointError(f"corrupt checkpoint {source}: missing envelope")
+    if payload.get("kind") != kind:
+        raise CheckpointError(
+            f"checkpoint {source} is of kind {payload.get('kind')!r}, "
+            f"expected {kind!r}"
+        )
+    if payload.get("version") != version:
+        raise CheckpointError(
+            f"checkpoint {source} has version {payload.get('version')!r}, "
+            f"this code reads version {version}"
+        )
+    state = payload["state"]
+    if not isinstance(state, dict):
+        raise CheckpointError(f"corrupt checkpoint {source}: state is not an object")
+    return state

@@ -1,0 +1,63 @@
+"""Injectable clocks for the reliability layer.
+
+Every time-dependent policy in :mod:`repro.reliability` (backoff sleeps,
+circuit-breaker recovery windows, retry deadlines) reads time through one
+of these objects instead of :mod:`time` directly, so tests run the whole
+fault/recovery machinery instantly and deterministically by injecting a
+:class:`ManualClock`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """The two operations the reliability layer needs from a clock."""
+
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+    def sleep(self, seconds: float) -> None:  # pragma: no cover
+        ...
+
+
+class SystemClock:
+    """The real wall clock (monotonic, so backoff survives NTP steps)."""
+
+    def now(self) -> float:
+        return _time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            _time.sleep(seconds)
+
+
+class ManualClock:
+    """A clock that only moves when told to -- the test-time injectable.
+
+    ``sleep`` advances the clock instead of blocking, so a retry loop with
+    minutes of backoff completes in microseconds of real time while still
+    observing a consistent timeline.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot sleep a negative duration: {seconds}")
+        self.sleeps.append(float(seconds))
+        self._now += float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance backwards: {seconds}")
+        self._now += float(seconds)

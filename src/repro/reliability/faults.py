@@ -1,0 +1,185 @@
+"""Fault injection: wrap a forum in every failure mode a real crawl meets.
+
+Tavabi et al. (*Characterizing Activity on the Deep and Dark Web*) report
+intermittent availability as the defining property of onion services, and
+darknet crawl datasets are full of duplicated and out-of-order records.
+:class:`FlakyForumProxy` reproduces that mess on top of any object with
+the :class:`repro.forum.engine.ForumServer` API so the resilient
+collection paths can be tested deterministically:
+
+* transient failures -- any call may raise
+  :class:`~repro.errors.TransientForumError` with probability
+  ``failure_rate`` (seeded, so a retried call draws a fresh outcome);
+* clock skew drift -- a piecewise-constant extra server-clock offset
+  (``skew_schedule``) on every *displayed* timestamp, modelling a forum
+  whose clock is stepped or drifts mid-campaign;
+* duplicated posts -- listings replay individual posts with probability
+  ``duplicate_rate``;
+* out-of-order ids -- listings are returned shuffled instead of sorted.
+
+The proxy never mutates the wrapped forum's stored state: skew and
+duplication are applied to the *responses*, which is exactly what a
+scraper sees.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+
+from repro.errors import TransientForumError
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Knobs of one flaky-forum configuration (all off by default)."""
+
+    failure_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    #: Probability that a ``newly_visible_posts`` poll replays a handful of
+    #: posts already served by an earlier poll (cross-window duplicates).
+    replay_rate: float = 0.0
+    shuffle: bool = False
+    #: Piecewise-constant extra server-clock offset: ``(from_utc, hours)``
+    #: steps sorted by time; the last step at or before a post's creation
+    #: time applies.  Empty means no skew drift.
+    skew_schedule: tuple[tuple[float, float], ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1): {self.failure_rate}")
+        if not 0.0 <= self.duplicate_rate < 1.0:
+            raise ValueError(
+                f"duplicate_rate must be in [0, 1): {self.duplicate_rate}"
+            )
+        if not 0.0 <= self.replay_rate <= 1.0:
+            raise ValueError(f"replay_rate must be in [0, 1]: {self.replay_rate}")
+        object.__setattr__(
+            self, "skew_schedule", tuple(sorted(self.skew_schedule))
+        )
+
+    def skew_at(self, utc_time: float) -> float:
+        """Extra server-clock offset (hours) in effect at *utc_time*."""
+        skew = 0.0
+        for from_utc, hours in self.skew_schedule:
+            if utc_time >= from_utc:
+                skew = hours
+            else:
+                break
+        return skew
+
+
+class FlakyForumProxy:
+    """A forum that times out, skews its clock and garbles its listings.
+
+    Exposes the full ``ForumServer`` surface the collection layer uses, so
+    a :class:`~repro.forum.scraper.ForumScraper` or
+    :class:`~repro.forum.monitor.ForumMonitor` can be pointed at it
+    unchanged.  Injection statistics are kept on the proxy
+    (``n_calls``, ``n_failures_injected``, ``n_duplicates_injected``) so
+    tests can assert the faults actually fired.
+    """
+
+    def __init__(self, forum, spec: FaultSpec | None = None) -> None:
+        self.forum = forum
+        self.spec = spec or FaultSpec()
+        self._rng = random.Random(self.spec.seed)
+        self.n_calls = 0
+        self.n_failures_injected = 0
+        self.n_duplicates_injected = 0
+        self.n_replays_injected = 0
+        self._served: list = []
+
+    # -- fault machinery --------------------------------------------------
+
+    def _maybe_fail(self, operation: str) -> None:
+        self.n_calls += 1
+        if (
+            self.spec.failure_rate > 0.0
+            and self._rng.random() < self.spec.failure_rate
+        ):
+            self.n_failures_injected += 1
+            raise TransientForumError(
+                f"{getattr(self.forum, 'name', 'forum')}: "
+                f"transient failure during {operation} (injected)"
+            )
+
+    def _skewed(self, post):
+        """The post as displayed: creation-time skew added to its stamp."""
+        skew = self.spec.skew_at(post.visible_from)
+        if skew == 0.0:
+            return post
+        return dataclasses.replace(
+            post, server_time=post.server_time + skew * 3600.0
+        )
+
+    def _garble(self, posts):
+        """Apply skew, duplication and shuffling to a listing."""
+        displayed = [self._skewed(post) for post in posts]
+        if self.spec.duplicate_rate > 0.0:
+            replayed = [
+                post
+                for post in displayed
+                if self._rng.random() < self.spec.duplicate_rate
+            ]
+            self.n_duplicates_injected += len(replayed)
+            displayed.extend(replayed)
+        if self.spec.shuffle:
+            self._rng.shuffle(displayed)
+        return displayed
+
+    # -- ForumServer surface ----------------------------------------------
+
+    @property
+    def name(self):
+        return getattr(self.forum, "name", "forum")
+
+    @property
+    def onion(self):
+        return getattr(self.forum, "onion", None)
+
+    def is_member(self, username: str) -> bool:
+        self._maybe_fail("is_member")
+        return self.forum.is_member(username)
+
+    def register(self, username: str, rank: int = 0) -> None:
+        self._maybe_fail("register")
+        self.forum.register(username, rank)
+
+    def rank_of(self, username: str) -> int:
+        self._maybe_fail("rank_of")
+        return self.forum.rank_of(username)
+
+    def thread_by_title(self, title: str):
+        self._maybe_fail("thread_by_title")
+        return self.forum.thread_by_title(title)
+
+    def submit_post(self, username: str, thread_id: int, utc_now: float, body: str = ""):
+        self._maybe_fail("submit_post")
+        post = self.forum.submit_post(username, thread_id, utc_now, body=body)
+        return self._skewed(post)
+
+    def visible_posts(self, viewer: str, utc_now: float, **kwargs):
+        self._maybe_fail("visible_posts")
+        return self._garble(self.forum.visible_posts(viewer, utc_now, **kwargs))
+
+    def newly_visible_posts(self, viewer: str, since: float, until: float):
+        self._maybe_fail("newly_visible_posts")
+        fresh = self.forum.newly_visible_posts(viewer, since, until)
+        self._served.extend(fresh)
+        listing = list(fresh)
+        if (
+            self.spec.replay_rate > 0.0
+            and len(self._served) > len(fresh)
+            and self._rng.random() < self.spec.replay_rate
+        ):
+            stale = self._served[: len(self._served) - len(fresh)]
+            replayed = self._rng.sample(stale, min(3, len(stale)))
+            self.n_replays_injected += len(replayed)
+            listing.extend(replayed)
+        return self._garble(listing)
+
+    def total_posts(self) -> int:
+        return self.forum.total_posts()

@@ -1,0 +1,198 @@
+"""Retry and circuit-breaker policies for flaky hidden-service calls.
+
+The paper's collection campaigns (Sec. V, Sec. VII) run for weeks against
+onion services whose defining property is intermittent availability.  The
+two primitives here make a single flaky call dependable:
+
+* :class:`RetryPolicy` -- bounded exponential backoff with deterministic
+  seeded jitter and an optional total-time deadline, all measured on an
+  injectable :class:`~repro.reliability.clocks.Clock`;
+* :class:`CircuitBreaker` -- stops hammering a forum that is clearly down,
+  then probes it again after a recovery window.
+
+Both are pure policy objects: they know nothing about forums, so they wrap
+any callable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from repro.errors import (
+    CircuitOpenError,
+    RetryExhaustedError,
+    TransientForumError,
+)
+from repro.reliability.clocks import Clock, SystemClock
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic, seeded jitter.
+
+    The delay before retry ``i`` (counting failures from zero) is::
+
+        min(max_delay, base_delay * multiplier**i) * (1 + jitter * u_i)
+
+    where ``u_i`` is drawn uniformly from [-1, 1] by a PRNG seeded with
+    *seed* at the start of every :meth:`execute` call -- so the schedule is
+    reproducible run to run but still decorrelates concurrent campaigns
+    with different seeds.  *deadline* bounds the **total** time budget of
+    one :meth:`execute` (attempts plus sleeps) as measured on the injected
+    clock; exceeding it raises :class:`RetryExhaustedError` even when
+    attempts remain.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 1.0
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.1
+    deadline: float | None = None
+    seed: int = 0
+    retry_on: tuple[type[BaseException], ...] = (TransientForumError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be nonnegative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1]: {self.jitter}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive: {self.deadline}")
+
+    def delays(self) -> list[float]:
+        """The jittered backoff schedule of one execute call (len = attempts-1)."""
+        rng = random.Random(self.seed)
+        schedule = []
+        for failure in range(self.max_attempts - 1):
+            raw = min(self.max_delay, self.base_delay * self.multiplier**failure)
+            schedule.append(raw * (1.0 + self.jitter * rng.uniform(-1.0, 1.0)))
+        return schedule
+
+    def execute(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        clock: Clock | None = None,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Call *fn* until it succeeds, retries run out, or the deadline hits.
+
+        Only exceptions matching *retry_on* are retried; anything else
+        propagates immediately.  *on_retry(attempt, error)* is invoked
+        before each backoff sleep -- campaign code uses it for accounting.
+        """
+        clock = clock or SystemClock()
+        started = clock.now()
+        schedule = self.delays()
+        last_error: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on as exc:
+                last_error = exc
+                if attempt == self.max_attempts:
+                    break
+                delay = schedule[attempt - 1]
+                if (
+                    self.deadline is not None
+                    and clock.now() - started + delay > self.deadline
+                ):
+                    raise RetryExhaustedError(
+                        f"retry deadline of {self.deadline:.1f}s exceeded "
+                        f"after {attempt} attempt(s): {exc}",
+                        attempts=attempt,
+                        last_error=exc,
+                    ) from exc
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                clock.sleep(delay)
+        raise RetryExhaustedError(
+            f"gave up after {self.max_attempts} attempt(s): {last_error}",
+            attempts=self.max_attempts,
+            last_error=last_error,
+        ) from last_error
+
+    @classmethod
+    def no_retry(cls) -> "RetryPolicy":
+        """A policy that tries exactly once (useful as an explicit default)."""
+        return cls(max_attempts=1, base_delay=0.0, jitter=0.0)
+
+
+class CircuitState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Fail fast against a forum that keeps failing, probe it later.
+
+    *failure_threshold* consecutive retryable failures open the circuit;
+    while open every :meth:`call` raises :class:`CircuitOpenError` without
+    touching the wrapped callable.  After *recovery_timeout* seconds (on
+    the injected clock) the next call is let through as a half-open probe:
+    success closes the circuit, failure re-opens it for another window.
+    """
+
+    failure_threshold: int = 5
+    recovery_timeout: float = 300.0
+    clock: Clock = field(default_factory=SystemClock)
+    trip_on: tuple[type[BaseException], ...] = (TransientForumError,)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1: {self.failure_threshold}"
+            )
+        if self.recovery_timeout <= 0:
+            raise ValueError(
+                f"recovery_timeout must be positive: {self.recovery_timeout}"
+            )
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = float("-inf")
+
+    @property
+    def state(self) -> CircuitState:
+        if (
+            self._state is CircuitState.OPEN
+            and self.clock.now() - self._opened_at >= self.recovery_timeout
+        ):
+            self._state = CircuitState.HALF_OPEN
+        return self._state
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._state = CircuitState.CLOSED
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if (
+            self.state is CircuitState.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = CircuitState.OPEN
+            self._opened_at = self.clock.now()
+
+    def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        if self.state is CircuitState.OPEN:
+            remaining = self.recovery_timeout - (self.clock.now() - self._opened_at)
+            raise CircuitOpenError(
+                f"circuit open for another {max(remaining, 0.0):.1f}s "
+                f"({self._consecutive_failures} consecutive failures)"
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except self.trip_on:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

@@ -1,0 +1,145 @@
+"""Quarantine of corrupt traces: partial results with an honest accounting.
+
+A long collection campaign against a flaky forum produces some garbage --
+users whose traces came back empty, or whose timestamps were mangled into
+NaN/inf on the way through a broken scrape.  Hard-failing the whole
+geolocation on one bad user loses the campaign; silently dropping the
+user hides the damage.  The quarantine mode does neither: corrupt traces
+are set aside, the healthy crowd is analysed, and a
+:class:`DataQualityReport` names every quarantined user and why, so the
+analyst always knows what fraction of the crowd the verdict rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.events import TraceSet
+from repro.errors import CorruptTraceError
+
+#: Quarantine reason strings (stable identifiers, used in reports and tests).
+REASON_EMPTY = "empty-trace"
+REASON_NON_FINITE = "non-finite-timestamps"
+
+#: Reasons that indicate actual data corruption (vs mere lack of evidence);
+#: strict (non-quarantine) pipelines hard-fail on these.  Negative
+#: timestamps are deliberately NOT corruption here: the simulation epoch
+#: is arbitrary, so zones east of UTC legitimately produce posts at
+#: (slightly) negative UTC seconds -- only the on-disk JSONL format
+#: (:mod:`repro.datasets.traces`) pins timestamps to be nonnegative.
+CORRUPT_REASONS = frozenset({REASON_NON_FINITE})
+
+
+@dataclass(frozen=True)
+class QuarantinedUser:
+    """One user set aside, with the reason and the evidence volume lost."""
+
+    user_id: str
+    reason: str
+    n_posts: int
+
+
+@dataclass(frozen=True)
+class DataQualityReport:
+    """Per-campaign accounting of what was kept and what was set aside."""
+
+    n_input_users: int
+    n_retained_users: int
+    quarantined: tuple[QuarantinedUser, ...] = ()
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantined)
+
+    def fraction_retained(self) -> float:
+        if self.n_input_users == 0:
+            return 1.0
+        return self.n_retained_users / self.n_input_users
+
+    def reasons(self) -> dict[str, int]:
+        """Quarantine counts keyed by reason string."""
+        counts: dict[str, int] = {}
+        for entry in self.quarantined:
+            counts[entry.reason] = counts.get(entry.reason, 0) + 1
+        return counts
+
+    def quarantined_users(self) -> list[str]:
+        return [entry.user_id for entry in self.quarantined]
+
+    def reason_for(self, user_id: str) -> str | None:
+        for entry in self.quarantined:
+            if entry.user_id == user_id:
+                return entry.reason
+        return None
+
+    def is_clean(self) -> bool:
+        return not self.quarantined
+
+    def summary(self) -> str:
+        if self.is_clean():
+            return f"data quality: all {self.n_input_users} users clean"
+        reasons = ", ".join(
+            f"{reason}: {count}" for reason, count in sorted(self.reasons().items())
+        )
+        return (
+            f"data quality: retained {self.n_retained_users}/{self.n_input_users} "
+            f"users ({self.fraction_retained():.0%}); quarantined "
+            f"{self.n_quarantined} ({reasons})"
+        )
+
+
+def trace_fault(trace) -> str | None:
+    """The quarantine reason for *trace*, or None when it is healthy."""
+    if trace.is_empty():
+        return REASON_EMPTY
+    if not np.all(np.isfinite(trace.timestamps)):
+        return REASON_NON_FINITE
+    return None
+
+
+def partition_trace_set(traces: TraceSet) -> tuple[TraceSet, DataQualityReport]:
+    """Split a crowd into (healthy traces, quality report).
+
+    Every input trace lands exactly once: either in the returned
+    :class:`TraceSet` or as a :class:`QuarantinedUser` in the report.
+    """
+    healthy = TraceSet()
+    quarantined: list[QuarantinedUser] = []
+    n_input = 0
+    for trace in traces:
+        n_input += 1
+        reason = trace_fault(trace)
+        if reason is None:
+            healthy.add(trace)
+        else:
+            quarantined.append(
+                QuarantinedUser(trace.user_id, reason, len(trace))
+            )
+    return healthy, DataQualityReport(
+        n_input_users=n_input,
+        n_retained_users=len(healthy),
+        quarantined=tuple(quarantined),
+    )
+
+
+def assert_traces_clean(traces: TraceSet) -> None:
+    """Raise :class:`CorruptTraceError` when any trace is actually corrupt.
+
+    Empty traces are *not* corruption -- they are merely evidence-free and
+    the activity threshold drops them downstream, which was the pipeline's
+    behaviour long before the quarantine mode existed.
+    """
+    offenders = []
+    for trace in traces:
+        reason = trace_fault(trace)
+        if reason in CORRUPT_REASONS:
+            offenders.append((trace.user_id, reason))
+    if offenders:
+        shown = ", ".join(f"{user} ({reason})" for user, reason in offenders[:5])
+        suffix = "" if len(offenders) <= 5 else f" and {len(offenders) - 5} more"
+        raise CorruptTraceError(
+            f"{len(offenders)} corrupt trace(s): {shown}{suffix}; "
+            "pass quarantine=True to set them aside and analyse the rest"
+        )

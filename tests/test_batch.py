@@ -376,3 +376,51 @@ class TestStreamingEquivalence:
         snapshot = stream.snapshot()
         assert snapshot.has_verdict()
         assert snapshot.n_users_active == len(expected)
+
+
+class TestParallelFallback:
+    """A broken process pool degrades to the serial pass -- loudly."""
+
+    def _crowd(self):
+        rng = np.random.default_rng(17)
+        return TraceSet(
+            ActivityTrace(
+                f"u{i:02d}",
+                np.sort(rng.uniform(0.0, SECONDS_90_DAYS, size=40)),
+            )
+            for i in range(12)
+        )
+
+    def test_broken_pool_warns_and_matches_serial(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        import repro.core.batch as batch_module
+
+        def broken(arrays, offset_hours, max_workers):
+            raise BrokenProcessPool("worker died mid-build")
+
+        monkeypatch.setattr(batch_module, "_counts_parallel", broken)
+        crowd = self._crowd()
+        with pytest.warns(RuntimeWarning, match="BrokenProcessPool"):
+            fallback = ProfileMatrix.from_trace_set(crowd, parallel=True)
+        serial = ProfileMatrix.from_trace_set(crowd, parallel=False)
+        assert fallback.user_ids == serial.user_ids
+        np.testing.assert_allclose(fallback.matrix, serial.matrix)
+
+    def test_unspawnable_pool_also_degrades(self, monkeypatch):
+        import repro.core.batch as batch_module
+
+        def unspawnable(arrays, offset_hours, max_workers):
+            raise OSError("process spawning disabled")
+
+        monkeypatch.setattr(batch_module, "_counts_parallel", unspawnable)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            matrix = ProfileMatrix.from_trace_set(self._crowd(), parallel=True)
+        assert len(matrix) == 12
+
+    def test_healthy_serial_path_does_not_warn(self):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            ProfileMatrix.from_trace_set(self._crowd(), parallel=False)

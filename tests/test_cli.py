@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.errors import DatasetError
 
 
 class TestParser:
@@ -64,3 +67,111 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Italian DarkNet Community" in out
         assert "recovered" in out
+
+
+def _monitor_args(*extra):
+    return [
+        "--scale",
+        "0.02",
+        "--forum-scale",
+        "0.2",
+        "monitor",
+        "--poll-hours",
+        "2",
+        "--days",
+        "2",
+        *extra,
+    ]
+
+
+class TestMonitorCommand:
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["monitor", "--fault-rate", "0.2", "--resume", "ck.json"]
+        )
+        assert args.fault_rate == 0.2
+        assert args.resume == "ck.json"
+        assert args.checkpoint_every == 24
+
+    def test_monitor_smoke(self, capsys):
+        assert main(_monitor_args()) == 0
+        out = capsys.readouterr().out
+        assert "polls" in out
+
+    def test_monitor_checkpoint_then_resume(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "campaign.json")
+        assert main(_monitor_args("--checkpoint", checkpoint)) == 0
+        assert (tmp_path / "campaign.json").exists()
+        first_out = capsys.readouterr().out
+        assert "checkpoint saved" in first_out
+
+        # A fresh invocation resumes from the checkpoint and keeps going.
+        assert (
+            main(
+                [
+                    "--scale",
+                    "0.02",
+                    "--forum-scale",
+                    "0.2",
+                    "monitor",
+                    "--poll-hours",
+                    "2",
+                    "--days",
+                    "4",
+                    "--resume",
+                    checkpoint,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "polls" in out
+
+    def test_monitor_with_faults(self, capsys):
+        assert main(_monitor_args("--fault-rate", "0.2")) == 0
+        out = capsys.readouterr().out
+        assert "polls" in out
+
+
+class TestGeolocateCommand:
+    def _write_traces(self, path, corrupt=False):
+        lines = []
+        for index in range(10):
+            user_hour = 19 + index % 3
+            stamps = [
+                day * 86400.0 + user_hour * 3600.0 for day in range(40)
+            ]
+            lines.append(
+                json.dumps({"user": f"u{index:02d}", "timestamps": stamps})
+            )
+        if corrupt:
+            lines.append('{"user": "mangled", "timestamps": [NaN]}')
+            lines.append('{"user": "hollow", "timestamps": []}')
+            lines.append("definitely not json")
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    def test_geolocate_clean_file(self, capsys, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        self._write_traces(path)
+        assert main(["--scale", "0.02", "geolocate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "placement" in out
+        assert "users" in out
+
+    def test_geolocate_strict_fails_on_corrupt_file(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        self._write_traces(path, corrupt=True)
+        with pytest.raises(DatasetError):
+            main(["--scale", "0.02", "geolocate", str(path)])
+
+    def test_geolocate_quarantine_names_bad_users(self, capsys, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        self._write_traces(path, corrupt=True)
+        assert (
+            main(["--scale", "0.02", "geolocate", str(path), "--quarantine"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "placement" in out
+        assert "mangled" in out  # named in the load report's quarantine list
+        assert "quarantined hollow: empty-trace" in out

@@ -8,7 +8,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.events import ActivityTrace, TraceSet
 from repro.datasets.registry import TABLE1_ROWS, table1_rows, total_active_users
-from repro.datasets.traces import LabeledDataset, load_trace_set, save_trace_set
+from repro.datasets.traces import (
+    LabeledDataset,
+    load_trace_set,
+    load_trace_set_resilient,
+    save_trace_set,
+)
 from repro.errors import DatasetError
 from repro.timebase.calendar_utils import standard_holidays
 from repro.timebase.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR, make_timestamp
@@ -205,3 +210,107 @@ class TestSerialization:
         path = tmp_path / "blank.jsonl"
         path.write_text('\n{"user": "a", "timestamps": [1.0]}\n\n')
         assert len(load_trace_set(path)) == 1
+
+
+class TestMalformedRecords:
+    """Every malformed line raises DatasetError -- never a bare
+    KeyError/ValueError from inside the decoder."""
+
+    GOOD = '{"user": "ok", "timestamps": [1.0, 2.0]}\n'
+
+    def _load(self, tmp_path, bad_line):
+        path = tmp_path / "traces.jsonl"
+        path.write_text(self.GOOD + bad_line + "\n", encoding="utf-8")
+        return load_trace_set(path)
+
+    @pytest.mark.parametrize(
+        "bad_line",
+        [
+            '{"user": "trunc", "timestamps": [1.0,',  # truncated mid-write
+            "[1, 2, 3]",  # not an object
+            '"just a string"',
+            '{"timestamps": [1.0]}',  # user missing
+            '{"user": 7, "timestamps": [1.0]}',  # user wrong type
+            '{"user": "", "timestamps": [1.0]}',  # user empty
+            '{"user": "u"}',  # timestamps missing
+            '{"user": "u", "timestamps": 5.0}',  # timestamps not a list
+            '{"user": "u", "timestamps": ["a"]}',  # non-numeric entries
+            '{"user": "u", "timestamps": [true]}',  # bools are not numbers
+            '{"user": "u", "timestamps": [1.0, -5.0]}',  # negative stamp
+            '{"user": "u", "timestamps": [NaN]}',  # json.loads accepts NaN
+            '{"user": "u", "timestamps": [Infinity]}',
+        ],
+        ids=[
+            "truncated",
+            "array",
+            "string",
+            "no-user",
+            "user-type",
+            "user-empty",
+            "no-timestamps",
+            "timestamps-type",
+            "timestamps-nonnumeric",
+            "timestamps-bool",
+            "negative",
+            "nan",
+            "inf",
+        ],
+    )
+    def test_malformed_line_raises_dataset_error(self, tmp_path, bad_line):
+        with pytest.raises(DatasetError) as excinfo:
+            self._load(tmp_path, bad_line)
+        assert "traces.jsonl:2" in str(excinfo.value)
+
+    def test_error_is_never_a_bare_decoder_exception(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text('{"user": "u", "timestamps": [1.0,\n', encoding="utf-8")
+        try:
+            load_trace_set(path)
+        except DatasetError:
+            pass
+        else:  # pragma: no cover - the load must fail
+            pytest.fail("malformed line silently accepted")
+
+    def test_empty_timestamp_list_is_allowed(self, tmp_path):
+        # An evidence-free user is not a malformed record.
+        path = tmp_path / "traces.jsonl"
+        path.write_text('{"user": "quiet", "timestamps": []}\n')
+        loaded = load_trace_set(path)
+        assert len(loaded["quiet"]) == 0
+
+
+class TestResilientLoader:
+    def test_quarantines_bad_lines_keeps_good(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text(
+            '{"user": "a", "timestamps": [1.0]}\n'
+            '{"user": "broken", "timestamps": [NaN]}\n'
+            "not json at all\n"
+            '{"user": "b", "timestamps": [2.0]}\n',
+            encoding="utf-8",
+        )
+        traces, report = load_trace_set_resilient(path)
+        assert set(traces.user_ids()) == {"a", "b"}
+        assert report.n_input_users == 4
+        assert report.n_retained_users == 2
+        assert report.n_quarantined == 2
+
+    def test_quarantine_named_by_user_when_decodable(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text('{"user": "broken", "timestamps": [-1.0]}\n')
+        _, report = load_trace_set_resilient(path)
+        assert report.quarantined_users() == ["broken"]
+        assert "negative" in report.reason_for("broken")
+
+    def test_quarantine_named_by_line_when_undecodable(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text('{"user": "a", "timestamps": [1.0]}\n{{{\n')
+        _, report = load_trace_set_resilient(path)
+        assert report.quarantined_users() == ["<line 2>"]
+
+    def test_clean_file_reports_clean(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        save_trace_set(TraceSet([ActivityTrace("a", [1.0])]), path)
+        traces, report = load_trace_set_resilient(path)
+        assert report.is_clean()
+        assert set(traces.user_ids()) == {"a"}

@@ -1,0 +1,197 @@
+"""Checkpoint/resume: atomic JSON envelopes and state round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingGeolocator
+from repro.errors import CheckpointError
+from repro.forum.engine import ForumServer
+from repro.forum.monitor import ForumMonitor
+from repro.reliability.checkpoint import read_checkpoint, write_checkpoint
+from repro.synth.twitter import build_region_crowd
+
+pytestmark = pytest.mark.reliability
+
+DAY = 86400.0
+HOUR = 3600.0
+
+
+class TestCheckpointEnvelope:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ck.json"
+        write_checkpoint(path, "demo", 2, {"a": [1, 2], "b": "x"})
+        assert read_checkpoint(path, "demo", 2) == {"a": [1, 2], "b": "x"}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_checkpoint(tmp_path / "absent.json", "demo", 1)
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text('{"kind": "demo", "ver', encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path, "demo", 1)
+
+    def test_wrong_kind_refused(self, tmp_path):
+        path = tmp_path / "ck.json"
+        write_checkpoint(path, "monitor", 1, {})
+        with pytest.raises(CheckpointError, match="kind"):
+            read_checkpoint(path, "scraper", 1)
+
+    def test_wrong_version_refused(self, tmp_path):
+        path = tmp_path / "ck.json"
+        write_checkpoint(path, "demo", 1, {})
+        with pytest.raises(CheckpointError, match="version"):
+            read_checkpoint(path, "demo", 2)
+
+    def test_missing_envelope_refused(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"not": "an envelope"}), encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path, "demo", 1)
+
+    def test_unserialisable_state_refused(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            write_checkpoint(tmp_path / "ck.json", "demo", 1, {"f": object()})
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "ck.json"
+        write_checkpoint(path, "demo", 1, {"a": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+
+
+def _forum_with_live_posts():
+    forum = ForumServer("F", "x.onion")
+    forum.import_crowd_posts(
+        {
+            "alice": [day * DAY + 6 * HOUR for day in range(1, 11)],
+            "bob": [day * DAY + 18 * HOUR for day in range(1, 11)],
+        }
+    )
+    return forum
+
+
+class TestMonitorCheckpoint:
+    def test_killed_and_resumed_campaign_equals_uninterrupted(self, tmp_path):
+        path = tmp_path / "monitor.json"
+        forum = _forum_with_live_posts()
+        # Uninterrupted baseline on an identical forum.
+        baseline = ForumMonitor(_forum_with_live_posts()).run_campaign(
+            0.0, 10 * DAY, HOUR
+        )
+        # Killed at day 5 ...
+        ForumMonitor(forum).run_campaign(
+            0.0, 5 * DAY, HOUR, checkpoint_path=path
+        )
+        # ... resumed by a fresh process from the checkpoint.
+        resumed_monitor = ForumMonitor.from_checkpoint(forum, path)
+        result = resumed_monitor.run_campaign(
+            0.0, 10 * DAY, HOUR, checkpoint_path=path
+        )
+        assert set(result.traces.user_ids()) == set(baseline.traces.user_ids())
+        for user in baseline.traces.user_ids():
+            assert np.allclose(
+                result.traces[user].timestamps,
+                baseline.traces[user].timestamps,
+            )
+        assert result.n_polls == baseline.n_polls
+
+    def test_resume_does_not_restamp_first_poll_backlog(self, tmp_path):
+        path = tmp_path / "monitor.json"
+        forum = _forum_with_live_posts()
+        ForumMonitor(forum).run_campaign(
+            5 * DAY, 7 * DAY, HOUR, checkpoint_path=path
+        )
+        resumed = ForumMonitor.from_checkpoint(forum, path)
+        result = resumed.run_campaign(5 * DAY, 10 * DAY, HOUR)
+        # The resumed monitor's first executed poll is NOT a "first poll":
+        # it must keep stamping rather than swallowing the backlog again.
+        ids = [obs.post_id for obs in result.observations]
+        assert len(ids) == len(set(ids))
+        stamps = result.traces["alice"].timestamps
+        assert stamps.min() >= 5 * DAY  # pre-monitoring backlog stays dropped
+        assert stamps.max() > 7 * DAY  # post-resume posts were stamped
+
+    def test_checkpoint_every_reduces_write_frequency(self, tmp_path, monkeypatch):
+        path = tmp_path / "monitor.json"
+        writes = []
+        import repro.forum.monitor as monitor_module
+
+        original = monitor_module.write_checkpoint
+
+        def counting(path_, kind, version, state):
+            writes.append(state["n_polls"])
+            return original(path_, kind, version, state)
+
+        monkeypatch.setattr(monitor_module, "write_checkpoint", counting)
+        ForumMonitor(_forum_with_live_posts()).run_campaign(
+            0.0, 2 * DAY, HOUR, checkpoint_path=path, checkpoint_every=10
+        )
+        # 49 polls -> every-10th plus the final flush, not one per poll.
+        assert len(writes) < 10
+
+    def test_checkpoint_rejects_foreign_kind(self, tmp_path):
+        path = tmp_path / "other.json"
+        write_checkpoint(path, "scrape-campaign", 1, {})
+        with pytest.raises(CheckpointError):
+            ForumMonitor.from_checkpoint(_forum_with_live_posts(), path)
+
+
+class TestStreamingCheckpoint:
+    def test_round_trip_preserves_snapshot(self, references, tmp_path):
+        path = tmp_path / "stream.json"
+        crowd = build_region_crowd("malaysia", 40, seed=21, n_days=366)
+        stream = StreamingGeolocator(references)
+        for trace in crowd:
+            for timestamp in trace.timestamps:
+                stream.observe(trace.user_id, float(timestamp))
+        stream.save_checkpoint(path)
+        restored = StreamingGeolocator.load_checkpoint(path, references=references)
+        assert restored.n_events == stream.n_events
+        assert restored.n_users() == stream.n_users()
+        before = stream.snapshot()
+        after = restored.snapshot()
+        assert after.has_verdict() == before.has_verdict()
+        assert after.dominant_mean() == pytest.approx(before.dominant_mean())
+
+    def test_restored_stream_keeps_ingesting(self, references, tmp_path):
+        path = tmp_path / "stream.json"
+        stream = StreamingGeolocator(references, min_posts=3)
+        stream.observe("u", 20 * HOUR)
+        stream.observe("u", DAY + 20 * HOUR)
+        stream.save_checkpoint(path)
+        restored = StreamingGeolocator.load_checkpoint(path)
+        restored.observe("u", 2 * DAY + 20 * HOUR)
+        assert restored.n_events == 3
+        assert "u" in restored.active_profiles()
+
+    def test_profiles_survive_round_trip_exactly(self, references, tmp_path):
+        path = tmp_path / "stream.json"
+        crowd = build_region_crowd("japan", 3, seed=5, n_days=200)
+        stream = StreamingGeolocator(references, min_posts=1)
+        for trace in crowd:
+            for timestamp in trace.timestamps:
+                stream.observe(trace.user_id, float(timestamp))
+        stream.save_checkpoint(path)
+        restored = StreamingGeolocator.load_checkpoint(path)
+        assert restored.active_profiles() == stream.active_profiles()
+
+    def test_malformed_state_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "stream.json"
+        from repro.core.streaming import (
+            STREAM_CHECKPOINT_KIND,
+            STREAM_CHECKPOINT_VERSION,
+        )
+
+        write_checkpoint(
+            path,
+            STREAM_CHECKPOINT_KIND,
+            STREAM_CHECKPOINT_VERSION,
+            {"config": {}, "users": "not-a-mapping"},
+        )
+        with pytest.raises(CheckpointError):
+            StreamingGeolocator.load_checkpoint(path)

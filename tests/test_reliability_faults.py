@@ -1,0 +1,340 @@
+"""Fault injection and the resilient collection pipeline.
+
+Includes the PR's acceptance scenario: a scrape campaign against a forum
+with >= 20 % transient failures, a mid-campaign server clock step,
+duplicated listings and a mid-campaign collector kill must recover
+exactly the same crowd as the fault-free run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TransientForumError
+from repro.forum.engine import ForumServer
+from repro.forum.monitor import ForumMonitor
+from repro.forum.scraper import ForumScraper
+from repro.reliability import (
+    FaultSpec,
+    FlakyForumProxy,
+    ManualClock,
+    RetryPolicy,
+)
+
+pytestmark = pytest.mark.reliability
+
+DAY = 86400.0
+HOUR = 3600.0
+
+
+def _crowd_posts():
+    """Posts at hours 2/9/14 on days 1..8 -- never adjacent to a poll hour."""
+    return {
+        author: [
+            day * DAY + hour * HOUR
+            for day in range(1, 9)
+            for hour in (2, 9, 14)
+        ]
+        for author in ("alice", "bob", "carol", "dave", "erin", "frank")
+    }
+
+
+def _forum(offset_hours=0.0):
+    forum = ForumServer("F", "x.onion", server_offset_hours=offset_hours)
+    forum.import_crowd_posts(_crowd_posts())
+    return forum
+
+
+def _retry_policy(**kwargs):
+    defaults = dict(max_attempts=8, base_delay=0.01, jitter=0.0, seed=0)
+    defaults.update(kwargs)
+    return RetryPolicy(**defaults)
+
+
+class TestFaultSpec:
+    def test_defaults_are_benign(self):
+        spec = FaultSpec()
+        assert spec.failure_rate == 0.0
+        assert spec.skew_at(1e9) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(failure_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(duplicate_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec(replay_rate=1.5)
+
+    def test_skew_schedule_piecewise(self):
+        spec = FaultSpec(skew_schedule=((100.0, 1.0), (200.0, -2.0)))
+        assert spec.skew_at(0.0) == 0.0
+        assert spec.skew_at(100.0) == 1.0
+        assert spec.skew_at(199.9) == 1.0
+        assert spec.skew_at(200.0) == -2.0
+        assert spec.skew_at(1e9) == -2.0
+
+    def test_schedule_sorted_regardless_of_input_order(self):
+        spec = FaultSpec(skew_schedule=((200.0, -2.0), (100.0, 1.0)))
+        assert spec.skew_at(150.0) == 1.0
+
+
+class TestFlakyForumProxy:
+    def test_transient_failures_injected_at_spec_rate(self):
+        forum = _forum()
+        proxy = FlakyForumProxy(forum, FaultSpec(failure_rate=0.5, seed=1))
+        failures = 0
+        for _ in range(200):
+            try:
+                proxy.total_posts(), proxy.is_member("nobody")
+            except TransientForumError:
+                failures += 1
+        assert failures > 0
+        assert proxy.n_failures_injected == failures
+        # Roughly half of the is_member calls should have failed.
+        assert 0.3 < failures / 200 < 0.7
+
+    def test_failure_precedes_delegation(self):
+        # A failed register must not leave the user registered.
+        forum = _forum()
+        proxy = FlakyForumProxy(forum, FaultSpec(failure_rate=0.99, seed=2))
+        with pytest.raises(TransientForumError):
+            proxy.register("ghost")
+        assert not forum.is_member("ghost")
+
+    def test_skew_applied_to_displayed_posts_only(self):
+        forum = _forum(offset_hours=0.0)
+        forum.register("viewer")
+        proxy = FlakyForumProxy(forum, FaultSpec(skew_schedule=((0.0, 1.0),)))
+        displayed = proxy.visible_posts("viewer", 20 * DAY)
+        raw = forum.visible_posts("viewer", 20 * DAY)
+        assert all(
+            d.server_time == pytest.approx(r.server_time + HOUR)
+            for d, r in zip(displayed, raw)
+        )
+        # The wrapped forum's stored state is untouched.
+        again = forum.visible_posts("viewer", 20 * DAY)
+        assert [p.server_time for p in again] == [p.server_time for p in raw]
+
+    def test_duplicate_listings(self):
+        forum = _forum()
+        forum.register("viewer")
+        proxy = FlakyForumProxy(forum, FaultSpec(duplicate_rate=0.6, seed=3))
+        listing = proxy.visible_posts("viewer", 20 * DAY)
+        ids = [post.post_id for post in listing]
+        assert len(ids) > len(set(ids))
+        assert proxy.n_duplicates_injected == len(ids) - len(set(ids))
+
+    def test_shuffle_breaks_id_order(self):
+        forum = _forum()
+        forum.register("viewer")
+        proxy = FlakyForumProxy(forum, FaultSpec(shuffle=True, seed=4))
+        ids = [post.post_id for post in proxy.visible_posts("viewer", 20 * DAY)]
+        assert ids != sorted(ids)
+        assert sorted(ids) == sorted(
+            post.post_id for post in forum.visible_posts("viewer", 20 * DAY)
+        )
+
+    def test_cross_window_replay(self):
+        forum = _forum()
+        forum.register("viewer")
+        proxy = FlakyForumProxy(forum, FaultSpec(replay_rate=1.0, seed=5))
+        first = proxy.newly_visible_posts("viewer", 0.0, 2 * DAY)
+        second = proxy.newly_visible_posts("viewer", 2 * DAY, 4 * DAY)
+        assert proxy.n_replays_injected > 0
+        first_ids = {post.post_id for post in first}
+        assert any(post.post_id in first_ids for post in second)
+
+    def test_probe_post_sees_skew(self):
+        forum = _forum(offset_hours=3.0)
+        proxy = FlakyForumProxy(forum, FaultSpec(skew_schedule=((0.0, 2.0),)))
+        scraper = ForumScraper(proxy)
+        assert scraper.calibrate_offset(10 * DAY) == pytest.approx(5.0)
+
+
+class TestResilientScraper:
+    def test_retrying_scrape_equals_fault_free(self):
+        spec = FaultSpec(
+            failure_rate=0.3, duplicate_rate=0.4, shuffle=True, seed=6
+        )
+        proxy = FlakyForumProxy(_forum(offset_hours=3.0), spec)
+        clock = ManualClock()
+        faulty = ForumScraper(
+            proxy, retry_policy=_retry_policy(), clock=clock
+        ).scrape(20 * DAY)
+        clean = ForumScraper(_forum(offset_hours=3.0)).scrape(20 * DAY)
+        assert proxy.n_failures_injected > 0
+        assert proxy.n_duplicates_injected > 0
+        assert set(faulty.traces.user_ids()) == set(clean.traces.user_ids())
+        assert faulty.n_posts == clean.n_posts
+        for user in clean.traces.user_ids():
+            assert np.allclose(
+                faulty.traces[user].timestamps, clean.traces[user].timestamps
+            )
+        assert clock.sleeps  # backoff actually ran (on the injected clock)
+
+    def test_unretried_campaign_skips_failed_polls(self):
+        spec = FaultSpec(failure_rate=0.2, seed=7)
+        proxy = FlakyForumProxy(_forum(), spec)
+        # No retry policy: a single injected failure sinks its whole poll,
+        # so the campaign runs long enough that at least one poll after the
+        # final crowd post succeeds (each dump is full, so one is enough).
+        result = ForumScraper(proxy).scrape_campaign(DAY, 12 * DAY, 6 * HOUR)
+        assert result.n_failed_polls > 0
+        assert set(result.traces.user_ids()) == set(_crowd_posts())
+
+    def test_retry_exhaustion_counts_as_failed_poll(self):
+        spec = FaultSpec(failure_rate=0.9, seed=8)
+        proxy = FlakyForumProxy(_forum(), spec)
+        policy = _retry_policy(max_attempts=2)
+        result = ForumScraper(
+            proxy, retry_policy=policy, clock=ManualClock()
+        ).scrape_campaign(DAY, 3 * DAY, 6 * HOUR)
+        assert result.n_failed_polls > 0
+
+
+class TestResilientMonitor:
+    def test_monitor_under_faults_equals_fault_free(self):
+        spec = FaultSpec(
+            failure_rate=0.25, replay_rate=0.8, shuffle=True, seed=9
+        )
+        proxy = FlakyForumProxy(_forum(), spec)
+        faulty = ForumMonitor(
+            proxy, retry_policy=_retry_policy(), clock=ManualClock()
+        ).run_campaign(0.0, 10 * DAY, HOUR)
+        clean = ForumMonitor(_forum()).run_campaign(0.0, 10 * DAY, HOUR)
+        assert proxy.n_failures_injected > 0
+        assert faulty.n_failed_polls == 0  # retries absorbed every fault
+        assert set(faulty.traces.user_ids()) == set(clean.traces.user_ids())
+        for user in clean.traces.user_ids():
+            assert np.allclose(
+                faulty.traces[user].timestamps, clean.traces[user].timestamps
+            )
+
+    def test_replayed_posts_stamped_once(self):
+        spec = FaultSpec(replay_rate=1.0, seed=10)
+        proxy = FlakyForumProxy(_forum(), spec)
+        result = ForumMonitor(proxy).run_campaign(0.0, 10 * DAY, HOUR)
+        ids = [obs.post_id for obs in result.observations]
+        assert len(ids) == len(set(ids))
+
+    def test_failed_poll_folds_into_next_window(self):
+        forum = _forum()
+
+        class _OneFailure:
+            """Fail the poll that would capture alice's day-2 02:00 post."""
+
+            def __init__(self, forum):
+                self.forum = forum
+                self.fail_at = 2 * DAY + 2 * HOUR
+
+            def __getattr__(self, name):
+                return getattr(self.forum, name)
+
+            def newly_visible_posts(self, viewer, since, until):
+                if until == self.fail_at:
+                    raise TransientForumError("injected")
+                return self.forum.newly_visible_posts(viewer, since, until)
+
+        result = ForumMonitor(_OneFailure(forum)).run_campaign(
+            0.0, 3 * DAY, HOUR
+        )
+        assert result.n_failed_polls == 1
+        # The post (at exactly 02:00, captured by the 02:00 poll when it
+        # succeeds) folds into the 01:00->03:00 double window instead, so
+        # it is stamped with that window's midpoint, 02:00.
+        stamps = result.traces["alice"].timestamps
+        day2 = stamps[(stamps >= 2 * DAY) & (stamps < 2 * DAY + 6 * HOUR)]
+        assert day2.size == 1
+        assert day2[0] == pytest.approx(2 * DAY + 2 * HOUR)
+
+
+class TestAcceptanceScenario:
+    """The ISSUE's scripted end-to-end fault-recovery scenario."""
+
+    START, END, KILL_AT = DAY, 9 * DAY, 4 * DAY
+    POLL = 6 * HOUR
+    BASE_OFFSET = 3.0
+    SPEC = dict(
+        failure_rate=0.25,  # >= 20 % of calls time out
+        duplicate_rate=0.3,
+        shuffle=True,
+        skew_schedule=((5 * DAY, 2.0),),  # server clock stepped +2h on day 5
+    )
+
+    def _fault_free(self):
+        return ForumScraper(_forum(self.BASE_OFFSET)).scrape_campaign(
+            self.START, self.END, self.POLL
+        )
+
+    def test_faulty_killed_resumed_campaign_recovers_exact_crowd(self, tmp_path):
+        checkpoint = tmp_path / "campaign.json"
+        forum = _forum(self.BASE_OFFSET)
+
+        # Phase 1: collect under faults until the process is "killed" at
+        # day 4 (the campaign simply stops; the checkpoint survives).
+        proxy = FlakyForumProxy(forum, FaultSpec(seed=11, **self.SPEC))
+        ForumScraper(
+            proxy, retry_policy=_retry_policy(), clock=ManualClock()
+        ).scrape_campaign(
+            self.START, self.KILL_AT, self.POLL, checkpoint_path=checkpoint
+        )
+        assert checkpoint.exists()
+
+        # Phase 2: a fresh process (new scraper, new proxy RNG) resumes
+        # from the checkpoint and runs the campaign to completion.
+        proxy2 = FlakyForumProxy(forum, FaultSpec(seed=12, **self.SPEC))
+        result = ForumScraper(
+            proxy2, retry_policy=_retry_policy(), clock=ManualClock()
+        ).scrape_campaign(
+            self.START,
+            self.END,
+            self.POLL,
+            checkpoint_path=checkpoint,
+            resume=True,
+        )
+
+        # The faults demonstrably fired ...
+        assert proxy.n_failures_injected + proxy2.n_failures_injected > 10
+        assert proxy.n_duplicates_injected + proxy2.n_duplicates_injected > 0
+        assert result.resumed
+        assert result.n_failed_polls == 0  # the retry policy absorbed them
+        assert result.n_skew_corrections == 1  # the day-5 clock step, caught
+
+        # ... and the recovered TraceSet equals the fault-free run's: same
+        # authors, same deduplicated UTC timestamps.
+        clean = self._fault_free()
+        assert set(result.traces.user_ids()) == set(clean.traces.user_ids())
+        assert result.n_posts == clean.n_posts
+        for user in clean.traces.user_ids():
+            assert np.allclose(
+                result.traces[user].timestamps,
+                clean.traces[user].timestamps,
+                atol=1e-6,
+            )
+
+    def test_fault_free_campaign_recovers_input_crowd(self):
+        result = self._fault_free()
+        expected = _crowd_posts()
+        assert set(result.traces.user_ids()) == set(expected)
+        for user, stamps in expected.items():
+            assert np.allclose(result.traces[user].timestamps, sorted(stamps))
+
+    def test_resume_skips_completed_polls(self, tmp_path):
+        checkpoint = tmp_path / "campaign.json"
+        forum = _forum(self.BASE_OFFSET)
+        scraper = ForumScraper(forum)
+        first = scraper.scrape_campaign(
+            self.START, self.KILL_AT, self.POLL, checkpoint_path=checkpoint
+        )
+        resumed = ForumScraper(forum).scrape_campaign(
+            self.START,
+            self.END,
+            self.POLL,
+            checkpoint_path=checkpoint,
+            resume=True,
+        )
+        total_polls = int((self.END - self.START) / self.POLL) + 1
+        assert first.n_polls < total_polls
+        assert resumed.resumed
+        assert resumed.n_polls == total_polls

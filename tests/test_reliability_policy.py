@@ -1,0 +1,213 @@
+"""Retry/backoff and circuit-breaker policy primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ForumError,
+    RetryExhaustedError,
+    TransientForumError,
+)
+from repro.reliability import (
+    CircuitBreaker,
+    CircuitState,
+    ManualClock,
+    RetryPolicy,
+)
+
+pytestmark = pytest.mark.reliability
+
+
+class _FailsNTimes:
+    """A callable that raises *n* transient errors before succeeding."""
+
+    def __init__(self, n, result="ok", error=TransientForumError):
+        self.remaining = n
+        self.result = result
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.error("boom")
+        return self.result
+
+
+class TestManualClock:
+    def test_sleep_advances(self):
+        clock = ManualClock(start=10.0)
+        clock.sleep(5.0)
+        assert clock.now() == 15.0
+        assert clock.sleeps == [5.0]
+
+    def test_advance_does_not_record_sleep(self):
+        clock = ManualClock()
+        clock.advance(3.0)
+        assert clock.now() == 3.0
+        assert clock.sleeps == []
+
+    def test_negative_rejected(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError):
+            clock.sleep(-1.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestRetryPolicy:
+    def test_success_first_try_no_sleep(self):
+        clock = ManualClock()
+        policy = RetryPolicy(max_attempts=5)
+        assert policy.execute(lambda: 42, clock=clock) == 42
+        assert clock.sleeps == []
+
+    def test_retries_until_success(self):
+        clock = ManualClock()
+        fn = _FailsNTimes(3)
+        policy = RetryPolicy(max_attempts=5, base_delay=1.0, jitter=0.0)
+        assert policy.execute(fn, clock=clock) == "ok"
+        assert fn.calls == 4
+        assert clock.sleeps == [1.0, 2.0, 4.0]  # exponential, no jitter
+
+    def test_max_delay_caps_backoff(self):
+        clock = ManualClock()
+        fn = _FailsNTimes(4)
+        policy = RetryPolicy(max_attempts=6, base_delay=1.0, max_delay=2.0, jitter=0.0)
+        policy.execute(fn, clock=clock)
+        assert clock.sleeps == [1.0, 2.0, 2.0, 2.0]
+
+    def test_exhaustion_raises_with_cause(self):
+        clock = ManualClock()
+        fn = _FailsNTimes(99)
+        policy = RetryPolicy(max_attempts=3, base_delay=1.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.execute(fn, clock=clock)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, TransientForumError)
+        assert fn.calls == 3
+
+    def test_non_retryable_error_propagates_immediately(self):
+        clock = ManualClock()
+        fn = _FailsNTimes(5, error=ForumError)
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(ForumError):
+            policy.execute(fn, clock=clock)
+        assert fn.calls == 1
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = RetryPolicy(max_attempts=5, base_delay=1.0, jitter=0.5, seed=7)
+        b = RetryPolicy(max_attempts=5, base_delay=1.0, jitter=0.5, seed=7)
+        c = RetryPolicy(max_attempts=5, base_delay=1.0, jitter=0.5, seed=8)
+        assert a.delays() == b.delays()
+        assert a.delays() != c.delays()
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(max_attempts=20, base_delay=1.0, multiplier=1.0, jitter=0.25, seed=3)
+        for delay in policy.delays():
+            assert 0.75 <= delay <= 1.25
+
+    def test_deadline_stops_early(self):
+        clock = ManualClock()
+        fn = _FailsNTimes(99)
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=10.0, jitter=0.0, deadline=25.0
+        )
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.execute(fn, clock=clock)
+        # 10s + 20s sleeps fit; the third 40s sleep would blow the budget.
+        assert excinfo.value.attempts < 10
+        assert clock.now() <= 31.0
+
+    def test_on_retry_callback_counts(self):
+        clock = ManualClock()
+        fn = _FailsNTimes(2)
+        seen = []
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+        policy.execute(fn, clock=clock, on_retry=lambda n, exc: seen.append(n))
+        assert seen == [1, 2]
+
+    def test_no_retry_policy(self):
+        policy = RetryPolicy.no_retry()
+        fn = _FailsNTimes(1)
+        with pytest.raises(RetryExhaustedError):
+            policy.execute(fn, clock=ManualClock())
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=0.0)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = ManualClock()
+        defaults = dict(failure_threshold=3, recovery_timeout=60.0, clock=clock)
+        defaults.update(kwargs)
+        return CircuitBreaker(**defaults), clock
+
+    def test_stays_closed_on_success(self):
+        breaker, _ = self._breaker()
+        for _ in range(10):
+            assert breaker.call(lambda: 1) == 1
+        assert breaker.state is CircuitState.CLOSED
+
+    def test_opens_after_threshold(self):
+        breaker, _ = self._breaker()
+        fn = _FailsNTimes(99)
+        for _ in range(3):
+            with pytest.raises(TransientForumError):
+                breaker.call(fn)
+        assert breaker.state is CircuitState.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.call(fn)
+        assert fn.calls == 3  # the open circuit never touched the callable
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = self._breaker()
+        fn = _FailsNTimes(3)
+        for _ in range(3):
+            with pytest.raises(TransientForumError):
+                breaker.call(fn)
+        clock.advance(60.0)
+        assert breaker.state is CircuitState.HALF_OPEN
+        assert breaker.call(fn) == "ok"
+        assert breaker.state is CircuitState.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self._breaker()
+        fn = _FailsNTimes(99)
+        for _ in range(3):
+            with pytest.raises(TransientForumError):
+                breaker.call(fn)
+        clock.advance(60.0)
+        with pytest.raises(TransientForumError):
+            breaker.call(fn)  # the half-open probe
+        assert breaker.state is CircuitState.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.call(fn)
+
+    def test_success_resets_failure_count(self):
+        breaker, _ = self._breaker()
+        fn = _FailsNTimes(99)
+        for _ in range(2):
+            with pytest.raises(TransientForumError):
+                breaker.call(fn)
+        breaker.call(lambda: 1)  # resets the consecutive-failure streak
+        for _ in range(2):
+            with pytest.raises(TransientForumError):
+                breaker.call(fn)
+        assert breaker.state is CircuitState.CLOSED
+
+    def test_non_tripping_error_does_not_open(self):
+        breaker, _ = self._breaker()
+        for _ in range(5):
+            with pytest.raises(ForumError):
+                breaker.call(_FailsNTimes(1, error=ForumError))
+        assert breaker.state is CircuitState.CLOSED

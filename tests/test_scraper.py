@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import ForumError
 from repro.forum.engine import ForumServer
-from repro.forum.scraper import ForumScraper
+from repro.forum.scraper import ForumScraper, normalize_offset_hours
 
 
 def _forum_with_history(offset_hours):
@@ -86,3 +86,67 @@ class TestScrape:
         assert np.allclose(
             base.traces["alice"].timestamps, skewed.traces["alice"].timestamps
         )
+
+
+class TestOffsetNormalization:
+    """Regressions for the +/-12 h seam: offsets fold into (-12, +12]."""
+
+    @pytest.mark.parametrize(
+        ("raw", "folded"),
+        [
+            (0.0, 0.0),
+            (12.0, 12.0),  # the seam itself takes the +12 representative
+            (-12.0, 12.0),  # ... from either side
+            (12.25, -11.75),  # just past the seam wraps westward
+            (-11.75, -11.75),
+            (-12.25, 11.75),
+            (13.0, -11.0),
+            (-13.0, 11.0),
+            (24.0, 0.0),
+            (-24.0, 0.0),
+            (23.75, -0.25),
+            (11.75, 11.75),
+        ],
+    )
+    def test_fold_into_half_open_day(self, raw, folded):
+        assert normalize_offset_hours(raw) == pytest.approx(folded)
+
+    def test_fold_is_idempotent(self):
+        for raw in np.arange(-30.0, 30.0, 0.25):
+            once = normalize_offset_hours(raw)
+            assert normalize_offset_hours(once) == pytest.approx(once)
+            assert -12.0 < once <= 12.0
+
+    def test_fold_preserves_hour_of_day(self):
+        for raw in np.arange(-30.0, 30.0, 0.25):
+            folded = normalize_offset_hours(raw)
+            assert (folded - raw) % 24.0 == pytest.approx(0.0) or (
+                folded - raw
+            ) % 24.0 == pytest.approx(24.0)
+
+    @pytest.mark.parametrize("offset", [12.0, -12.0])
+    def test_calibration_at_the_seam_is_canonical(self, offset):
+        # A server clock 12h ahead is indistinguishable from 12h behind;
+        # both calibrate to the canonical +12 representative.
+        forum = ForumServer("F", "x.onion", server_offset_hours=offset)
+        scraper = ForumScraper(forum)
+        assert scraper.calibrate_offset(10_000.0) == pytest.approx(12.0)
+
+    def test_calibration_just_past_the_seam(self):
+        forum = ForumServer("F", "x.onion", server_offset_hours=12.25)
+        assert ForumScraper(forum).calibrate_offset(0.0) == pytest.approx(-11.75)
+
+    def test_seam_scrape_preserves_hour_of_day(self):
+        # Folding moves the correction by whole days, never partial hours:
+        # the recovered hour-of-day (all the method uses) is intact.
+        base = ForumScraper(_forum_with_history(0)).scrape(50_000.0)
+        seam = ForumScraper(_forum_with_history(-12)).scrape(50_000.0)
+        base_hours = np.asarray(base.traces["alice"].timestamps) % 86400.0
+        seam_hours = np.asarray(seam.traces["alice"].timestamps) % 86400.0
+        assert np.allclose(base_hours, seam_hours)
+
+    def test_rounding_lands_on_seam_then_folds(self):
+        # 11.9h rounds to the 12.0 quarter-hour grid point -- exactly the
+        # seam -- and must come back as +12, not -12.
+        forum = ForumServer("F", "x.onion", server_offset_hours=11.9)
+        assert ForumScraper(forum).calibrate_offset(0.0) == pytest.approx(12.0)
