@@ -1,0 +1,250 @@
+"""Out-of-core scale bench: the ISSUE's 100k/1M-user acceptance numbers.
+
+Times the three tentpole layers end to end on a synthetic crowd of
+``--users`` users (default 100k; pass ``--users 1000000`` for the
+million-user run):
+
+* **store**   -- compiling the crowd into the columnar
+  :class:`~repro.datasets.store.TraceStore` and loading it back into a
+  :class:`~repro.core.batch.ProfileMatrix`, against the JSONL
+  parse + per-trace path it replaces (skipped above 200k users, where
+  the JSONL baseline alone would dominate the bench),
+* **build**   -- the shared-memory parallel Eq. 1 kernel against the
+  pickle fan-out baseline,
+* **snapshot / checkpoint** -- a cold full re-place of the streaming
+  geolocator against a warm snapshot after 1 000 fresh events, plus the
+  binary ``.npz`` checkpoint round-trip.
+
+Results are merged into ``BENCH_core.json`` under the ``"scale"`` key
+(the ``full``/``smoke`` sections written by :mod:`perf_baseline` are
+preserved)::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py
+    PYTHONPATH=src python benchmarks/bench_scale.py --users 1000000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from perf_baseline import BENCH_PATH
+
+from repro.core.batch import (
+    ProfileMatrix,
+    counts_parallel_pickle,
+    counts_parallel_shm,
+)
+from repro.core.events import ActivityTrace, TraceSet
+from repro.core.reference import parametric_generic_profile
+from repro.core.streaming import StreamingGeolocator
+from repro.datasets.store import TraceStore
+from repro.datasets.traces import load_trace_set, save_trace_set
+
+#: Above this crowd size the JSONL baseline is skipped (it alone would
+#: run for minutes and gigabytes); the store numbers are still recorded.
+MAX_JSONL_USERS = 200_000
+
+#: Fresh events streamed before each warm snapshot (the ISSUE's "after
+#: 1k new events" criterion).
+WARM_EVENTS = 1_000
+
+
+def synthetic_columns(
+    n_users: int, posts_per_user: int, *, seed: int = 11, n_days: int = 45
+) -> tuple[list[str], np.ndarray, np.ndarray]:
+    """A diurnal crowd generated straight into columnar form.
+
+    Same statistical shape as :func:`_shared.synthetic_crowd` (canonical
+    diurnal curve, one random zone per user) but built as one flat
+    timestamp column + per-user lengths with zero per-user Python loops,
+    so the million-user run spends its time in the code under test, not
+    in the generator.
+    """
+    rng = np.random.default_rng(seed)
+    weights = parametric_generic_profile().mass
+    n_posts = n_users * posts_per_user
+    zones = rng.integers(-11, 13, size=n_users)
+    days = rng.integers(0, n_days, size=n_posts)
+    local_hours = rng.choice(24, size=n_posts, p=weights)
+    stamps = (
+        days * 86400.0
+        + (local_hours - np.repeat(zones, posts_per_user)) * 3600.0
+        + rng.uniform(0.0, 3600.0, size=n_posts)
+    )
+    stamps = np.abs(stamps)
+    # Sort within each user's segment (store layout expects sorted traces).
+    stamps = np.sort(stamps.reshape(n_users, posts_per_user), axis=1).ravel()
+    user_ids = [f"user_{index:07d}" for index in range(n_users)]
+    lengths = np.full(n_users, posts_per_user, dtype=np.int64)
+    return user_ids, stamps, lengths
+
+
+def _traces(user_ids, stamps, lengths):
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    for i, user_id in enumerate(user_ids):
+        yield ActivityTrace(user_id, stamps[offsets[i] : offsets[i + 1]])
+
+
+def _binary_columns(user_ids, stamps, lengths, *, min_posts: int):
+    """The streaming geolocator's checkpoint columns, built vectorised.
+
+    Encodes every post's (day, hour) cell, de-duplicates per user, and
+    packs the result in the exact layout of
+    :meth:`StreamingGeolocator.binary_state` -- the bench restores from
+    this instead of replaying millions of ``observe`` calls one by one.
+    """
+    n_users = len(user_ids)
+    owners = np.repeat(np.arange(n_users, dtype=np.int64), lengths)
+    cells = (stamps // 86400.0).astype(np.int64) * 24 + (
+        (stamps % 86400.0) // 3600.0
+    ).astype(np.int64)
+    span = int(cells.max()) - int(cells.min()) + 1
+    base = int(cells.min())
+    unique = np.unique(owners * span + (cells - base))
+    unique_owner = unique // span
+    unique_cells = unique % span + base
+    counts = np.bincount(unique_owner, minlength=n_users)
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    meta = {
+        "config": {
+            "metric": "linear",
+            "min_posts": min_posts,
+            "sigma_init": 2.5,
+            "max_components": 4,
+            "min_users_for_verdict": 10,
+        },
+        "n_events": int(stamps.size),
+    }
+    arrays = {
+        "user_ids": np.asarray(user_ids, dtype=np.str_),
+        "n_posts": np.asarray(lengths, dtype=np.int64),
+        "cell_offsets": offsets,
+        "cells": unique_cells.astype(np.int64),
+        "generic_profile": np.asarray(
+            parametric_generic_profile().mass, dtype=np.float64
+        ),
+    }
+    return meta, arrays
+
+
+def _time(func, *, repeat: int = 1) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(n_users: int, posts_per_user: int) -> dict:
+    results: dict = {"n_users": n_users, "posts_per_user": posts_per_user}
+    print(f"generating {n_users} users x {posts_per_user} posts ...")
+    user_ids, stamps, lengths = synthetic_columns(n_users, posts_per_user)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "crowd.store"
+
+        start = time.perf_counter()
+        store = TraceStore.write(_traces(user_ids, stamps, lengths), store_path)
+        results["store_convert_s"] = round(time.perf_counter() - start, 4)
+        del store
+
+        def load_store():
+            opened = TraceStore.open(store_path)
+            return ProfileMatrix.from_store(opened, min_posts=30)
+
+        results["store_load_s"] = round(_time(load_store, repeat=3), 4)
+
+        if n_users <= MAX_JSONL_USERS:
+            jsonl_path = Path(tmp) / "crowd.jsonl"
+            save_trace_set(
+                TraceSet(_traces(user_ids, stamps, lengths)), jsonl_path
+            )
+
+            def load_jsonl():
+                crowd = load_trace_set(jsonl_path)
+                return ProfileMatrix.from_trace_set(crowd.with_min_posts(30))
+
+            results["jsonl_load_s"] = round(_time(load_jsonl), 4)
+            results["load_speedup"] = round(
+                results["jsonl_load_s"] / results["store_load_s"], 2
+            )
+        else:
+            print(f"  (skipping JSONL baseline above {MAX_JSONL_USERS} users)")
+
+        # -- layer 2: shared-memory kernel vs pickle fan-out ---------------
+        results["build_pickle_s"] = round(
+            _time(lambda: counts_parallel_pickle(stamps, lengths), repeat=2), 4
+        )
+        results["build_shm_s"] = round(
+            _time(lambda: counts_parallel_shm(stamps, lengths), repeat=2), 4
+        )
+        results["build_speedup"] = round(
+            results["build_pickle_s"] / results["build_shm_s"], 2
+        )
+
+        # -- layer 3: incremental snapshots + binary checkpoints -----------
+        meta, arrays = _binary_columns(user_ids, stamps, lengths, min_posts=30)
+        geo = StreamingGeolocator.from_binary_state(meta, arrays)
+
+        def cold_snapshot():
+            geo.invalidate_all()
+            return geo.snapshot()
+
+        results["snapshot_cold_s"] = round(_time(cold_snapshot, repeat=2), 4)
+
+        warm_best = float("inf")
+        clock = [int(stamps.max()) + 1]
+        for _ in range(3):
+            for k in range(WARM_EVENTS):
+                geo.observe(user_ids[k % n_users], float(clock[0]))
+                clock[0] += 7_200  # every event lands in a fresh cell
+            warm_best = min(warm_best, _time(geo.snapshot))
+        results["snapshot_warm_s"] = round(warm_best, 4)
+        results["snapshot_speedup"] = round(
+            results["snapshot_cold_s"] / results["snapshot_warm_s"], 2
+        )
+
+        ckpt = Path(tmp) / "crowd.ckpt.npz"
+        results["checkpoint_save_s"] = round(
+            _time(lambda: geo.save_checkpoint(ckpt), repeat=2), 4
+        )
+        results["checkpoint_load_s"] = round(
+            _time(lambda: StreamingGeolocator.load_checkpoint(ckpt), repeat=2), 4
+        )
+
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--users", type=int, default=100_000)
+    parser.add_argument("--posts", type=int, default=35)
+    args = parser.parse_args(argv)
+
+    results = run(args.users, args.posts)
+    for name, value in results.items():
+        print(f"  {name:20s} {value}")
+
+    payload = (
+        json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        if BENCH_PATH.exists()
+        else {}
+    )
+    payload.setdefault("scale", {})[str(args.users)] = results
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"merged into {BENCH_PATH} under scale.{args.users}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

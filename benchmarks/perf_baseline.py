@@ -16,6 +16,7 @@ from __future__ import annotations
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -30,6 +31,8 @@ from repro.core.geolocate import CrowdGeolocator
 from repro.core.placement import placement_distribution
 from repro.core.profiles import build_user_profile
 from repro.core.reference import ReferenceProfiles
+from repro.core.streaming import StreamingGeolocator
+from repro.datasets.store import TraceStore
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
 
@@ -99,6 +102,31 @@ def _timings(n_users: int, *, repeat: int) -> dict[str, dict[str, float]]:
         _time(placement_distribution, assignments, repeat=repeat),
         None,
     )
+
+    # Out-of-core paths (PR 3): the columnar store reader and the warm
+    # incremental streaming snapshot, gated by perf_smoke alongside the
+    # batch-engine entries above.
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "crowd.store"
+        TraceStore.write(crowd, store_path)
+
+        def load_store():
+            return ProfileMatrix.from_store(
+                TraceStore.open(store_path), min_posts=30
+            )
+
+        record("store_load", _time(load_store, repeat=repeat), None)
+
+    stream = StreamingGeolocator(references)
+    for trace in crowd:
+        for timestamp in trace.timestamps:
+            stream.observe(trace.user_id, float(timestamp))
+    stream.snapshot()  # place everyone once; timed snapshots are warm
+    record(
+        "streaming_snapshot",
+        _time(stream.snapshot, repeat=repeat),
+        None,
+    )
     return results
 
 
@@ -119,6 +147,11 @@ def run() -> dict:
 
 def main() -> int:
     payload = run()
+    if BENCH_PATH.exists():
+        # Keep the scale section written by bench_scale.py across re-baselines.
+        previous = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        if "scale" in previous:
+            payload["scale"] = previous["scale"]
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {BENCH_PATH}")
     for name, entry in payload["full"].items():

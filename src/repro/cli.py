@@ -13,6 +13,8 @@ Examples::
     darkcrowd monitor --fault-rate 0.2 --checkpoint campaign.json
     darkcrowd monitor --resume campaign.json
     darkcrowd geolocate traces.jsonl --quarantine
+    darkcrowd convert traces.jsonl traces.store
+    darkcrowd geolocate traces.store --store
     darkcrowd all --fast
 """
 
@@ -48,6 +50,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.report import ascii_bars, ascii_table
 from repro.core.geolocate import CrowdGeolocator
+from repro.datasets.store import TraceStore, convert_jsonl
 from repro.datasets.traces import load_trace_set, load_trace_set_resilient
 from repro.errors import EmptyTraceError
 from repro.forum.monitor import ForumMonitor
@@ -361,8 +364,30 @@ def _cmd_monitor(context, args) -> None:
     print(report.summary())
 
 
+def _cmd_convert(context, args) -> None:
+    """Compile a JSONL trace set into the columnar binary store."""
+    store = convert_jsonl(args.traces, args.store)
+    print(
+        f"wrote {args.store}: {len(store)} users, "
+        f"{store.total_posts()} posts (columnar, memmap-ready)"
+    )
+
+
 def _cmd_geolocate(context, args) -> None:
-    """Geolocate a JSONL trace set, optionally quarantining corrupt data."""
+    """Geolocate a JSONL trace set (or columnar store with ``--store``)."""
+    if args.store:
+        if args.quarantine:
+            raise SystemExit(
+                "--quarantine applies to JSONL input only; store conversion "
+                "already rejects corrupt traces"
+            )
+        store = TraceStore.open(args.traces)
+        report = CrowdGeolocator(context.references).geolocate_store(
+            store, crowd_name=Path(args.traces).stem
+        )
+        _print_placement(f"{report.crowd_name} placement", report.placement)
+        print(report.summary())
+        return
     if args.quarantine:
         traces, load_report = load_trace_set_resilient(args.traces)
         if not load_report.is_clean():
@@ -478,12 +503,26 @@ def build_parser() -> argparse.ArgumentParser:
     geolocate = sub.add_parser(
         "geolocate", help="geolocate a JSONL trace set (see datasets.save_trace_set)"
     )
-    geolocate.add_argument("traces", help="path to a JSONL trace-set file")
+    geolocate.add_argument(
+        "traces", help="path to a JSONL trace-set file (or a store with --store)"
+    )
     geolocate.add_argument(
         "--quarantine",
         action="store_true",
         help="set corrupt traces aside and report them instead of failing",
     )
+    geolocate.add_argument(
+        "--store",
+        action="store_true",
+        help="treat the input as a columnar trace store (see 'convert') and "
+        "run the out-of-core pipeline",
+    )
+    convert = sub.add_parser(
+        "convert",
+        help="compile a JSONL trace set into the columnar binary store",
+    )
+    convert.add_argument("traces", help="path to a JSONL trace-set file")
+    convert.add_argument("store", help="store directory to create")
     sub.add_parser("all", help="everything")
     return parser
 
@@ -498,6 +537,7 @@ _COMMANDS = {
     "sweeps": _cmd_sweeps,
     "monitor": _cmd_monitor,
     "geolocate": _cmd_geolocate,
+    "convert": _cmd_convert,
     "all": _cmd_all,
 }
 

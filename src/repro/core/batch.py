@@ -14,7 +14,18 @@ For very large crowds the build can fan out over a
 ``concurrent.futures.ProcessPoolExecutor`` (off by default, auto-enabled
 above :data:`PARALLEL_USER_THRESHOLD` users, falling back to the serial
 path with a ``RuntimeWarning`` when the pool cannot be spawned or breaks
-mid-build).
+mid-build).  The default fan-out is zero-copy: the concatenated stamp
+column, the per-user lengths and the output count matrix live in
+``multiprocessing.shared_memory`` blocks that workers attach to by name,
+so the per-worker payload is a handful of scalars no matter how many
+posts the crowd holds (:func:`counts_parallel_shm`); the original
+pickle-the-buffers fan-out is kept as :func:`counts_parallel_pickle` for
+comparison and as the oracle it is benchmarked against.
+
+Out-of-core crowds enter through :meth:`ProfileMatrix.from_store`, which
+walks a :class:`~repro.datasets.store.TraceStore` shard by shard and runs
+the flat Eq. 1 kernel directly on each shard's memmapped stamp segment --
+no per-trace Python objects, peak memory bounded by one shard.
 
 Downstream, :func:`repro.core.emd.distance_matrix`,
 :func:`repro.core.flatness.polish_profile_matrix` and
@@ -78,7 +89,18 @@ def _flat_segment_counts(
     cell_min = int(cells.min())
     span = int(cells.max()) - cell_min + 1
     encoded = user_index * span + (cells - cell_min)
-    unique = _sorted_unique(encoded)
+    deltas = np.diff(encoded)
+    if np.all(deltas >= 0):
+        # Traces and store segments keep timestamps sorted per user, and
+        # the cell encoding is monotone in the timestamp, so the encoded
+        # column is usually already sorted -- dedupe by consecutive
+        # compare, skipping the O(n log n) sort entirely.
+        keep = np.empty(encoded.shape, dtype=bool)
+        keep[0] = True
+        np.not_equal(deltas, 0, out=keep[1:])
+        unique = encoded[keep]
+    else:
+        unique = _sorted_unique(encoded)
     owners = unique // span
     unique_hours = (unique % span + cell_min) % HOURS
     flat = np.bincount(owners * HOURS + unique_hours, minlength=n_users * HOURS)
@@ -107,49 +129,206 @@ def segmented_hour_counts(
     return _flat_segment_counts(stamps, lengths, offset_hours)
 
 
+def _default_workers(max_workers: int | None) -> int:
+    import os
+
+    if max_workers is None:
+        return min(8, os.cpu_count() or 1)
+    return max(1, int(max_workers))
+
+
+def _chunk_bounds(n_users: int, max_workers: int) -> list[tuple[int, int]]:
+    """Contiguous, non-empty (user_lo, user_hi) chunks covering every user.
+
+    ``linspace`` bounds can repeat when there are fewer users than chunk
+    slots (1-user crowds, tiny tails); repeated bounds would yield empty
+    chunks, which are filtered here -- the surviving chunks still tile
+    ``[0, n_users)`` exactly, so the fan-out never drops a user.
+    """
+    if n_users <= 0:
+        return []
+    n_chunks = max(1, min(max_workers * 2, n_users // PARALLEL_CHUNK_USERS + 1))
+    bounds = np.linspace(0, n_users, n_chunks + 1).astype(np.int64)
+    return [
+        (int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+    ]
+
+
 def _parallel_chunk_counts(
     payload: tuple[float, np.ndarray, np.ndarray]
 ) -> np.ndarray:
-    """Process-pool worker: counts for one contiguous chunk of users.
+    """Pickle-path pool worker: counts for one contiguous chunk of users.
 
     The payload ships one concatenated stamp array plus per-user lengths --
     two large picklable buffers -- rather than thousands of small arrays,
-    which keeps serialisation cost negligible next to the kernel itself.
+    which keeps serialisation cost proportional to the chunk's data.
     """
     offset_hours, stamps, lengths = payload
     return _flat_segment_counts(stamps, lengths, offset_hours)
+
+
+def counts_parallel_pickle(
+    stamps: np.ndarray,
+    lengths: np.ndarray,
+    offset_hours: float = 0.0,
+    max_workers: int | None = None,
+) -> np.ndarray:
+    """The original fan-out: each worker receives its buffers by pickle.
+
+    Kept as the baseline the zero-copy path is benchmarked against (and
+    as a fallback for platforms without POSIX shared memory).
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    n_users = int(lengths.size)
+    if n_users == 0:
+        return np.zeros((0, HOURS), dtype=float)
+    if stamps.size == 0:
+        return np.zeros((n_users, HOURS), dtype=float)
+    max_workers = _default_workers(max_workers)
+    starts = np.concatenate([[0], np.cumsum(lengths)])
+    payloads = [
+        (offset_hours, stamps[starts[lo] : starts[hi]], lengths[lo:hi])
+        for lo, hi in _chunk_bounds(n_users, max_workers)
+    ]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        results = list(pool.map(_parallel_chunk_counts, payloads))
+    return np.vstack(results)
+
+
+def _shm_chunk_worker(payload: tuple) -> None:
+    """Shared-memory pool worker: attach by name, compute, write in place.
+
+    The payload is pure scalars (block names, sizes, slice bounds), so
+    dispatching a worker costs the same whether the crowd holds a thousand
+    posts or a billion.  Count rows are written straight into the shared
+    output block; nothing is returned.
+    """
+    from multiprocessing import shared_memory
+
+    (
+        stamp_name,
+        length_name,
+        out_name,
+        n_posts,
+        n_users,
+        offset_hours,
+        user_lo,
+        user_hi,
+        stamp_lo,
+        stamp_hi,
+    ) = payload
+    blocks = []
+    try:
+        stamp_shm = shared_memory.SharedMemory(name=stamp_name)
+        blocks.append(stamp_shm)
+        length_shm = shared_memory.SharedMemory(name=length_name)
+        blocks.append(length_shm)
+        out_shm = shared_memory.SharedMemory(name=out_name)
+        blocks.append(out_shm)
+        stamps = np.ndarray((n_posts,), dtype=np.float64, buffer=stamp_shm.buf)
+        lengths = np.ndarray((n_users,), dtype=np.int64, buffer=length_shm.buf)
+        out = np.ndarray((n_users, HOURS), dtype=np.float64, buffer=out_shm.buf)
+        out[user_lo:user_hi] = _flat_segment_counts(
+            stamps[stamp_lo:stamp_hi], lengths[user_lo:user_hi], offset_hours
+        )
+    finally:
+        for block in blocks:
+            block.close()
+
+
+def counts_parallel_shm(
+    stamps: np.ndarray,
+    lengths: np.ndarray,
+    offset_hours: float = 0.0,
+    max_workers: int | None = None,
+) -> np.ndarray:
+    """Zero-copy fan-out of the Eq. 1 counts kernel.
+
+    The stamp column, the per-user lengths and the ``(N, 24)`` output all
+    live in ``multiprocessing.shared_memory``; workers attach by name and
+    write their rows in place, so per-worker dispatch cost is O(1) in the
+    data size.  The blocks are always closed and unlinked, success or not.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from multiprocessing import shared_memory
+
+    n_users = int(lengths.size)
+    if n_users == 0:
+        return np.zeros((0, HOURS), dtype=float)
+    if stamps.size == 0:
+        return np.zeros((n_users, HOURS), dtype=float)
+    max_workers = _default_workers(max_workers)
+    stamps = np.ascontiguousarray(stamps, dtype=np.float64)
+    lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+    starts = np.concatenate([[0], np.cumsum(lengths)])
+    blocks: list = []
+    try:
+        stamp_shm = shared_memory.SharedMemory(create=True, size=stamps.nbytes)
+        blocks.append(stamp_shm)
+        length_shm = shared_memory.SharedMemory(create=True, size=lengths.nbytes)
+        blocks.append(length_shm)
+        out_shm = shared_memory.SharedMemory(
+            create=True, size=n_users * HOURS * np.dtype(np.float64).itemsize
+        )
+        blocks.append(out_shm)
+        np.ndarray(stamps.shape, dtype=np.float64, buffer=stamp_shm.buf)[:] = stamps
+        np.ndarray(lengths.shape, dtype=np.int64, buffer=length_shm.buf)[:] = lengths
+        payloads = [
+            (
+                stamp_shm.name,
+                length_shm.name,
+                out_shm.name,
+                int(stamps.size),
+                n_users,
+                offset_hours,
+                lo,
+                hi,
+                int(starts[lo]),
+                int(starts[hi]),
+            )
+            for lo, hi in _chunk_bounds(n_users, max_workers)
+        ]
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            list(pool.map(_shm_chunk_worker, payloads))
+        out = np.ndarray((n_users, HOURS), dtype=np.float64, buffer=out_shm.buf)
+        return np.array(out)  # copy out before the block is unlinked
+    finally:
+        for block in blocks:
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:  # already gone (interpreter teardown)
+                pass
 
 
 def _counts_parallel(
     timestamp_arrays: list[np.ndarray],
     offset_hours: float,
     max_workers: int | None,
+    fanout: str = "shm",
 ) -> np.ndarray:
-    import os
-    from concurrent.futures import ProcessPoolExecutor
+    """Fan the per-user counts build over worker processes.
 
+    *fanout* selects the transport: ``"shm"`` (default; zero-copy shared
+    memory) or ``"pickle"`` (serialise each chunk's buffers).  Failures
+    propagate -- :meth:`ProfileMatrix.from_trace_set` owns the degrade-to-
+    serial policy.
+    """
     n_users = len(timestamp_arrays)
     lengths = np.fromiter(
         (array.size for array in timestamp_arrays), dtype=np.int64, count=n_users
     )
-    stamps = np.concatenate(timestamp_arrays)
-    starts = np.concatenate([[0], np.cumsum(lengths)])
-    if max_workers is None:
-        max_workers = min(8, os.cpu_count() or 1)
-    n_chunks = max(1, min(max_workers * 2, n_users // PARALLEL_CHUNK_USERS + 1))
-    bounds = np.linspace(0, n_users, n_chunks + 1).astype(np.int64)
-    payloads = [
-        (
-            offset_hours,
-            stamps[starts[lo] : starts[hi]],
-            lengths[lo:hi],
-        )
-        for lo, hi in zip(bounds[:-1], bounds[1:])
-        if hi > lo
-    ]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        results = list(pool.map(_parallel_chunk_counts, payloads))
-    return np.vstack(results)
+    stamps = (
+        np.concatenate(timestamp_arrays)
+        if timestamp_arrays
+        else np.zeros(0, dtype=float)
+    )
+    if fanout == "shm":
+        return counts_parallel_shm(stamps, lengths, offset_hours, max_workers)
+    if fanout == "pickle":
+        return counts_parallel_pickle(stamps, lengths, offset_hours, max_workers)
+    raise ValueError(f"unknown fanout {fanout!r}; options: shm, pickle")
 
 
 class ProfileMatrix:
@@ -198,15 +377,17 @@ class ProfileMatrix:
         skip_empty: bool = True,
         parallel: bool | None = None,
         max_workers: int | None = None,
+        fanout: str = "shm",
     ) -> "ProfileMatrix":
         """One-pass vectorised Eq. 1 over a whole crowd.
 
         *parallel* ``None`` auto-enables the process-pool path above
         :data:`PARALLEL_USER_THRESHOLD` users; ``True``/``False`` force it.
-        The pool path falls back to the serial build, with a
-        ``RuntimeWarning``, whenever the pool cannot be spawned or breaks
-        mid-build (restricted environments, pickling limits, killed
-        workers).
+        *fanout* picks the transport (``"shm"`` zero-copy shared memory,
+        ``"pickle"`` chunked buffers).  The pool path falls back to the
+        serial build, with a ``RuntimeWarning``, whenever the pool cannot
+        be spawned or breaks mid-build (restricted environments, pickling
+        limits, killed workers).
         """
         ids: list[str] = []
         arrays: list[np.ndarray] = []
@@ -222,7 +403,7 @@ class ProfileMatrix:
         counts: np.ndarray | None = None
         if parallel and len(ids) > 1:
             try:
-                counts = _counts_parallel(arrays, offset_hours, max_workers)
+                counts = _counts_parallel(arrays, offset_hours, max_workers, fanout)
             except Exception as exc:
                 # A crashed worker (BrokenProcessPool), a pool that cannot
                 # be spawned, or a pickling limit must degrade to the
@@ -258,6 +439,77 @@ class ProfileMatrix:
     ) -> "ProfileMatrix":
         """Build from raw per-hour count rows (e.g. streaming accumulators)."""
         return cls(user_ids, counts)
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        offset_hours: float = 0.0,
+        *,
+        min_posts: int = 0,
+        max_users_per_shard: int | None = None,
+        parallel: bool | None = None,
+        max_workers: int | None = None,
+    ) -> "ProfileMatrix":
+        """Build straight from a columnar :class:`~repro.datasets.store.TraceStore`.
+
+        The store is walked shard by shard (``max_users_per_shard`` users
+        at a time; default :data:`~repro.datasets.store.DEFAULT_SHARD_USERS`)
+        and the flat Eq. 1 kernel runs on each shard's stamp segment
+        directly, so no per-trace Python object is ever constructed and
+        peak memory is bounded by one shard.  Users with fewer than
+        *min_posts* posts (and always zero-post users) are skipped, which
+        matches ``from_trace_set(traces.with_min_posts(min_posts))``.
+
+        *parallel* ``None`` auto-enables the shared-memory fan-out for
+        shards of at least :data:`PARALLEL_USER_THRESHOLD` users.
+        """
+        from repro.datasets.store import DEFAULT_SHARD_USERS
+
+        if max_users_per_shard is None:
+            max_users_per_shard = DEFAULT_SHARD_USERS
+        threshold = max(int(min_posts), 1)
+        ids: list[str] = []
+        blocks: list[np.ndarray] = []
+        for shard in store.iter_shards(max_users_per_shard):
+            use_pool = (
+                parallel
+                if parallel is not None
+                # Auto-parallel needs both a big shard and real cores: with
+                # one worker the pool spawn alone outweighs the serial pass.
+                else len(shard) >= PARALLEL_USER_THRESHOLD
+                and _default_workers(max_workers) > 1
+            )
+            stamps = np.asarray(shard.stamps, dtype=np.float64)
+            if use_pool and len(shard) > 1:
+                try:
+                    counts = counts_parallel_shm(
+                        stamps, shard.lengths, offset_hours, max_workers
+                    )
+                except Exception as exc:
+                    warnings.warn(
+                        f"parallel shard build failed ({type(exc).__name__}: "
+                        f"{exc}); falling back to the serial pass",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    counts = _flat_segment_counts(
+                        stamps, shard.lengths, offset_hours
+                    )
+            else:
+                counts = _flat_segment_counts(stamps, shard.lengths, offset_hours)
+            keep = shard.lengths >= threshold
+            if not keep.any():
+                continue
+            ids.extend(
+                user_id
+                for user_id, kept in zip(shard.user_ids, keep)
+                if kept
+            )
+            blocks.append(counts[keep])
+        if not ids:
+            return cls.empty()
+        return cls(ids, np.vstack(blocks))
 
     @classmethod
     def empty(cls) -> "ProfileMatrix":
@@ -315,13 +567,48 @@ class ProfileMatrix:
 
     # -- subsetting and aggregation --------------------------------------
 
+    @classmethod
+    def _from_normalized(
+        cls,
+        user_ids: tuple[str, ...],
+        matrix: np.ndarray,
+        cumulative: np.ndarray | None = None,
+    ) -> "ProfileMatrix":
+        """Wrap rows that are already validated and row-stochastic.
+
+        Skips the constructor's shape/negativity checks and -- crucially --
+        its re-normalisation, so subsetting an existing matrix preserves
+        every row bit for bit (polish iterates ``select``; re-dividing by a
+        1.0-within-eps total each round would both waste time and walk the
+        rows away from their one-normalisation values).  Only for rows
+        taken verbatim from an existing :class:`ProfileMatrix`.
+        """
+        self = object.__new__(cls)
+        self._user_ids = user_ids
+        self._matrix = matrix
+        self._index = {user_id: i for i, user_id in enumerate(user_ids)}
+        self._cumulative = cumulative
+        return self
+
     def select(self, mask: np.ndarray) -> "ProfileMatrix":
-        """Rows where the boolean *mask* is true, order preserved."""
+        """Rows where the boolean *mask* is true, order preserved.
+
+        Rows are row-stochastic by construction, so the subset skips
+        re-validation and re-normalisation; an already-computed CDF cache
+        is sliced along with the rows (row-wise cumsums are independent,
+        so the sliced cache is exactly the subset's CDFs).
+        """
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != (len(self),):
             raise ProfileError(f"mask shape {mask.shape} != ({len(self)},)")
-        ids = [user_id for user_id, keep in zip(self._user_ids, mask) if keep]
-        return ProfileMatrix(ids, self._matrix[mask])
+        ids = tuple(
+            user_id for user_id, keep in zip(self._user_ids, mask) if keep
+        )
+        cumulative = None
+        if self._cumulative is not None:
+            cumulative = self._cumulative[mask]
+            cumulative.flags.writeable = False
+        return ProfileMatrix._from_normalized(ids, self._matrix[mask], cumulative)
 
     def without_users(self, user_ids: Iterable[str]) -> "ProfileMatrix":
         excluded = set(user_ids)

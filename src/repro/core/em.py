@@ -31,6 +31,11 @@ from repro.timebase.zones import ZONE_OFFSETS
 _MIN_SIGMA = 0.35
 _MAX_ITER = 500
 _TOL = 1e-10
+#: Iterations without a best-likelihood improvement before a run is
+#: declared stuck.  Dead-component re-seeding can make the likelihood
+#: cycle instead of converging; without this cutoff such runs always
+#: burn all of _MAX_ITER, dominating every mixture fit.
+_MAX_STALL = 15
 
 
 @dataclass(frozen=True)
@@ -156,18 +161,21 @@ def _run_em(
     means = np.asarray(means0, dtype=float)
     sigmas = np.full(k, float(sigma_init))
     mix = np.full(k, 1.0 / k)
+    inv_sqrt_2pi = 1.0 / np.sqrt(2.0 * np.pi)
 
     previous = -np.inf
+    best_seen = -np.inf
+    stall = 0
     converged = False
     log_likelihood = previous
     for _ in range(max_iter):
-        # E-step: responsibilities of each component for each zone bin.
-        densities = np.empty((k, x.size))
-        for j in range(k):
-            norm = 1.0 / (sigmas[j] * np.sqrt(2.0 * np.pi))
-            densities[j] = mix[j] * norm * np.exp(
-                -0.5 * ((x - means[j]) / sigmas[j]) ** 2
-            )
+        # E-step, broadcast over all components at once: (k, bins)
+        # densities, no per-component python loop (EM dominates the warm
+        # streaming-snapshot path, so this loop is perf-critical).
+        z = (x[None, :] - means[:, None]) / sigmas[:, None]
+        densities = (
+            (mix * inv_sqrt_2pi / sigmas)[:, None] * np.exp(-0.5 * z * z)
+        )
         mixture = densities.sum(axis=0)
         mixture = np.clip(mixture, 1e-300, None)
         responsibilities = densities / mixture
@@ -176,23 +184,39 @@ def _run_em(
         if abs(log_likelihood - previous) < _TOL * (1.0 + abs(previous)):
             converged = True
             break
+        if log_likelihood > best_seen + _TOL * (1.0 + abs(best_seen)):
+            best_seen = log_likelihood
+            stall = 0
+        else:
+            # Monotone EM always improves; a likelihood that stops
+            # improving without meeting the tolerance is cycling through
+            # re-seeds and will never converge -- cut it off.
+            stall += 1
+            if stall >= _MAX_STALL:
+                break
         previous = log_likelihood
 
-        # M-step with the bin weights folded in.
-        for j in range(k):
-            r_w = responsibilities[j] * weights
-            mass = float(r_w.sum())
-            if mass <= 1e-12:
-                # Dead component: re-seed it at the worst-explained bin.
-                deficit = weights / mixture
-                means[j] = float(x[int(np.argmax(deficit))])
-                sigmas[j] = float(sigma_init)
-                mix[j] = 1.0 / k
-                continue
-            means[j] = float(np.dot(r_w, x) / mass)
-            variance = float(np.dot(r_w, (x - means[j]) ** 2) / mass)
-            sigmas[j] = max(np.sqrt(variance), _MIN_SIGMA)
-            mix[j] = mass / total
+        # M-step with the bin weights folded in, again batched over k.
+        r_w = responsibilities * weights[None, :]
+        mass = r_w.sum(axis=1)
+        alive = mass > 1e-12
+        safe_mass = np.where(alive, mass, 1.0)
+        new_means = r_w @ x / safe_mass
+        variance = (
+            np.sum(r_w * (x[None, :] - new_means[:, None]) ** 2, axis=1)
+            / safe_mass
+        )
+        means = np.where(alive, new_means, means)
+        sigmas = np.where(
+            alive, np.maximum(np.sqrt(variance), _MIN_SIGMA), sigmas
+        )
+        mix = np.where(alive, mass / total, mix)
+        if not alive.all():
+            # Dead components: re-seed each at the worst-explained bin.
+            worst = float(x[int(np.argmax(weights / mixture))])
+            means[~alive] = worst
+            sigmas[~alive] = float(sigma_init)
+            mix[~alive] = 1.0 / k
         mix = mix / mix.sum()
 
     components = tuple(

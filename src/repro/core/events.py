@@ -43,7 +43,11 @@ class ActivityTrace:
 
     def __init__(self, user_id: str, timestamps: Iterable[float] = ()) -> None:
         self.user_id = user_id
-        self._timestamps = np.sort(np.asarray(list(timestamps), dtype=float))
+        if isinstance(timestamps, np.ndarray):
+            values = np.asarray(timestamps, dtype=float)
+        else:
+            values = np.asarray(list(timestamps), dtype=float)
+        self._timestamps = np.sort(values)
 
     @classmethod
     def from_events(cls, user_id: str, events: Iterable[PostEvent]) -> "ActivityTrace":

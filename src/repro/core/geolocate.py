@@ -233,6 +233,76 @@ class CrowdGeolocator:
             data_quality=quality,
         )
 
+    def geolocate_store(
+        self,
+        store,
+        *,
+        crowd_name: str = "crowd",
+        polish: bool = True,
+        max_users_per_shard: int | None = None,
+    ) -> GeolocationReport:
+        """Out-of-core pipeline entry: geolocate a columnar trace store.
+
+        Per-user profiles are built shard by shard straight from the
+        store's memmapped timestamp column
+        (:meth:`ProfileMatrix.from_store`), so the crowd never
+        materialises as per-trace Python objects; from the profile matrix
+        on the pipeline is the batch engine unchanged and the verdict is
+        identical to ``geolocate(store.to_trace_set())``.  The hemisphere
+        test and quarantine partitioning need trace-level access and are
+        not offered on this path (the store format already rejects
+        corrupt traces at ``convert`` time).
+        """
+        matrix = ProfileMatrix.from_store(
+            store, min_posts=self.min_posts, max_users_per_shard=max_users_per_shard
+        )
+        if polish:
+            matrix, removed_ids, _ = polish_profile_matrix(
+                matrix, self.references, metric=self.metric
+            )
+            n_removed = len(removed_ids)
+        else:
+            n_removed = 0
+        if len(matrix) == 0:
+            raise EmptyTraceError(
+                f"{crowd_name}: no active users after polishing "
+                f"(threshold {self.min_posts} posts)"
+            )
+        assignments, placement = place_profile_matrix(
+            matrix, self.references, metric=self.metric
+        )
+        mixture = select_mixture(
+            placement,
+            max_components=self.max_components,
+            sigma_init=self.sigma_init,
+            min_weight=self.min_component_weight,
+            criterion=self.criterion,
+        )
+        crowd_profile = matrix.crowd_profile()
+        survivors = set(matrix.user_ids)
+        n_posts = int(
+            sum(
+                int(length)
+                for user_id, length in zip(store.user_ids(), store.lengths())
+                if user_id in survivors
+            )
+        )
+        return GeolocationReport(
+            crowd_name=crowd_name,
+            n_users=len(matrix),
+            n_posts=n_posts,
+            n_removed_flat=n_removed,
+            crowd_profile=crowd_profile,
+            pearson_vs_generic=pearson(
+                crowd_profile,
+                self.references.for_zone(placement.mode_offset()),
+            ),
+            placement=placement,
+            mixture=mixture,
+            fit_metrics=fit_distance_metrics(placement, mixture.components),
+            user_zones=assignments,
+        )
+
     def _geolocate_reference(
         self,
         traces: TraceSet,

@@ -10,14 +10,27 @@ ask for the current verdict at any point -- the convergence experiment
 then answers *how many days of monitoring a given forum needs*.
 
 Incremental state is kept per user as the (day, hour) active-cell counts
-of Eq. 1, so an update is O(1) and a snapshot costs one placement over
-the currently-active users.
+of Eq. 1, so an update is O(1) -- and so is most of a snapshot: the
+geolocator caches every user's zone assignment and flat/active status,
+together with the 25-bin placement histogram, and a *dirty set* records
+exactly which users changed (a post landing in a new Eq. 1 cell, or a
+user crossing the activity threshold) since the last snapshot.
+``snapshot()`` re-places only the dirty users and patches the histogram
+by count deltas, making its cost O(dirty + bins) instead of O(all
+users); the always-cold pipeline is preserved as
+:meth:`StreamingGeolocator.snapshot_reference`, the oracle the
+incremental path is property-tested against.
 
 A monitoring campaign runs for months, so the geolocator's full state
 (configuration, reference profiles, every user's active cells) round-trips
 through :meth:`StreamingGeolocator.save_checkpoint` /
 :meth:`StreamingGeolocator.load_checkpoint` -- kill the process at any
-point and the reloaded instance produces the same snapshots.
+point and the reloaded instance produces the same snapshots.  Two payload
+formats are supported: the JSON document of earlier releases (still
+written by default, still loadable) and a binary ``.npz`` payload whose
+cell sets travel as integer columns, so a million-user checkpoint
+round-trips in seconds.  ``load_checkpoint`` negotiates the format from
+the file itself.
 """
 
 from __future__ import annotations
@@ -29,14 +42,22 @@ import numpy as np
 
 from repro.core.batch import ProfileMatrix
 from repro.core.em import GaussianMixtureModel, select_mixture
+from repro.core.emd import distance_matrix
 from repro.core.events import PostEvent
 from repro.core.flatness import flat_profile_mask
 from repro.core.gaussian import PAPER_SIGMA
-from repro.core.placement import place_profile_matrix
+from repro.core.placement import PlacementDistribution, place_profile_matrix
 from repro.core.profiles import HOURS, Profile
 from repro.core.reference import ReferenceProfiles
 from repro.errors import CheckpointError, EmptyTraceError
-from repro.reliability.checkpoint import read_checkpoint, write_checkpoint
+from repro.reliability.checkpoint import (
+    checkpoint_format,
+    read_binary_checkpoint,
+    read_checkpoint,
+    write_binary_checkpoint,
+    write_checkpoint,
+)
+from repro.timebase.zones import ZONE_OFFSETS
 
 #: Checkpoint envelope identifiers for :class:`StreamingGeolocator` state.
 STREAM_CHECKPOINT_KIND = "streaming-geolocator"
@@ -51,6 +72,9 @@ class StreamSnapshot:
     n_users_seen: int
     n_users_active: int
     mixture: GaussianMixtureModel | None
+    #: The placement histogram behind the verdict (None while
+    #: under-evidenced).  Maintained incrementally by count deltas.
+    placement: PlacementDistribution | None = None
 
     def dominant_mean(self) -> float:
         if self.mixture is None:
@@ -64,44 +88,81 @@ class StreamSnapshot:
 class _UserState:
     """Incremental Eq. 1 accumulator for one user.
 
-    The normalised profile row is cached and invalidated only when a new
-    active cell appears, so snapshots reuse the row of every user whose
-    activity pattern did not change since the previous snapshot.
+    Active cells are kept as encoded ``day * 24 + hour`` integers (cheaper
+    to hash and to checkpoint than tuples).  The normalised profile row is
+    cached and invalidated only when a new active cell appears, so
+    snapshots reuse the row of every user whose activity pattern did not
+    change since the previous snapshot.
     """
 
-    __slots__ = ("cells", "counts", "n_posts", "_mass")
+    __slots__ = ("_cells", "_frozen", "counts", "n_posts", "_mass")
 
     def __init__(self) -> None:
-        self.cells: set[tuple[int, int]] = set()
+        self._cells: set[int] | None = set()
+        # Checkpoint restore leaves the cells as a sorted int64 slice and
+        # defers building the python set until this user is observed
+        # again -- most restored users never are, so a million-user
+        # checkpoint loads in seconds instead of materialising a million
+        # sets up front.
+        self._frozen: np.ndarray | None = None
         self.counts = np.zeros(HOURS, dtype=float)
         self.n_posts = 0
         self._mass: np.ndarray | None = None
 
-    def add(self, timestamp: float) -> None:
+    @property
+    def cells(self) -> set[int]:
+        if self._cells is None:
+            self._cells = set(self._frozen.tolist())
+        return self._cells
+
+    def n_cells(self) -> int:
+        if self._cells is None:
+            return int(self._frozen.size)
+        return len(self._cells)
+
+    def sorted_cells(self) -> list[int]:
+        if self._cells is None:
+            return self._frozen.tolist()
+        return sorted(self._cells)
+
+    def add(self, timestamp: float) -> bool:
+        """Record one post; True when it opened a new (day, hour) cell."""
         self.n_posts += 1
         day = int(timestamp // 86400.0)
         hour = int((timestamp % 86400.0) // 3600.0)
-        if (day, hour) not in self.cells:
-            self.cells.add((day, hour))
-            self.counts[hour] += 1.0
-            self._mass = None
+        cell = day * HOURS + hour
+        if cell in self.cells:
+            return False
+        self._cells.add(cell)
+        self.counts[hour] += 1.0
+        self._mass = None
+        return True
 
     def mass(self) -> np.ndarray:
         """Cached normalised 24-vector of the accumulated cells."""
         if self._mass is None:
-            if not self.cells:
+            if self.n_cells() == 0:
                 raise EmptyTraceError("no activity accumulated")
             self._mass = self.counts / self.counts.sum()
         return self._mass
 
     def profile(self) -> Profile:
-        if not self.cells:
+        if self.n_cells() == 0:
             raise EmptyTraceError("no activity accumulated")
         return Profile(self.counts)
 
 
 class StreamingGeolocator:
-    """Online version of the pipeline: O(1) per event, snapshot on demand."""
+    """Online version of the pipeline: O(1) per event, O(dirty) per snapshot.
+
+    Invariant maintained between snapshots: for every user, either the
+    user is in the dirty set, or their cached zone assignment / flat flag
+    / histogram contribution equals what a cold full re-place would
+    compute.  ``observe`` only dirties a user when their Eq. 1 profile can
+    actually have changed (new active cell) or their activity status can
+    have flipped (post count reaching ``min_posts``), so a quiet crowd
+    costs nothing to snapshot.
+    """
 
     def __init__(
         self,
@@ -121,13 +182,21 @@ class StreamingGeolocator:
         self.min_users_for_verdict = min_users_for_verdict
         self._users: dict[str, _UserState] = {}
         self._n_events = 0
+        # Incremental placement state (see class docstring invariant).
+        self._dirty: set[str] = set()
+        self._zone_of: dict[str, int] = {}
+        self._flat_ids: set[str] = set()
+        self._hist = np.zeros(len(ZONE_OFFSETS), dtype=np.int64)
+        self._matrix_cache: ProfileMatrix | None = None
 
     def observe(self, user_id: str, timestamp: float) -> None:
         """Feed one (author, UTC timestamp) observation."""
         state = self._users.get(user_id)
         if state is None:
             state = self._users[user_id] = _UserState()
-        state.add(float(timestamp))
+        opened_cell = state.add(float(timestamp))
+        if opened_cell or state.n_posts == self.min_posts:
+            self._dirty.add(user_id)
         self._n_events += 1
 
     def observe_events(self, events: Iterable[PostEvent]) -> None:
@@ -141,12 +210,124 @@ class StreamingGeolocator:
     def n_users(self) -> int:
         return len(self._users)
 
+    def n_dirty(self) -> int:
+        """Users whose cached placement must be refreshed at next snapshot."""
+        return len(self._dirty)
+
+    def invalidate_all(self) -> None:
+        """Force the next snapshot to re-place every user (cold path).
+
+        Exists for benchmarking the incremental win and for callers that
+        mutate shared state behind the geolocator's back (e.g. swapping
+        reference profiles in place).
+        """
+        self._dirty.update(self._users)
+        self._matrix_cache = None
+
+    # -- incremental placement --------------------------------------------
+
+    def _refresh(self) -> None:
+        """Re-place exactly the dirty users and patch the histogram.
+
+        Each dirty user's stale contribution is first subtracted, then --
+        if they pass the activity threshold -- flatness and the nearest
+        zone are recomputed in one distance call over ``[uniform] +
+        references`` for all dirty users at once.  Distances are per-row
+        independent, so the result is bit-identical to a cold full
+        re-place no matter how the work was batched across snapshots.
+        """
+        if not self._dirty:
+            return
+        pending: list[str] = []
+        for user_id in self._dirty:
+            old_zone = self._zone_of.pop(user_id, None)
+            if old_zone is not None:
+                self._hist[old_zone] -= 1
+            self._flat_ids.discard(user_id)
+            if self._users[user_id].n_posts >= self.min_posts:
+                pending.append(user_id)
+        self._dirty.clear()
+        self._matrix_cache = None
+        if not pending:
+            return
+        rows = np.vstack([self._users[user_id].mass() for user_id in pending])
+        matrix = ProfileMatrix(pending, rows)
+        # Same two calls as the cold pipeline (flat_profile_mask, then the
+        # nearest-zone argmin of place_profile_matrix); distances are
+        # per-row independent, so batching users differently across
+        # snapshots cannot change any individual verdict.
+        flat = flat_profile_mask(matrix, self.references, metric=self.metric)
+        nearest = np.argmin(
+            distance_matrix(matrix, self.references, metric=self.metric), axis=1
+        )
+        for user_id, is_flat, zone in zip(pending, flat, nearest):
+            if is_flat:
+                self._flat_ids.add(user_id)
+            else:
+                self._zone_of[user_id] = int(zone)
+                self._hist[int(zone)] += 1
+
     def _active_matrix(self) -> ProfileMatrix:
         """One matrix of all threshold-passing, non-flat users.
 
-        Rows come straight from the per-user cached masses (no profile is
-        rebuilt unless the user posted into a new cell since the last
-        snapshot); the flat-profile filter is one vectorised distance call.
+        Cached between snapshots and invalidated through the same dirty
+        set as the placement histogram, so repeated snapshots of a quiet
+        crowd rebuild nothing.  Row order follows first-observation order
+        (``self._users`` insertion order), matching the cold pipeline.
+        """
+        self._refresh()
+        if self._matrix_cache is None:
+            ids = [user_id for user_id in self._users if user_id in self._zone_of]
+            if not ids:
+                self._matrix_cache = ProfileMatrix.empty()
+            else:
+                self._matrix_cache = ProfileMatrix(
+                    ids, np.vstack([self._users[u].mass() for u in ids])
+                )
+        return self._matrix_cache
+
+    def active_profiles(self) -> dict[str, Profile]:
+        """Profiles of users past the activity threshold, bots filtered."""
+        return self._active_matrix().profiles()
+
+    def _snapshot_from_hist(self) -> StreamSnapshot:
+        n_active = int(self._hist.sum())
+        placement = None
+        mixture = None
+        if n_active > 0 and n_active >= self.min_users_for_verdict:
+            fractions = self._hist / n_active
+            placement = PlacementDistribution(
+                tuple(fractions.tolist()), n_users=n_active
+            )
+            mixture = select_mixture(
+                placement,
+                max_components=self.max_components,
+                sigma_init=self.sigma_init,
+            )
+        return StreamSnapshot(
+            n_events_seen=self._n_events,
+            n_users_seen=len(self._users),
+            n_users_active=n_active,
+            mixture=mixture,
+            placement=placement,
+        )
+
+    def snapshot(self) -> StreamSnapshot:
+        """The current verdict (or None while under-evidenced).
+
+        Costs O(dirty users + histogram bins): only users invalidated
+        since the previous snapshot are re-placed, and the placement
+        histogram is patched by count deltas rather than recounted.
+        """
+        self._refresh()
+        return self._snapshot_from_hist()
+
+    def snapshot_reference(self) -> StreamSnapshot:
+        """Always-cold oracle: rebuild and re-place every user from scratch.
+
+        This is the pre-incremental pipeline kept verbatim; the property
+        tests assert ``snapshot()`` equals it after any interleaving of
+        observes, snapshots and checkpoint round-trips.
         """
         ids = []
         rows = []
@@ -155,25 +336,20 @@ class StreamingGeolocator:
                 continue
             ids.append(user_id)
             rows.append(state.mass())
-        if not ids:
-            return ProfileMatrix.empty()
-        matrix = ProfileMatrix(ids, np.vstack(rows))
-        flat = flat_profile_mask(matrix, self.references, metric=self.metric)
-        return matrix.select(~flat)
-
-    def active_profiles(self) -> dict[str, Profile]:
-        """Profiles of users past the activity threshold, bots filtered."""
-        return self._active_matrix().profiles()
-
-    def snapshot(self) -> StreamSnapshot:
-        """The current verdict (or None while under-evidenced)."""
-        matrix = self._active_matrix()
-        if len(matrix) < self.min_users_for_verdict:
+        if ids:
+            full = ProfileMatrix(ids, np.vstack(rows))
+            matrix = full.select(
+                ~flat_profile_mask(full, self.references, metric=self.metric)
+            )
+        else:
+            matrix = ProfileMatrix.empty()
+        if len(matrix) == 0 or len(matrix) < self.min_users_for_verdict:
             return StreamSnapshot(
                 n_events_seen=self._n_events,
                 n_users_seen=len(self._users),
                 n_users_active=len(matrix),
                 mixture=None,
+                placement=None,
             )
         _, placement = place_profile_matrix(
             matrix, self.references, metric=self.metric
@@ -188,40 +364,124 @@ class StreamingGeolocator:
             n_users_seen=len(self._users),
             n_users_active=len(matrix),
             mixture=mixture,
+            placement=placement,
         )
 
     # -- checkpoint / resume ----------------------------------------------
+
+    def _config_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "min_posts": self.min_posts,
+            "sigma_init": self.sigma_init,
+            "max_components": self.max_components,
+            "min_users_for_verdict": self.min_users_for_verdict,
+        }
 
     def state_dict(self) -> dict:
         """The full resumable state as plain JSON-serialisable python.
 
         Per-user counts are not stored: they are a pure function of the
         active-cell sets and are rebuilt on load, which keeps the
-        checkpoint minimal and impossible to desynchronise.
+        checkpoint minimal and impossible to desynchronise.  The cached
+        placements are likewise omitted -- a restored instance re-places
+        everyone on its first snapshot.
         """
         return {
-            "config": {
-                "metric": self.metric,
-                "min_posts": self.min_posts,
-                "sigma_init": self.sigma_init,
-                "max_components": self.max_components,
-                "min_users_for_verdict": self.min_users_for_verdict,
-            },
+            "config": self._config_dict(),
             "generic_profile": [float(x) for x in self.references.generic.mass],
             "n_events": self._n_events,
             "users": {
                 user_id: {
-                    "cells": sorted([day, hour] for day, hour in state.cells),
+                    # Encoded cells sort like (day, hour) pairs, so the
+                    # decoded list is already in the documented order.
+                    "cells": [
+                        [cell // HOURS, cell % HOURS]
+                        for cell in state.sorted_cells()
+                    ],
                     "n_posts": state.n_posts,
                 }
                 for user_id, state in self._users.items()
             },
         }
 
-    def save_checkpoint(self, path) -> None:
-        """Atomically persist :meth:`state_dict` as a JSON checkpoint."""
-        write_checkpoint(
-            path, STREAM_CHECKPOINT_KIND, STREAM_CHECKPOINT_VERSION, self.state_dict()
+    def binary_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """The resumable state as (JSON metadata, numpy columns).
+
+        The cell sets of all users are flattened into one encoded
+        ``day * 24 + hour`` int64 column plus a per-user offset table --
+        the same columnar idea as the trace store -- so writing and
+        reading scale with ``numpy`` throughput, not Python object count.
+        """
+        user_ids = list(self._users)
+        cell_counts = np.fromiter(
+            (self._users[u].n_cells() for u in user_ids),
+            dtype=np.int64,
+            count=len(user_ids),
+        )
+        offsets = np.concatenate([[0], np.cumsum(cell_counts)]).astype(np.int64)
+        cells = np.empty(int(offsets[-1]), dtype=np.int64)
+        for i, user_id in enumerate(user_ids):
+            # Sorted per user so checkpoint bytes are deterministic.
+            cells[offsets[i] : offsets[i + 1]] = self._users[user_id].sorted_cells()
+        meta = {"config": self._config_dict(), "n_events": self._n_events}
+        arrays = {
+            "user_ids": np.asarray(user_ids, dtype=np.str_),
+            "n_posts": np.fromiter(
+                (self._users[u].n_posts for u in user_ids),
+                dtype=np.int64,
+                count=len(user_ids),
+            ),
+            "cell_offsets": offsets,
+            "cells": cells,
+            "generic_profile": np.asarray(
+                self.references.generic.mass, dtype=np.float64
+            ),
+        }
+        return meta, arrays
+
+    def save_checkpoint(self, path, *, format: str | None = None) -> None:
+        """Atomically persist the state; *format* is ``"json"``, ``"binary"``
+        or ``None`` to infer from the path suffix (``.npz`` -> binary).
+
+        JSON stays the default for non-``.npz`` paths, so checkpoints
+        written by earlier releases and by unchanged callers keep their
+        format; the binary payload is the fast path for big crowds.
+        """
+        if format is None:
+            format = "binary" if str(path).endswith(".npz") else "json"
+        if format == "json":
+            write_checkpoint(
+                path,
+                STREAM_CHECKPOINT_KIND,
+                STREAM_CHECKPOINT_VERSION,
+                self.state_dict(),
+            )
+        elif format == "binary":
+            meta, arrays = self.binary_state()
+            write_binary_checkpoint(
+                path, STREAM_CHECKPOINT_KIND, STREAM_CHECKPOINT_VERSION, meta, arrays
+            )
+        else:
+            raise CheckpointError(
+                f"unknown checkpoint format {format!r}; options: json, binary"
+            )
+
+    @classmethod
+    def _from_config(
+        cls, config: dict, generic_mass, references: ReferenceProfiles | None
+    ) -> "StreamingGeolocator":
+        if references is None:
+            references = ReferenceProfiles(
+                Profile(np.asarray(generic_mass, dtype=float))
+            )
+        return cls(
+            references,
+            metric=str(config["metric"]),
+            min_posts=int(config["min_posts"]),
+            sigma_init=float(config["sigma_init"]),
+            max_components=int(config["max_components"]),
+            min_users_for_verdict=int(config["min_users_for_verdict"]),
         )
 
     @classmethod
@@ -234,38 +494,111 @@ class StreamingGeolocator:
         profile unless an explicit *references* object is supplied.
         """
         try:
-            config = state["config"]
-            if references is None:
-                references = ReferenceProfiles(
-                    Profile(np.asarray(state["generic_profile"], dtype=float))
-                )
-            geolocator = cls(
-                references,
-                metric=str(config["metric"]),
-                min_posts=int(config["min_posts"]),
-                sigma_init=float(config["sigma_init"]),
-                max_components=int(config["max_components"]),
-                min_users_for_verdict=int(config["min_users_for_verdict"]),
+            geolocator = cls._from_config(
+                state["config"], state["generic_profile"], references
             )
             geolocator._n_events = int(state["n_events"])
             for user_id, user_state in state["users"].items():
                 restored = _UserState()
                 restored.n_posts = int(user_state["n_posts"])
                 for day, hour in user_state["cells"]:
-                    restored.cells.add((int(day), int(hour)))
-                    restored.counts[int(hour)] += 1.0
+                    cell = int(day) * HOURS + int(hour)
+                    if cell not in restored.cells:
+                        restored.cells.add(cell)
+                        restored.counts[int(hour)] += 1.0
                 geolocator._users[user_id] = restored
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(
                 f"malformed streaming-geolocator state: {exc!r}"
             ) from exc
+        geolocator._dirty.update(geolocator._users)
+        return geolocator
+
+    @classmethod
+    def from_binary_state(
+        cls,
+        meta: dict,
+        arrays: dict[str, np.ndarray],
+        *,
+        references: ReferenceProfiles | None = None,
+    ) -> "StreamingGeolocator":
+        """Inverse of :meth:`binary_state`; per-user counts are rebuilt
+        with one vectorised bincount over the whole cell column."""
+        try:
+            geolocator = cls._from_config(
+                meta["config"], arrays["generic_profile"], references
+            )
+            geolocator._n_events = int(meta["n_events"])
+            user_ids = arrays["user_ids"]
+            n_posts = np.asarray(arrays["n_posts"], dtype=np.int64)
+            offsets = np.asarray(arrays["cell_offsets"], dtype=np.int64)
+            cells = np.asarray(arrays["cells"], dtype=np.int64)
+            n_users = int(user_ids.size)
+            if offsets.size != n_users + 1 or n_posts.size != n_users:
+                raise CheckpointError(
+                    "binary checkpoint columns disagree on the user count"
+                )
+            if int(offsets[-1]) != cells.size or int(offsets[0]) != 0:
+                raise CheckpointError(
+                    "binary checkpoint offset table does not cover the cells"
+                )
+            if cells.size:
+                # Each user's segment must be strictly increasing (the
+                # writer sorts and de-duplicates); one vectorised pass
+                # checks every segment at once.
+                deltas = np.diff(cells)
+                starts = offsets[1:-1]
+                crossings = np.zeros(max(cells.size - 1, 0), dtype=bool)
+                inner = starts[(starts >= 1) & (starts <= cells.size - 1)]
+                crossings[inner - 1] = True
+                if not np.all((deltas > 0) | crossings):
+                    raise CheckpointError(
+                        "binary checkpoint has unsorted or duplicate cells"
+                    )
+            counts = np.zeros((n_users, HOURS), dtype=float)
+            if cells.size:
+                owners = np.repeat(
+                    np.arange(n_users, dtype=np.int64), np.diff(offsets)
+                )
+                hours = np.mod(cells, HOURS)
+                counts = (
+                    np.bincount(
+                        owners * HOURS + hours, minlength=n_users * HOURS
+                    )
+                    .reshape(n_users, HOURS)
+                    .astype(float)
+                )
+            for i in range(n_users):
+                restored = _UserState()
+                restored.n_posts = int(n_posts[i])
+                restored._cells = None
+                restored._frozen = cells[offsets[i] : offsets[i + 1]]
+                restored.counts = counts[i]
+                geolocator._users[str(user_ids[i])] = restored
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed streaming-geolocator state: {exc!r}"
+            ) from exc
+        geolocator._dirty.update(geolocator._users)
         return geolocator
 
     @classmethod
     def load_checkpoint(
         cls, path, *, references: ReferenceProfiles | None = None
     ) -> "StreamingGeolocator":
-        """Rebuild a geolocator from :meth:`save_checkpoint` output."""
+        """Rebuild a geolocator from :meth:`save_checkpoint` output.
+
+        The payload format (JSON of earlier releases, or binary ``.npz``)
+        is negotiated from the file's magic bytes, so old checkpoints keep
+        loading without callers changing anything.
+        """
+        if checkpoint_format(path) == "binary":
+            meta, arrays = read_binary_checkpoint(
+                path, STREAM_CHECKPOINT_KIND, STREAM_CHECKPOINT_VERSION
+            )
+            return cls.from_binary_state(meta, arrays, references=references)
         state = read_checkpoint(
             path, STREAM_CHECKPOINT_KIND, STREAM_CHECKPOINT_VERSION
         )

@@ -4,6 +4,7 @@ from repro.datasets.registry import (
     TABLE1_ROWS,
     table1_rows,
 )
+from repro.datasets.store import StoreShard, TraceStore, convert_jsonl
 from repro.datasets.traces import (
     LabeledDataset,
     load_trace_set,
@@ -15,6 +16,9 @@ __all__ = [
     "TABLE1_ROWS",
     "table1_rows",
     "LabeledDataset",
+    "StoreShard",
+    "TraceStore",
+    "convert_jsonl",
     "load_trace_set",
     "load_trace_set_resilient",
     "save_trace_set",

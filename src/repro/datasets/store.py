@@ -1,0 +1,347 @@
+"""Columnar trace store: out-of-core timestamps for million-user crowds.
+
+JSONL trace sets are convenient for interchange but hostile to scale:
+loading one re-parses every timestamp through the JSON decoder and
+materialises a Python :class:`~repro.core.events.ActivityTrace` per user.
+At the crowd sizes the ROADMAP targets (millions of users, hundreds of
+millions of posts) that parse dominates wall-clock before a single
+profile is built.
+
+:class:`TraceStore` compiles a trace set once into a columnar binary
+layout -- one concatenated ``float64`` timestamp array, one ``int64``
+per-user offset table and a user-id table -- stored as plain ``.npy``
+files inside a store directory:
+
+.. code-block:: text
+
+    crowd.store/
+      meta.json        {"kind": "trace-store", "version": 1, counts...}
+      stamps.npy       float64[total_posts]   all users' stamps, back to back
+      offsets.npy      int64[n_users + 1]     user i owns stamps[o[i]:o[i+1]]
+      user_ids.npy     unicode[n_users]       row order of the offset table
+
+Readers open the stamp column with ``numpy``'s memmap support, so
+:meth:`TraceStore.iter_shards` walks a crowd of any size with peak memory
+bounded by the shard, and :meth:`repro.core.batch.ProfileMatrix.from_store`
+feeds the Eq. 1 kernel raw stamp segments without constructing a single
+per-trace Python object.  Writes stream user by user (``tofile``), so
+converting never holds more than the source arrays.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.events import ActivityTrace, TraceSet
+from repro.errors import DatasetError
+
+#: Envelope identifiers checked on open, mirroring the checkpoint format.
+STORE_KIND = "trace-store"
+STORE_VERSION = 1
+
+#: Default shard granularity of :meth:`TraceStore.iter_shards`.
+DEFAULT_SHARD_USERS = 65_536
+
+_META_NAME = "meta.json"
+_STAMPS_NAME = "stamps.npy"
+_OFFSETS_NAME = "offsets.npy"
+_USER_IDS_NAME = "user_ids.npy"
+
+
+def _write_npy_streaming(
+    path: Path, arrays: Iterable[np.ndarray], *, total: int, dtype: np.dtype
+) -> None:
+    """Write one ``.npy`` file from a stream of chunks, O(chunk) memory."""
+    header = {
+        "descr": np.lib.format.dtype_to_descr(np.dtype(dtype)),
+        "fortran_order": False,
+        "shape": (int(total),),
+    }
+    written = 0
+    with path.open("wb") as handle:
+        np.lib.format.write_array_header_2_0(handle, header)
+        for array in arrays:
+            chunk = np.ascontiguousarray(array, dtype=dtype)
+            chunk.tofile(handle)
+            written += chunk.size
+    if written != total:
+        raise DatasetError(
+            f"store write desynchronised: announced {total} values, wrote {written}"
+        )
+
+
+@dataclass(frozen=True)
+class StoreShard:
+    """One contiguous block of users, zero-copy views into the stamp column.
+
+    ``stamps`` concatenates the shard's users back to back and ``lengths``
+    gives the per-user segment sizes -- exactly the layout the batch Eq. 1
+    kernel (:func:`repro.core.batch.segmented_hour_counts`'s flat core)
+    consumes, so shards flow into profile rows without repacking.
+    """
+
+    user_ids: tuple[str, ...]
+    stamps: np.ndarray
+    lengths: np.ndarray
+    start_index: int
+
+    def __len__(self) -> int:
+        return len(self.user_ids)
+
+    def n_posts(self) -> int:
+        return int(self.stamps.size)
+
+
+class TraceStore:
+    """Reader over a compiled store directory (see module docstring)."""
+
+    def __init__(
+        self,
+        path: Path,
+        user_ids: np.ndarray,
+        offsets: np.ndarray,
+        stamps: np.ndarray,
+    ) -> None:
+        self.path = path
+        self._user_ids = user_ids
+        self._offsets = offsets
+        self._stamps = stamps
+        self._index: dict[str, int] | None = None
+
+    # -- writing -----------------------------------------------------------
+
+    @classmethod
+    def write(
+        cls, traces: "TraceSet | Iterable[ActivityTrace]", path: "str | Path"
+    ) -> "TraceStore":
+        """Compile *traces* into a store directory at *path* and open it.
+
+        The stamp column is streamed user by user, so peak memory is the
+        largest single trace, not the crowd.  An existing store at *path*
+        is replaced atomically (built under a temporary name, then swapped
+        in) so a crash mid-write never leaves a half store behind.
+        """
+        items = list(traces) if not isinstance(traces, TraceSet) else traces
+        destination = Path(path)
+        temp = destination.with_name(destination.name + ".tmp")
+        if temp.exists():
+            shutil.rmtree(temp)
+        temp.mkdir(parents=True)
+        try:
+            ids: list[str] = []
+            lengths: list[int] = []
+            total = 0
+            for trace in items:
+                ids.append(trace.user_id)
+                lengths.append(len(trace))
+                total += len(trace)
+            if len(set(ids)) != len(ids):
+                raise DatasetError("duplicate user ids in trace store input")
+            offsets = np.concatenate(
+                [[0], np.cumsum(np.asarray(lengths, dtype=np.int64))]
+            ).astype(np.int64)
+            _write_npy_streaming(
+                temp / _STAMPS_NAME,
+                (trace.timestamps for trace in items),
+                total=total,
+                dtype=np.dtype(np.float64),
+            )
+            np.save(temp / _OFFSETS_NAME, offsets, allow_pickle=False)
+            np.save(
+                temp / _USER_IDS_NAME,
+                np.asarray(ids, dtype=np.str_),
+                allow_pickle=False,
+            )
+            meta = {
+                "kind": STORE_KIND,
+                "version": STORE_VERSION,
+                "n_users": len(ids),
+                "n_posts": int(total),
+            }
+            (temp / _META_NAME).write_text(json.dumps(meta), encoding="utf-8")
+            if destination.exists():
+                shutil.rmtree(destination)
+            os.replace(temp, destination)
+        except Exception:
+            shutil.rmtree(temp, ignore_errors=True)
+            raise
+        return cls.open(destination)
+
+    # -- opening -----------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: "str | Path", *, mmap: bool = True) -> "TraceStore":
+        """Open a store directory; the stamp column is memmapped by default."""
+        source = Path(path)
+        meta_path = source / _META_NAME
+        if not source.is_dir() or not meta_path.exists():
+            raise DatasetError(f"{source} is not a trace store (no {_META_NAME})")
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise DatasetError(f"corrupt trace store {source}: {exc}") from exc
+        if meta.get("kind") != STORE_KIND:
+            raise DatasetError(
+                f"{source} is of kind {meta.get('kind')!r}, expected {STORE_KIND!r}"
+            )
+        if meta.get("version") != STORE_VERSION:
+            raise DatasetError(
+                f"{source} has store version {meta.get('version')!r}, "
+                f"this code reads version {STORE_VERSION}"
+            )
+        try:
+            user_ids = np.load(source / _USER_IDS_NAME, allow_pickle=False)
+            offsets = np.load(source / _OFFSETS_NAME, allow_pickle=False)
+            try:
+                stamps = np.load(
+                    source / _STAMPS_NAME,
+                    mmap_mode="r" if mmap else None,
+                    allow_pickle=False,
+                )
+            except ValueError:
+                if not mmap:
+                    raise
+                # Zero-post stores cannot be mmapped (empty file); fall back.
+                stamps = np.load(source / _STAMPS_NAME, allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise DatasetError(f"corrupt trace store {source}: {exc}") from exc
+        if offsets.ndim != 1 or user_ids.ndim != 1 or stamps.ndim != 1:
+            raise DatasetError(f"corrupt trace store {source}: wrong array ranks")
+        if offsets.size != user_ids.size + 1:
+            raise DatasetError(
+                f"corrupt trace store {source}: {user_ids.size} users but "
+                f"{offsets.size} offsets"
+            )
+        if int(offsets[-1]) != stamps.size or int(offsets[0]) != 0:
+            raise DatasetError(
+                f"corrupt trace store {source}: offset table does not cover "
+                f"the stamp column"
+            )
+        return cls(source, user_ids, offsets.astype(np.int64), stamps)
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._user_ids.size)
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._ensure_index()
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceStore({str(self.path)!r}, n_users={len(self)}, "
+            f"n_posts={self.total_posts()})"
+        )
+
+    def total_posts(self) -> int:
+        return int(self._stamps.size)
+
+    def user_ids(self) -> list[str]:
+        return [str(user_id) for user_id in self._user_ids]
+
+    def lengths(self) -> np.ndarray:
+        """Per-user post counts, in user-id table order."""
+        return np.diff(self._offsets)
+
+    def _ensure_index(self) -> dict[str, int]:
+        if self._index is None:
+            self._index = {
+                str(user_id): i for i, user_id in enumerate(self._user_ids)
+            }
+        return self._index
+
+    def stamps_of(self, user_id: str) -> np.ndarray:
+        """One user's timestamp segment (zero-copy view of the column)."""
+        index = self._ensure_index()
+        try:
+            row = index[user_id]
+        except KeyError:
+            raise DatasetError(f"no trace for user {user_id!r} in store") from None
+        return np.asarray(
+            self._stamps[self._offsets[row] : self._offsets[row + 1]]
+        )
+
+    def trace(self, user_id: str) -> ActivityTrace:
+        return ActivityTrace(user_id, self.stamps_of(user_id))
+
+    # -- bulk readers ------------------------------------------------------
+
+    def iter_shards(
+        self, max_users: int = DEFAULT_SHARD_USERS
+    ) -> Iterator[StoreShard]:
+        """Walk the store in contiguous user blocks of at most *max_users*.
+
+        Each shard's ``stamps`` is a view of the memmapped column, so peak
+        resident memory is bounded by one shard's posts regardless of
+        store size.
+        """
+        if max_users <= 0:
+            raise DatasetError(f"max_users must be positive, got {max_users}")
+        n_users = len(self)
+        for start in range(0, n_users, max_users):
+            stop = min(start + max_users, n_users)
+            lo = int(self._offsets[start])
+            hi = int(self._offsets[stop])
+            yield StoreShard(
+                user_ids=tuple(str(u) for u in self._user_ids[start:stop]),
+                stamps=self._stamps[lo:hi],
+                lengths=np.diff(self._offsets[start : stop + 1]),
+                start_index=start,
+            )
+
+    def to_trace_set(self) -> TraceSet:
+        """Materialise the whole store as a :class:`TraceSet` (compat path)."""
+        traces = TraceSet()
+        for i, user_id in enumerate(self._user_ids):
+            lo, hi = int(self._offsets[i]), int(self._offsets[i + 1])
+            traces.add(ActivityTrace(str(user_id), np.asarray(self._stamps[lo:hi])))
+        return traces
+
+
+def convert_jsonl(
+    jsonl_path: "str | Path", store_path: "str | Path"
+) -> TraceStore:
+    """Compile a JSONL trace set (see :func:`save_trace_set`) into a store.
+
+    Lines are parsed one at a time through the strict record validator and
+    duplicate user lines are merged exactly as :class:`TraceSet` would, so
+    geolocating the resulting store is equivalent to geolocating the JSONL
+    file -- proven by the equivalence tests in ``tests/test_store.py``.
+    """
+    from repro.datasets.traces import _parse_trace_line
+
+    source = Path(jsonl_path)
+    order: list[str] = []
+    buckets: dict[str, list[np.ndarray]] = {}
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                trace = _parse_trace_line(line)
+            except DatasetError as exc:
+                raise DatasetError(
+                    f"{source}:{line_number}: malformed trace record ({exc})"
+                ) from exc
+            if trace.user_id not in buckets:
+                order.append(trace.user_id)
+                buckets[trace.user_id] = []
+            buckets[trace.user_id].append(np.asarray(trace.timestamps))
+    merged = (
+        ActivityTrace(
+            user_id,
+            buckets[user_id][0]
+            if len(buckets[user_id]) == 1
+            else np.concatenate(buckets[user_id]),
+        )
+        for user_id in order
+    )
+    return TraceStore.write(merged, store_path)

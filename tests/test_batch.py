@@ -396,7 +396,7 @@ class TestParallelFallback:
 
         import repro.core.batch as batch_module
 
-        def broken(arrays, offset_hours, max_workers):
+        def broken(arrays, offset_hours, max_workers, fanout="shm"):
             raise BrokenProcessPool("worker died mid-build")
 
         monkeypatch.setattr(batch_module, "_counts_parallel", broken)
@@ -410,7 +410,7 @@ class TestParallelFallback:
     def test_unspawnable_pool_also_degrades(self, monkeypatch):
         import repro.core.batch as batch_module
 
-        def unspawnable(arrays, offset_hours, max_workers):
+        def unspawnable(arrays, offset_hours, max_workers, fanout="shm"):
             raise OSError("process spawning disabled")
 
         monkeypatch.setattr(batch_module, "_counts_parallel", unspawnable)
@@ -424,3 +424,170 @@ class TestParallelFallback:
         with warnings_module.catch_warnings():
             warnings_module.simplefilter("error")
             ProfileMatrix.from_trace_set(self._crowd(), parallel=False)
+
+
+class TestParallelKernels:
+    """The shared-memory fan-out equals pickle fan-out equals serial."""
+
+    def _columns(self, n_users: int, seed: int = 23):
+        rng = np.random.default_rng(seed)
+        lengths = rng.integers(1, 60, size=n_users)
+        stamps = np.sort(
+            rng.uniform(0.0, SECONDS_90_DAYS, size=int(lengths.sum()))
+        )
+        # Sort within each user's segment, as traces and the store do.
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        stamps = np.concatenate(
+            [np.sort(stamps[offsets[i] : offsets[i + 1]]) for i in range(n_users)]
+        )
+        return stamps, lengths.astype(np.int64)
+
+    def test_shm_equals_pickle_equals_serial(self):
+        from repro.core.batch import (
+            _flat_segment_counts,
+            counts_parallel_pickle,
+            counts_parallel_shm,
+        )
+
+        stamps, lengths = self._columns(120)
+        serial = _flat_segment_counts(stamps, lengths, 3.0)
+        np.testing.assert_array_equal(
+            counts_parallel_shm(stamps, lengths, 3.0), serial
+        )
+        np.testing.assert_array_equal(
+            counts_parallel_pickle(stamps, lengths, 3.0), serial
+        )
+
+    def test_single_user_parallel(self):
+        from repro.core.batch import (
+            _flat_segment_counts,
+            counts_parallel_pickle,
+            counts_parallel_shm,
+        )
+
+        stamps, lengths = self._columns(1)
+        serial = _flat_segment_counts(stamps, lengths, 0.0)
+        np.testing.assert_array_equal(
+            counts_parallel_shm(stamps, lengths, 0.0), serial
+        )
+        np.testing.assert_array_equal(
+            counts_parallel_pickle(stamps, lengths, 0.0), serial
+        )
+
+    def test_max_workers_one_equals_serial(self):
+        from repro.core.batch import (
+            _flat_segment_counts,
+            counts_parallel_pickle,
+            counts_parallel_shm,
+        )
+
+        stamps, lengths = self._columns(17)
+        serial = _flat_segment_counts(stamps, lengths, -4.5)
+        np.testing.assert_array_equal(
+            counts_parallel_shm(stamps, lengths, -4.5, max_workers=1), serial
+        )
+        np.testing.assert_array_equal(
+            counts_parallel_pickle(stamps, lengths, -4.5, max_workers=1),
+            serial,
+        )
+
+    def test_empty_tail_chunk(self):
+        """More requested workers than users: tail chunks must be empty-safe."""
+        from repro.core.batch import counts_parallel_shm, _flat_segment_counts
+
+        stamps, lengths = self._columns(3)
+        serial = _flat_segment_counts(stamps, lengths, 0.0)
+        np.testing.assert_array_equal(
+            counts_parallel_shm(stamps, lengths, 0.0, max_workers=8), serial
+        )
+
+    def test_chunk_bounds_tile_exactly(self):
+        from repro.core.batch import _chunk_bounds
+
+        for n_users in (1, 2, 3, 7, 64, 65, 1000):
+            for workers in (1, 2, 3, 8):
+                bounds = _chunk_bounds(n_users, workers)
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == n_users
+                for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                    assert hi == lo
+                assert all(hi > lo for lo, hi in bounds)
+
+    def test_zero_users(self):
+        from repro.core.batch import counts_parallel_shm
+
+        counts = counts_parallel_shm(
+            np.zeros(0), np.zeros(0, dtype=np.int64), 0.0
+        )
+        assert counts.shape == (0, HOURS)
+
+
+class TestFastSelect:
+    """select()/without_users() skip re-validation but equal the validating
+    constructor bit for bit."""
+
+    @given(
+        seed=st.integers(0, 2**16),
+        n_users=st.integers(1, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_select_equals_validating_constructor(self, seed, n_users):
+        rng = np.random.default_rng(seed)
+        rows = rng.uniform(0.01, 1.0, size=(n_users, HOURS))
+        ids = [f"u{i}" for i in range(n_users)]
+        matrix = ProfileMatrix(ids, rows)
+        mask = rng.uniform(size=n_users) < 0.5
+        fast = matrix.select(mask)
+        rebuilt = ProfileMatrix(
+            [uid for uid, keep in zip(ids, mask) if keep],
+            matrix.matrix[mask],
+        )
+        assert fast.user_ids == rebuilt.user_ids
+        # The validating constructor re-normalises the (already
+        # row-stochastic) rows, which can move the last bit; the fast path
+        # must agree up to that one re-normalisation and keep every row
+        # exactly unit-mass.
+        np.testing.assert_allclose(fast.matrix, rebuilt.matrix, rtol=1e-14)
+        np.testing.assert_allclose(fast.matrix.sum(axis=1), 1.0, rtol=1e-12)
+        np.testing.assert_allclose(
+            fast.cumulative(), rebuilt.cumulative(), rtol=1e-13
+        )
+
+    def test_select_preserves_rows_bitwise(self):
+        rng = np.random.default_rng(5)
+        matrix = ProfileMatrix(
+            [f"u{i}" for i in range(10)],
+            rng.uniform(0.01, 1.0, size=(10, HOURS)),
+        )
+        mask = np.arange(10) % 2 == 0
+        subset = matrix.select(mask)
+        np.testing.assert_array_equal(subset.matrix, matrix.matrix[mask])
+
+    def test_select_slices_cumulative_cache(self):
+        rng = np.random.default_rng(6)
+        matrix = ProfileMatrix(
+            [f"u{i}" for i in range(8)],
+            rng.uniform(0.01, 1.0, size=(8, HOURS)),
+        )
+        matrix.cumulative()  # populate the cache before slicing
+        mask = np.array([True, False] * 4)
+        subset = matrix.select(mask)
+        np.testing.assert_array_equal(
+            subset.cumulative(), matrix.cumulative()[mask]
+        )
+
+    def test_without_users_equals_masked_select(self):
+        rng = np.random.default_rng(7)
+        ids = [f"u{i}" for i in range(9)]
+        matrix = ProfileMatrix(ids, rng.uniform(0.01, 1.0, size=(9, HOURS)))
+        dropped = {"u1", "u4", "u8"}
+        via_without = matrix.without_users(dropped)
+        keep = np.array([uid not in dropped for uid in ids])
+        via_select = matrix.select(keep)
+        assert via_without.user_ids == via_select.user_ids
+        np.testing.assert_array_equal(via_without.matrix, via_select.matrix)
+
+    def test_select_bad_mask_shape_raises(self):
+        matrix = ProfileMatrix(["a"], np.full((1, HOURS), 1.0))
+        with pytest.raises(Exception, match="mask"):
+            matrix.select(np.array([True, False]))

@@ -195,3 +195,183 @@ class TestStreamingCheckpoint:
         )
         with pytest.raises(CheckpointError):
             StreamingGeolocator.load_checkpoint(path)
+
+
+class TestBinaryCheckpointEnvelope:
+    def _write(self, path, **overrides):
+        from repro.reliability.checkpoint import write_binary_checkpoint
+
+        kwargs = dict(
+            kind="demo",
+            version=1,
+            meta={"alpha": 1.5},
+            arrays={"xs": np.arange(5), "ys": np.eye(3)},
+        )
+        kwargs.update(overrides)
+        write_binary_checkpoint(
+            path, kwargs["kind"], kwargs["version"], kwargs["meta"], kwargs["arrays"]
+        )
+
+    def test_round_trip(self, tmp_path):
+        from repro.reliability.checkpoint import read_binary_checkpoint
+
+        path = tmp_path / "ck.npz"
+        self._write(path)
+        meta, arrays = read_binary_checkpoint(path, "demo", 1)
+        assert meta == {"alpha": 1.5}
+        np.testing.assert_array_equal(arrays["xs"], np.arange(5))
+        np.testing.assert_array_equal(arrays["ys"], np.eye(3))
+
+    def test_format_negotiation(self, tmp_path):
+        from repro.reliability.checkpoint import checkpoint_format
+
+        binary = tmp_path / "b.npz"
+        self._write(binary)
+        assert checkpoint_format(binary) == "binary"
+        text = tmp_path / "t.json"
+        write_checkpoint(text, "demo", 1, {})
+        assert checkpoint_format(text) == "json"
+
+    def test_truncated_zip_raises_checkpoint_error(self, tmp_path):
+        from repro.reliability.checkpoint import read_binary_checkpoint
+
+        path = tmp_path / "ck.npz"
+        self._write(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointError):
+            read_binary_checkpoint(path, "demo", 1)
+
+    def test_garbage_bytes_raise_checkpoint_error(self, tmp_path):
+        from repro.reliability.checkpoint import read_binary_checkpoint
+
+        path = tmp_path / "ck.npz"
+        path.write_bytes(b"PK\x03\x04 this is not really a zip archive")
+        with pytest.raises(CheckpointError):
+            read_binary_checkpoint(path, "demo", 1)
+
+    def test_wrong_kind_and_version_refused(self, tmp_path):
+        from repro.reliability.checkpoint import read_binary_checkpoint
+
+        path = tmp_path / "ck.npz"
+        self._write(path)
+        with pytest.raises(CheckpointError, match="kind"):
+            read_binary_checkpoint(path, "other", 1)
+        with pytest.raises(CheckpointError, match="version"):
+            read_binary_checkpoint(path, "demo", 2)
+
+    def test_reserved_key_refused(self, tmp_path):
+        with pytest.raises(CheckpointError, match="reserved"):
+            self._write(tmp_path / "ck.npz", arrays={"__meta__": np.arange(2)})
+
+    def test_missing_envelope_refused(self, tmp_path):
+        from repro.reliability.checkpoint import read_binary_checkpoint
+
+        path = tmp_path / "ck.npz"
+        with path.open("wb") as handle:
+            np.savez(handle, xs=np.arange(3))
+        with pytest.raises(CheckpointError, match="envelope"):
+            read_binary_checkpoint(path, "demo", 1)
+
+    def test_atomic_no_tmp_left_behind(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        self._write(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.npz"]
+
+
+class TestStreamingBinaryCheckpoint:
+    def _stream(self, references):
+        crowd = build_region_crowd("malaysia", 30, seed=21, n_days=366)
+        stream = StreamingGeolocator(references)
+        for trace in crowd:
+            for timestamp in trace.timestamps:
+                stream.observe(trace.user_id, float(timestamp))
+        return stream
+
+    def test_npz_suffix_selects_binary_format(self, references, tmp_path):
+        from repro.reliability.checkpoint import checkpoint_format
+
+        stream = self._stream(references)
+        binary = tmp_path / "s.npz"
+        stream.save_checkpoint(binary)
+        assert checkpoint_format(binary) == "binary"
+        text = tmp_path / "s.json"
+        stream.save_checkpoint(text)
+        assert checkpoint_format(text) == "json"
+
+    def test_binary_round_trip_preserves_placements(self, references, tmp_path):
+        stream = self._stream(references)
+        path = tmp_path / "s.npz"
+        stream.save_checkpoint(path)
+        restored = StreamingGeolocator.load_checkpoint(path, references=references)
+        before, after = stream.snapshot(), restored.snapshot()
+        assert after.n_users_active == before.n_users_active
+        assert after.placement == before.placement
+        assert restored.active_profiles() == stream.active_profiles()
+
+    def test_binary_and_json_checkpoints_restore_identically(
+        self, references, tmp_path
+    ):
+        stream = self._stream(references)
+        stream.save_checkpoint(tmp_path / "s.npz")
+        stream.save_checkpoint(tmp_path / "s.json")
+        via_npz = StreamingGeolocator.load_checkpoint(tmp_path / "s.npz")
+        via_json = StreamingGeolocator.load_checkpoint(tmp_path / "s.json")
+        assert via_npz.n_events == via_json.n_events
+        assert via_npz.snapshot().placement == via_json.snapshot().placement
+        assert via_npz.state_dict() == via_json.state_dict()
+
+    def test_json_checkpoint_from_earlier_release_still_loads(
+        self, references, tmp_path
+    ):
+        """A PR2-era JSON checkpoint loads into the binary-capable class."""
+        from repro.core.streaming import (
+            STREAM_CHECKPOINT_KIND,
+            STREAM_CHECKPOINT_VERSION,
+        )
+
+        stream = self._stream(references)
+        path = tmp_path / "legacy.checkpoint"
+        # Written through the plain JSON envelope, as PR2 always did.
+        write_checkpoint(
+            path,
+            STREAM_CHECKPOINT_KIND,
+            STREAM_CHECKPOINT_VERSION,
+            stream.state_dict(),
+        )
+        restored = StreamingGeolocator.load_checkpoint(path, references=references)
+        assert restored.n_events == stream.n_events
+        assert restored.snapshot().placement == stream.snapshot().placement
+
+    def test_corrupt_npz_surfaces_checkpoint_error(self, references, tmp_path):
+        stream = self._stream(references)
+        path = tmp_path / "s.npz"
+        stream.save_checkpoint(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - len(raw) // 3])
+        with pytest.raises(CheckpointError):
+            StreamingGeolocator.load_checkpoint(path)
+
+    def test_unsorted_cells_refused(self, references, tmp_path):
+        from repro.core.streaming import (
+            STREAM_CHECKPOINT_KIND,
+            STREAM_CHECKPOINT_VERSION,
+        )
+        from repro.reliability.checkpoint import write_binary_checkpoint
+
+        stream = StreamingGeolocator(references, min_posts=1)
+        stream.observe("u", 20 * HOUR)
+        meta, arrays = stream.binary_state()
+        arrays["cells"] = np.array([5, 5], dtype=np.int64)
+        arrays["cell_offsets"] = np.array([0, 2], dtype=np.int64)
+        path = tmp_path / "bad.npz"
+        write_binary_checkpoint(
+            path, STREAM_CHECKPOINT_KIND, STREAM_CHECKPOINT_VERSION, meta, arrays
+        )
+        with pytest.raises(CheckpointError, match="unsorted|duplicate"):
+            StreamingGeolocator.load_checkpoint(path)
+
+    def test_unknown_format_name_refused(self, references, tmp_path):
+        stream = StreamingGeolocator(references)
+        with pytest.raises(CheckpointError, match="format"):
+            stream.save_checkpoint(tmp_path / "s.bin", format="parquet")

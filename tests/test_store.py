@@ -1,0 +1,193 @@
+"""Columnar trace store: layout, round-trips, sharded out-of-core reads."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.batch import ProfileMatrix
+from repro.core.events import ActivityTrace, TraceSet
+from repro.core.geolocate import CrowdGeolocator
+from repro.datasets.store import (
+    DEFAULT_SHARD_USERS,
+    TraceStore,
+    convert_jsonl,
+)
+from repro.datasets.traces import save_trace_set
+from repro.errors import DatasetError, EmptyTraceError
+
+
+def _crowd(n_users: int = 40, seed: int = 9, posts: int = 50) -> TraceSet:
+    rng = np.random.default_rng(seed)
+    traces = []
+    for i in range(n_users):
+        zone = int(rng.integers(-11, 13))
+        days = rng.integers(0, 60, size=posts)
+        hours = rng.normal(14.0 - zone, 2.5, size=posts) % 24
+        traces.append(
+            ActivityTrace(f"user{i:03d}", days * 86400.0 + hours * 3600.0)
+        )
+    return TraceSet(traces)
+
+
+class TestStoreRoundTrip:
+    def test_write_open_preserves_traces(self, tmp_path):
+        crowd = _crowd(12)
+        store = TraceStore.write(crowd, tmp_path / "crowd.store")
+        reopened = TraceStore.open(tmp_path / "crowd.store")
+        assert len(reopened) == len(crowd)
+        assert reopened.total_posts() == crowd.total_posts()
+        for trace in crowd:
+            np.testing.assert_array_equal(
+                reopened.stamps_of(trace.user_id), trace.timestamps
+            )
+        assert "user000" in reopened
+        assert "ghost" not in reopened
+        del store
+
+    def test_to_trace_set_is_the_inverse(self, tmp_path):
+        crowd = _crowd(8)
+        TraceStore.write(crowd, tmp_path / "s")
+        back = TraceStore.open(tmp_path / "s").to_trace_set()
+        assert set(back.user_ids()) == set(crowd.user_ids())
+        for trace in crowd:
+            np.testing.assert_array_equal(
+                back[trace.user_id].timestamps, trace.timestamps
+            )
+
+    def test_empty_crowd_round_trips(self, tmp_path):
+        TraceStore.write(TraceSet(), tmp_path / "empty")
+        store = TraceStore.open(tmp_path / "empty")
+        assert len(store) == 0
+        assert store.total_posts() == 0
+        assert list(store.iter_shards()) == []
+
+    def test_zero_post_user_round_trips(self, tmp_path):
+        crowd = TraceSet(
+            [ActivityTrace("posts", [100.0, 200.0]), ActivityTrace("silent")]
+        )
+        TraceStore.write(crowd, tmp_path / "s")
+        store = TraceStore.open(tmp_path / "s")
+        assert store.stamps_of("silent").size == 0
+        assert store.lengths().tolist() == [2, 0]
+
+    def test_duplicate_user_ids_refused(self, tmp_path):
+        duplicated = [
+            ActivityTrace("u", [1.0]),
+            ActivityTrace("u", [2.0]),
+        ]
+        with pytest.raises(DatasetError, match="duplicate"):
+            TraceStore.write(iter(duplicated), tmp_path / "s")
+
+    def test_unknown_store_version_refused(self, tmp_path):
+        TraceStore.write(_crowd(2), tmp_path / "s")
+        meta_path = tmp_path / "s" / "meta.json"
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        meta["version"] = 999
+        meta_path.write_text(json.dumps(meta), encoding="utf-8")
+        with pytest.raises(DatasetError, match="version"):
+            TraceStore.open(tmp_path / "s")
+
+    def test_missing_directory_refused(self, tmp_path):
+        with pytest.raises(DatasetError):
+            TraceStore.open(tmp_path / "absent")
+
+
+class TestShardedReads:
+    def test_shards_tile_the_store(self, tmp_path):
+        crowd = _crowd(23)
+        TraceStore.write(crowd, tmp_path / "s")
+        store = TraceStore.open(tmp_path / "s")
+        shards = list(store.iter_shards(max_users=5))
+        assert [len(shard) for shard in shards] == [5, 5, 5, 5, 3]
+        assert sum(shard.n_posts() for shard in shards) == store.total_posts()
+        seen = [user_id for shard in shards for user_id in shard.user_ids]
+        assert seen == store.user_ids()
+
+    def test_default_shard_size_is_bounded(self, tmp_path):
+        TraceStore.write(_crowd(6), tmp_path / "s")
+        store = TraceStore.open(tmp_path / "s")
+        (shard,) = store.iter_shards(DEFAULT_SHARD_USERS)
+        assert len(shard) == 6
+
+    def test_from_store_equals_from_trace_set(self, tmp_path):
+        crowd = _crowd(30)
+        TraceStore.write(crowd, tmp_path / "s")
+        store = TraceStore.open(tmp_path / "s")
+        via_store = ProfileMatrix.from_store(store)
+        via_traces = ProfileMatrix.from_trace_set(crowd)
+        assert via_store.user_ids == via_traces.user_ids
+        np.testing.assert_array_equal(via_store.matrix, via_traces.matrix)
+
+    def test_from_store_sharding_does_not_change_profiles(self, tmp_path):
+        crowd = _crowd(30)
+        TraceStore.write(crowd, tmp_path / "s")
+        store = TraceStore.open(tmp_path / "s")
+        whole = ProfileMatrix.from_store(store)
+        sharded = ProfileMatrix.from_store(store, max_users_per_shard=7)
+        assert sharded.user_ids == whole.user_ids
+        np.testing.assert_array_equal(sharded.matrix, whole.matrix)
+
+    def test_from_store_min_posts_matches_with_min_posts(self, tmp_path):
+        rng = np.random.default_rng(3)
+        crowd = TraceSet(
+            ActivityTrace(
+                f"u{i}", rng.uniform(0, 50 * 86400.0, size=int(rng.integers(1, 60)))
+            )
+            for i in range(25)
+        )
+        TraceStore.write(crowd, tmp_path / "s")
+        store = TraceStore.open(tmp_path / "s")
+        via_store = ProfileMatrix.from_store(store, min_posts=30)
+        via_traces = ProfileMatrix.from_trace_set(crowd.with_min_posts(30))
+        assert via_store.user_ids == via_traces.user_ids
+        np.testing.assert_array_equal(via_store.matrix, via_traces.matrix)
+
+
+class TestConvertJsonl:
+    def test_convert_preserves_every_trace(self, tmp_path):
+        crowd = _crowd(15)
+        jsonl = tmp_path / "crowd.jsonl"
+        save_trace_set(crowd, jsonl)
+        store = convert_jsonl(jsonl, tmp_path / "crowd.store")
+        assert len(store) == len(crowd)
+        for trace in crowd:
+            np.testing.assert_array_equal(
+                store.stamps_of(trace.user_id), trace.timestamps
+            )
+
+    def test_corrupt_line_names_file_and_line(self, tmp_path):
+        jsonl = tmp_path / "bad.jsonl"
+        jsonl.write_text(
+            '{"user": "a", "timestamps": [1.0]}\nnot json\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(DatasetError, match="bad.jsonl:2"):
+            convert_jsonl(jsonl, tmp_path / "bad.store")
+
+
+class TestStorePipeline:
+    def test_store_and_jsonl_yield_identical_placements(
+        self, tmp_path, references
+    ):
+        crowd = _crowd(60, seed=4, posts=60)
+        jsonl = tmp_path / "crowd.jsonl"
+        save_trace_set(crowd, jsonl)
+        store = convert_jsonl(jsonl, tmp_path / "crowd.store")
+        locator = CrowdGeolocator(references)
+        via_store = locator.geolocate_store(store, crowd_name="c")
+        via_traces = locator.geolocate(crowd, crowd_name="c")
+        assert via_store.user_zones == via_traces.user_zones
+        assert via_store.placement.fractions == via_traces.placement.fractions
+        assert via_store.n_users == via_traces.n_users
+        assert via_store.n_posts == via_traces.n_posts
+        assert via_store.n_removed_flat == via_traces.n_removed_flat
+        assert via_store.mixture.zone_offsets() == via_traces.mixture.zone_offsets()
+
+    def test_geolocate_store_empty_raises(self, tmp_path, references):
+        TraceStore.write(TraceSet(), tmp_path / "s")
+        store = TraceStore.open(tmp_path / "s")
+        with pytest.raises(EmptyTraceError):
+            CrowdGeolocator(references).geolocate_store(store)

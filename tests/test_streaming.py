@@ -84,3 +84,114 @@ class TestConvergence:
         )
         counts = [row.n_events for row in rows]
         assert counts == sorted(counts)
+
+
+class TestIncrementalSnapshots:
+    """The dirty-set fast path must be indistinguishable from a cold run."""
+
+    def _mixed_events(self, n_users=60, seed=13):
+        rng = np.random.default_rng(seed)
+        events = []
+        for i in range(n_users):
+            zone = int(rng.integers(-11, 13)) if i % 2 else 8
+            days = rng.integers(0, 90, size=45)
+            hours = rng.normal(14.0 - zone, 2.5, size=45) % 24
+            for stamp in days * 86400.0 + hours * 3600.0:
+                events.append((f"u{i:03d}", float(stamp)))
+        rng.shuffle(events)
+        return events
+
+    def _assert_matches_reference(self, stream):
+        warm = stream.snapshot()
+        cold = stream.snapshot_reference()
+        assert warm.n_users_active == cold.n_users_active
+        assert warm.placement == cold.placement
+        assert (
+            np.isnan(warm.dominant_mean())
+            and np.isnan(cold.dominant_mean())
+        ) or warm.dominant_mean() == cold.dominant_mean()
+
+    def test_snapshot_equals_cold_reference_throughout(self, references):
+        events = self._mixed_events()
+        stream = StreamingGeolocator(references)
+        step = len(events) // 5
+        for start in range(0, len(events), step):
+            for user_id, stamp in events[start : start + step]:
+                stream.observe(user_id, stamp)
+            self._assert_matches_reference(stream)
+
+    def test_interleaved_checkpoint_restore_stays_exact(
+        self, references, tmp_path
+    ):
+        events = self._mixed_events(n_users=40, seed=7)
+        stream = StreamingGeolocator(references)
+        third = len(events) // 3
+        for user_id, stamp in events[:third]:
+            stream.observe(user_id, stamp)
+        self._assert_matches_reference(stream)
+
+        stream.save_checkpoint(tmp_path / "mid.npz")
+        stream = StreamingGeolocator.load_checkpoint(
+            tmp_path / "mid.npz", references=references
+        )
+        for user_id, stamp in events[third : 2 * third]:
+            stream.observe(user_id, stamp)
+        self._assert_matches_reference(stream)
+
+        stream.save_checkpoint(tmp_path / "mid.json")
+        stream = StreamingGeolocator.load_checkpoint(
+            tmp_path / "mid.json", references=references
+        )
+        for user_id, stamp in events[2 * third :]:
+            stream.observe(user_id, stamp)
+        self._assert_matches_reference(stream)
+        assert stream.n_events == len(events)
+
+    def test_snapshot_exposes_placement(self, references):
+        crowd = build_region_crowd("malaysia", 30, seed=21, n_days=366)
+        stream = StreamingGeolocator(references)
+        for trace in crowd:
+            for timestamp in trace.timestamps:
+                stream.observe(trace.user_id, float(timestamp))
+        snapshot = stream.snapshot()
+        assert snapshot.placement is not None
+        assert snapshot.placement.n_users == snapshot.n_users_active
+        assert abs(sum(snapshot.placement.fractions) - 1.0) < 1e-9
+
+    def test_dirty_set_tracks_new_cells_only(self, references):
+        stream = StreamingGeolocator(references, min_posts=2)
+        stream.observe("u", 20 * 3600.0)
+        stream.observe("u", 86400.0 + 20 * 3600.0)
+        assert stream.n_dirty() == 1
+        stream.snapshot()
+        assert stream.n_dirty() == 0
+        # Same (day, hour) cell again: profile unchanged, nothing dirty.
+        stream.observe("u", 86400.0 + 20 * 3600.0 + 120.0)
+        assert stream.n_dirty() == 0
+        # A fresh cell makes the user dirty again.
+        stream.observe("u", 2 * 86400.0 + 9 * 3600.0)
+        assert stream.n_dirty() == 1
+
+    def test_idle_snapshot_does_no_replacement_work(self, references):
+        crowd = build_region_crowd("japan", 20, seed=3, n_days=366)
+        stream = StreamingGeolocator(references)
+        for trace in crowd:
+            for timestamp in trace.timestamps:
+                stream.observe(trace.user_id, float(timestamp))
+        first = stream.snapshot()
+        assert stream.n_dirty() == 0
+        second = stream.snapshot()
+        assert second.placement == first.placement
+        assert second.dominant_mean() == first.dominant_mean()
+
+    def test_invalidate_all_reproduces_same_answer(self, references):
+        crowd = build_region_crowd("brazil", 25, seed=9, n_days=366)
+        stream = StreamingGeolocator(references)
+        for trace in crowd:
+            for timestamp in trace.timestamps:
+                stream.observe(trace.user_id, float(timestamp))
+        warm = stream.snapshot()
+        stream.invalidate_all()
+        assert stream.n_dirty() == stream.n_users()
+        cold = stream.snapshot()
+        assert cold.placement == warm.placement
