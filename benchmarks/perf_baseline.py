@@ -24,6 +24,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from _shared import synthetic_crowd
 from repro._version import __version__
+from repro.obs.manifest import RunManifest
 from repro.core.batch import ProfileMatrix
 from repro.core.emd import distance_matrix
 from repro.core.flatness import polish_trace_set, polish_trace_set_reference
@@ -131,6 +132,18 @@ def _timings(n_users: int, *, repeat: int) -> dict[str, dict[str, float]]:
 
 
 def run() -> dict:
+    # The manifest fingerprint ties every BENCH_core.json entry back to the
+    # exact bench configuration and toolchain that produced it (same
+    # fingerprint => comparable numbers).
+    manifest = RunManifest.collect(
+        "perf_baseline",
+        config={
+            "full_users": FULL_USERS,
+            "smoke_users": SMOKE_USERS,
+            "crowd_seed": 11,
+        },
+        seed=11,
+    )
     payload = {
         "meta": {
             "version": __version__,
@@ -138,6 +151,7 @@ def run() -> dict:
             "machine": platform.machine(),
             "full_users": FULL_USERS,
             "smoke_users": SMOKE_USERS,
+            "manifest_fingerprint": manifest.fingerprint(),
         },
         "full": _timings(FULL_USERS, repeat=1),
         "smoke": _timings(SMOKE_USERS, repeat=3),

@@ -17,7 +17,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from perf_baseline import BENCH_PATH, SMOKE_USERS, _timings
+from perf_baseline import BENCH_PATH, FULL_USERS, SMOKE_USERS, _time, _timings
 
 #: Maximum tolerated slowdown factor vs the recorded smoke baseline.
 TOLERANCE = 2.0
@@ -26,6 +26,37 @@ TOLERANCE = 2.0
 #: scheduler noise: a path only regresses when it is both TOLERANCE times
 #: and ABSOLUTE_SLACK_S slower than its baseline.
 ABSOLUTE_SLACK_S = 0.010
+
+#: Maximum tolerated slowdown of the fully-instrumented pipeline (live
+#: metrics registry + live tracer) vs the obs-disabled run on the
+#: FULL_USERS bench crowd -- the ISSUE's <5% observability budget.
+OBS_OVERHEAD_TOLERANCE = 1.05
+
+#: Absolute slack for the overhead gate, again against scheduler noise.
+OBS_ABSOLUTE_SLACK_S = 0.050
+
+
+def _obs_overhead_check() -> bool:
+    """Gate: enabling metrics + tracing must cost < 5% on the 5k bench."""
+    from _shared import synthetic_crowd
+    from repro.core.geolocate import CrowdGeolocator
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import tracing as obs_tracing
+
+    crowd = synthetic_crowd(FULL_USERS, seed=11)
+    locator = CrowdGeolocator()
+    disabled_s = _time(locator.geolocate, crowd, repeat=3)
+    with obs_metrics.use_registry(obs_metrics.MetricsRegistry()):
+        with obs_tracing.use_tracer(obs_tracing.Tracer()):
+            enabled_s = _time(locator.geolocate, crowd, repeat=3)
+    ratio = enabled_s / disabled_s
+    ok = enabled_s <= disabled_s * OBS_OVERHEAD_TOLERANCE + OBS_ABSOLUTE_SLACK_S
+    status = "ok" if ok else "FAIL"
+    print(
+        f"  {'obs_overhead':24s} disabled {disabled_s * 1e3:8.2f} ms  "
+        f"enabled {enabled_s * 1e3:8.2f} ms  ({ratio:.2f}x)  {status}"
+    )
+    return ok
 
 
 def main() -> int:
@@ -60,6 +91,9 @@ def main() -> int:
         )
         if regressed:
             failures.append((name, ratio))
+
+    if not _obs_overhead_check():
+        failures.append(("obs_overhead", OBS_OVERHEAD_TOLERANCE))
 
     if failures:
         worst = ", ".join(f"{name} {ratio:.2f}x" for name, ratio in failures)

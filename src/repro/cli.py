@@ -21,6 +21,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -54,6 +55,11 @@ from repro.datasets.store import TraceStore, convert_jsonl
 from repro.datasets.traces import load_trace_set, load_trace_set_resilient
 from repro.errors import EmptyTraceError
 from repro.forum.monitor import ForumMonitor
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.logs import configure_logging
+from repro.obs.manifest import RunManifest
+from repro.obs.tracing import trace_span
 from repro.reliability import FaultSpec, FlakyForumProxy, ManualClock, RetryPolicy
 from repro.synth.forums import FORUM_SPECS
 from repro.timebase.clock import SECONDS_PER_DAY
@@ -381,7 +387,8 @@ def _cmd_geolocate(context, args) -> None:
                 "--quarantine applies to JSONL input only; store conversion "
                 "already rejects corrupt traces"
             )
-        store = TraceStore.open(args.traces)
+        with trace_span("store_load", path=str(args.traces)):
+            store = TraceStore.open(args.traces)
         report = CrowdGeolocator(context.references).geolocate_store(
             store, crowd_name=Path(args.traces).stem
         )
@@ -408,6 +415,171 @@ def _cmd_geolocate(context, args) -> None:
             print(f"  quarantined {entry.user_id}: {entry.reason}")
 
 
+def _label_str(labels: dict) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def _print_metrics_snapshot(metrics: dict) -> None:
+    scalar_rows = [
+        (entry["name"], _label_str(entry["labels"]), f"{entry['value']:g}")
+        for entry in metrics.get("counters", []) + metrics.get("gauges", [])
+    ]
+    if scalar_rows:
+        print(
+            ascii_table(
+                ["metric", "labels", "value"],
+                scalar_rows,
+                title="counters & gauges",
+            )
+        )
+    histogram_rows = [
+        (
+            entry["name"],
+            _label_str(entry["labels"]),
+            entry["count"],
+            f"{entry['sum']:.4f}",
+        )
+        for entry in metrics.get("histograms", [])
+    ]
+    if histogram_rows:
+        print()
+        print(
+            ascii_table(
+                ["histogram", "labels", "count", "sum"],
+                histogram_rows,
+                title="histograms",
+            )
+        )
+
+
+def _print_manifest(payload: dict) -> None:
+    print(
+        f"run manifest: darkcrowd {payload['command']} "
+        f"(fingerprint {payload['fingerprint']})"
+    )
+    print(f"  created:  {payload.get('created')}")
+    print(f"  seed:     {payload.get('seed')}")
+    versions = payload.get("versions") or {}
+    print(
+        "  versions: "
+        + ", ".join(f"{name} {version}" for name, version in sorted(versions.items()))
+    )
+    dataset = payload.get("dataset")
+    if dataset:
+        print(
+            f"  dataset:  {dataset['path']} ({dataset['scheme']} "
+            f"{dataset['sha256'][:12]}..., {dataset['bytes']} bytes)"
+        )
+    spans = payload.get("spans") or []
+    if spans:
+        print()
+        print(
+            ascii_table(
+                ["span", "count", "wall (s)", "cpu (s)", "errors"],
+                [
+                    (
+                        entry["name"],
+                        entry["count"],
+                        f"{entry['wall_s']:.4f}",
+                        f"{entry['cpu_s']:.4f}",
+                        entry["errors"],
+                    )
+                    for entry in spans
+                ],
+                title="span summary",
+            )
+        )
+    metrics = payload.get("metrics") or {}
+    if any(metrics.get(section) for section in ("counters", "gauges", "histograms")):
+        print()
+        _print_metrics_snapshot(metrics)
+
+
+def _print_chrome_trace(events: list) -> None:
+    by_name: dict[str, list[float]] = {}
+    for event in events:
+        by_name.setdefault(event["name"], []).append(float(event["dur"]) / 1e3)
+    rows = [
+        (name, len(durations), f"{sum(durations):.2f}", f"{max(durations):.2f}")
+        for name, durations in sorted(
+            by_name.items(), key=lambda item: -sum(item[1])
+        )
+    ]
+    print(
+        ascii_table(
+            ["span", "events", "total (ms)", "max (ms)"],
+            rows,
+            title=f"chrome trace -- {len(events)} events",
+        )
+    )
+
+
+def _cmd_stats(context, args) -> None:
+    """Pretty-print a metrics / manifest / Chrome-trace artifact."""
+    path = Path(args.artifact)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    kind = payload.get("kind") if isinstance(payload, dict) else None
+    if kind == "repro-run-manifest":
+        _print_manifest(payload)
+    elif kind == "repro-metrics":
+        _print_metrics_snapshot(payload.get("metrics") or {})
+    elif isinstance(payload, dict) and "traceEvents" in payload:
+        _print_chrome_trace(payload["traceEvents"])
+    else:
+        raise SystemExit(
+            f"{path}: not a recognised observability artifact "
+            "(expected --metrics-out / --manifest-out / --trace-out output)"
+        )
+
+
+#: Flags that steer observability output rather than the computation; kept
+#: out of the manifest config so the fingerprint is independent of where
+#: the artifacts land.
+_OBS_ARG_NAMES = frozenset(
+    {"log_level", "log_json", "metrics_out", "trace_out", "manifest_out"}
+)
+
+
+def _write_obs_artifacts(args, registry, tracer) -> None:
+    """Write --metrics-out / --trace-out / --manifest-out after a run."""
+    manifest_out = args.manifest_out
+    if manifest_out is None and args.metrics_out:
+        manifest_out = str(args.metrics_out) + ".manifest.json"
+    if args.metrics_out:
+        path = Path(args.metrics_out)
+        if path.suffix == ".prom":
+            path.write_text(registry.to_prometheus(), encoding="utf-8")
+        else:
+            path.write_text(registry.to_json() + "\n", encoding="utf-8")
+        print(f"metrics written to {path}")
+    if args.trace_out:
+        path = Path(args.trace_out)
+        path.write_text(
+            json.dumps(tracer.to_chrome_trace(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"trace written to {path}")
+    if manifest_out:
+        config = {
+            name: value
+            for name, value in sorted(vars(args).items())
+            if name not in _OBS_ARG_NAMES and name not in ("command", "seed")
+        }
+        dataset_path = getattr(args, "traces", None)
+        manifest = RunManifest.collect(
+            args.command,
+            config=config,
+            seed=args.seed,
+            dataset_path=dataset_path,
+            registry=registry,
+            tracer=tracer,
+        )
+        manifest.write(manifest_out)
+        print(f"manifest written to {manifest_out}")
+
+
 def _cmd_all(context, args) -> None:
     _cmd_table1(context, args)
     print()
@@ -424,6 +596,47 @@ def _cmd_all(context, args) -> None:
     _cmd_countermeasures(context, args)
     print()
     _cmd_sweeps(context, args)
+
+
+def _add_obs_args(parser: argparse.ArgumentParser, *, top_level: bool) -> None:
+    """The observability flag set, shared by the top level and subcommands."""
+
+    def default(value):
+        return value if top_level else argparse.SUPPRESS
+
+    parser.add_argument(
+        "--log-level",
+        default=default("WARNING"),
+        help="threshold for the repro.* structured logs (DEBUG enables "
+        "per-stage detail, INFO enables progress/ETA lines)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        default=default(False),
+        help="emit log lines as JSONL instead of human-readable text",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=default(None),
+        metavar="PATH",
+        help="write the run's metrics after the command (.prom suffix "
+        "selects Prometheus text format, anything else JSON)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=default(None),
+        metavar="PATH",
+        help="write a Chrome trace-viewer JSON of the run's spans "
+        "(open in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--manifest-out",
+        default=default(None),
+        metavar="PATH",
+        help="write the run manifest (defaults to <metrics-out>.manifest.json "
+        "when --metrics-out is given)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -457,18 +670,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="shrink every experiment (implies --scale 0.02 --forum-scale 0.3)",
     )
+    # Observability flags are accepted both before and after the
+    # subcommand (the parent parser uses SUPPRESS defaults so a flag
+    # given after the subcommand overrides one given before, and an
+    # absent flag never clobbers the top-level default).
+    _add_obs_args(parser, top_level=True)
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    _add_obs_args(obs_parent, top_level=False)
+    parents = [obs_parent]
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("table1", help="Table I")
-    fig = sub.add_parser("fig", help="figure N (1..13)")
+    sub.add_parser("table1", help="Table I", parents=parents)
+    fig = sub.add_parser("fig", help="figure N (1..13)", parents=parents)
     fig.add_argument("number", type=int)
-    sub.add_parser("table2", help="Table II")
-    sub.add_parser("hemisphere", help="Sec. V-F hemisphere experiments")
-    sub.add_parser("ablations", help="design-choice ablations")
-    sub.add_parser("countermeasures", help="Sec. VII countermeasure studies")
-    sub.add_parser("sweeps", help="crowd-size / activity sensitivity sweeps")
+    sub.add_parser("table2", help="Table II", parents=parents)
+    sub.add_parser(
+        "hemisphere", help="Sec. V-F hemisphere experiments", parents=parents
+    )
+    sub.add_parser("ablations", help="design-choice ablations", parents=parents)
+    sub.add_parser(
+        "countermeasures", help="Sec. VII countermeasure studies", parents=parents
+    )
+    sub.add_parser(
+        "sweeps", help="crowd-size / activity sensitivity sweeps", parents=parents
+    )
     monitor = sub.add_parser(
         "monitor",
         help="resilient monitoring campaign (retries, faults, checkpoints)",
+        parents=parents,
     )
     monitor.add_argument(
         "--forum", default="idc", choices=sorted(FORUM_SPECS), help="forum to monitor"
@@ -501,7 +729,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume the campaign from this checkpoint file",
     )
     geolocate = sub.add_parser(
-        "geolocate", help="geolocate a JSONL trace set (see datasets.save_trace_set)"
+        "geolocate",
+        help="geolocate a JSONL trace set (see datasets.save_trace_set)",
+        parents=parents,
     )
     geolocate.add_argument(
         "traces", help="path to a JSONL trace-set file (or a store with --store)"
@@ -520,10 +750,18 @@ def build_parser() -> argparse.ArgumentParser:
     convert = sub.add_parser(
         "convert",
         help="compile a JSONL trace set into the columnar binary store",
+        parents=parents,
     )
     convert.add_argument("traces", help="path to a JSONL trace-set file")
     convert.add_argument("store", help="store directory to create")
-    sub.add_parser("all", help="everything")
+    stats = sub.add_parser(
+        "stats",
+        help="pretty-print an observability artifact written by "
+        "--metrics-out / --manifest-out / --trace-out",
+        parents=parents,
+    )
+    stats.add_argument("artifact", help="path to the artifact JSON file")
+    sub.add_parser("all", help="everything", parents=parents)
     return parser
 
 
@@ -538,6 +776,7 @@ _COMMANDS = {
     "monitor": _cmd_monitor,
     "geolocate": _cmd_geolocate,
     "convert": _cmd_convert,
+    "stats": _cmd_stats,
     "all": _cmd_all,
 }
 
@@ -547,8 +786,27 @@ def main(argv: list[str] | None = None) -> int:
     if args.fast:
         args.scale = min(args.scale, 0.02)
         args.forum_scale = min(args.forum_scale, 0.3)
-    context = make_context(seed=args.seed, scale=args.scale)
-    _COMMANDS[args.command](context, args)
+    configure_logging(args.log_level, json_lines=args.log_json)
+    # Every CLI run gets a fresh registry; spans are collected only when an
+    # artifact will be written (tracing has per-span cost, metrics do not).
+    registry = obs_metrics.MetricsRegistry()
+    want_spans = bool(args.trace_out or args.metrics_out or args.manifest_out)
+    tracer = obs_tracing.Tracer() if want_spans else obs_tracing.get_tracer()
+    previous_registry = obs_metrics.get_registry()
+    previous_tracer = obs_tracing.get_tracer()
+    obs_metrics.set_registry(registry)
+    if want_spans:
+        obs_tracing.set_tracer(tracer)
+    try:
+        if args.command == "stats":
+            _cmd_stats(None, args)
+        else:
+            context = make_context(seed=args.seed, scale=args.scale)
+            _COMMANDS[args.command](context, args)
+        _write_obs_artifacts(args, registry, tracer)
+    finally:
+        obs_metrics.set_registry(previous_registry)
+        obs_tracing.set_tracer(previous_tracer)
     return 0
 
 

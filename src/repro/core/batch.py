@@ -37,6 +37,8 @@ implementation the batch paths are property-tested against.
 
 from __future__ import annotations
 
+import logging
+import time
 import warnings
 from collections.abc import Iterable, Mapping
 
@@ -45,7 +47,12 @@ import numpy as np
 from repro.core.events import TraceSet
 from repro.core.profiles import HOURS, Profile
 from repro.errors import EmptyTraceError, ProfileError
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger, log_event
+from repro.obs.progress import ProgressReporter
 from repro.timebase.clock import split_day_hours
+
+_log = get_logger("core")
 
 #: Crowd size above which :meth:`ProfileMatrix.from_trace_set` spreads the
 #: build over a process pool when ``parallel`` is left unset.
@@ -129,6 +136,57 @@ def segmented_hour_counts(
     return _flat_segment_counts(stamps, lengths, offset_hours)
 
 
+def _record_build(branch: str, n_users: int, elapsed_s: float) -> None:
+    """Account one counts-kernel build: branch taken and users/sec."""
+    obs_metrics.counter(
+        "repro_batch_builds_total",
+        "ProfileMatrix count builds by kernel branch",
+        branch=branch,
+    ).inc()
+    obs_metrics.counter(
+        "repro_batch_build_users_total", "users whose Eq. 1 rows were built"
+    ).inc(n_users)
+    obs_metrics.histogram(
+        "repro_batch_build_seconds", "wall time of one counts build"
+    ).observe(elapsed_s)
+    if elapsed_s > 0.0:
+        log_event(
+            _log,
+            logging.DEBUG,
+            "profile_build",
+            branch=branch,
+            n_users=n_users,
+            wall_s=round(elapsed_s, 6),
+            users_per_s=round(n_users / elapsed_s, 1),
+        )
+
+
+def _parallel_fallback(exc: Exception, fanout: str) -> None:
+    """Account + announce a parallel build degrading to the serial pass.
+
+    The structured event and the ``repro_batch_parallel_fallback_total``
+    counter are the supported signal; the ``RuntimeWarning`` is kept for
+    one deprecation cycle for callers still filtering on it.
+    """
+    obs_metrics.counter(
+        "repro_batch_parallel_fallback_total",
+        "parallel profile builds that degraded to the serial pass",
+    ).inc()
+    log_event(
+        _log,
+        logging.WARNING,
+        "batch_parallel_fallback",
+        fanout=fanout,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+    warnings.warn(
+        f"parallel profile build failed ({type(exc).__name__}: "
+        f"{exc}); falling back to the serial pass",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def _default_workers(max_workers: int | None) -> int:
     import os
 
@@ -191,6 +249,11 @@ def counts_parallel_pickle(
         (offset_hours, stamps[starts[lo] : starts[hi]], lengths[lo:hi])
         for lo, hi in _chunk_bounds(n_users, max_workers)
     ]
+    obs_metrics.counter(
+        "repro_batch_chunks_dispatched_total",
+        "worker chunks fanned out by the parallel counts kernels",
+        fanout="pickle",
+    ).inc(len(payloads))
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         results = list(pool.map(_parallel_chunk_counts, payloads))
     return np.vstack(results)
@@ -289,6 +352,11 @@ def counts_parallel_shm(
             )
             for lo, hi in _chunk_bounds(n_users, max_workers)
         ]
+        obs_metrics.counter(
+            "repro_batch_chunks_dispatched_total",
+            "worker chunks fanned out by the parallel counts kernels",
+            fanout="shm",
+        ).inc(len(payloads))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             list(pool.map(_shm_chunk_worker, payloads))
         out = np.ndarray((n_users, HOURS), dtype=np.float64, buffer=out_shm.buf)
@@ -400,23 +468,22 @@ class ProfileMatrix:
             arrays.append(trace.timestamps)
         if parallel is None:
             parallel = len(ids) >= PARALLEL_USER_THRESHOLD
+        started = time.perf_counter()
+        branch = "serial"
         counts: np.ndarray | None = None
         if parallel and len(ids) > 1:
             try:
                 counts = _counts_parallel(arrays, offset_hours, max_workers, fanout)
+                branch = fanout
             except Exception as exc:
                 # A crashed worker (BrokenProcessPool), a pool that cannot
                 # be spawned, or a pickling limit must degrade to the
                 # serial pass, not lose the build -- but never silently.
-                warnings.warn(
-                    f"parallel profile build failed ({type(exc).__name__}: "
-                    f"{exc}); falling back to the serial pass",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
+                _parallel_fallback(exc, fanout)
                 counts = None
         if counts is None:
             counts = segmented_hour_counts(arrays, offset_hours)
+        _record_build(branch, len(ids), time.perf_counter() - started)
         return cls(ids, counts)
 
     @classmethod
@@ -471,6 +538,9 @@ class ProfileMatrix:
         threshold = max(int(min_posts), 1)
         ids: list[str] = []
         blocks: list[np.ndarray] = []
+        progress = ProgressReporter(
+            "core", "profile_build", total=len(store), unit="users"
+        )
         for shard in store.iter_shards(max_users_per_shard):
             use_pool = (
                 parallel
@@ -481,23 +551,25 @@ class ProfileMatrix:
                 and _default_workers(max_workers) > 1
             )
             stamps = np.asarray(shard.stamps, dtype=np.float64)
+            shard_started = time.perf_counter()
+            branch = "serial"
             if use_pool and len(shard) > 1:
                 try:
                     counts = counts_parallel_shm(
                         stamps, shard.lengths, offset_hours, max_workers
                     )
+                    branch = "shm"
                 except Exception as exc:
-                    warnings.warn(
-                        f"parallel shard build failed ({type(exc).__name__}: "
-                        f"{exc}); falling back to the serial pass",
-                        RuntimeWarning,
-                        stacklevel=2,
-                    )
+                    _parallel_fallback(exc, "shm")
                     counts = _flat_segment_counts(
                         stamps, shard.lengths, offset_hours
                     )
             else:
                 counts = _flat_segment_counts(stamps, shard.lengths, offset_hours)
+            _record_build(
+                branch, len(shard), time.perf_counter() - shard_started
+            )
+            progress.advance(len(shard))
             keep = shard.lengths >= threshold
             if not keep.any():
                 continue
@@ -507,6 +579,7 @@ class ProfileMatrix:
                 if kept
             )
             blocks.append(counts[keep])
+        progress.finish()
         if not ids:
             return cls.empty()
         return cls(ids, np.vstack(blocks))

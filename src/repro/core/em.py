@@ -26,6 +26,7 @@ from repro.core.gaussian import (
 )
 from repro.core.placement import PlacementDistribution
 from repro.errors import FitError
+from repro.obs import metrics as obs_metrics
 from repro.timebase.zones import ZONE_OFFSETS
 
 _MIN_SIGMA = 0.35
@@ -167,8 +168,11 @@ def _run_em(
     best_seen = -np.inf
     stall = 0
     converged = False
+    stalled_out = False
+    n_iterations = 0
+    n_reseeds = 0
     log_likelihood = previous
-    for _ in range(max_iter):
+    for n_iterations in range(1, max_iter + 1):
         # E-step, broadcast over all components at once: (k, bins)
         # densities, no per-component python loop (EM dominates the warm
         # streaming-snapshot path, so this loop is perf-critical).
@@ -193,6 +197,7 @@ def _run_em(
             # re-seeds and will never converge -- cut it off.
             stall += 1
             if stall >= _MAX_STALL:
+                stalled_out = True
                 break
         previous = log_likelihood
 
@@ -213,11 +218,29 @@ def _run_em(
         mix = np.where(alive, mass / total, mix)
         if not alive.all():
             # Dead components: re-seed each at the worst-explained bin.
+            n_reseeds += int((~alive).sum())
             worst = float(x[int(np.argmax(weights / mixture))])
             means[~alive] = worst
             sigmas[~alive] = float(sigma_init)
             mix[~alive] = 1.0 / k
         mix = mix / mix.sum()
+
+    # Per-run accounting (once per EM run, never inside the hot loop):
+    # re-seed cycles and stall cutoffs are exactly the pathologies the
+    # _MAX_STALL machinery exists for, so they are first-class metrics.
+    obs_metrics.counter("repro_core_em_runs_total", "EM runs started").inc()
+    obs_metrics.counter(
+        "repro_core_em_iterations_total", "EM iterations across all runs"
+    ).inc(n_iterations)
+    if n_reseeds:
+        obs_metrics.counter(
+            "repro_core_em_reseeds_total", "dead components re-seeded"
+        ).inc(n_reseeds)
+    if stalled_out:
+        obs_metrics.counter(
+            "repro_core_em_stall_cutoffs_total",
+            "EM runs cut off by the stall detector",
+        ).inc()
 
     components = tuple(
         GaussianComponent(mean=float(m), sigma=float(s), weight=float(w))

@@ -17,6 +17,8 @@ everything the paper reports per forum.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field, replace
 
 from repro.core.batch import ProfileMatrix
@@ -40,11 +42,47 @@ from repro.core.placement import (
 from repro.core.profiles import Profile, build_crowd_profile, build_user_profile
 from repro.core.reference import ReferenceProfiles
 from repro.errors import EmptyTraceError
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger, log_event
+from repro.obs.tracing import trace_span
 from repro.reliability.quality import (
     DataQualityReport,
     assert_traces_clean,
     partition_trace_set,
 )
+
+_log = get_logger("core")
+
+
+def _record_run(report: GeolocationReport, pipeline: str, wall_s: float) -> None:
+    """Per-run accounting shared by the in-memory and out-of-core paths."""
+    obs_metrics.counter(
+        "repro_core_geolocate_runs_total",
+        "completed geolocation pipeline runs",
+        pipeline=pipeline,
+    ).inc()
+    obs_metrics.counter(
+        "repro_core_users_placed_total", "users placed into a zone"
+    ).inc(report.n_users)
+    obs_metrics.counter(
+        "repro_core_flat_users_removed_total", "users removed by polishing"
+    ).inc(report.n_removed_flat)
+    obs_metrics.histogram(
+        "repro_core_geolocate_seconds", "wall time of one geolocation run"
+    ).observe(wall_s)
+    log_event(
+        _log,
+        logging.INFO,
+        "geolocate_done",
+        pipeline=pipeline,
+        crowd=report.crowd_name,
+        n_users=report.n_users,
+        n_posts=report.n_posts,
+        n_removed_flat=report.n_removed_flat,
+        k=report.mixture.k,
+        zones=report.zone_offsets(),
+        wall_s=round(wall_s, 4),
+    )
 
 
 @dataclass(frozen=True)
@@ -166,11 +204,13 @@ class CrowdGeolocator:
         :class:`~repro.errors.CorruptTraceError`, never a silently wrong
         placement.
         """
+        started = time.perf_counter()
         quality: DataQualityReport | None = None
-        if quarantine:
-            traces, quality = partition_trace_set(traces)
-        else:
-            assert_traces_clean(traces)
+        with trace_span("quarantine" if quarantine else "validate"):
+            if quarantine:
+                traces, quality = partition_trace_set(traces)
+            else:
+                assert_traces_clean(traces)
         if engine == "reference":
             report = self._geolocate_reference(
                 traces,
@@ -178,44 +218,51 @@ class CrowdGeolocator:
                 polish=polish,
                 hemisphere_top_n=hemisphere_top_n,
             )
-            return replace(report, data_quality=quality) if quarantine else report
+            if quarantine:
+                report = replace(report, data_quality=quality)
+            _record_run(report, "reference", time.perf_counter() - started)
+            return report
         if engine != "batch":
             raise ValueError(f"unknown engine {engine!r}; options: batch, reference")
 
-        active = traces.with_min_posts(self.min_posts)
-        matrix = ProfileMatrix.from_trace_set(active)
-        if polish:
-            matrix, removed_ids, _ = polish_profile_matrix(
-                matrix, self.references, metric=self.metric
-            )
-            crowd = active.without_users(removed_ids) if removed_ids else active
-            n_removed = len(removed_ids)
-        else:
-            crowd = active
-            n_removed = 0
+        with trace_span("profile_build", crowd=crowd_name):
+            active = traces.with_min_posts(self.min_posts)
+            matrix = ProfileMatrix.from_trace_set(active)
+        with trace_span("polish", n_users=len(matrix)):
+            if polish:
+                matrix, removed_ids, _ = polish_profile_matrix(
+                    matrix, self.references, metric=self.metric
+                )
+                crowd = active.without_users(removed_ids) if removed_ids else active
+                n_removed = len(removed_ids)
+            else:
+                crowd = active
+                n_removed = 0
         if len(matrix) == 0:
             raise EmptyTraceError(
                 f"{crowd_name}: no active users after polishing "
                 f"(threshold {self.min_posts} posts)"
             )
 
-        assignments, placement = place_profile_matrix(
-            matrix, self.references, metric=self.metric
-        )
-        mixture = select_mixture(
-            placement,
-            max_components=self.max_components,
-            sigma_init=self.sigma_init,
-            min_weight=self.min_component_weight,
-            criterion=self.criterion,
-        )
+        with trace_span("placement", n_users=len(matrix)):
+            assignments, placement = place_profile_matrix(
+                matrix, self.references, metric=self.metric
+            )
+        with trace_span("mixture"):
+            mixture = select_mixture(
+                placement,
+                max_components=self.max_components,
+                sigma_init=self.sigma_init,
+                min_weight=self.min_component_weight,
+                criterion=self.criterion,
+            )
         crowd_profile = matrix.crowd_profile()
         hemisphere = (
             tuple(classify_most_active(crowd, hemisphere_top_n, metric=self.metric))
             if hemisphere_top_n > 0
             else ()
         )
-        return GeolocationReport(
+        report = GeolocationReport(
             crowd_name=crowd_name,
             n_users=len(crowd),
             n_posts=crowd.total_posts(),
@@ -232,6 +279,8 @@ class CrowdGeolocator:
             hemisphere=hemisphere,
             data_quality=quality,
         )
+        _record_run(report, "batch", time.perf_counter() - started)
+        return report
 
     def geolocate_store(
         self,
@@ -253,31 +302,38 @@ class CrowdGeolocator:
         not offered on this path (the store format already rejects
         corrupt traces at ``convert`` time).
         """
-        matrix = ProfileMatrix.from_store(
-            store, min_posts=self.min_posts, max_users_per_shard=max_users_per_shard
-        )
-        if polish:
-            matrix, removed_ids, _ = polish_profile_matrix(
-                matrix, self.references, metric=self.metric
+        started = time.perf_counter()
+        with trace_span("profile_build", crowd=crowd_name, source="store"):
+            matrix = ProfileMatrix.from_store(
+                store,
+                min_posts=self.min_posts,
+                max_users_per_shard=max_users_per_shard,
             )
-            n_removed = len(removed_ids)
-        else:
-            n_removed = 0
+        with trace_span("polish", n_users=len(matrix)):
+            if polish:
+                matrix, removed_ids, _ = polish_profile_matrix(
+                    matrix, self.references, metric=self.metric
+                )
+                n_removed = len(removed_ids)
+            else:
+                n_removed = 0
         if len(matrix) == 0:
             raise EmptyTraceError(
                 f"{crowd_name}: no active users after polishing "
                 f"(threshold {self.min_posts} posts)"
             )
-        assignments, placement = place_profile_matrix(
-            matrix, self.references, metric=self.metric
-        )
-        mixture = select_mixture(
-            placement,
-            max_components=self.max_components,
-            sigma_init=self.sigma_init,
-            min_weight=self.min_component_weight,
-            criterion=self.criterion,
-        )
+        with trace_span("placement", n_users=len(matrix)):
+            assignments, placement = place_profile_matrix(
+                matrix, self.references, metric=self.metric
+            )
+        with trace_span("mixture"):
+            mixture = select_mixture(
+                placement,
+                max_components=self.max_components,
+                sigma_init=self.sigma_init,
+                min_weight=self.min_component_weight,
+                criterion=self.criterion,
+            )
         crowd_profile = matrix.crowd_profile()
         survivors = set(matrix.user_ids)
         n_posts = int(
@@ -287,7 +343,7 @@ class CrowdGeolocator:
                 if user_id in survivors
             )
         )
-        return GeolocationReport(
+        report = GeolocationReport(
             crowd_name=crowd_name,
             n_users=len(matrix),
             n_posts=n_posts,
@@ -302,6 +358,8 @@ class CrowdGeolocator:
             fit_metrics=fit_distance_metrics(placement, mixture.components),
             user_zones=assignments,
         )
+        _record_run(report, "store", time.perf_counter() - started)
+        return report
 
     def _geolocate_reference(
         self,

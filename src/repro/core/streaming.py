@@ -35,6 +35,7 @@ the file itself.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 from dataclasses import dataclass
 
@@ -50,6 +51,8 @@ from repro.core.placement import PlacementDistribution, place_profile_matrix
 from repro.core.profiles import HOURS, Profile
 from repro.core.reference import ReferenceProfiles
 from repro.errors import CheckpointError, EmptyTraceError
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracing import trace_span
 from repro.reliability.checkpoint import (
     checkpoint_format,
     read_binary_checkpoint,
@@ -319,8 +322,23 @@ class StreamingGeolocator:
         since the previous snapshot are re-placed, and the placement
         histogram is patched by count deltas rather than recounted.
         """
-        self._refresh()
-        return self._snapshot_from_hist()
+        n_dirty = len(self._dirty)
+        started = time.perf_counter()
+        with trace_span("streaming_snapshot", n_dirty=n_dirty):
+            self._refresh()
+            snapshot = self._snapshot_from_hist()
+        obs_metrics.counter(
+            "repro_streaming_snapshots_total", "incremental snapshots taken"
+        ).inc()
+        obs_metrics.gauge(
+            "repro_streaming_dirty_users",
+            "users re-placed by the last incremental snapshot",
+        ).set(n_dirty)
+        obs_metrics.histogram(
+            "repro_streaming_snapshot_seconds",
+            "wall time of one incremental snapshot",
+        ).observe(time.perf_counter() - started)
+        return snapshot
 
     def snapshot_reference(self) -> StreamSnapshot:
         """Always-cold oracle: rebuild and re-place every user from scratch.
@@ -329,6 +347,16 @@ class StreamingGeolocator:
         tests assert ``snapshot()`` equals it after any interleaving of
         observes, snapshots and checkpoint round-trips.
         """
+        started = time.perf_counter()
+        try:
+            return self._snapshot_reference_impl()
+        finally:
+            obs_metrics.histogram(
+                "repro_streaming_snapshot_cold_seconds",
+                "wall time of one cold (full re-place) snapshot",
+            ).observe(time.perf_counter() - started)
+
+    def _snapshot_reference_impl(self) -> StreamSnapshot:
         ids = []
         rows = []
         for user_id, state in self._users.items():

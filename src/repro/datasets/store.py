@@ -31,8 +31,10 @@ converting never holds more than the source arrays.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import shutil
+import time
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
@@ -41,6 +43,10 @@ import numpy as np
 
 from repro.core.events import ActivityTrace, TraceSet
 from repro.errors import DatasetError
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger, log_event
+
+_log = get_logger("datasets")
 
 #: Envelope identifiers checked on open, mirroring the checkpoint format.
 STORE_KIND = "trace-store"
@@ -179,6 +185,7 @@ class TraceStore:
     @classmethod
     def open(cls, path: "str | Path", *, mmap: bool = True) -> "TraceStore":
         """Open a store directory; the stamp column is memmapped by default."""
+        started = time.perf_counter()
         source = Path(path)
         meta_path = source / _META_NAME
         if not source.is_dir() or not meta_path.exists():
@@ -224,6 +231,23 @@ class TraceStore:
                 f"corrupt trace store {source}: offset table does not cover "
                 f"the stamp column"
             )
+        elapsed = time.perf_counter() - started
+        obs_metrics.counter(
+            "repro_datasets_store_opens_total", "trace stores opened"
+        ).inc()
+        obs_metrics.histogram(
+            "repro_datasets_store_open_seconds", "wall time to open a store"
+        ).observe(elapsed)
+        log_event(
+            _log,
+            logging.DEBUG,
+            "store_open",
+            path=str(source),
+            n_users=int(user_ids.size),
+            n_posts=int(stamps.size),
+            mmap=bool(mmap),
+            wall_s=round(elapsed, 6),
+        )
         return cls(source, user_ids, offsets.astype(np.int64), stamps)
 
     # -- container protocol ------------------------------------------------
@@ -285,10 +309,14 @@ class TraceStore:
         if max_users <= 0:
             raise DatasetError(f"max_users must be positive, got {max_users}")
         n_users = len(self)
+        shards = obs_metrics.counter(
+            "repro_datasets_store_shards_total", "store shards yielded"
+        )
         for start in range(0, n_users, max_users):
             stop = min(start + max_users, n_users)
             lo = int(self._offsets[start])
             hi = int(self._offsets[stop])
+            shards.inc()
             yield StoreShard(
                 user_ids=tuple(str(u) for u in self._user_ids[start:stop]),
                 stamps=self._stamps[lo:hi],
@@ -344,4 +372,14 @@ def convert_jsonl(
         )
         for user_id in order
     )
-    return TraceStore.write(merged, store_path)
+    store = TraceStore.write(merged, store_path)
+    log_event(
+        _log,
+        logging.INFO,
+        "store_converted",
+        source=str(source),
+        store=str(store.path),
+        n_users=len(store),
+        n_posts=store.total_posts(),
+    )
+    return store

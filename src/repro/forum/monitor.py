@@ -24,14 +24,20 @@ monitor state checkpoints to an atomic JSON file from which
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.events import ActivityTrace, TraceSet
 from repro.errors import ForumError, RetryExhaustedError, TransientForumError
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger, log_event
+from repro.obs.progress import ProgressReporter
 from repro.reliability.checkpoint import read_checkpoint, write_checkpoint
 from repro.reliability.clocks import Clock
 from repro.reliability.policy import RetryPolicy
+
+_log = get_logger("forum")
 
 #: Checkpoint envelope identifiers for :class:`ForumMonitor` state.
 MONITOR_CHECKPOINT_KIND = "forum-monitor"
@@ -132,6 +138,9 @@ class ForumMonitor:
         self._last_poll_time = utc_now
         first_poll = self._polls == 0
         self._polls += 1
+        obs_metrics.counter(
+            "repro_forum_monitor_polls_total", "successful monitor polls"
+        ).inc()
         if first_poll:
             self._seen_post_ids.update(post.post_id for post in new_posts)
             return []
@@ -142,8 +151,10 @@ class ForumMonitor:
         # two hours of interval).
         stamp = (previous_poll + utc_now) / 2.0
         fresh = []
+        n_replays = 0
         for post in new_posts:
             if post.post_id in self._seen_post_ids:
+                n_replays += 1
                 continue
             self._seen_post_ids.add(post.post_id)
             if post.author == self.username:
@@ -154,6 +165,16 @@ class ForumMonitor:
                 )
             )
         self._observations.extend(fresh)
+        if fresh:
+            obs_metrics.counter(
+                "repro_forum_monitor_posts_stamped_total",
+                "posts stamped by the monitor",
+            ).inc(len(fresh))
+        if n_replays:
+            obs_metrics.counter(
+                "repro_forum_monitor_replays_dropped_total",
+                "replayed posts dropped by id dedup",
+            ).inc(n_replays)
         return fresh
 
     def run_campaign(
@@ -184,6 +205,12 @@ class ForumMonitor:
             raise ForumError("campaign must end after it starts")
         if checkpoint_every < 1:
             raise ForumError(f"checkpoint_every must be >= 1: {checkpoint_every}")
+        progress = ProgressReporter(
+            "forum",
+            "monitor_campaign",
+            total=int((end - start) // poll_interval) + 1,
+            unit="polls",
+        )
         time = start
         while time <= end:
             if time > self._last_poll_time:
@@ -191,13 +218,19 @@ class ForumMonitor:
                     self.poll(time)
                 except (TransientForumError, RetryExhaustedError):
                     self._failed_polls += 1
+                    obs_metrics.counter(
+                        "repro_forum_monitor_failed_polls_total",
+                        "polls skipped after forum failures",
+                    ).inc()
                 else:
                     if (
                         checkpoint_path is not None
                         and self._polls % checkpoint_every == 0
                     ):
                         self.save_checkpoint(checkpoint_path)
+            progress.advance()
             time += poll_interval
+        progress.finish()
         if checkpoint_path is not None:
             self.save_checkpoint(checkpoint_path)
         buckets: dict[str, list[float]] = {}
@@ -205,7 +238,7 @@ class ForumMonitor:
             buckets.setdefault(observation.author, []).append(
                 observation.observed_at
             )
-        return MonitorResult(
+        result = MonitorResult(
             forum_name=forum_name or getattr(self.forum, "name", "forum"),
             traces=TraceSet(
                 ActivityTrace(author, stamps) for author, stamps in buckets.items()
@@ -215,6 +248,17 @@ class ForumMonitor:
             observations=tuple(self._observations),
             n_failed_polls=self._failed_polls,
         )
+        log_event(
+            _log,
+            logging.INFO,
+            "monitor_campaign_done",
+            forum=result.forum_name,
+            n_polls=result.n_polls,
+            n_failed_polls=result.n_failed_polls,
+            n_authors=len(result.traces),
+            n_posts_stamped=len(result.observations),
+        )
+        return result
 
     # -- checkpoint / resume ----------------------------------------------
 

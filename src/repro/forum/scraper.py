@@ -19,15 +19,20 @@ a killed process resumes from the last completed poll instead of restarting.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.events import ActivityTrace, TraceSet
 from repro.errors import ForumError, RetryExhaustedError, TransientForumError
 from repro.forum.engine import PROBE_THREADS
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger, log_event
 from repro.reliability.checkpoint import read_checkpoint, write_checkpoint
 from repro.reliability.clocks import Clock
 from repro.reliability.policy import RetryPolicy
+
+_log = get_logger("forum")
 
 #: Checkpoint envelope identifiers for :meth:`ForumScraper.scrape_campaign`.
 CAMPAIGN_CHECKPOINT_KIND = "scrape-campaign"
@@ -286,9 +291,17 @@ class ForumScraper:
                     )
                 except (TransientForumError, RetryExhaustedError):
                     n_failed_polls += 1
+                    obs_metrics.counter(
+                        "repro_forum_campaign_failed_polls_total",
+                        "campaign polls skipped after forum failures",
+                    ).inc()
                 else:
                     last_poll_time = time
                     n_polls += 1
+                    obs_metrics.counter(
+                        "repro_forum_campaign_polls_total",
+                        "completed campaign polls",
+                    ).inc()
                     if checkpoint_path is not None:
                         write_checkpoint(
                             checkpoint_path,
@@ -314,7 +327,7 @@ class ForumScraper:
         traces = TraceSet(
             ActivityTrace(author, stamps) for author, stamps in by_author.items()
         )
-        return CampaignResult(
+        result = CampaignResult(
             forum_name=forum_name or getattr(self.forum, "name", "forum"),
             server_offset_hours=offset_hours if offset_hours is not None else 0.0,
             traces=traces,
@@ -324,6 +337,19 @@ class ForumScraper:
             n_skew_corrections=n_skew_corrections,
             resumed=resumed,
         )
+        log_event(
+            _log,
+            logging.INFO,
+            "scrape_campaign_done",
+            forum=result.forum_name,
+            n_polls=result.n_polls,
+            n_failed_polls=result.n_failed_polls,
+            n_skew_corrections=result.n_skew_corrections,
+            n_authors=len(result.traces),
+            n_posts=result.n_posts,
+            resumed=result.resumed,
+        )
+        return result
 
     def _campaign_poll(
         self,
@@ -337,6 +363,17 @@ class ForumScraper:
         calibrated = self.calibrate_offset(utc_now)
         if offset_hours is not None and calibrated != offset_hours:
             n_skew_corrections += 1  # skew detected: the server clock moved
+            obs_metrics.counter(
+                "repro_forum_skew_corrections_total",
+                "server clock skew corrections applied mid-campaign",
+            ).inc()
+            log_event(
+                _log,
+                logging.WARNING,
+                "server_clock_skew",
+                old_offset_hours=offset_hours,
+                new_offset_hours=calibrated,
+            )
         offset_hours = calibrated
         posts = self._call(self.forum.visible_posts, self.username, utc_now)
         for post in posts:

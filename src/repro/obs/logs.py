@@ -1,0 +1,162 @@
+"""Structured logging: per-subsystem loggers with an optional JSONL sink.
+
+Built on stdlib :mod:`logging` so host applications keep full control:
+the library only ever logs through child loggers of the ``repro`` root
+(``repro.core``, ``repro.forum``, ``repro.reliability``,
+``repro.streaming``, ``repro.datasets``) and never installs a handler on
+its own.  :func:`configure_logging` is what the CLI calls to attach one:
+either a human-readable line format or :class:`JsonlFormatter`, which
+renders each record as one JSON object per line --
+
+.. code-block:: json
+
+    {"ts": "2026-08-06T12:00:00+00:00", "level": "INFO",
+     "logger": "repro.core", "event": "geolocate_done",
+     "n_users": 4750, "wall_s": 0.41}
+
+:func:`log_event` is the emission helper every instrumentation point
+uses: a stable ``event`` name plus keyword fields, carried on the record
+so the JSONL formatter emits them as first-class keys (the plain
+formatter appends them as ``key=value`` pairs).  It checks
+``isEnabledFor`` first, so a disabled level costs one integer compare.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from datetime import datetime, timezone
+from typing import Any
+
+__all__ = [
+    "SUBSYSTEMS",
+    "get_logger",
+    "log_event",
+    "JsonlFormatter",
+    "configure_logging",
+    "reset_logging",
+]
+
+#: The per-subsystem logger names under the ``repro`` root.
+SUBSYSTEMS = ("core", "forum", "reliability", "streaming", "datasets", "obs", "cli")
+
+_ROOT = "repro"
+#: Attribute tagged onto handlers installed by :func:`configure_logging`,
+#: so re-configuring replaces our handler instead of stacking duplicates.
+_HANDLER_TAG = "_repro_obs_handler"
+#: LogRecord attribute carrying :func:`log_event` structured fields.
+_FIELDS_ATTR = "repro_fields"
+
+
+def get_logger(subsystem: str) -> logging.Logger:
+    """The ``repro.<subsystem>`` logger (``repro`` itself for "")."""
+    if not subsystem:
+        return logging.getLogger(_ROOT)
+    return logging.getLogger(f"{_ROOT}.{subsystem}")
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: Any
+) -> None:
+    """Emit one structured event; free when *level* is disabled."""
+    if not logger.isEnabledFor(level):
+        return
+    logger.log(level, event, extra={_FIELDS_ATTR: fields})
+
+
+class JsonlFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, event, then fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        body: dict[str, Any] = {
+            "ts": datetime.fromtimestamp(record.created, tz=timezone.utc).isoformat(
+                timespec="milliseconds"
+            ),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            for key, value in fields.items():
+                body.setdefault(key, _jsonable(value))
+        if record.exc_info and record.exc_info[0] is not None:
+            body["exc"] = self.formatException(record.exc_info)
+        return json.dumps(body, default=str)
+
+
+class _PlainFormatter(logging.Formatter):
+    """Human format; structured fields appended as ``key=value`` pairs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            rendered = " ".join(f"{key}={_render(value)}" for key, value in fields.items())
+            return f"{base} {rendered}"
+        return base
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return str(value)
+
+
+def configure_logging(
+    level: "int | str" = logging.WARNING,
+    *,
+    json_lines: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Attach one handler to the ``repro`` root at *level*; idempotent.
+
+    *json_lines* selects :class:`JsonlFormatter` (one JSON object per
+    line) over the human-readable format.  A handler previously installed
+    by this function is replaced, never stacked, so repeated CLI
+    invocations in one process (tests) do not multiply output.  Returns
+    the ``repro`` root logger.
+    """
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
+    root = logging.getLogger(_ROOT)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    setattr(handler, _HANDLER_TAG, True)
+    if json_lines:
+        handler.setFormatter(JsonlFormatter())
+    else:
+        handler.setFormatter(
+            _PlainFormatter("%(asctime)s %(levelname)-7s %(name)s %(message)s")
+        )
+    root.addHandler(handler)
+    root.setLevel(level)
+    # The library's records stop at our handler instead of also reaching
+    # whatever the application configured on the global root.
+    root.propagate = False
+    return root
+
+
+def reset_logging() -> None:
+    """Detach any handler installed by :func:`configure_logging`."""
+    root = logging.getLogger(_ROOT)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            root.removeHandler(handler)
+    root.propagate = True
+    root.setLevel(logging.NOTSET)

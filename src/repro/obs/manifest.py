@@ -1,0 +1,241 @@
+"""Run manifests: what exactly produced this output, and at what cost?
+
+A :class:`RunManifest` is the provenance record written next to every
+pipeline artifact: the command and configuration that ran, the seed, a
+content fingerprint of the input dataset, tool versions, a snapshot of
+the metrics registry and the span-tree digest.  Two runs with the same
+:meth:`RunManifest.fingerprint` consumed the same inputs under the same
+configuration -- which is how ``BENCH_core.json`` entries are traced back
+to the exact bench setup that produced them.
+
+Manifests are written atomically (temp file + ``os.replace``, the same
+discipline as the reliability checkpoints) so a crash mid-write never
+leaves a torn manifest beside a finished output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+__all__ = [
+    "RunManifest",
+    "MANIFEST_KIND",
+    "MANIFEST_VERSION",
+    "fingerprint_dataset",
+    "collect_versions",
+]
+
+MANIFEST_KIND = "repro-run-manifest"
+MANIFEST_VERSION = 1
+
+#: Files above this size are fingerprinted by a head + tail + size sample
+#: instead of a full read, so manifesting a multi-GB store stays cheap.
+_FULL_HASH_LIMIT = 64 * 1024 * 1024
+_SAMPLE_BYTES = 1024 * 1024
+
+
+def collect_versions() -> dict[str, str]:
+    """Versions of everything that can change the numbers."""
+    import numpy
+
+    return {
+        "repro": __version__,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "machine": platform.machine(),
+    }
+
+
+def _hash_file(digest: "hashlib._Hash", path: Path) -> None:
+    size = path.stat().st_size
+    with path.open("rb") as handle:
+        if size <= _FULL_HASH_LIMIT:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+        else:
+            digest.update(handle.read(_SAMPLE_BYTES))
+            handle.seek(max(size - _SAMPLE_BYTES, 0))
+            digest.update(handle.read(_SAMPLE_BYTES))
+            digest.update(str(size).encode())
+
+
+def fingerprint_dataset(path: "str | Path | None") -> dict[str, Any] | None:
+    """Content fingerprint of a dataset file or store directory.
+
+    Plain files hash their bytes (head+tail sampled above 64 MiB, with
+    the size folded in); store directories hash every member file in
+    sorted name order, so the fingerprint is stable across filesystems.
+    Returns ``None`` for ``None`` input (runs with no on-disk dataset).
+    """
+    if path is None:
+        return None
+    source = Path(path)
+    if not source.exists():
+        raise ReproError(f"cannot fingerprint missing dataset: {source}")
+    digest = hashlib.sha256()
+    total_bytes = 0
+    if source.is_dir():
+        members = sorted(p for p in source.rglob("*") if p.is_file())
+        for member in members:
+            digest.update(str(member.relative_to(source)).encode())
+            _hash_file(digest, member)
+            total_bytes += member.stat().st_size
+        scheme = "dir-sha256"
+    else:
+        _hash_file(digest, source)
+        total_bytes = source.stat().st_size
+        scheme = (
+            "sha256" if total_bytes <= _FULL_HASH_LIMIT else "sampled-sha256"
+        )
+    return {
+        "path": str(source),
+        "scheme": scheme,
+        "sha256": digest.hexdigest(),
+        "bytes": total_bytes,
+    }
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance of one pipeline run (see module docstring)."""
+
+    command: str
+    config: dict[str, Any] = field(default_factory=dict)
+    seed: "int | None" = None
+    dataset: "dict[str, Any] | None" = None
+    versions: dict[str, str] = field(default_factory=collect_versions)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+    created: str = field(
+        default_factory=lambda: datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        )
+    )
+
+    def fingerprint(self) -> str:
+        """Stable digest over (command, config, seed, dataset, versions).
+
+        Deliberately excludes the metrics/span payloads and the creation
+        time: two runs with the same fingerprint consumed the same inputs
+        under the same configuration, regardless of how fast they ran.
+        """
+        material = {
+            "command": self.command,
+            "config": self.config,
+            "seed": self.seed,
+            "dataset": self.dataset,
+            "versions": self.versions,
+        }
+        canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    @classmethod
+    def collect(
+        cls,
+        command: str,
+        *,
+        config: "dict[str, Any] | None" = None,
+        seed: "int | None" = None,
+        dataset_path: "str | Path | None" = None,
+        registry=None,
+        tracer=None,
+    ) -> "RunManifest":
+        """Assemble a manifest from the live registry and tracer.
+
+        *registry* / *tracer* default to the active globals, so a CLI run
+        captures exactly what its instrumentation recorded.
+        """
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import tracing as obs_tracing
+
+        registry = registry if registry is not None else obs_metrics.get_registry()
+        tracer = tracer if tracer is not None else obs_tracing.get_tracer()
+        return cls(
+            command=command,
+            config=dict(config or {}),
+            seed=seed,
+            dataset=fingerprint_dataset(dataset_path),
+            metrics=registry.snapshot(),
+            spans=tracer.summary(),
+        )
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": MANIFEST_KIND,
+            "version": MANIFEST_VERSION,
+            "fingerprint": self.fingerprint(),
+            "command": self.command,
+            "config": self.config,
+            "seed": self.seed,
+            "dataset": self.dataset,
+            "versions": self.versions,
+            "created": self.created,
+            "metrics": self.metrics,
+            "spans": self.spans,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RunManifest":
+        if payload.get("kind") != MANIFEST_KIND:
+            raise ReproError(
+                f"not a run manifest (kind={payload.get('kind')!r}, "
+                f"expected {MANIFEST_KIND!r})"
+            )
+        if payload.get("version") != MANIFEST_VERSION:
+            raise ReproError(
+                f"manifest version {payload.get('version')!r} is not readable "
+                f"by this code (version {MANIFEST_VERSION})"
+            )
+        manifest = cls(
+            command=str(payload["command"]),
+            config=dict(payload.get("config") or {}),
+            seed=payload.get("seed"),
+            dataset=payload.get("dataset"),
+            versions=dict(payload.get("versions") or {}),
+            metrics=dict(payload.get("metrics") or {}),
+            spans=list(payload.get("spans") or []),
+            created=str(payload.get("created", "")),
+        )
+        recorded = payload.get("fingerprint")
+        if recorded is not None and recorded != manifest.fingerprint():
+            raise ReproError(
+                f"manifest fingerprint mismatch: file says {recorded}, "
+                f"contents hash to {manifest.fingerprint()} -- the manifest "
+                "was edited after it was written"
+            )
+        return manifest
+
+    def write(self, path: "str | Path") -> Path:
+        """Atomically write the manifest JSON next to the run's outputs."""
+        destination = Path(path)
+        document = json.dumps(self.to_dict(), indent=2) + "\n"
+        temp = destination.with_name(destination.name + ".tmp")
+        try:
+            temp.write_text(document, encoding="utf-8")
+            os.replace(temp, destination)
+        except OSError as exc:
+            raise ReproError(f"cannot write manifest {destination}: {exc}") from exc
+        return destination
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "RunManifest":
+        source = Path(path)
+        try:
+            payload = json.loads(source.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ReproError(f"cannot read manifest {source}: {exc}") from exc
+        except ValueError as exc:
+            raise ReproError(f"corrupt manifest {source}: {exc}") from exc
+        return cls.from_dict(payload)

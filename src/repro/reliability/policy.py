@@ -16,6 +16,7 @@ any callable.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from enum import Enum
@@ -26,7 +27,11 @@ from repro.errors import (
     RetryExhaustedError,
     TransientForumError,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger, log_event
 from repro.reliability.clocks import Clock, SystemClock
+
+_log = get_logger("reliability")
 
 
 @dataclass(frozen=True)
@@ -97,6 +102,10 @@ class RetryPolicy:
                 return fn(*args, **kwargs)
             except self.retry_on as exc:
                 last_error = exc
+                obs_metrics.counter(
+                    "repro_reliability_retry_attempts_total",
+                    "failed attempts seen by retry policies",
+                ).inc()
                 if attempt == self.max_attempts:
                     break
                 delay = schedule[attempt - 1]
@@ -104,6 +113,10 @@ class RetryPolicy:
                     self.deadline is not None
                     and clock.now() - started + delay > self.deadline
                 ):
+                    obs_metrics.counter(
+                        "repro_reliability_retry_exhausted_total",
+                        "execute calls that gave up",
+                    ).inc()
                     raise RetryExhaustedError(
                         f"retry deadline of {self.deadline:.1f}s exceeded "
                         f"after {attempt} attempt(s): {exc}",
@@ -112,7 +125,30 @@ class RetryPolicy:
                     ) from exc
                 if on_retry is not None:
                     on_retry(attempt, exc)
+                obs_metrics.counter(
+                    "repro_reliability_backoff_seconds_total",
+                    "seconds spent in backoff sleeps",
+                ).inc(delay)
+                log_event(
+                    _log,
+                    logging.DEBUG,
+                    "retrying",
+                    attempt=attempt,
+                    delay_s=round(delay, 3),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 clock.sleep(delay)
+        obs_metrics.counter(
+            "repro_reliability_retry_exhausted_total",
+            "execute calls that gave up",
+        ).inc()
+        log_event(
+            _log,
+            logging.WARNING,
+            "retry_exhausted",
+            attempts=self.max_attempts,
+            error=f"{type(last_error).__name__}: {last_error}",
+        )
         raise RetryExhaustedError(
             f"gave up after {self.max_attempts} attempt(s): {last_error}",
             attempts=self.max_attempts,
@@ -160,18 +196,40 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = float("-inf")
 
+    def _transition(self, new_state: CircuitState) -> None:
+        """Switch state, counting and logging only the actual flips."""
+        if new_state is self._state:
+            return
+        old_state = self._state
+        self._state = new_state
+        obs_metrics.counter(
+            "repro_reliability_circuit_transitions_total",
+            "circuit-breaker state transitions",
+            to=new_state.value,
+        ).inc()
+        log_event(
+            _log,
+            logging.WARNING
+            if new_state is CircuitState.OPEN
+            else logging.INFO,
+            "circuit_transition",
+            from_state=old_state.value,
+            to_state=new_state.value,
+            consecutive_failures=self._consecutive_failures,
+        )
+
     @property
     def state(self) -> CircuitState:
         if (
             self._state is CircuitState.OPEN
             and self.clock.now() - self._opened_at >= self.recovery_timeout
         ):
-            self._state = CircuitState.HALF_OPEN
+            self._transition(CircuitState.HALF_OPEN)
         return self._state
 
     def record_success(self) -> None:
         self._consecutive_failures = 0
-        self._state = CircuitState.CLOSED
+        self._transition(CircuitState.CLOSED)
 
     def record_failure(self) -> None:
         self._consecutive_failures += 1
@@ -179,7 +237,7 @@ class CircuitBreaker:
             self.state is CircuitState.HALF_OPEN
             or self._consecutive_failures >= self.failure_threshold
         ):
-            self._state = CircuitState.OPEN
+            self._transition(CircuitState.OPEN)
             self._opened_at = self.clock.now()
 
     def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:

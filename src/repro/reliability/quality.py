@@ -12,12 +12,17 @@ analyst always knows what fraction of the crowd the verdict rests on.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.events import TraceSet
 from repro.errors import CorruptTraceError
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger, log_event
+
+_log = get_logger("reliability")
 
 #: Quarantine reason strings (stable identifiers, used in reports and tests).
 REASON_EMPTY = "empty-trace"
@@ -117,11 +122,31 @@ def partition_trace_set(traces: TraceSet) -> tuple[TraceSet, DataQualityReport]:
             quarantined.append(
                 QuarantinedUser(trace.user_id, reason, len(trace))
             )
-    return healthy, DataQualityReport(
+    report = DataQualityReport(
         n_input_users=n_input,
         n_retained_users=len(healthy),
         quarantined=tuple(quarantined),
     )
+    obs_metrics.counter(
+        "repro_reliability_retained_users_total",
+        "healthy users surviving quarantine partitioning",
+    ).inc(report.n_retained_users)
+    for reason, count in report.reasons().items():
+        obs_metrics.counter(
+            "repro_reliability_quarantined_users_total",
+            "users set aside by the quarantine",
+            reason=reason,
+        ).inc(count)
+    if not report.is_clean():
+        log_event(
+            _log,
+            logging.WARNING,
+            "traces_quarantined",
+            n_input=report.n_input_users,
+            n_retained=report.n_retained_users,
+            reasons=report.reasons(),
+        )
+    return healthy, report
 
 
 def assert_traces_clean(traces: TraceSet) -> None:
