@@ -535,6 +535,32 @@ def _cmd_stats(context, args) -> None:
         )
 
 
+def _cmd_lint(context, args) -> None:
+    """Run the project's static-analysis rules (see repro.lintkit)."""
+    from repro.lintkit import all_rules, lint_paths, render_json, render_text
+
+    if args.list_rules:
+        rows = [(rule_id, rule.summary) for rule_id, rule in all_rules().items()]
+        print(
+            ascii_table(
+                ["rule", "enforces"], rows, title="darkcrowd lint -- rule catalogue"
+            )
+        )
+        return
+    select = [r.strip() for r in args.select.split(",")] if args.select else None
+    ignore = [r.strip() for r in args.ignore.split(",")] if args.ignore else None
+    try:
+        findings = lint_paths(args.paths, select=select, ignore=ignore)
+    except KeyError as exc:
+        raise SystemExit(f"lint: {exc.args[0]}")
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    if findings:
+        raise SystemExit(1)
+
+
 #: Flags that steer observability output rather than the computation; kept
 #: out of the manifest config so the fingerprint is independent of where
 #: the artifacts land.
@@ -761,6 +787,41 @@ def build_parser() -> argparse.ArgumentParser:
         parents=parents,
     )
     stats.add_argument("artifact", help="path to the artifact JSON file")
+    lint = sub.add_parser(
+        "lint",
+        help="project-aware static analysis (reproducibility invariants "
+        "DC001..DC008; see --list-rules)",
+        parents=parents,
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to check (default: src tests)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is schema-stable for tooling)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
     sub.add_parser("all", help="everything", parents=parents)
     return parser
 
@@ -777,8 +838,13 @@ _COMMANDS = {
     "geolocate": _cmd_geolocate,
     "convert": _cmd_convert,
     "stats": _cmd_stats,
+    "lint": _cmd_lint,
     "all": _cmd_all,
 }
+
+#: Commands that inspect files or artifacts and never need the synthetic
+#: experiment context (building it costs seconds of dataset generation).
+_CONTEXT_FREE_COMMANDS = frozenset({"stats", "lint"})
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -798,8 +864,8 @@ def main(argv: list[str] | None = None) -> int:
     if want_spans:
         obs_tracing.set_tracer(tracer)
     try:
-        if args.command == "stats":
-            _cmd_stats(None, args)
+        if args.command in _CONTEXT_FREE_COMMANDS:
+            _COMMANDS[args.command](None, args)
         else:
             context = make_context(seed=args.seed, scale=args.scale)
             _COMMANDS[args.command](context, args)

@@ -41,6 +41,7 @@ import logging
 import time
 import warnings
 from collections.abc import Iterable, Mapping
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -52,6 +53,10 @@ from repro.obs.logs import get_logger, log_event
 from repro.obs.progress import ProgressReporter
 from repro.timebase.clock import split_day_hours
 
+if TYPE_CHECKING:
+    from repro.core.types import BoolArray, FloatArray, IntArray
+    from repro.datasets.store import TraceStore
+
 _log = get_logger("core")
 
 #: Crowd size above which :meth:`ProfileMatrix.from_trace_set` spreads the
@@ -62,7 +67,7 @@ PARALLEL_USER_THRESHOLD = 50_000
 PARALLEL_CHUNK_USERS = 8_192
 
 
-def _sorted_unique(values: np.ndarray) -> np.ndarray:
+def _sorted_unique(values: IntArray) -> IntArray:
     """Unique values via an explicit sort + diff.
 
     Equivalent to ``np.unique`` for 1-D int arrays but avoids its
@@ -80,8 +85,8 @@ def _sorted_unique(values: np.ndarray) -> np.ndarray:
 
 
 def _flat_segment_counts(
-    stamps: np.ndarray, lengths: np.ndarray, offset_hours: float
-) -> np.ndarray:
+    stamps: FloatArray, lengths: IntArray, offset_hours: float
+) -> FloatArray:
     """Counts kernel over a pre-concatenated timestamp array.
 
     *stamps* holds every user's timestamps back to back; *lengths* gives
@@ -115,8 +120,8 @@ def _flat_segment_counts(
 
 
 def segmented_hour_counts(
-    timestamp_arrays: list[np.ndarray], offset_hours: float = 0.0
-) -> np.ndarray:
+    timestamp_arrays: list[FloatArray], offset_hours: float = 0.0
+) -> FloatArray:
     """Eq. 1 numerators for many users in one flat pass.
 
     *timestamp_arrays* is one array of UTC timestamps per user; the result
@@ -213,8 +218,8 @@ def _chunk_bounds(n_users: int, max_workers: int) -> list[tuple[int, int]]:
 
 
 def _parallel_chunk_counts(
-    payload: tuple[float, np.ndarray, np.ndarray]
-) -> np.ndarray:
+    payload: tuple[float, FloatArray, IntArray]
+) -> FloatArray:
     """Pickle-path pool worker: counts for one contiguous chunk of users.
 
     The payload ships one concatenated stamp array plus per-user lengths --
@@ -226,11 +231,11 @@ def _parallel_chunk_counts(
 
 
 def counts_parallel_pickle(
-    stamps: np.ndarray,
-    lengths: np.ndarray,
+    stamps: FloatArray,
+    lengths: IntArray,
     offset_hours: float = 0.0,
     max_workers: int | None = None,
-) -> np.ndarray:
+) -> FloatArray:
     """The original fan-out: each worker receives its buffers by pickle.
 
     Kept as the baseline the zero-copy path is benchmarked against (and
@@ -259,7 +264,9 @@ def counts_parallel_pickle(
     return np.vstack(results)
 
 
-def _shm_chunk_worker(payload: tuple) -> None:
+def _shm_chunk_worker(
+    payload: tuple[str, str, str, int, int, float, int, int, int, int]
+) -> None:
     """Shared-memory pool worker: attach by name, compute, write in place.
 
     The payload is pure scalars (block names, sizes, slice bounds), so
@@ -281,7 +288,7 @@ def _shm_chunk_worker(payload: tuple) -> None:
         stamp_lo,
         stamp_hi,
     ) = payload
-    blocks = []
+    blocks: list[shared_memory.SharedMemory] = []
     try:
         stamp_shm = shared_memory.SharedMemory(name=stamp_name)
         blocks.append(stamp_shm)
@@ -301,11 +308,11 @@ def _shm_chunk_worker(payload: tuple) -> None:
 
 
 def counts_parallel_shm(
-    stamps: np.ndarray,
-    lengths: np.ndarray,
+    stamps: FloatArray,
+    lengths: IntArray,
     offset_hours: float = 0.0,
     max_workers: int | None = None,
-) -> np.ndarray:
+) -> FloatArray:
     """Zero-copy fan-out of the Eq. 1 counts kernel.
 
     The stamp column, the per-user lengths and the ``(N, 24)`` output all
@@ -325,7 +332,7 @@ def counts_parallel_shm(
     stamps = np.ascontiguousarray(stamps, dtype=np.float64)
     lengths = np.ascontiguousarray(lengths, dtype=np.int64)
     starts = np.concatenate([[0], np.cumsum(lengths)])
-    blocks: list = []
+    blocks: list[shared_memory.SharedMemory] = []
     try:
         stamp_shm = shared_memory.SharedMemory(create=True, size=stamps.nbytes)
         blocks.append(stamp_shm)
@@ -371,11 +378,11 @@ def counts_parallel_shm(
 
 
 def _counts_parallel(
-    timestamp_arrays: list[np.ndarray],
+    timestamp_arrays: list[FloatArray],
     offset_hours: float,
     max_workers: int | None,
     fanout: str = "shm",
-) -> np.ndarray:
+) -> FloatArray:
     """Fan the per-user counts build over worker processes.
 
     *fanout* selects the transport: ``"shm"`` (default; zero-copy shared
@@ -409,7 +416,7 @@ class ProfileMatrix:
 
     __slots__ = ("_user_ids", "_index", "_matrix", "_cumulative")
 
-    def __init__(self, user_ids: Iterable[str], matrix: np.ndarray) -> None:
+    def __init__(self, user_ids: Iterable[str], matrix: FloatArray) -> None:
         self._user_ids = tuple(user_ids)
         values = np.ascontiguousarray(matrix, dtype=float)
         if values.ndim != 2 or values.shape[1] != HOURS:
@@ -432,7 +439,7 @@ class ProfileMatrix:
         self._index = {user_id: i for i, user_id in enumerate(self._user_ids)}
         if len(self._index) != len(self._user_ids):
             raise ProfileError("duplicate user ids in profile matrix")
-        self._cumulative: np.ndarray | None = None
+        self._cumulative: FloatArray | None = None
 
     # -- construction -----------------------------------------------------
 
@@ -458,7 +465,7 @@ class ProfileMatrix:
         limits, killed workers).
         """
         ids: list[str] = []
-        arrays: list[np.ndarray] = []
+        arrays: list[FloatArray] = []
         for trace in traces:
             if trace.is_empty():
                 if skip_empty:
@@ -470,7 +477,7 @@ class ProfileMatrix:
             parallel = len(ids) >= PARALLEL_USER_THRESHOLD
         started = time.perf_counter()
         branch = "serial"
-        counts: np.ndarray | None = None
+        counts: FloatArray | None = None
         if parallel and len(ids) > 1:
             try:
                 counts = _counts_parallel(arrays, offset_hours, max_workers, fanout)
@@ -492,7 +499,8 @@ class ProfileMatrix:
     ) -> "ProfileMatrix":
         """Wrap already-built per-user profiles (no recomputation)."""
         items = profiles.items() if isinstance(profiles, Mapping) else profiles
-        ids, rows = [], []
+        ids: list[str] = []
+        rows: list[FloatArray] = []
         for user_id, profile in items:
             ids.append(user_id)
             rows.append(profile.mass)
@@ -502,7 +510,7 @@ class ProfileMatrix:
 
     @classmethod
     def from_counts(
-        cls, user_ids: Iterable[str], counts: np.ndarray
+        cls, user_ids: Iterable[str], counts: FloatArray
     ) -> "ProfileMatrix":
         """Build from raw per-hour count rows (e.g. streaming accumulators)."""
         return cls(user_ids, counts)
@@ -510,7 +518,7 @@ class ProfileMatrix:
     @classmethod
     def from_store(
         cls,
-        store,
+        store: "TraceStore",
         offset_hours: float = 0.0,
         *,
         min_posts: int = 0,
@@ -537,7 +545,7 @@ class ProfileMatrix:
             max_users_per_shard = DEFAULT_SHARD_USERS
         threshold = max(int(min_posts), 1)
         ids: list[str] = []
-        blocks: list[np.ndarray] = []
+        blocks: list[FloatArray] = []
         progress = ProgressReporter(
             "core", "profile_build", total=len(store), unit="users"
         )
@@ -604,13 +612,13 @@ class ProfileMatrix:
         return self._user_ids
 
     @property
-    def matrix(self) -> np.ndarray:
+    def matrix(self) -> FloatArray:
         """The normalised ``(N, 24)`` array (read-only view)."""
         view = self._matrix.view()
         view.flags.writeable = False
         return view
 
-    def cumulative(self) -> np.ndarray:
+    def cumulative(self) -> FloatArray:
         """Row-wise cumulative sums (the EMD CDFs), computed once and cached."""
         if self._cumulative is None:
             self._cumulative = np.cumsum(self._matrix, axis=1)
@@ -623,7 +631,7 @@ class ProfileMatrix:
         except KeyError:
             raise EmptyTraceError(f"no profile for user {user_id!r}") from None
 
-    def row(self, user_id: str) -> np.ndarray:
+    def row(self, user_id: str) -> FloatArray:
         view = self._matrix[self.index_of(user_id)].view()
         view.flags.writeable = False
         return view
@@ -644,8 +652,8 @@ class ProfileMatrix:
     def _from_normalized(
         cls,
         user_ids: tuple[str, ...],
-        matrix: np.ndarray,
-        cumulative: np.ndarray | None = None,
+        matrix: FloatArray,
+        cumulative: FloatArray | None = None,
     ) -> "ProfileMatrix":
         """Wrap rows that are already validated and row-stochastic.
 
@@ -663,7 +671,7 @@ class ProfileMatrix:
         self._cumulative = cumulative
         return self
 
-    def select(self, mask: np.ndarray) -> "ProfileMatrix":
+    def select(self, mask: BoolArray) -> "ProfileMatrix":
         """Rows where the boolean *mask* is true, order preserved.
 
         Rows are row-stochastic by construction, so the subset skips
@@ -700,7 +708,7 @@ class ProfileMatrix:
 
 
 def build_profile_matrix(
-    traces: TraceSet, offset_hours: float = 0.0, **kwargs
+    traces: TraceSet, offset_hours: float = 0.0, **kwargs: Any
 ) -> ProfileMatrix:
     """Convenience alias for :meth:`ProfileMatrix.from_trace_set`."""
     return ProfileMatrix.from_trace_set(traces, offset_hours, **kwargs)

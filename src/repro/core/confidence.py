@@ -110,7 +110,7 @@ def bootstrap_mixture(
 
     low_q = (1.0 - confidence) / 2.0
     high_q = 1.0 - low_q
-    intervals = []
+    intervals: list[ComponentInterval] = []
     for index, component in enumerate(mixture.components):
         mean_draws = np.asarray(means_samples[index])
         weight_draws = np.asarray(weights_samples[index])

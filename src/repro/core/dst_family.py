@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 from repro.core.emd import ALL_DISTANCES
 from repro.core.events import ActivityTrace
-from repro.core.profiles import build_user_profile
+from repro.core.profiles import Profile, build_user_profile
 from repro.timebase.clock import ordinal_to_civil
 from repro.timebase.dst import EU_RULE, US_RULE
 
@@ -67,7 +67,7 @@ class DstFamilyResult:
 
 
 def _years_in_trace(trace: ActivityTrace) -> set[int]:
-    years = set()
+    years: set[int] = set()
     for timestamp in (trace.timestamps[0], trace.timestamps[-1]):
         years.add(ordinal_to_civil(int(timestamp // 86400.0)).year)
     return set(range(min(years), max(years) + 1))
@@ -85,14 +85,14 @@ def _gap_days(trace: ActivityTrace) -> tuple[set[int], set[int]]:
     return spring, autumn
 
 
-def _window_profile(trace: ActivityTrace, days: set[int]):
+def _window_profile(trace: ActivityTrace, days: set[int]) -> Profile | None:
     window = trace.restricted_to_days(lambda ordinal: ordinal in days)
     if len(window.active_day_hours()) < MIN_ACTIVE_CELLS:
         return None
     return build_user_profile(window)
 
 
-def _months_profile(trace: ActivityTrace, months: frozenset[int]):
+def _months_profile(trace: ActivityTrace, months: frozenset[int]) -> Profile | None:
     window = trace.restricted_to_days(
         lambda ordinal: ordinal_to_civil(ordinal).month in months
     )
@@ -127,18 +127,23 @@ def classify_dst_family(
         )
 
     spring_days, autumn_days = _gap_days(trace)
-    scores = {}
+    # None marks a gap window with no activity at all; a computed score can
+    # legitimately be 0.0 (equidistant from winter and summer), so a float
+    # sentinel would conflate "no data" with "no signal" (lint rule DC005).
+    scores: dict[str, float | None] = {}
     for label, days in (("spring", spring_days), ("autumn", autumn_days)):
         gap_profile = _window_profile(trace, days)
         if gap_profile is None:
-            scores[label] = 0.0
+            scores[label] = None
             continue
         scores[label] = distance(gap_profile, winter) - distance(
             gap_profile, summer
         )
 
-    total = scores["spring"] + scores["autumn"]
-    if scores["spring"] == 0.0 and scores["autumn"] == 0.0:
+    spring = scores["spring"]
+    autumn = scores["autumn"]
+    total = (spring or 0.0) + (autumn or 0.0)
+    if spring is None and autumn is None:
         verdict = DstFamily.INSUFFICIENT_DATA
     elif abs(total) < min_margin:
         verdict = DstFamily.UNCLEAR
@@ -149,6 +154,6 @@ def classify_dst_family(
     return DstFamilyResult(
         user_id=trace.user_id,
         verdict=verdict,
-        spring_score=scores["spring"],
-        autumn_score=scores["autumn"],
+        spring_score=0.0 if spring is None else spring,
+        autumn_score=0.0 if autumn is None else autumn,
     )

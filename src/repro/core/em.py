@@ -16,6 +16,7 @@ the choice reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.core.placement import PlacementDistribution
 from repro.errors import FitError
 from repro.obs import metrics as obs_metrics
 from repro.timebase.zones import ZONE_OFFSETS
+
+if TYPE_CHECKING:
+    from repro.core.types import FloatArray
 
 _MIN_SIGMA = 0.35
 _MAX_ITER = 500
@@ -61,14 +65,14 @@ class GaussianMixtureModel:
     def dominant(self) -> GaussianComponent:
         return max(self.components, key=lambda component: component.weight)
 
-    def density_on_zones(self) -> np.ndarray:
+    def density_on_zones(self) -> FloatArray:
         """The mixture evaluated at the 24 zone offsets (bin width 1)."""
         return evaluate_on_zones(self.components)
 
 
 def _weighted_data(
     placement: PlacementDistribution,
-) -> tuple[np.ndarray, np.ndarray, float]:
+) -> tuple[FloatArray, FloatArray, float]:
     x = np.asarray(ZONE_OFFSETS, dtype=float)
     weights = placement.as_array() * placement.n_users
     total = float(weights.sum())
@@ -149,8 +153,8 @@ def fit_mixture(
 
 def _run_em(
     placement: PlacementDistribution,
-    x: np.ndarray,
-    weights: np.ndarray,
+    x: FloatArray,
+    weights: FloatArray,
     total: float,
     means0: list[float],
     k: int,

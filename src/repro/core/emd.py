@@ -15,16 +15,22 @@ form is evaluated in our ablations.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.profiles import HOURS, Profile
+from repro.core.types import FloatArray
+
+if TYPE_CHECKING:
+    from repro.core.types import ProfileLike
 
 #: Row-block size for the pairwise (P, Q, 24) broadcasts: bounds peak memory
 #: to ~blocksize*Q*24 floats so million-user crowds stream through.
 _BLOCK_ROWS = 8192
 
 
-def _as_mass(dist: "Profile | np.ndarray") -> np.ndarray:
+def _as_mass(dist: "Profile | FloatArray") -> FloatArray:
     if isinstance(dist, Profile):
         return dist.mass
     values = np.asarray(dist, dtype=float)
@@ -34,13 +40,13 @@ def _as_mass(dist: "Profile | np.ndarray") -> np.ndarray:
     return values / total
 
 
-def emd_linear(p: "Profile | np.ndarray", q: "Profile | np.ndarray") -> float:
+def emd_linear(p: "Profile | FloatArray", q: "Profile | FloatArray") -> float:
     """1-D EMD treating the 24 hours as points on a line (paper's choice)."""
     diff = _as_mass(p) - _as_mass(q)
     return float(np.abs(np.cumsum(diff)).sum())
 
 
-def emd_circular(p: "Profile | np.ndarray", q: "Profile | np.ndarray") -> float:
+def emd_circular(p: "Profile | FloatArray", q: "Profile | FloatArray") -> float:
     """1-D EMD on the circle of hours (mass may wrap midnight)."""
     cumulative = np.cumsum(_as_mass(p) - _as_mass(q))
     return float(np.abs(cumulative - np.median(cumulative)).sum())
@@ -52,12 +58,12 @@ METRICS = {
 }
 
 
-def l1_distance(p: "Profile | np.ndarray", q: "Profile | np.ndarray") -> float:
+def l1_distance(p: "Profile | FloatArray", q: "Profile | FloatArray") -> float:
     """Total L1 distance between the two mass vectors (ablation baseline)."""
     return float(np.abs(_as_mass(p) - _as_mass(q)).sum())
 
 
-def l2_distance(p: "Profile | np.ndarray", q: "Profile | np.ndarray") -> float:
+def l2_distance(p: "Profile | FloatArray", q: "Profile | FloatArray") -> float:
     """Euclidean distance between the two mass vectors (ablation baseline)."""
     return float(np.linalg.norm(_as_mass(p) - _as_mass(q)))
 
@@ -70,7 +76,7 @@ ALL_DISTANCES = {
 }
 
 
-def as_profile_matrix(profiles) -> np.ndarray:
+def as_profile_matrix(profiles: ProfileLike) -> FloatArray:
     """Coerce any profile collection to a normalised ``(N, 24)`` array.
 
     Accepts a list of :class:`Profile`, a raw array (rows are normalised),
@@ -99,7 +105,7 @@ def as_profile_matrix(profiles) -> np.ndarray:
     return np.vstack(rows)
 
 
-def _cumulative_of(profiles, stack: np.ndarray) -> np.ndarray:
+def _cumulative_of(profiles: ProfileLike, stack: FloatArray) -> FloatArray:
     """Cumulative sums of a profile collection, reusing caches when offered.
 
     ``ProfileMatrix`` and ``ReferenceProfiles`` both precompute their CDFs
@@ -112,10 +118,10 @@ def _cumulative_of(profiles, stack: np.ndarray) -> np.ndarray:
 
 
 def distance_matrix(
-    profiles,
-    references,
+    profiles: ProfileLike,
+    references: ProfileLike,
     metric: str = "linear",
-) -> np.ndarray:
+) -> FloatArray:
     """Pairwise distances, shape (len(profiles), len(references)).
 
     Fully vectorised for all four metrics; *profiles* and *references* may

@@ -11,13 +11,17 @@ particular privilege" (Sec. I).  This module provides the containers:
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Mapping
+from collections.abc import Callable, Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import EmptyTraceError
 from repro.timebase.clock import day_ordinal, hour_of_day, split_day_hours
+
+if TYPE_CHECKING:
+    from repro.core.types import FloatArray
 
 
 @dataclass(frozen=True, order=True)
@@ -54,7 +58,7 @@ class ActivityTrace:
         return cls(user_id, (event.timestamp for event in events))
 
     @property
-    def timestamps(self) -> np.ndarray:
+    def timestamps(self) -> FloatArray:
         """Sorted UTC timestamps (read-only view)."""
         view = self._timestamps.view()
         view.flags.writeable = False
@@ -85,7 +89,7 @@ class ActivityTrace:
         """A copy with every timestamp moved by *hours* (server-offset fix)."""
         return ActivityTrace(self.user_id, self._timestamps + hours * 3600.0)
 
-    def restricted_to_days(self, predicate) -> "ActivityTrace":
+    def restricted_to_days(self, predicate: Callable[[int], bool]) -> "ActivityTrace":
         """Keep only posts whose UTC day ordinal satisfies *predicate*."""
         if self.is_empty():
             return ActivityTrace(self.user_id)
@@ -158,7 +162,7 @@ class TraceSet:
     def total_posts(self) -> int:
         return sum(len(trace) for trace in self._traces.values())
 
-    def filter_users(self, predicate) -> "TraceSet":
+    def filter_users(self, predicate: Callable[["ActivityTrace"], bool]) -> "TraceSet":
         """Keep traces for which ``predicate(trace)`` is true."""
         return TraceSet(trace for trace in self if predicate(trace))
 

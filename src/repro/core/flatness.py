@@ -19,6 +19,7 @@ fast path is property-tested against.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -32,6 +33,9 @@ from repro.core.profiles import (
     uniform_profile,
 )
 from repro.core.reference import ReferenceProfiles
+
+if TYPE_CHECKING:
+    from repro.core.types import BoolArray, ProfileLike
 
 
 def is_flat_profile(
@@ -49,10 +53,10 @@ def is_flat_profile(
 
 
 def flat_profile_mask(
-    profiles,
-    references,
+    profiles: "ProfileLike",
+    references: "ProfileLike",
     metric: str = "linear",
-) -> np.ndarray:
+) -> "BoolArray":
     """Vectorised :func:`is_flat_profile` over a whole crowd.
 
     One distance-matrix call against ``[uniform] + references`` yields the

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -18,6 +19,9 @@ from repro.core.optimize import nelder_mead
 from repro.core.placement import PlacementDistribution
 from repro.errors import FitError
 from repro.timebase.zones import ZONE_OFFSETS
+
+if TYPE_CHECKING:
+    from repro.core.types import FloatArray
 
 #: The sigma the paper observes empirically on single-country placements
 #: ("half of the typical hour with lowest activity, between 4am and 5am").
@@ -41,7 +45,7 @@ class GaussianComponent:
         if self.weight < 0:
             raise FitError(f"weight must be nonnegative: {self.weight}")
 
-    def pdf(self, x: "float | np.ndarray") -> "float | np.ndarray":
+    def pdf(self, x: "float | FloatArray") -> "float | FloatArray":
         """Weighted normal density at *x*."""
         values = np.asarray(x, dtype=float)
         norm = self.weight / (self.sigma * np.sqrt(2.0 * np.pi))
@@ -55,8 +59,8 @@ class GaussianComponent:
 
 
 def mixture_pdf(
-    components: Sequence[GaussianComponent], x: "float | np.ndarray"
-) -> "float | np.ndarray":
+    components: Sequence[GaussianComponent], x: "float | FloatArray"
+) -> "float | FloatArray":
     """Sum of the weighted component densities at *x*."""
     values = np.asarray(x, dtype=float)
     total = np.zeros_like(values)
@@ -65,13 +69,13 @@ def mixture_pdf(
     return float(total) if np.isscalar(x) else total
 
 
-def evaluate_on_zones(components: Sequence[GaussianComponent]) -> np.ndarray:
+def evaluate_on_zones(components: Sequence[GaussianComponent]) -> FloatArray:
     """Mixture density sampled at the 24 integer zone offsets."""
     return np.asarray(mixture_pdf(components, np.asarray(ZONE_OFFSETS, dtype=float)))
 
 
 def fit_gaussian(
-    placement: "PlacementDistribution | np.ndarray",
+    placement: "PlacementDistribution | FloatArray",
     *,
     sigma_init: float = PAPER_SIGMA,
 ) -> GaussianComponent:
@@ -94,7 +98,7 @@ def fit_gaussian(
     mean_init = float(offsets[int(np.argmax(fractions))])
     weight_init = max(float(fractions.sum()), 1e-6)
 
-    def objective(params: np.ndarray) -> float:
+    def objective(params: FloatArray) -> float:
         weight, mean, sigma = params
         if not (_MIN_SIGMA <= sigma <= _MAX_SIGMA) or weight <= 0:
             return 1e6
@@ -114,7 +118,7 @@ def fit_gaussian(
 
 
 def gaussian_residual_stats(
-    placement: "PlacementDistribution | np.ndarray",
+    placement: "PlacementDistribution | FloatArray",
     components: Sequence[GaussianComponent],
 ) -> tuple[float, float]:
     """Mean and std of |fit - placement| over the 24 zones (Table II metrics)."""

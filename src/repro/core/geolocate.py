@@ -20,6 +20,7 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.core.batch import ProfileMatrix
 from repro.core.em import GaussianMixtureModel, select_mixture
@@ -50,6 +51,9 @@ from repro.reliability.quality import (
     assert_traces_clean,
     partition_trace_set,
 )
+
+if TYPE_CHECKING:
+    from repro.datasets.store import TraceStore
 
 _log = get_logger("core")
 
@@ -284,7 +288,7 @@ class CrowdGeolocator:
 
     def geolocate_store(
         self,
-        store,
+        store: "TraceStore",
         *,
         crowd_name: str = "crowd",
         polish: bool = True,

@@ -22,10 +22,12 @@ uniform DST state under all four rule families we model (EU, US, AU, BR).
 from __future__ import annotations
 
 import enum
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.emd import ALL_DISTANCES
-from repro.core.events import ActivityTrace
+from repro.core.events import ActivityTrace, TraceSet
 from repro.core.profiles import build_user_profile
 from repro.timebase.clock import ordinal_to_civil
 
@@ -71,7 +73,7 @@ class HemisphereResult:
         return abs(self.distance_backward - self.distance_forward) / mean
 
 
-def _in_months(months: frozenset[int]):
+def _in_months(months: frozenset[int]) -> Callable[[int], bool]:
     def predicate(ordinal: int) -> bool:
         return ordinal_to_civil(ordinal).month in months
 
@@ -146,9 +148,9 @@ def classify_hemisphere(
 
 
 def classify_most_active(
-    traces,
+    traces: TraceSet,
     n: int = 5,
-    **kwargs,
+    **kwargs: Any,
 ) -> list[HemisphereResult]:
     """Run the hemisphere test on the *n* most active users of a crowd.
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -18,8 +19,11 @@ from repro.core.placement import PlacementDistribution
 from repro.core.profiles import Profile
 from repro.timebase.zones import ZONE_OFFSETS
 
+if TYPE_CHECKING:
+    from repro.core.types import FloatArray
 
-def pearson(a: "Profile | np.ndarray", b: "Profile | np.ndarray") -> float:
+
+def pearson(a: "Profile | FloatArray", b: "Profile | FloatArray") -> float:
     """Pearson correlation between two profiles / 24-vectors.
 
     The paper uses this to show crowd profiles from different countries are

@@ -11,24 +11,28 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import FitError
+
+if TYPE_CHECKING:
+    from repro.core.types import FloatArray
 
 
 @dataclass(frozen=True)
 class OptimizeResult:
     """Outcome of a minimisation run."""
 
-    x: np.ndarray
+    x: FloatArray
     fun: float
     iterations: int
     converged: bool
 
 
 def nelder_mead(
-    objective: Callable[[np.ndarray], float],
+    objective: Callable[[FloatArray], float],
     x0: Sequence[float],
     *,
     initial_step: float = 0.5,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,6 +22,9 @@ from repro.core.profiles import Profile
 from repro.core.reference import ReferenceProfiles
 from repro.errors import EmptyTraceError
 from repro.timebase.zones import ZONE_OFFSETS, normalize_offset
+
+if TYPE_CHECKING:
+    from repro.core.types import FloatArray, IntArray, ProfileLike
 
 
 @dataclass(frozen=True)
@@ -40,7 +44,7 @@ class PlacementDistribution:
     def offsets(self) -> tuple[int, ...]:
         return ZONE_OFFSETS
 
-    def as_array(self) -> np.ndarray:
+    def as_array(self) -> FloatArray:
         return np.asarray(self.fractions, dtype=float)
 
     def fraction_at(self, offset: int) -> float:
@@ -55,7 +59,7 @@ class PlacementDistribution:
         array = self.as_array()
         return float(np.dot(array, np.asarray(ZONE_OFFSETS)) / array.sum())
 
-    def counts(self) -> np.ndarray:
+    def counts(self) -> IntArray:
         """Approximate per-zone user counts (fractions * n_users)."""
         return np.rint(self.as_array() * self.n_users).astype(int)
 
@@ -66,8 +70,8 @@ class PlacementDistribution:
 
 
 def _nearest_zone_indices(
-    profiles, references: ReferenceProfiles, metric: str
-) -> np.ndarray:
+    profiles: "ProfileLike", references: ReferenceProfiles, metric: str
+) -> "IntArray":
     """Index (0..23, in ZONE_OFFSETS order) of each profile's nearest zone."""
     matrix = distance_matrix(profiles, references, metric=metric)
     # argmin takes the first minimum: ties resolve to the smaller offset,

@@ -17,6 +17,7 @@ each user profile already sums to one, it is simply their average.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -24,10 +25,14 @@ from repro.core.events import ActivityTrace
 from repro.errors import EmptyTraceError, ProfileError
 from repro.timebase.clock import split_day_hours
 
+if TYPE_CHECKING:
+    from repro.core.types import FloatArray
+    from repro.timebase.zones import Region
+
 HOURS = 24
 
 
-def active_hour_counts(timestamps: "Iterable[float] | np.ndarray") -> np.ndarray:
+def active_hour_counts(timestamps: "Iterable[float] | FloatArray") -> FloatArray:
     """Eq. 1 numerator, vectorised: per-hour counts of unique (day, hour) cells.
 
     Posting ten times within the same hour of the same day contributes one
@@ -65,7 +70,7 @@ class Profile:
         self._mass = np.clip(values, 0.0, None) / total
 
     @property
-    def mass(self) -> np.ndarray:
+    def mass(self) -> FloatArray:
         """The normalised 24-vector (read-only view)."""
         view = self._mass.view()
         view.flags.writeable = False
@@ -139,7 +144,7 @@ def build_user_profile(trace: ActivityTrace, offset_hours: float = 0.0) -> Profi
     return Profile(active_hour_counts(shifted))
 
 
-def build_user_profile_civil(trace: ActivityTrace, region) -> Profile:
+def build_user_profile_civil(trace: ActivityTrace, region: "Region") -> Profile:
     """Eq. 1 in the region's *civil* local time (DST-aware).
 
     The paper builds the ground-truth region profiles having "considered

@@ -26,6 +26,7 @@ never deal with the sign.
 from __future__ import annotations
 
 from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -33,6 +34,9 @@ from repro.core.emd import ALL_DISTANCES, distance_matrix
 from repro.core.profiles import HOURS, Profile, build_crowd_profile
 from repro.errors import ProfileError
 from repro.timebase.zones import ZONE_OFFSETS, normalize_offset
+
+if TYPE_CHECKING:
+    from repro.core.types import FloatArray
 
 #: The canonical local-time diurnal activity curve (unnormalised weights,
 #: one per hour 0..23).  Hand-calibrated against the shapes in the paper's
@@ -100,8 +104,8 @@ class ReferenceProfiles:
         # row-wise cumulative sums (the EMD CDFs).  References are immutable
         # after construction, so every distance_matrix call can reuse them
         # instead of re-stacking and re-cumsum-ing the same 24 rows.
-        self._stacked: np.ndarray | None = None
-        self._cumulative: np.ndarray | None = None
+        self._stacked: FloatArray | None = None
+        self._cumulative: FloatArray | None = None
 
     @classmethod
     def canonical(cls) -> "ReferenceProfiles":
@@ -141,7 +145,7 @@ class ReferenceProfiles:
         """References in plotting order (UTC-11 .. UTC+12)."""
         return [self._by_offset[offset] for offset in ZONE_OFFSETS]
 
-    def stacked(self) -> np.ndarray:
+    def stacked(self) -> FloatArray:
         """The 24 references as a (24, 24) array in plotting order (cached)."""
         if self._stacked is None:
             self._stacked = np.vstack(
@@ -150,7 +154,7 @@ class ReferenceProfiles:
             self._stacked.flags.writeable = False
         return self._stacked
 
-    def cumulative(self) -> np.ndarray:
+    def cumulative(self) -> FloatArray:
         """Row-wise cumulative sums of :meth:`stacked` (cached EMD CDFs)."""
         if self._cumulative is None:
             self._cumulative = np.cumsum(self.stacked(), axis=1)

@@ -36,8 +36,10 @@ the file itself.
 from __future__ import annotations
 
 import time
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -60,6 +62,9 @@ from repro.reliability.checkpoint import (
     write_binary_checkpoint,
     write_checkpoint,
 )
+
+if TYPE_CHECKING:
+    from repro.core.types import AnyArray, FloatArray
 from repro.timebase.zones import ZONE_OFFSETS
 
 #: Checkpoint envelope identifiers for :class:`StreamingGeolocator` state.
@@ -107,10 +112,10 @@ class _UserState:
         # again -- most restored users never are, so a million-user
         # checkpoint loads in seconds instead of materialising a million
         # sets up front.
-        self._frozen: np.ndarray | None = None
+        self._frozen: FloatArray | None = None
         self.counts = np.zeros(HOURS, dtype=float)
         self.n_posts = 0
-        self._mass: np.ndarray | None = None
+        self._mass: FloatArray | None = None
 
     @property
     def cells(self) -> set[int]:
@@ -141,7 +146,7 @@ class _UserState:
         self._mass = None
         return True
 
-    def mass(self) -> np.ndarray:
+    def mass(self) -> FloatArray:
         """Cached normalised 24-vector of the accumulated cells."""
         if self._mass is None:
             if self.n_cells() == 0:
@@ -357,8 +362,8 @@ class StreamingGeolocator:
             ).observe(time.perf_counter() - started)
 
     def _snapshot_reference_impl(self) -> StreamSnapshot:
-        ids = []
-        rows = []
+        ids: list[str] = []
+        rows: list[FloatArray] = []
         for user_id, state in self._users.items():
             if state.n_posts < self.min_posts:
                 continue
@@ -397,7 +402,7 @@ class StreamingGeolocator:
 
     # -- checkpoint / resume ----------------------------------------------
 
-    def _config_dict(self) -> dict:
+    def _config_dict(self) -> dict[str, Any]:
         return {
             "metric": self.metric,
             "min_posts": self.min_posts,
@@ -406,7 +411,7 @@ class StreamingGeolocator:
             "min_users_for_verdict": self.min_users_for_verdict,
         }
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """The full resumable state as plain JSON-serialisable python.
 
         Per-user counts are not stored: they are a pure function of the
@@ -433,7 +438,7 @@ class StreamingGeolocator:
             },
         }
 
-    def binary_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+    def binary_state(self) -> "tuple[dict[str, Any], dict[str, AnyArray]]":
         """The resumable state as (JSON metadata, numpy columns).
 
         The cell sets of all users are flattened into one encoded
@@ -468,7 +473,9 @@ class StreamingGeolocator:
         }
         return meta, arrays
 
-    def save_checkpoint(self, path, *, format: str | None = None) -> None:
+    def save_checkpoint(
+        self, path: "str | Path", *, format: str | None = None
+    ) -> None:
         """Atomically persist the state; *format* is ``"json"``, ``"binary"``
         or ``None`` to infer from the path suffix (``.npz`` -> binary).
 
@@ -497,7 +504,10 @@ class StreamingGeolocator:
 
     @classmethod
     def _from_config(
-        cls, config: dict, generic_mass, references: ReferenceProfiles | None
+        cls,
+        config: "dict[str, Any]",
+        generic_mass: "Sequence[float] | FloatArray",
+        references: ReferenceProfiles | None,
     ) -> "StreamingGeolocator":
         if references is None:
             references = ReferenceProfiles(
@@ -514,7 +524,7 @@ class StreamingGeolocator:
 
     @classmethod
     def from_state_dict(
-        cls, state: dict, *, references: ReferenceProfiles | None = None
+        cls, state: dict[str, Any], *, references: ReferenceProfiles | None = None
     ) -> "StreamingGeolocator":
         """Inverse of :meth:`state_dict`.
 
@@ -545,8 +555,8 @@ class StreamingGeolocator:
     @classmethod
     def from_binary_state(
         cls,
-        meta: dict,
-        arrays: dict[str, np.ndarray],
+        meta: dict[str, Any],
+        arrays: "dict[str, AnyArray]",
         *,
         references: ReferenceProfiles | None = None,
     ) -> "StreamingGeolocator":
@@ -614,7 +624,7 @@ class StreamingGeolocator:
 
     @classmethod
     def load_checkpoint(
-        cls, path, *, references: ReferenceProfiles | None = None
+        cls, path: "str | Path", *, references: ReferenceProfiles | None = None
     ) -> "StreamingGeolocator":
         """Rebuild a geolocator from :meth:`save_checkpoint` output.
 

@@ -1,0 +1,366 @@
+"""The project rules: every convention the pipeline's correctness leans on.
+
+Each rule encodes one invariant that, when silently broken, destroys a
+property the paper's methodology needs -- bit-reproducible Eq. 1
+profiles, deterministic retries and checkpoints, resumable campaigns, or
+leak-free parallel kernels.  The rule ids are stable (``DC001`` ..
+``DC008``) and suppressible per line with ``# darkcrowd: disable=DCnnn``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import ClassVar
+
+from repro.lintkit.model import FileContext
+from repro.lintkit.registry import Rule, register
+
+__all__ = [
+    "WallClockRule",
+    "GlobalRngRule",
+    "ObsNameRule",
+    "PrintInLibraryRule",
+    "FloatEqualityRule",
+    "SharedMemoryLifecycleRule",
+    "MutableDefaultRule",
+    "SwallowedExceptionRule",
+]
+
+#: Wall-clock reads that make a run irreproducible when taken outside the
+#: injectable clock seam.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Constructors of *seedable* RNG state; module-level draws are the hazard.
+_SEEDED_RNG_FACTORIES = frozenset({"default_rng"})
+
+_METRIC_FACTORIES = frozenset(
+    {
+        "repro.obs.metrics.counter",
+        "repro.obs.metrics.gauge",
+        "repro.obs.metrics.histogram",
+    }
+)
+_SPAN_FACTORIES = frozenset({"repro.obs.tracing.trace_span"})
+
+#: ``repro_<subsystem>_<name>_<unit>``: at least three lowercase segments
+#: after the ``repro`` prefix, the last being a recognised unit.
+_METRIC_NAME = re.compile(r"^repro(_[a-z][a-z0-9]*){3,}$")
+_METRIC_UNITS = frozenset({"total", "seconds", "bytes", "users", "count", "ratio"})
+_SPAN_NAME = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def _first_positional_string(node: ast.Call) -> "str | None":
+    if not node.args:
+        return None
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    return None
+
+
+@register
+class WallClockRule(Rule):
+    """DC001: naked wall-clock reads outside the injectable clock seam."""
+
+    rule_id: ClassVar[str] = "DC001"
+    summary: ClassVar[str] = (
+        "wall-clock call (time.time / datetime.now / datetime.utcnow) "
+        "outside reliability/clocks.py"
+    )
+    rationale: ClassVar[str] = (
+        "Retry backoff, checkpoint timestamps and manifests must read time "
+        "through repro.reliability.clocks so tests inject a ManualClock and "
+        "two runs of the same campaign are bit-identical."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.path_endswith("reliability/clocks.py")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        resolved = ctx.resolve(node.func)
+        if resolved in _WALL_CLOCK_CALLS:
+            ctx.report(
+                self.rule_id,
+                node,
+                f"naked wall-clock read {resolved}(); route it through the "
+                "injectable seam in repro.reliability.clocks",
+            )
+
+
+@register
+class GlobalRngRule(Rule):
+    """DC002: draws from the unseeded process-global RNG state."""
+
+    rule_id: ClassVar[str] = "DC002"
+    summary: ClassVar[str] = (
+        "unseeded global RNG (np.random.* module functions, bare random.*)"
+    )
+    rationale: ClassVar[str] = (
+        "Synthetic crowds, fault schedules and EM reseeds must draw from an "
+        "explicitly seeded Generator / random.Random instance, never the "
+        "shared module-level state another import can perturb."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            return
+        for prefix, label in (("numpy.random.", "numpy"), ("random.", "stdlib")):
+            if not resolved.startswith(prefix):
+                continue
+            tail = resolved[len(prefix):]
+            # Constructors of seedable state (default_rng, Random,
+            # RandomState, PCG64, ...) are the sanctioned path; the
+            # hazard is lowercase module-level draw functions.
+            if "." in tail or not tail or not tail[0].islower():
+                return
+            if tail in _SEEDED_RNG_FACTORIES:
+                return
+            ctx.report(
+                self.rule_id,
+                node,
+                f"{resolved}() draws from the {label} module-global RNG; "
+                "use a seeded np.random.default_rng(seed) / random.Random(seed) "
+                "instance instead",
+            )
+            return
+
+
+@register
+class ObsNameRule(Rule):
+    """DC003: metric/span name literals violating the naming convention."""
+
+    rule_id: ClassVar[str] = "DC003"
+    summary: ClassVar[str] = (
+        "metric name not repro_<subsystem>_<name>_<unit>, or span name not "
+        "lower_snake_case"
+    )
+    rationale: ClassVar[str] = (
+        "Dashboards and the perf-gate scripts key on stable metric names; a "
+        "name outside the convention silently falls off every query."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        resolved = ctx.resolve(node.func)
+        if resolved in _METRIC_FACTORIES:
+            name = _first_positional_string(node)
+            if name is None:
+                return
+            if not _METRIC_NAME.match(name) or name.rsplit("_", 1)[-1] not in _METRIC_UNITS:
+                units = "/".join(sorted(_METRIC_UNITS))
+                ctx.report(
+                    self.rule_id,
+                    node,
+                    f"metric name {name!r} must match "
+                    f"repro_<subsystem>_<name>_<unit> with unit in {units}",
+                )
+        elif resolved in _SPAN_FACTORIES:
+            name = _first_positional_string(node)
+            if name is not None and not _SPAN_NAME.match(name):
+                ctx.report(
+                    self.rule_id,
+                    node,
+                    f"span name {name!r} must be lower_snake_case",
+                )
+
+
+@register
+class PrintInLibraryRule(Rule):
+    """DC004: ``print()`` in library code outside the CLI."""
+
+    rule_id: ClassVar[str] = "DC004"
+    summary: ClassVar[str] = "print() in library code outside cli.py"
+    rationale: ClassVar[str] = (
+        "Library output goes through repro.obs logging (rate-limited, "
+        "machine-parseable, silenceable); stray prints corrupt piped CLI "
+        "output and cannot be turned off by embedders."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.is_library_code and ctx.name != "cli.py"
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            ctx.report(
+                self.rule_id,
+                node,
+                "print() in library code; use repro.obs.logs or return the "
+                "text to the caller",
+            )
+
+
+@register
+class FloatEqualityRule(Rule):
+    """DC005: exact float equality in the numeric core."""
+
+    rule_id: ClassVar[str] = "DC005"
+    summary: ClassVar[str] = "float == / != literal comparison in core/ numerics"
+    rationale: ClassVar[str] = (
+        "Profile masses and EMD scores arrive through summation whose "
+        "rounding differs across BLAS builds; exact equality makes placement "
+        "decisions depend on the machine instead of the data.  Compare "
+        "against tolerances, or use an explicit None/flag sentinel."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "core" in ctx.parts
+
+    def visit_Compare(self, node: ast.Compare, ctx: FileContext) -> None:
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            pair = (operands[index], operands[index + 1])
+            if any(
+                isinstance(operand, ast.Constant)
+                and type(operand.value) is float
+                for operand in pair
+            ):
+                ctx.report(
+                    self.rule_id,
+                    node,
+                    "exact float equality; use math.isclose / a tolerance, "
+                    "or a non-float sentinel",
+                )
+                return
+
+
+@register
+class SharedMemoryLifecycleRule(Rule):
+    """DC006: SharedMemory blocks acquired without guaranteed release."""
+
+    rule_id: ClassVar[str] = "DC006"
+    summary: ClassVar[str] = (
+        "SharedMemory(...) outside a with-block or try whose finally "
+        "closes/unlinks"
+    )
+    rationale: ClassVar[str] = (
+        "A leaked shared_memory block survives the process on /dev/shm; a "
+        "long campaign that leaks one per batch starves the host.  Every "
+        "acquisition must sit under a with-block or a try whose finally "
+        "calls close()/unlink()."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        func = node.func
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        if name != "SharedMemory":
+            return
+        if self._released(node, ctx):
+            return
+        ctx.report(
+            self.rule_id,
+            node,
+            "SharedMemory acquired without a with-block or a finally that "
+            "close()s/unlink()s it; the block outlives the process on leak",
+        )
+
+    @staticmethod
+    def _released(node: ast.AST, ctx: FileContext) -> bool:
+        child: ast.AST = node
+        parent = ctx.parents.get(child)
+        while parent is not None:
+            if isinstance(parent, ast.withitem):
+                return True
+            if isinstance(parent, ast.Try) and child in parent.body:
+                for final_node in parent.finalbody:
+                    for inner in ast.walk(final_node):
+                        if (
+                            isinstance(inner, ast.Call)
+                            and isinstance(inner.func, ast.Attribute)
+                            and inner.func.attr in ("close", "unlink")
+                        ):
+                            return True
+            child = parent
+            parent = ctx.parents.get(child)
+        return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """DC007: mutable default arguments."""
+
+    rule_id: ClassVar[str] = "DC007"
+    summary: ClassVar[str] = "mutable default argument ([], {}, set(), list()...)"
+    rationale: ClassVar[str] = (
+        "A mutable default is shared across every call; state bleeding "
+        "between invocations is exactly the cross-run contamination the "
+        "pipeline's determinism tests cannot detect."
+    )
+
+    def _check_arguments(self, node: ast.AST, args: ast.arguments, ctx: FileContext) -> None:
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            )
+            if mutable:
+                ctx.report(
+                    self.rule_id,
+                    default,
+                    "mutable default argument is shared across calls; default "
+                    "to None (or a tuple/frozenset) and build inside the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: FileContext) -> None:
+        self._check_arguments(node, node.args, ctx)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef, ctx: FileContext) -> None:
+        self._check_arguments(node, node.args, ctx)
+
+    def visit_Lambda(self, node: ast.Lambda, ctx: FileContext) -> None:
+        self._check_arguments(node, node.args, ctx)
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """DC008: broad exception handlers that silently swallow."""
+
+    rule_id: ClassVar[str] = "DC008"
+    summary: ClassVar[str] = "except Exception / bare except with a pass-only body"
+    rationale: ClassVar[str] = (
+        "A swallowed broad exception turns a corrupt checkpoint or a dead "
+        "worker into silently wrong placements.  Catch the narrow error, or "
+        "at minimum log before continuing."
+    )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler, ctx: FileContext) -> None:
+        handler_type = node.type
+        broad = handler_type is None or (
+            isinstance(handler_type, ast.Name)
+            and handler_type.id in ("Exception", "BaseException")
+        )
+        if not broad:
+            return
+        if all(self._is_noop(stmt) for stmt in node.body):
+            ctx.report(
+                self.rule_id,
+                node,
+                "broad exception handler silently swallows; catch the "
+                "specific error or log it via repro.obs.logs",
+            )
+
+    @staticmethod
+    def _is_noop(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Pass):
+            return True
+        return (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )

@@ -20,7 +20,6 @@ import json
 import os
 import platform
 from dataclasses import dataclass, field
-from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
 
@@ -42,6 +41,17 @@ MANIFEST_VERSION = 1
 #: instead of a full read, so manifesting a multi-GB store stays cheap.
 _FULL_HASH_LIMIT = 64 * 1024 * 1024
 _SAMPLE_BYTES = 1024 * 1024
+
+
+def _default_created() -> str:
+    """Creation stamp via the injectable wall-clock seam.
+
+    Imported lazily: :mod:`repro.reliability` instruments itself through
+    :mod:`repro.obs`, so a module-level import here would be circular.
+    """
+    from repro.reliability.clocks import utc_isoformat, wall_now
+
+    return utc_isoformat(wall_now())
 
 
 def collect_versions() -> dict[str, str]:
@@ -116,11 +126,7 @@ class RunManifest:
     versions: dict[str, str] = field(default_factory=collect_versions)
     metrics: dict[str, Any] = field(default_factory=dict)
     spans: list = field(default_factory=list)
-    created: str = field(
-        default_factory=lambda: datetime.now(timezone.utc).isoformat(
-            timespec="seconds"
-        )
-    )
+    created: str = field(default_factory=_default_created)
 
     def fingerprint(self) -> str:
         """Stable digest over (command, config, seed, dataset, versions).

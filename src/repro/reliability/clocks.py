@@ -10,7 +10,9 @@ fault/recovery machinery instantly and deterministically by injecting a
 from __future__ import annotations
 
 import time as _time
-from typing import Protocol, runtime_checkable
+from contextlib import contextmanager
+from datetime import datetime, timezone
+from typing import Callable, Iterator, Protocol, runtime_checkable
 
 
 @runtime_checkable
@@ -61,3 +63,50 @@ class ManualClock:
         if seconds < 0:
             raise ValueError(f"cannot advance backwards: {seconds}")
         self._now += float(seconds)
+
+
+# -- the process-wide wall-clock seam -------------------------------------
+#
+# Monotonic clocks (above) drive backoff and deadlines; *wall* time is
+# only ever read to stamp artifacts (run manifests, checkpoint metadata).
+# Those reads also come through one injectable seam so provenance tests
+# can freeze "now" and the shipped tree stays free of naked
+# ``time.time()`` / ``datetime.now()`` calls (lint rule DC001).
+
+WallClockFn = Callable[[], float]
+
+
+def _system_wall_now() -> float:
+    return _time.time()
+
+
+_wall_now: WallClockFn = _system_wall_now
+
+
+def wall_now() -> float:
+    """UTC wall-clock epoch seconds, read through the injectable seam."""
+    return _wall_now()
+
+
+def set_wall_clock(fn: "WallClockFn | None") -> None:
+    """Install *fn* as the wall-clock source; ``None`` restores the system."""
+    global _wall_now
+    _wall_now = fn if fn is not None else _system_wall_now
+
+
+@contextmanager
+def frozen_wall_clock(epoch: float) -> Iterator[None]:
+    """Pin :func:`wall_now` to *epoch* for the duration of the block."""
+    previous = _wall_now
+    set_wall_clock(lambda: float(epoch))
+    try:
+        yield
+    finally:
+        set_wall_clock(previous)
+
+
+def utc_isoformat(epoch: float) -> str:
+    """ISO-8601 UTC rendering of an epoch second (artifact timestamps)."""
+    return datetime.fromtimestamp(epoch, tz=timezone.utc).isoformat(
+        timespec="seconds"
+    )

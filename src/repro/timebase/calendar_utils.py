@@ -48,7 +48,7 @@ class HolidayCalendar:
 
     def holidays_in_year(self, year: int) -> list[int]:
         """Day ordinals of the holidays (excluding windows) in *year*."""
-        ordinals = []
+        ordinals: list[int] = []
         for month, day in sorted(self.fixed_dates):
             try:
                 ordinals.append(civil_to_ordinal(CivilDate(year, month, day)))

@@ -14,10 +14,16 @@ against the standard library.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import CalendarError
+
+if TYPE_CHECKING:
+    from numpy.typing import ArrayLike
+
+    from repro.core.types import IntArray
 
 #: Calendar year in which the simulation epoch (timestamp 0.0) falls.
 EPOCH_YEAR = 2016
@@ -152,7 +158,9 @@ def hour_of_day(timestamp: float, offset_hours: float = 0.0) -> int:
     return int((shifted % SECONDS_PER_DAY) // SECONDS_PER_HOUR)
 
 
-def split_day_hours(timestamps, offset_hours: float = 0.0):
+def split_day_hours(
+    timestamps: "ArrayLike", offset_hours: float = 0.0
+) -> "tuple[IntArray, IntArray]":
     """Vectorised :func:`day_ordinal` / :func:`hour_of_day` over an array.
 
     Returns ``(days, hours)`` int64 arrays; the element-wise results match

@@ -1,0 +1,8 @@
+"""Fixture: naked wall-clock reads (DC001 must fire on every call)."""
+import time
+from datetime import date, datetime
+
+started = time.time()
+stamp = datetime.now()
+legacy = datetime.utcnow()
+day = date.today()

@@ -1,0 +1,9 @@
+"""Fixture: wall time read through the injectable seam (DC001 quiet)."""
+import time
+
+from repro.reliability.clocks import utc_isoformat, wall_now
+
+started = wall_now()
+elapsed = time.monotonic()  # monotonic reads are fine
+precise = time.perf_counter()
+stamp = utc_isoformat(started)

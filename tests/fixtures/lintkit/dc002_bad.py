@@ -1,0 +1,9 @@
+"""Fixture: module-global RNG draws (DC002 must fire on every draw)."""
+import random
+
+import numpy as np
+
+noise = np.random.rand(24)
+pick = np.random.randint(0, 10)
+jitter = random.random()
+choice = random.choice([1, 2, 3])

@@ -1,0 +1,10 @@
+"""Fixture: seeded generator instances (DC002 quiet)."""
+import random
+
+import numpy as np
+
+rng = np.random.default_rng(7)
+noise = rng.random(24)
+stdlib_rng = random.Random(7)
+jitter = stdlib_rng.random()
+generator = np.random.Generator(np.random.PCG64(7))

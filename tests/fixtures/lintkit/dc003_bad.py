@@ -1,0 +1,10 @@
+"""Fixture: metric/span names off-convention (DC003 must fire)."""
+from repro.obs import metrics
+from repro.obs.tracing import trace_span
+
+a = metrics.counter("events_total")
+b = metrics.counter("repro_core_total")
+c = metrics.histogram("repro_core_emd_calls")
+d = metrics.gauge("repro_Core_rss_bytes")
+with trace_span("EMD-Batch"):
+    pass

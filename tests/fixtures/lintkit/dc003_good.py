@@ -1,0 +1,10 @@
+"""Fixture: convention-abiding metric and span names (DC003 quiet)."""
+from repro.obs import metrics
+from repro.obs.tracing import trace_span
+
+a = metrics.counter("repro_core_emd_calls_total")
+b = metrics.histogram("repro_collect_fetch_latency_seconds")
+c = metrics.gauge("repro_engine_store_rss_bytes")
+dynamic = metrics.counter(f"repro_core_{1}_total")  # non-literal: not checked
+with trace_span("emd_batch"):
+    pass

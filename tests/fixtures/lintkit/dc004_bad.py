@@ -1,0 +1,6 @@
+"""Fixture: print() in library code (DC004 must fire)."""
+
+
+def summarise(rows):
+    print("summary:", len(rows))
+    return len(rows)

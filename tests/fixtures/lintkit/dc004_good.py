@@ -1,0 +1,9 @@
+"""Fixture: library output through the logging layer (DC004 quiet)."""
+from repro.obs.logs import get_logger
+
+_log = get_logger("core")
+
+
+def summarise(rows):
+    _log.info("summary rows=%d", len(rows))
+    return len(rows)

@@ -1,0 +1,9 @@
+"""Fixture: exact float equality in core numerics (DC005 must fire)."""
+
+
+def is_zero(mass):
+    return mass == 0.0
+
+
+def not_unit(score):
+    return score != 1.0

@@ -1,0 +1,7 @@
+"""Fixture: SharedMemory with no guaranteed release (DC006 must fire)."""
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky(size):
+    shm = SharedMemory(create=True, size=size)
+    return shm.buf[:8]

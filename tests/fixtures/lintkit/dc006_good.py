@@ -1,0 +1,19 @@
+"""Fixture: SharedMemory under with / try-finally (DC006 quiet)."""
+from contextlib import closing
+from multiprocessing.shared_memory import SharedMemory
+
+
+def with_block(size):
+    with closing(SharedMemory(create=True, size=size)) as shm:
+        return bytes(shm.buf[:8])
+
+
+def try_finally(size):
+    shm = None
+    try:
+        shm = SharedMemory(create=True, size=size)
+        return bytes(shm.buf[:8])
+    finally:
+        if shm is not None:
+            shm.close()
+            shm.unlink()

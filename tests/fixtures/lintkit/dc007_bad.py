@@ -1,0 +1,15 @@
+"""Fixture: mutable default arguments (DC007 must fire on each)."""
+
+
+def accumulate(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def fresh(seen=set(), *, extras=list()):
+    return seen | set(extras)

@@ -1,0 +1,11 @@
+"""Fixture: None / immutable defaults (DC007 quiet)."""
+
+
+def accumulate(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def windows(months=frozenset({12, 1, 2}), order=()):
+    return months, order

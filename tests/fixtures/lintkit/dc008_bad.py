@@ -1,0 +1,15 @@
+"""Fixture: silently swallowed broad exceptions (DC008 must fire)."""
+
+
+def swallow_exception(worker):
+    try:
+        worker()
+    except Exception:
+        pass
+
+
+def swallow_bare(worker):
+    try:
+        worker()
+    except:  # noqa: E722
+        ...

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.em import (
-    GaussianMixtureModel,
     fit_mixture,
     select_mixture,
 )

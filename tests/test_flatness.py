@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.core.events import TraceSet
 from repro.core.flatness import is_flat_profile, polish_trace_set
-from repro.core.profiles import Profile, build_user_profile, uniform_profile
+from repro.core.profiles import build_user_profile, uniform_profile
 from repro.synth.bots import generate_bot_trace, generate_shift_worker_trace
 from repro.synth.population import sample_population
 from repro.synth.posting import generate_crowd

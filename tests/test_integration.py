@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 
 from repro.core.geolocate import CrowdGeolocator
-from repro.core.hemisphere import HemisphereVerdict
 from repro.forum.engine import ForumServer
 from repro.forum.scraper import ForumScraper
 from repro.forum.storage import TraceStore

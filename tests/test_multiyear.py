@@ -9,7 +9,6 @@ and rule-family tests.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.dst_family import DstFamily, classify_dst_family
 from repro.core.hemisphere import HemisphereVerdict, classify_hemisphere

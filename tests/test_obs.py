@@ -26,7 +26,6 @@ from repro.obs.manifest import (
     fingerprint_dataset,
 )
 from repro.obs.metrics import (
-    Counter,
     Histogram,
     MetricsRegistry,
     NullRegistry,
@@ -67,7 +66,7 @@ class TestCounters:
 
     def test_counter_cannot_decrease(self):
         with pytest.raises(ValueError, match="cannot decrease"):
-            MetricsRegistry().counter("repro_test_total").inc(-1)
+            MetricsRegistry().counter("repro_test_events_total").inc(-1)
 
     def test_type_conflict_raises(self):
         registry = MetricsRegistry()
@@ -175,7 +174,7 @@ class TestExposition:
 
     def test_prometheus_escapes_label_values(self):
         registry = MetricsRegistry()
-        registry.counter("repro_test_total", reason='a"b').inc()
+        registry.counter("repro_test_events_total", reason='a"b').inc()
         assert r'reason="a\"b"' in registry.to_prometheus()
 
 
@@ -184,7 +183,7 @@ class TestRegistryGlobals:
         registry = obs_metrics.get_registry()
         assert isinstance(registry, NullRegistry)
         assert not registry.enabled
-        handle = obs_metrics.counter("repro_test_total")
+        handle = obs_metrics.counter("repro_test_events_total")
         handle.inc()  # must not blow up, must not record
         assert registry.snapshot() == {
             "counters": [],
@@ -195,10 +194,10 @@ class TestRegistryGlobals:
     def test_use_registry_swaps_and_restores(self):
         live = MetricsRegistry()
         with use_registry(live):
-            obs_metrics.counter("repro_test_total").inc()
+            obs_metrics.counter("repro_test_events_total").inc()
             assert obs_metrics.get_registry() is live
         assert isinstance(obs_metrics.get_registry(), NullRegistry)
-        assert live.counter("repro_test_total").value == 1.0
+        assert live.counter("repro_test_events_total").value == 1.0
 
     def test_enable_disable(self):
         try:

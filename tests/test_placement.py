@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.events import ActivityTrace, TraceSet
 from repro.core.placement import (
@@ -13,8 +12,6 @@ from repro.core.placement import (
     place_users,
     placement_distribution,
 )
-from repro.core.profiles import Profile
-from repro.core.reference import ReferenceProfiles
 from repro.errors import EmptyTraceError
 from repro.timebase.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from repro.timebase.zones import ZONE_OFFSETS

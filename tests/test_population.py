@@ -5,17 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.events import ActivityTrace
 from repro.errors import ZoneError
 from repro.synth.population import (
     CHRONOTYPE_CLIP,
-    UserSpec,
     sample_population,
     sample_user,
 )
 from repro.synth.posting import generate_crowd, generate_trace
 from repro.timebase.clock import SECONDS_PER_DAY, CivilDate, civil_to_ordinal
-from repro.timebase.zones import get_region
 
 
 class TestSampleUser:

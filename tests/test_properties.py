@@ -14,7 +14,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.emd import emd_circular, emd_linear
-from repro.core.events import ActivityTrace, TraceSet
+from repro.core.events import ActivityTrace
 from repro.core.flatness import polish_trace_set
 from repro.core.placement import place_users
 from repro.core.profiles import HOURS, Profile, build_user_profile

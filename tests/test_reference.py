@@ -4,9 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from repro.core.profiles import Profile
 from repro.core.reference import (
     ReferenceProfiles,
     canonical_rate,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.events import ActivityTrace, TraceSet
@@ -11,8 +10,6 @@ from repro.errors import CorruptTraceError
 from repro.reliability.quality import (
     REASON_EMPTY,
     REASON_NON_FINITE,
-    DataQualityReport,
-    QuarantinedUser,
     assert_traces_clean,
     partition_trace_set,
     trace_fault,

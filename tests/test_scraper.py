@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import ForumError
 from repro.forum.engine import ForumServer
 from repro.forum.scraper import ForumScraper, normalize_offset_hours
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.streaming_experiments import run_convergence_experiment
 from repro.core.events import PostEvent

@@ -14,7 +14,7 @@ from repro.tor.directory import (
     onion_address,
     responsible_directories,
 )
-from repro.tor.network import TorNetwork, build_network
+from repro.tor.network import build_network
 from repro.tor.relay import Relay, RelayFlag
 
 

@@ -1,0 +1,106 @@
+"""Regression tests for the injectable wall-clock seam.
+
+The reliability layer's *monotonic* clocks (``Clock`` / ``ManualClock``)
+are covered in test_reliability_policy; this file covers the *wall*
+seam -- ``wall_now`` / ``set_wall_clock`` / ``frozen_wall_clock`` -- and
+the one consumer the lint rule DC001 forced through it: the run-manifest
+``created`` stamp.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.obs.manifest import RunManifest
+from repro.reliability.clocks import (
+    frozen_wall_clock,
+    set_wall_clock,
+    utc_isoformat,
+    wall_now,
+)
+
+EPOCH_2020 = 1_577_836_800.0  # 2020-01-01T00:00:00+00:00
+
+
+@pytest.fixture(autouse=True)
+def _restore_system_clock():
+    yield
+    set_wall_clock(None)
+
+
+class TestWallSeam:
+    def test_default_tracks_system_time(self):
+        # the one place naked time.time() is the *point*: checking the
+        # seam's default against the system clock it wraps
+        before = time.time()  # darkcrowd: disable=DC001
+        observed = wall_now()
+        after = time.time()  # darkcrowd: disable=DC001
+        assert before <= observed <= after
+
+    def test_set_wall_clock_installs_and_restores(self):
+        set_wall_clock(lambda: EPOCH_2020)
+        assert wall_now() == EPOCH_2020
+        set_wall_clock(None)
+        assert abs(wall_now() - time.time()) < 5.0  # darkcrowd: disable=DC001
+
+    def test_frozen_wall_clock_pins_now(self):
+        with frozen_wall_clock(EPOCH_2020):
+            assert wall_now() == EPOCH_2020
+            assert wall_now() == EPOCH_2020  # repeated reads do not drift
+        assert wall_now() != EPOCH_2020
+
+    def test_frozen_contexts_nest_and_unwind(self):
+        with frozen_wall_clock(EPOCH_2020):
+            with frozen_wall_clock(EPOCH_2020 + 60.0):
+                assert wall_now() == EPOCH_2020 + 60.0
+            assert wall_now() == EPOCH_2020
+
+    def test_frozen_restores_previous_injection(self):
+        set_wall_clock(lambda: 123.0)
+        with frozen_wall_clock(EPOCH_2020):
+            assert wall_now() == EPOCH_2020
+        assert wall_now() == 123.0
+
+    def test_frozen_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with frozen_wall_clock(EPOCH_2020):
+                raise RuntimeError("boom")
+        assert wall_now() != EPOCH_2020
+
+
+class TestUtcIsoformat:
+    def test_known_epoch(self):
+        assert utc_isoformat(EPOCH_2020) == "2020-01-01T00:00:00+00:00"
+
+    def test_round_trips_through_fromisoformat(self):
+        stamp = utc_isoformat(wall_now())
+        parsed = datetime.fromisoformat(stamp)
+        assert parsed.tzinfo is not None
+        assert parsed.utcoffset().total_seconds() == 0.0
+
+
+class TestManifestCreatedStamp:
+    def test_created_is_deterministic_under_frozen_clock(self):
+        with frozen_wall_clock(EPOCH_2020):
+            first = RunManifest(command="bench")
+            second = RunManifest(command="bench")
+        assert first.created == "2020-01-01T00:00:00+00:00"
+        assert first.created == second.created
+
+    def test_created_defaults_to_parseable_recent_utc(self):
+        manifest = RunManifest(command="bench")
+        parsed = datetime.fromisoformat(manifest.created)
+        now = datetime.now(timezone.utc)  # darkcrowd: disable=DC001
+        delta = abs(now - parsed).total_seconds()
+        assert delta < 60.0
+
+    def test_created_excluded_from_fingerprint(self):
+        with frozen_wall_clock(EPOCH_2020):
+            early = RunManifest(command="bench", seed=7)
+        with frozen_wall_clock(EPOCH_2020 + 86_400.0):
+            late = RunManifest(command="bench", seed=7)
+        assert early.created != late.created
+        assert early.fingerprint() == late.fingerprint()
