@@ -1,32 +1,39 @@
-"""Out-of-core scale bench: the ISSUE's 100k/1M-user acceptance numbers.
+"""Out-of-core scale bench: the sharded engine's million-user numbers.
 
-Times the three tentpole layers end to end on a synthetic crowd of
+Times the sharded crowd engine end to end on a synthetic crowd of
 ``--users`` users (default 100k; pass ``--users 1000000`` for the
 million-user run):
 
-* **store**   -- compiling the crowd into the columnar
-  :class:`~repro.datasets.store.TraceStore` and loading it back into a
-  :class:`~repro.core.batch.ProfileMatrix`, against the JSONL
-  parse + per-trace path it replaces (skipped above 200k users, where
-  the JSONL baseline alone would dominate the bench),
-* **build**   -- the shared-memory parallel Eq. 1 kernel against the
-  pickle fan-out baseline,
-* **snapshot / checkpoint** -- a cold full re-place of the streaming
-  geolocator against a warm snapshot after 1 000 fresh events, plus the
-  binary ``.npz`` checkpoint round-trip.
+* **store**   -- streaming the crowd into the columnar
+  :class:`~repro.datasets.store.TraceStore` chunk by chunk
+  (:meth:`TraceStore.write_columns`, so the full stamp column never
+  lives in memory) and loading it back into a
+  :class:`~repro.core.batch.ProfileMatrix`; below
+  :data:`MAX_INMEMORY_USERS` also against the JSONL parse + per-trace
+  path it replaces,
+* **sharded** -- ``geolocate_store_sharded`` across a worker sweep
+  (1..cpu_count processes), against the unsharded
+  ``geolocate_store`` oracle, with the verdict equality asserted,
+* **kernel**  -- the segmented Eq. 1 counts backends (numpy vs numba,
+  when numba is installed) on one chunk of the crowd,
+* **build / snapshot / checkpoint** (below :data:`MAX_INMEMORY_USERS`)
+  -- the shared-memory parallel Eq. 1 kernel against the pickle
+  fan-out, and the streaming geolocator's warm-snapshot + checkpoint
+  layers from the previous scale PR.
 
 Results are merged into ``BENCH_core.json`` under the ``"scale"`` key
 (the ``full``/``smoke`` sections written by :mod:`perf_baseline` are
 preserved)::
 
     PYTHONPATH=src python benchmarks/bench_scale.py
-    PYTHONPATH=src python benchmarks/bench_scale.py --users 1000000
+    PYTHONPATH=src python benchmarks/bench_scale.py --users 1000000 --workers 1 2 4
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 import time
@@ -44,48 +51,92 @@ from repro.core.batch import (
     counts_parallel_shm,
 )
 from repro.core.events import ActivityTrace, TraceSet
+from repro.core.geolocate import CrowdGeolocator
+from repro.core.kernels import (
+    HAVE_NUMBA,
+    kernel_backend,
+    segment_counts_numpy,
+)
 from repro.core.reference import parametric_generic_profile
 from repro.core.streaming import StreamingGeolocator
 from repro.datasets.store import TraceStore
 from repro.datasets.traces import load_trace_set, save_trace_set
 
-#: Above this crowd size the JSONL baseline is skipped (it alone would
-#: run for minutes and gigabytes); the store numbers are still recorded.
-MAX_JSONL_USERS = 200_000
+#: Above this crowd size the in-memory comparison layers (JSONL baseline,
+#: shm-vs-pickle build, streaming snapshots) are skipped -- they exist to
+#: compare against superseded paths and would dominate the bench; the
+#: streamed store write and the sharded engine are what scale.
+MAX_INMEMORY_USERS = 200_000
 
-#: Fresh events streamed before each warm snapshot (the ISSUE's "after
-#: 1k new events" criterion).
+#: Users generated per synthesis chunk; peak generator memory is one
+#: chunk's stamps regardless of the crowd size.
+CHUNK_USERS = 100_000
+
+#: Fresh events streamed before each warm snapshot.
 WARM_EVENTS = 1_000
+
+#: Shards used for the sharded-engine sweep (fixed so worker counts are
+#: compared on identical work units).
+SWEEP_SHARDS = 8
+
+
+def synthetic_chunks(
+    n_users: int,
+    posts_per_user: int,
+    *,
+    seed: int = 11,
+    n_days: int = 45,
+    chunk_users: int = CHUNK_USERS,
+):
+    """A diurnal crowd generated straight into columnar chunks.
+
+    Yields ``(user_ids, lengths, stamps)`` blocks of at most
+    *chunk_users* users -- the exact shape
+    :meth:`TraceStore.write_columns` consumes -- with one spawned
+    ``SeedSequence`` per chunk, so the crowd is deterministic for a given
+    *seed* no matter how it is chunked.  Same statistical shape as the
+    previous in-memory generator: canonical diurnal curve, one random
+    zone per user.
+    """
+    weights = parametric_generic_profile().mass
+    n_chunks = (n_users + chunk_users - 1) // chunk_users
+    seeds = np.random.SeedSequence(seed).spawn(n_chunks)
+    for chunk in range(n_chunks):
+        lo = chunk * chunk_users
+        hi = min(lo + chunk_users, n_users)
+        block = hi - lo
+        rng = np.random.default_rng(seeds[chunk])
+        n_posts = block * posts_per_user
+        zones = rng.integers(-11, 13, size=block)
+        days = rng.integers(0, n_days, size=n_posts)
+        local_hours = rng.choice(24, size=n_posts, p=weights)
+        stamps = (
+            days * 86400.0
+            + (local_hours - np.repeat(zones, posts_per_user)) * 3600.0
+            + rng.uniform(0.0, 3600.0, size=n_posts)
+        )
+        stamps = np.abs(stamps)
+        # Sort within each user's segment (store layout expects sorted traces).
+        stamps = np.sort(stamps.reshape(block, posts_per_user), axis=1).ravel()
+        user_ids = [f"user_{index:07d}" for index in range(lo, hi)]
+        lengths = np.full(block, posts_per_user, dtype=np.int64)
+        yield user_ids, lengths, stamps
 
 
 def synthetic_columns(
     n_users: int, posts_per_user: int, *, seed: int = 11, n_days: int = 45
 ) -> tuple[list[str], np.ndarray, np.ndarray]:
-    """A diurnal crowd generated straight into columnar form.
-
-    Same statistical shape as :func:`_shared.synthetic_crowd` (canonical
-    diurnal curve, one random zone per user) but built as one flat
-    timestamp column + per-user lengths with zero per-user Python loops,
-    so the million-user run spends its time in the code under test, not
-    in the generator.
-    """
-    rng = np.random.default_rng(seed)
-    weights = parametric_generic_profile().mass
-    n_posts = n_users * posts_per_user
-    zones = rng.integers(-11, 13, size=n_users)
-    days = rng.integers(0, n_days, size=n_posts)
-    local_hours = rng.choice(24, size=n_posts, p=weights)
-    stamps = (
-        days * 86400.0
-        + (local_hours - np.repeat(zones, posts_per_user)) * 3600.0
-        + rng.uniform(0.0, 3600.0, size=n_posts)
-    )
-    stamps = np.abs(stamps)
-    # Sort within each user's segment (store layout expects sorted traces).
-    stamps = np.sort(stamps.reshape(n_users, posts_per_user), axis=1).ravel()
-    user_ids = [f"user_{index:07d}" for index in range(n_users)]
-    lengths = np.full(n_users, posts_per_user, dtype=np.int64)
-    return user_ids, stamps, lengths
+    """The chunked generator materialised (for the in-memory layers)."""
+    ids: list[str] = []
+    length_parts: list[np.ndarray] = []
+    stamp_parts: list[np.ndarray] = []
+    for chunk_ids, lengths, stamps in synthetic_chunks(
+        n_users, posts_per_user, seed=seed, n_days=n_days
+    ):
+        ids.extend(chunk_ids)
+        length_parts.append(lengths)
+        stamp_parts.append(stamps)
+    return ids, np.concatenate(stamp_parts), np.concatenate(length_parts)
 
 
 def _traces(user_ids, stamps, lengths):
@@ -145,43 +196,126 @@ def _time(func, *, repeat: int = 1) -> float:
     return best
 
 
-def run(n_users: int, posts_per_user: int) -> dict:
-    results: dict = {"n_users": n_users, "posts_per_user": posts_per_user}
-    print(f"generating {n_users} users x {posts_per_user} posts ...")
-    user_ids, stamps, lengths = synthetic_columns(n_users, posts_per_user)
+def _bench_sharded(store: TraceStore, workers_sweep: list[int]) -> dict:
+    """Sharded engine vs the unsharded oracle, across a worker sweep."""
+    locator = CrowdGeolocator()
+    sharded: dict = {"n_shards": SWEEP_SHARDS, "workers": {}}
+
+    start = time.perf_counter()
+    oracle = locator.geolocate_store(store, crowd_name="scale")
+    sharded["oracle_store_s"] = round(time.perf_counter() - start, 4)
+
+    for workers in workers_sweep:
+        start = time.perf_counter()
+        report = locator.geolocate_store_sharded(
+            store,
+            crowd_name="scale",
+            n_shards=SWEEP_SHARDS,
+            max_workers=workers,
+        )
+        sharded["workers"][str(workers)] = round(
+            time.perf_counter() - start, 4
+        )
+        if (
+            report.placement.fractions != oracle.placement.fractions
+            or report.user_zones != oracle.user_zones
+        ):
+            raise AssertionError(
+                f"sharded verdict diverged from the oracle at "
+                f"{workers} workers"
+            )
+    sharded["matches_oracle"] = True
+    single = sharded["workers"][str(workers_sweep[0])]
+    best = min(sharded["workers"].values())
+    sharded["multiworker_speedup"] = round(single / best, 2)
+    return sharded
+
+
+def _bench_kernels(n_users: int, posts_per_user: int) -> dict:
+    """Segmented Eq. 1 counts: numpy pass vs the numba JIT (if present)."""
+    sample_users = min(n_users, CHUNK_USERS)
+    _, lengths, stamps = next(
+        iter(synthetic_chunks(sample_users, posts_per_user))
+    )
+    kernel: dict = {
+        "backend_default": kernel_backend(),
+        "sample_users": sample_users,
+        "numpy_s": round(
+            _time(lambda: segment_counts_numpy(stamps, lengths, 0.0), repeat=3),
+            4,
+        ),
+    }
+    if HAVE_NUMBA:
+        from repro.core.kernels import segment_counts_numba
+
+        segment_counts_numba(stamps[:100], lengths[:1], 0.0)  # JIT warm-up
+        kernel["numba_s"] = round(
+            _time(lambda: segment_counts_numba(stamps, lengths, 0.0), repeat=3),
+            4,
+        )
+        kernel["numba_speedup"] = round(
+            kernel["numpy_s"] / kernel["numba_s"], 2
+        )
+    return kernel
+
+
+def run(
+    n_users: int, posts_per_user: int, workers_sweep: list[int] | None = None
+) -> dict:
+    if workers_sweep is None:
+        cores = os.cpu_count() or 1
+        workers_sweep = sorted({1, min(2, cores), min(4, cores), cores})
+    results: dict = {
+        "n_users": n_users,
+        "posts_per_user": posts_per_user,
+        "cpu_count": os.cpu_count() or 1,
+    }
+    print(
+        f"streaming {n_users} users x {posts_per_user} posts "
+        f"({(n_users + CHUNK_USERS - 1) // CHUNK_USERS} chunks) ..."
+    )
 
     with tempfile.TemporaryDirectory() as tmp:
         store_path = Path(tmp) / "crowd.store"
 
         start = time.perf_counter()
-        store = TraceStore.write(_traces(user_ids, stamps, lengths), store_path)
+        store = TraceStore.write_columns(
+            synthetic_chunks(n_users, posts_per_user), store_path
+        )
         results["store_convert_s"] = round(time.perf_counter() - start, 4)
-        del store
 
         def load_store():
             opened = TraceStore.open(store_path)
             return ProfileMatrix.from_store(opened, min_posts=30)
 
-        results["store_load_s"] = round(_time(load_store, repeat=3), 4)
+        results["store_load_s"] = round(_time(load_store, repeat=2), 4)
 
-        if n_users <= MAX_JSONL_USERS:
-            jsonl_path = Path(tmp) / "crowd.jsonl"
-            save_trace_set(
-                TraceSet(_traces(user_ids, stamps, lengths)), jsonl_path
+        print(f"sharded sweep over workers {workers_sweep} ...")
+        results["sharded"] = _bench_sharded(store, workers_sweep)
+        results["kernel"] = _bench_kernels(n_users, posts_per_user)
+
+        if n_users > MAX_INMEMORY_USERS:
+            print(
+                f"  (skipping JSONL/build/snapshot comparison layers above "
+                f"{MAX_INMEMORY_USERS} users)"
             )
+            return results
 
-            def load_jsonl():
-                crowd = load_trace_set(jsonl_path)
-                return ProfileMatrix.from_trace_set(crowd.with_min_posts(30))
+        # -- superseded-path comparison layers (small crowds only) ---------
+        user_ids, stamps, lengths = synthetic_columns(n_users, posts_per_user)
 
-            results["jsonl_load_s"] = round(_time(load_jsonl), 4)
-            results["load_speedup"] = round(
-                results["jsonl_load_s"] / results["store_load_s"], 2
-            )
-        else:
-            print(f"  (skipping JSONL baseline above {MAX_JSONL_USERS} users)")
+        jsonl_path = Path(tmp) / "crowd.jsonl"
+        save_trace_set(TraceSet(_traces(user_ids, stamps, lengths)), jsonl_path)
 
-        # -- layer 2: shared-memory kernel vs pickle fan-out ---------------
+        def load_jsonl():
+            crowd = load_trace_set(jsonl_path)
+            return ProfileMatrix.from_trace_set(crowd.with_min_posts(30))
+
+        results["jsonl_load_s"] = round(_time(load_jsonl), 4)
+        results["load_speedup"] = round(
+            results["jsonl_load_s"] / results["store_load_s"], 2
+        )
+
         results["build_pickle_s"] = round(
             _time(lambda: counts_parallel_pickle(stamps, lengths), repeat=2), 4
         )
@@ -192,7 +326,6 @@ def run(n_users: int, posts_per_user: int) -> dict:
             results["build_pickle_s"] / results["build_shm_s"], 2
         )
 
-        # -- layer 3: incremental snapshots + binary checkpoints -----------
         meta, arrays = _binary_columns(user_ids, stamps, lengths, min_posts=30)
         geo = StreamingGeolocator.from_binary_state(meta, arrays)
 
@@ -225,24 +358,34 @@ def run(n_users: int, posts_per_user: int) -> dict:
     return results
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--users", type=int, default=100_000)
-    parser.add_argument("--posts", type=int, default=35)
-    args = parser.parse_args(argv)
-
-    results = run(args.users, args.posts)
-    for name, value in results.items():
-        print(f"  {name:20s} {value}")
-
+def merge_into_bench(results: dict, n_users: int) -> None:
     payload = (
         json.loads(BENCH_PATH.read_text(encoding="utf-8"))
         if BENCH_PATH.exists()
         else {}
     )
-    payload.setdefault("scale", {})[str(args.users)] = results
+    payload.setdefault("scale", {})[str(n_users)] = results
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"merged into {BENCH_PATH} under scale.{args.users}")
+    print(f"merged into {BENCH_PATH} under scale.{n_users}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--users", type=int, default=100_000)
+    parser.add_argument("--posts", type=int, default=35)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        help="worker counts for the sharded sweep (default: 1..cpu_count)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run(args.users, args.posts, args.workers)
+    for name, value in results.items():
+        print(f"  {name:20s} {value}")
+    merge_into_bench(results, args.users)
     return 0
 
 

@@ -9,10 +9,16 @@ the speedups are tracked across PRs.
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_baseline.py
+    PYTHONPATH=src python benchmarks/perf_baseline.py --scale --scale-users 100000
+
+``--scale`` also refreshes the ``scale`` section (via
+:mod:`bench_scale`) in the same run, so ``BENCH_core.json`` carries one
+coherent trajectory stamped by a single toolchain fingerprint.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import sys
@@ -159,7 +165,21 @@ def run() -> dict:
     return payload
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="also refresh the BENCH scale section via bench_scale",
+    )
+    parser.add_argument(
+        "--scale-users",
+        type=int,
+        default=100_000,
+        help="crowd size for the --scale run (default 100000)",
+    )
+    args = parser.parse_args(argv)
+
     payload = run()
     if BENCH_PATH.exists():
         # Keep the scale section written by bench_scale.py across re-baselines.
@@ -172,6 +192,12 @@ def main() -> int:
         speedup = entry.get("speedup")
         suffix = f"  ({speedup:.1f}x vs reference)" if speedup else ""
         print(f"  {name:24s} {entry['fast_s'] * 1e3:9.2f} ms{suffix}")
+
+    if args.scale:
+        import bench_scale
+
+        results = bench_scale.run(args.scale_users, 35)
+        bench_scale.merge_into_bench(results, args.scale_users)
     return 0
 
 

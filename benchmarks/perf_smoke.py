@@ -59,6 +59,38 @@ def _obs_overhead_check() -> bool:
     return ok
 
 
+def _shard_merge_check() -> bool:
+    """Gate: 2-shard merged verdict must be bit-identical to the oracle."""
+    import tempfile
+
+    from _shared import synthetic_crowd
+    from repro.core.geolocate import CrowdGeolocator
+    from repro.datasets.store import TraceStore
+
+    crowd = synthetic_crowd(400, seed=23)
+    locator = CrowdGeolocator()
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TraceStore.write(crowd, Path(tmp) / "smoke.store")
+        oracle = locator.geolocate_store(store, crowd_name="smoke")
+        sharded = locator.geolocate_store_sharded(
+            store, crowd_name="smoke", n_shards=2, max_workers=1
+        )
+    ok = (
+        sharded.placement.fractions == oracle.placement.fractions
+        and sharded.user_zones == oracle.user_zones
+        and sharded.n_users == oracle.n_users
+        and sharded.n_posts == oracle.n_posts
+        and sharded.n_removed_flat == oracle.n_removed_flat
+        and sharded.mixture == oracle.mixture
+        and float(sharded.crowd_profile.mass.sum())
+        == float(oracle.crowd_profile.mass.sum())
+        and (sharded.crowd_profile.mass == oracle.crowd_profile.mass).all()
+    )
+    status = "ok" if ok else "FAIL"
+    print(f"  {'shard_merge_identity':24s} 2 shards vs oracle  {status}")
+    return bool(ok)
+
+
 def main() -> int:
     if not BENCH_PATH.exists():
         print(
@@ -94,6 +126,9 @@ def main() -> int:
 
     if not _obs_overhead_check():
         failures.append(("obs_overhead", OBS_OVERHEAD_TOLERANCE))
+
+    if not _shard_merge_check():
+        failures.append(("shard_merge_identity", 1.0))
 
     if failures:
         worst = ", ".join(f"{name} {ratio:.2f}x" for name, ratio in failures)

@@ -381,6 +381,9 @@ def _cmd_convert(context, args) -> None:
 
 def _cmd_geolocate(context, args) -> None:
     """Geolocate a JSONL trace set (or columnar store with ``--store``)."""
+    if args.shards is not None and not args.store:
+        raise SystemExit("--shards requires --store (sharding partitions "
+                         "the columnar store by user range)")
     if args.store:
         if args.quarantine:
             raise SystemExit(
@@ -389,9 +392,18 @@ def _cmd_geolocate(context, args) -> None:
             )
         with trace_span("store_load", path=str(args.traces)):
             store = TraceStore.open(args.traces)
-        report = CrowdGeolocator(context.references).geolocate_store(
-            store, crowd_name=Path(args.traces).stem
-        )
+        locator = CrowdGeolocator(context.references)
+        if args.shards is not None:
+            report = locator.geolocate_store_sharded(
+                store,
+                crowd_name=Path(args.traces).stem,
+                n_shards=args.shards,
+                max_workers=args.workers,
+            )
+        else:
+            report = locator.geolocate_store(
+                store, crowd_name=Path(args.traces).stem
+            )
         _print_placement(f"{report.crowd_name} placement", report.placement)
         print(report.summary())
         return
@@ -772,6 +784,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="treat the input as a columnar trace store (see 'convert') and "
         "run the out-of-core pipeline",
+    )
+    geolocate.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --store: run the sharded engine over N user-range shards "
+        "(bit-identical to the unsharded pipeline for any N)",
+    )
+    geolocate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="M",
+        help="with --shards: fan shards out over M worker processes "
+        "(workers open the memmapped store columns themselves)",
     )
     convert = sub.add_parser(
         "convert",

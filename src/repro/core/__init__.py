@@ -45,6 +45,19 @@ from repro.core.dst_family import DstFamily, classify_dst_family
 from repro.core.confidence import BootstrapResult, bootstrap_mixture
 from repro.core.streaming import StreamingGeolocator, StreamSnapshot
 from repro.core.metrics import fit_distance_metrics, pearson
+from repro.core.kernels import (
+    HAVE_NUMBA,
+    available_backends,
+    kernel_backend,
+    segment_counts,
+    set_kernel_backend,
+)
+from repro.core.shard import (
+    ShardPartial,
+    compute_partials,
+    compute_shard_partial,
+    merge_partials,
+)
 from repro.core.geolocate import CrowdGeolocator, GeolocationReport
 
 __all__ = [
@@ -88,6 +101,15 @@ __all__ = [
     "StreamSnapshot",
     "fit_distance_metrics",
     "pearson",
+    "HAVE_NUMBA",
+    "available_backends",
+    "kernel_backend",
+    "segment_counts",
+    "set_kernel_backend",
+    "ShardPartial",
+    "compute_partials",
+    "compute_shard_partial",
+    "merge_partials",
     "CrowdGeolocator",
     "GeolocationReport",
 ]

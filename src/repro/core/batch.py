@@ -46,12 +46,12 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.core.events import TraceSet
+from repro.core.kernels import segment_counts
 from repro.core.profiles import HOURS, Profile
 from repro.errors import EmptyTraceError, ProfileError
 from repro.obs import metrics as obs_metrics
 from repro.obs.logs import get_logger, log_event
 from repro.obs.progress import ProgressReporter
-from repro.timebase.clock import split_day_hours
 
 if TYPE_CHECKING:
     from repro.core.types import BoolArray, FloatArray, IntArray
@@ -67,23 +67,6 @@ PARALLEL_USER_THRESHOLD = 50_000
 PARALLEL_CHUNK_USERS = 8_192
 
 
-def _sorted_unique(values: IntArray) -> IntArray:
-    """Unique values via an explicit sort + diff.
-
-    Equivalent to ``np.unique`` for 1-D int arrays but avoids its
-    hash-table machinery, which is an order of magnitude slower than a
-    plain sort for the hundreds of thousands of encoded cells a large
-    crowd produces.
-    """
-    if values.size == 0:
-        return values
-    ordered = np.sort(values)
-    keep = np.empty(ordered.shape, dtype=bool)
-    keep[0] = True
-    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
-    return ordered[keep]
-
-
 def _flat_segment_counts(
     stamps: FloatArray, lengths: IntArray, offset_hours: float
 ) -> FloatArray:
@@ -91,32 +74,11 @@ def _flat_segment_counts(
 
     *stamps* holds every user's timestamps back to back; *lengths* gives
     the per-user segment sizes.  Returns ``(len(lengths), 24)`` counts.
+    Dispatches to the active :mod:`repro.core.kernels` backend (the
+    JIT-compiled numba loop when installed, the vectorised numpy pass
+    otherwise -- the two are bit-identical).
     """
-    n_users = int(lengths.size)
-    if stamps.size == 0:
-        return np.zeros((n_users, HOURS), dtype=float)
-    user_index = np.repeat(np.arange(n_users, dtype=np.int64), lengths)
-    days, hours = split_day_hours(stamps, offset_hours)
-    cells = days * HOURS + hours
-    cell_min = int(cells.min())
-    span = int(cells.max()) - cell_min + 1
-    encoded = user_index * span + (cells - cell_min)
-    deltas = np.diff(encoded)
-    if np.all(deltas >= 0):
-        # Traces and store segments keep timestamps sorted per user, and
-        # the cell encoding is monotone in the timestamp, so the encoded
-        # column is usually already sorted -- dedupe by consecutive
-        # compare, skipping the O(n log n) sort entirely.
-        keep = np.empty(encoded.shape, dtype=bool)
-        keep[0] = True
-        np.not_equal(deltas, 0, out=keep[1:])
-        unique = encoded[keep]
-    else:
-        unique = _sorted_unique(encoded)
-    owners = unique // span
-    unique_hours = (unique % span + cell_min) % HOURS
-    flat = np.bincount(owners * HOURS + unique_hours, minlength=n_users * HOURS)
-    return flat.reshape(n_users, HOURS).astype(float)
+    return segment_counts(stamps, lengths, offset_hours)
 
 
 def segmented_hour_counts(

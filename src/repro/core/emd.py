@@ -25,9 +25,25 @@ from repro.core.types import FloatArray
 if TYPE_CHECKING:
     from repro.core.types import ProfileLike
 
-#: Row-block size for the pairwise (P, Q, 24) broadcasts: bounds peak memory
-#: to ~blocksize*Q*24 floats so million-user crowds stream through.
-_BLOCK_ROWS = 8192
+#: Byte budget for any per-block temporary of :func:`distance_matrix`.
+#: The circular metric still materialises a ``(rows, n_q, 24)`` broadcast
+#: (it needs a per-pair median); the other metrics reuse one ``(rows, 24)``
+#: scratch buffer.  The block row count adapts to ``n_q`` so the temporary
+#: never exceeds this budget regardless of how many references are passed.
+_BLOCK_BYTES = 16 * 1024 * 1024
+
+#: Clamp bounds for the adaptive block row count: small enough blocks cost
+#: loop overhead, huge ones spill the cache even under the byte budget.
+_MIN_BLOCK_ROWS = 128
+_MAX_BLOCK_ROWS = 16_384
+
+
+def _block_rows(n_q: int) -> int:
+    """Rows per block so the block temporary stays within the byte budget."""
+    per_row_bytes = max(1, n_q) * HOURS * np.dtype(np.float64).itemsize
+    return int(
+        min(_MAX_BLOCK_ROWS, max(_MIN_BLOCK_ROWS, _BLOCK_BYTES // per_row_bytes))
+    )
 
 
 def _as_mass(dist: "Profile | FloatArray") -> FloatArray:
@@ -117,6 +133,62 @@ def _cumulative_of(profiles: ProfileLike, stack: FloatArray) -> FloatArray:
     return np.cumsum(stack, axis=1)
 
 
+def _abs_sum_blocked(p: FloatArray, q: FloatArray, out: FloatArray) -> None:
+    """``out[i, j] = |p[i] - q[j]|.sum()``, cache-blocked and allocation-free.
+
+    Serves both the linear EMD (inputs are CDFs) and the L1 metric (inputs
+    are masses) -- the two branches were duplicates differing only in what
+    the caller feeds in.  One ``(rows, 24)`` scratch buffer is reused for
+    every block and reference row, so no ``(rows, n_q, 24)`` broadcast
+    temporary is ever materialised.
+    """
+    n_p, n_q = out.shape
+    rows = min(_block_rows(1), n_p)
+    scratch = np.empty((rows, HOURS), dtype=np.float64)
+    for start in range(0, n_p, rows):
+        stop = min(start + rows, n_p)
+        block = p[start:stop]
+        view = scratch[: stop - start]
+        for j in range(n_q):
+            np.subtract(block, q[j], out=view)
+            np.abs(view, out=view)
+            np.sum(view, axis=1, out=out[start:stop, j])
+
+
+def _l2_blocked(p: FloatArray, q: FloatArray, out: FloatArray) -> None:
+    """Euclidean distances with the same scratch-reuse scheme."""
+    n_p, n_q = out.shape
+    rows = min(_block_rows(1), n_p)
+    scratch = np.empty((rows, HOURS), dtype=np.float64)
+    for start in range(0, n_p, rows):
+        stop = min(start + rows, n_p)
+        block = p[start:stop]
+        view = scratch[: stop - start]
+        for j in range(n_q):
+            np.subtract(block, q[j], out=view)
+            np.multiply(view, view, out=view)
+            column = out[start:stop, j]
+            np.sum(view, axis=1, out=column)
+            np.sqrt(column, out=column)
+
+
+def _circular_blocked(p: FloatArray, q: FloatArray, out: FloatArray) -> None:
+    """Circular EMD: needs a per-pair median, so it keeps the broadcast.
+
+    The ``(rows, n_q, 24)`` temporary is unavoidable here (the median is a
+    selection over the full 24-vector); the adaptive row count keeps it
+    under :data:`_BLOCK_BYTES`.
+    """
+    n_p, n_q = out.shape
+    rows = _block_rows(n_q)
+    q_right = q[None, :, :]
+    for start in range(0, n_p, rows):
+        stop = min(start + rows, n_p)
+        block = p[start:stop, None, :] - q_right
+        median = np.median(block, axis=2, keepdims=True)
+        out[start:stop] = np.abs(block - median).sum(axis=2)
+
+
 def distance_matrix(
     profiles: ProfileLike,
     references: ProfileLike,
@@ -127,8 +199,13 @@ def distance_matrix(
     Fully vectorised for all four metrics; *profiles* and *references* may
     each be a list of :class:`Profile`, an ``(N, 24)`` array, a
     ``ProfileMatrix`` or ``ReferenceProfiles`` (whose cached CDFs are
-    reused for the EMD variants).  Rows are processed in blocks of
-    :data:`_BLOCK_ROWS` so memory stays bounded for very large crowds.
+    reused for the EMD variants).  Rows are processed in adaptive blocks
+    (see :func:`_block_rows`) so peak memory stays bounded for very large
+    crowds; linear/l1/l2 run through allocation-free scratch kernels that
+    never materialise the pairwise broadcast.  Results are independent of
+    the block size, bit for bit -- each output element is a reduction over
+    one profile/reference pair only, which is what makes the sharded
+    engine (:mod:`repro.core.shard`) exactly mergeable.
     """
     if metric not in ALL_DISTANCES:
         raise ValueError(
@@ -138,22 +215,19 @@ def distance_matrix(
     q_stack = as_profile_matrix(references)
     n_p, n_q = p_stack.shape[0], q_stack.shape[0]
     out = np.empty((n_p, n_q), dtype=float)
+    if n_p == 0 or n_q == 0:
+        return out
     if metric in ("linear", "circular"):
-        p_left = _cumulative_of(profiles, p_stack)
-        q_right = _cumulative_of(references, q_stack)[None, :, :]
+        p_work = _cumulative_of(profiles, p_stack)
+        q_work = _cumulative_of(references, q_stack)
     else:
-        p_left = p_stack
-        q_right = q_stack[None, :, :]
-    for start in range(0, n_p, _BLOCK_ROWS):
-        stop = min(start + _BLOCK_ROWS, n_p)
-        block = p_left[start:stop, None, :] - q_right
-        if metric == "linear":
-            out[start:stop] = np.abs(block).sum(axis=2)
-        elif metric == "circular":
-            median = np.median(block, axis=2, keepdims=True)
-            out[start:stop] = np.abs(block - median).sum(axis=2)
-        elif metric == "l1":
-            out[start:stop] = np.abs(block).sum(axis=2)
-        else:  # l2
-            out[start:stop] = np.sqrt(np.square(block).sum(axis=2))
+        p_work = p_stack
+        q_work = q_stack
+    # Metric dispatch hoisted out of the block loop: pick the kernel once.
+    if metric == "circular":
+        _circular_blocked(p_work, q_work, out)
+    elif metric == "l2":
+        _l2_blocked(p_work, q_work, out)
+    else:  # linear and l1 share the |diff|-sum kernel; only inputs differ
+        _abs_sum_blocked(p_work, q_work, out)
     return out

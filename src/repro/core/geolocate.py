@@ -22,6 +22,8 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.core.batch import ProfileMatrix
 from repro.core.em import GaussianMixtureModel, select_mixture
 from repro.core.events import TraceSet
@@ -51,6 +53,7 @@ from repro.reliability.quality import (
     assert_traces_clean,
     partition_trace_set,
 )
+from repro.timebase.zones import ZONE_OFFSETS
 
 if TYPE_CHECKING:
     from repro.datasets.store import TraceStore
@@ -363,6 +366,94 @@ class CrowdGeolocator:
             user_zones=assignments,
         )
         _record_run(report, "store", time.perf_counter() - started)
+        return report
+
+    def geolocate_store_sharded(
+        self,
+        store: "TraceStore",
+        *,
+        crowd_name: str = "crowd",
+        polish: bool = True,
+        n_shards: int = 1,
+        max_workers: int = 1,
+    ) -> GeolocationReport:
+        """Sharded out-of-core pipeline: partials fan-out + exact merge.
+
+        The store is partitioned into *n_shards* contiguous user ranges
+        and each range is reduced independently to a
+        :class:`~repro.core.shard.ShardPartial` (optionally across a
+        process pool of *max_workers*; workers open the memmapped columns
+        themselves).  Partials are merged with the associative
+        :meth:`~repro.core.shard.ShardPartial.merge` and the report is
+        assembled from the merged value.  Every per-user quantity in the
+        pipeline is independent of its matrix neighbours (see
+        :mod:`repro.core.shard`), so the verdict is **bit-identical** to
+        :meth:`geolocate_store` for any shard count and worker count --
+        enforced by the merge-equivalence tests and the perf_smoke gate.
+        """
+        from repro.core.shard import compute_partials, merge_partials
+
+        started = time.perf_counter()
+        partials = compute_partials(
+            store,
+            self.references,
+            metric=self.metric,
+            min_posts=self.min_posts,
+            n_shards=n_shards,
+            max_workers=max_workers,
+        )
+        merged = merge_partials(partials)
+        matrix = ProfileMatrix.from_counts(merged.user_ids, merged.counts)
+        if polish:
+            keep = ~merged.flat_mask
+            n_removed = int(merged.flat_mask.sum())
+        else:
+            keep = np.ones(len(matrix), dtype=bool)
+            n_removed = 0
+        if not bool(keep.any()):
+            raise EmptyTraceError(
+                f"{crowd_name}: no active users after polishing "
+                f"(threshold {self.min_posts} posts)"
+            )
+        survivors = matrix.select(keep)
+        zone_indices = merged.zone_indices[keep]
+        with trace_span("placement", n_users=len(survivors), source="sharded"):
+            assignments = {
+                user_id: ZONE_OFFSETS[int(index)]
+                for user_id, index in zip(survivors.user_ids, zone_indices)
+            }
+            zone_counts = np.bincount(
+                zone_indices, minlength=len(ZONE_OFFSETS)
+            ).astype(float)
+            placement = PlacementDistribution(
+                tuple((zone_counts / zone_counts.sum()).tolist()),
+                n_users=len(survivors),
+            )
+        with trace_span("mixture"):
+            mixture = select_mixture(
+                placement,
+                max_components=self.max_components,
+                sigma_init=self.sigma_init,
+                min_weight=self.min_component_weight,
+                criterion=self.criterion,
+            )
+        crowd_profile = survivors.crowd_profile()
+        report = GeolocationReport(
+            crowd_name=crowd_name,
+            n_users=len(survivors),
+            n_posts=int(merged.lengths[keep].sum()),
+            n_removed_flat=n_removed,
+            crowd_profile=crowd_profile,
+            pearson_vs_generic=pearson(
+                crowd_profile,
+                self.references.for_zone(placement.mode_offset()),
+            ),
+            placement=placement,
+            mixture=mixture,
+            fit_metrics=fit_distance_metrics(placement, mixture.components),
+            user_zones=assignments,
+        )
+        _record_run(report, "store-sharded", time.perf_counter() - started)
         return report
 
     def _geolocate_reference(

@@ -1,0 +1,397 @@
+"""Sharded crowd engine: mergeable per-shard partials with exact reduction.
+
+The batch engine already streams a :class:`~repro.datasets.store.TraceStore`
+shard by shard, but every shard's rows still funnel into one monolithic
+:class:`~repro.core.batch.ProfileMatrix` before polishing and placement.
+This module splits the *whole* per-user pipeline instead: each shard of the
+store is reduced independently to a :class:`ShardPartial` -- Eq. 1 count
+rows, the flat-profile (bot) mask and the EMD-nearest zone index for every
+active user -- and partials are combined with an associative, commutative
+:meth:`ShardPartial.merge`.
+
+The merged result is **bit-identical** to the single-shard oracle
+(:meth:`~repro.core.geolocate.CrowdGeolocator.geolocate_store`) because
+every per-user quantity in the pipeline is computed independently of the
+other users present in the same matrix:
+
+* Eq. 1 counts are integer-valued and per-user segmented;
+* :class:`ProfileMatrix` normalisation divides each row by its own sum;
+* every :func:`~repro.core.emd.distance_matrix` element is a reduction
+  over one (profile, reference) pair -- block and shard boundaries cannot
+  change a single output bit;
+* polishing against *fixed* references converges in one effective round,
+  so the flat mask is a pure per-user predicate;
+* placement histograms and post totals are integer sums.
+
+Order is re-canonicalised at merge time: partials carry the global store
+row of every kept user and ``merge`` sorts the concatenation by row, so
+the reduction is associative and commutative (proven by Hypothesis tests)
+and the fan-out order of a process pool cannot leak into the result.
+
+Workers receive a :class:`ShardTask` naming the store *path* and a user
+range -- each worker opens the memmapped columns itself, so no trace data
+is ever pickled across the pool boundary.
+"""
+
+from __future__ import annotations
+
+import functools
+import logging
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.batch import ProfileMatrix
+from repro.core.flatness import flat_profile_mask
+from repro.core.kernels import segment_counts
+from repro.core.placement import _nearest_zone_indices
+from repro.core.reference import ReferenceProfiles
+from repro.errors import DatasetError
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger, log_event
+from repro.obs.tracing import trace_span
+from repro.timebase.zones import ZONE_OFFSETS
+
+if TYPE_CHECKING:
+    from repro.core.types import BoolArray, FloatArray, IntArray
+    from repro.datasets.store import StoreShard, TraceStore
+
+_log = get_logger("core")
+
+_N_ZONES = len(ZONE_OFFSETS)
+
+
+@dataclass(frozen=True, eq=False)
+class ShardPartial:
+    """Everything one shard contributes to a crowd verdict, mergeable.
+
+    The fields form a commutative monoid under :meth:`merge` with
+    :meth:`identity` as the neutral element: per-user columns are keyed by
+    the user's global store row (``rows``, strictly increasing within a
+    partial) and merging concatenates then re-sorts by row, so any merge
+    tree over disjoint partials yields the same canonical value.
+
+    ``flat_mask`` and ``zone_indices`` cover *every* active user (at least
+    ``min_posts`` posts) -- polishing decisions are applied at assembly
+    time, which is what lets one partial serve both the polished and the
+    unpolished pipeline.  ``placement_counts`` is the per-zone histogram
+    of the non-flat users, kept explicitly so histogram mergeability is
+    testable on its own; ``n_users_seen`` counts every user the shard
+    examined, including those dropped below the activity threshold.
+    """
+
+    rows: "IntArray"
+    user_ids: tuple[str, ...]
+    counts: "FloatArray"
+    lengths: "IntArray"
+    flat_mask: "BoolArray"
+    zone_indices: "IntArray"
+    placement_counts: "IntArray"
+    n_users_seen: int
+
+    def __post_init__(self) -> None:
+        n = int(self.rows.size)
+        if len(self.user_ids) != n:
+            raise DatasetError(
+                f"partial has {n} rows but {len(self.user_ids)} user ids"
+            )
+        if self.counts.shape != (n, 24):
+            raise DatasetError(
+                f"partial counts shape {self.counts.shape} != ({n}, 24)"
+            )
+        for name in ("lengths", "flat_mask", "zone_indices"):
+            column: np.ndarray = getattr(self, name)
+            if column.shape != (n,):
+                raise DatasetError(
+                    f"partial {name} shape {column.shape} != ({n},)"
+                )
+        if self.placement_counts.shape != (_N_ZONES,):
+            raise DatasetError(
+                f"partial placement_counts shape {self.placement_counts.shape} "
+                f"!= ({_N_ZONES},)"
+            )
+        if n > 1 and not bool(np.all(np.diff(self.rows) > 0)):
+            raise DatasetError("partial rows must be strictly increasing")
+
+    def __len__(self) -> int:
+        return int(self.rows.size)
+
+    @classmethod
+    def identity(cls) -> "ShardPartial":
+        """The merge-neutral element (an empty shard)."""
+        return cls(
+            rows=np.zeros(0, dtype=np.int64),
+            user_ids=(),
+            counts=np.zeros((0, 24), dtype=np.float64),
+            lengths=np.zeros(0, dtype=np.int64),
+            flat_mask=np.zeros(0, dtype=bool),
+            zone_indices=np.zeros(0, dtype=np.int64),
+            placement_counts=np.zeros(_N_ZONES, dtype=np.int64),
+            n_users_seen=0,
+        )
+
+    def merge(self, other: "ShardPartial") -> "ShardPartial":
+        """Combine two disjoint partials into their canonical union.
+
+        Concatenates the per-user columns, then re-sorts by global store
+        row so the result is independent of operand order and grouping
+        (associativity + commutativity).  Overlapping rows mean the same
+        user was computed twice -- a sharding bug, refused loudly rather
+        than double-counted.
+        """
+        if len(other) == 0:
+            return self._with_seen(self.n_users_seen + other.n_users_seen)
+        if len(self) == 0:
+            return other._with_seen(self.n_users_seen + other.n_users_seen)
+        rows = np.concatenate([self.rows, other.rows])
+        order = np.argsort(rows, kind="stable")
+        rows = rows[order]
+        if bool(np.any(np.diff(rows) == 0)):
+            raise DatasetError("cannot merge overlapping shard partials")
+        user_ids = self.user_ids + other.user_ids
+        return ShardPartial(
+            rows=rows,
+            user_ids=tuple(user_ids[int(i)] for i in order),
+            counts=np.concatenate([self.counts, other.counts])[order],
+            lengths=np.concatenate([self.lengths, other.lengths])[order],
+            flat_mask=np.concatenate([self.flat_mask, other.flat_mask])[order],
+            zone_indices=np.concatenate(
+                [self.zone_indices, other.zone_indices]
+            )[order],
+            placement_counts=self.placement_counts + other.placement_counts,
+            n_users_seen=self.n_users_seen + other.n_users_seen,
+        )
+
+    def _with_seen(self, n_users_seen: int) -> "ShardPartial":
+        if n_users_seen == self.n_users_seen:
+            return self
+        return ShardPartial(
+            rows=self.rows,
+            user_ids=self.user_ids,
+            counts=self.counts,
+            lengths=self.lengths,
+            flat_mask=self.flat_mask,
+            zone_indices=self.zone_indices,
+            placement_counts=self.placement_counts,
+            n_users_seen=n_users_seen,
+        )
+
+
+def compute_shard_partial(
+    shard: "StoreShard",
+    references: ReferenceProfiles,
+    *,
+    metric: str = "linear",
+    min_posts: int = 30,
+) -> ShardPartial:
+    """Reduce one store shard to its :class:`ShardPartial`.
+
+    Runs the per-user half of the pipeline -- Eq. 1 counts via the active
+    :mod:`~repro.core.kernels` backend, the flat-profile predicate and the
+    EMD-nearest zone -- for every user with at least *min_posts* posts.
+    All three are per-user independent given fixed *references*, which is
+    exactly why the shard decomposition is lossless (module docstring).
+    """
+    stamps = np.asarray(shard.stamps, dtype=np.float64)
+    lengths = np.asarray(shard.lengths, dtype=np.int64)
+    counts = segment_counts(stamps, lengths, 0.0)
+    keep = lengths >= max(int(min_posts), 1)
+    kept = np.flatnonzero(keep)
+    user_ids = tuple(shard.user_ids[int(i)] for i in kept)
+    kept_counts = np.ascontiguousarray(counts[keep])
+    matrix = ProfileMatrix.from_counts(user_ids, kept_counts)
+    if len(matrix) > 0:
+        flat = flat_profile_mask(matrix, references, metric=metric)
+        zones = _nearest_zone_indices(matrix, references, metric).astype(np.int64)
+    else:
+        flat = np.zeros(0, dtype=bool)
+        zones = np.zeros(0, dtype=np.int64)
+    return ShardPartial(
+        rows=(kept + int(shard.start_index)).astype(np.int64),
+        user_ids=user_ids,
+        counts=kept_counts,
+        lengths=lengths[keep],
+        flat_mask=flat,
+        zone_indices=zones,
+        placement_counts=np.bincount(
+            zones[~flat], minlength=_N_ZONES
+        ).astype(np.int64),
+        n_users_seen=len(shard),
+    )
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Pool-worker work order: a store path plus one user range.
+
+    Only the path crosses the process boundary -- the worker opens the
+    memmapped columns itself, so dispatch cost is O(1) in the crowd size.
+    The references ride along pickled as-is (pickle round-trips float
+    bits; rebuilding them in the worker would re-normalise and drift).
+    """
+
+    store_path: str
+    start: int
+    stop: int
+    metric: str
+    min_posts: int
+    references: ReferenceProfiles
+
+
+def _compute_shard_task(task: ShardTask) -> tuple[ShardPartial, float]:
+    """Worker entry: open the store, reduce the range, report wall time."""
+    from repro.datasets.store import TraceStore
+
+    started = time.perf_counter()
+    store = TraceStore.open(task.store_path)
+    partial = compute_shard_partial(
+        store.shard(task.start, task.stop),
+        task.references,
+        metric=task.metric,
+        min_posts=task.min_posts,
+    )
+    return partial, time.perf_counter() - started
+
+
+def _record_partial(partial: ShardPartial, wall_s: float, mode: str) -> None:
+    obs_metrics.counter(
+        "repro_shard_partials_total",
+        "shard partials computed by the sharded engine",
+        mode=mode,
+    ).inc()
+    obs_metrics.histogram(
+        "repro_shard_compute_seconds", "wall time to reduce one shard"
+    ).observe(wall_s)
+    log_event(
+        _log,
+        logging.DEBUG,
+        "shard_partial",
+        mode=mode,
+        n_users_seen=partial.n_users_seen,
+        n_active=len(partial),
+        n_flat=int(partial.flat_mask.sum()),
+        wall_s=round(wall_s, 6),
+    )
+
+
+def _shard_fallback(exc: Exception) -> None:
+    """Account + announce the shard fan-out degrading to inline compute."""
+    import warnings
+
+    obs_metrics.counter(
+        "repro_shard_fallback_total",
+        "sharded fan-outs that degraded to inline computation",
+    ).inc()
+    log_event(
+        _log,
+        logging.WARNING,
+        "shard_fanout_fallback",
+        error=f"{type(exc).__name__}: {exc}",
+    )
+    warnings.warn(
+        f"sharded fan-out failed ({type(exc).__name__}: {exc}); "
+        f"computing shards inline",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _compute_inline(
+    store: "TraceStore",
+    bounds: list[tuple[int, int]],
+    references: ReferenceProfiles,
+    metric: str,
+    min_posts: int,
+) -> list[ShardPartial]:
+    partials: list[ShardPartial] = []
+    for start, stop in bounds:
+        shard_started = time.perf_counter()
+        partial = compute_shard_partial(
+            store.shard(start, stop),
+            references,
+            metric=metric,
+            min_posts=min_posts,
+        )
+        _record_partial(partial, time.perf_counter() - shard_started, "inline")
+        partials.append(partial)
+    return partials
+
+
+def compute_partials(
+    store: "TraceStore",
+    references: ReferenceProfiles,
+    *,
+    metric: str = "linear",
+    min_posts: int = 30,
+    n_shards: int = 1,
+    max_workers: int = 1,
+) -> list[ShardPartial]:
+    """Reduce every shard of *store*, fanning out over a process pool.
+
+    The store is partitioned into up to *n_shards* contiguous user ranges
+    (:meth:`~repro.datasets.store.TraceStore.shard_bounds`).  With
+    ``max_workers > 1`` and more than one shard, ranges are dispatched to
+    a ``ProcessPoolExecutor`` as :class:`ShardTask` values -- each worker
+    opens the memmapped columns itself -- and results are collected in
+    submission order, so the returned list is deterministic regardless of
+    worker scheduling.  A pool that cannot be spawned or breaks mid-run
+    degrades to inline computation with a ``RuntimeWarning`` (mirroring
+    the batch engine's fallback policy), never a lost run.
+    """
+    bounds = store.shard_bounds(n_shards)
+    with trace_span(
+        "shard_fanout",
+        n_shards=len(bounds),
+        max_workers=max_workers,
+        n_users=len(store),
+    ):
+        if max_workers <= 1 or len(bounds) <= 1:
+            return _compute_inline(store, bounds, references, metric, min_posts)
+        tasks = [
+            ShardTask(
+                store_path=str(store.path),
+                start=start,
+                stop=stop,
+                metric=metric,
+                min_posts=min_posts,
+                references=references,
+            )
+            for start, stop in bounds
+        ]
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=min(max_workers, len(tasks))
+            ) as pool:
+                results = list(pool.map(_compute_shard_task, tasks))
+        except Exception as exc:
+            _shard_fallback(exc)
+            return _compute_inline(store, bounds, references, metric, min_posts)
+        partials = []
+        for partial, wall_s in results:
+            _record_partial(partial, wall_s, "pool")
+            partials.append(partial)
+        return partials
+
+
+def merge_partials(partials: list[ShardPartial]) -> ShardPartial:
+    """Fold partials into one canonical value (ordered, deterministic).
+
+    The merge is associative and commutative, so a plain left fold is as
+    good as any tree; it is still performed in a deterministic order for
+    legibility.  The merged row set must tile the store exactly -- callers
+    pass ``expected_users`` via the partials' ``n_users_seen`` sum, which
+    :func:`compute_partials` guarantees covers every user once.
+    """
+    started = time.perf_counter()
+    with trace_span("shard_merge", n_partials=len(partials)):
+        merged = functools.reduce(
+            ShardPartial.merge, partials, ShardPartial.identity()
+        )
+    obs_metrics.histogram(
+        "repro_shard_merge_seconds", "wall time to merge shard partials"
+    ).observe(time.perf_counter() - started)
+    return merged

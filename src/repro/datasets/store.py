@@ -180,6 +180,94 @@ class TraceStore:
             raise
         return cls.open(destination)
 
+    @classmethod
+    def write_columns(
+        cls,
+        chunks: Iterable[tuple[Iterable[str], np.ndarray, np.ndarray]],
+        path: "str | Path",
+    ) -> "TraceStore":
+        """Compile a store directly from pre-segmented column chunks.
+
+        Each chunk is ``(user_ids, lengths, stamps)`` -- a block of users
+        with their per-user post counts and the matching concatenated
+        timestamp segment.  This is the bulk-synthesis path the scale
+        bench uses to build million-user stores without ever holding one
+        :class:`~repro.core.events.ActivityTrace` (or the full stamp
+        column) in memory: stamps are spooled straight to disk chunk by
+        chunk and the ``.npy`` header is fixed up once the total is known.
+        Only the id and length tables stay resident (a few dozen bytes per
+        user).  The swap into place is atomic, mirroring :meth:`write`.
+        """
+        destination = Path(path)
+        temp = destination.with_name(destination.name + ".tmp")
+        if temp.exists():
+            shutil.rmtree(temp)
+        temp.mkdir(parents=True)
+        try:
+            ids: list[str] = []
+            length_parts: list[np.ndarray] = []
+            total = 0
+            spool = temp / (_STAMPS_NAME + ".spool")
+            with spool.open("wb") as handle:
+                for chunk_ids, chunk_lengths, chunk_stamps in chunks:
+                    id_block = [str(user_id) for user_id in chunk_ids]
+                    lengths = np.ascontiguousarray(chunk_lengths, dtype=np.int64)
+                    stamps = np.ascontiguousarray(chunk_stamps, dtype=np.float64)
+                    if lengths.size != len(id_block):
+                        raise DatasetError(
+                            f"chunk has {len(id_block)} users but "
+                            f"{lengths.size} lengths"
+                        )
+                    if int(lengths.sum()) != stamps.size:
+                        raise DatasetError(
+                            f"chunk lengths sum to {int(lengths.sum())} but "
+                            f"carry {stamps.size} stamps"
+                        )
+                    ids.extend(id_block)
+                    length_parts.append(lengths)
+                    stamps.tofile(handle)
+                    total += stamps.size
+            if len(set(ids)) != len(ids):
+                raise DatasetError("duplicate user ids in trace store input")
+            header = {
+                "descr": np.lib.format.dtype_to_descr(np.dtype(np.float64)),
+                "fortran_order": False,
+                "shape": (int(total),),
+            }
+            with (temp / _STAMPS_NAME).open("wb") as out_handle:
+                np.lib.format.write_array_header_2_0(out_handle, header)
+                with spool.open("rb") as spool_handle:
+                    shutil.copyfileobj(spool_handle, out_handle)
+            spool.unlink()
+            all_lengths = (
+                np.concatenate(length_parts)
+                if length_parts
+                else np.zeros(0, dtype=np.int64)
+            )
+            offsets = np.concatenate(
+                [[0], np.cumsum(all_lengths)]
+            ).astype(np.int64)
+            np.save(temp / _OFFSETS_NAME, offsets, allow_pickle=False)
+            np.save(
+                temp / _USER_IDS_NAME,
+                np.asarray(ids, dtype=np.str_),
+                allow_pickle=False,
+            )
+            meta = {
+                "kind": STORE_KIND,
+                "version": STORE_VERSION,
+                "n_users": len(ids),
+                "n_posts": int(total),
+            }
+            (temp / _META_NAME).write_text(json.dumps(meta), encoding="utf-8")
+            if destination.exists():
+                shutil.rmtree(destination)
+            os.replace(temp, destination)
+        except Exception:
+            shutil.rmtree(temp, ignore_errors=True)
+            raise
+        return cls.open(destination)
+
     # -- opening -----------------------------------------------------------
 
     @classmethod
@@ -296,6 +384,42 @@ class TraceStore:
         return ActivityTrace(user_id, self.stamps_of(user_id))
 
     # -- bulk readers ------------------------------------------------------
+
+    def shard_bounds(self, n_shards: int) -> list[tuple[int, int]]:
+        """Partition the user-id range into up to *n_shards* contiguous runs.
+
+        Returns ``(start, stop)`` half-open user-index pairs that tile the
+        store exactly: every user lands in exactly one shard, shard sizes
+        differ by at most one, and empty runs (more shards than users) are
+        dropped.  The sharded engine (:mod:`repro.core.shard`) feeds these
+        to :meth:`shard` on whichever process handles each range.
+        """
+        if n_shards <= 0:
+            raise DatasetError(f"n_shards must be positive, got {n_shards}")
+        n_users = len(self)
+        edges = np.linspace(0, n_users, num=min(n_shards, n_users) + 1)
+        cuts = np.round(edges).astype(np.int64)
+        return [
+            (int(lo), int(hi))
+            for lo, hi in zip(cuts[:-1], cuts[1:])
+            if hi > lo
+        ]
+
+    def shard(self, start: int, stop: int) -> StoreShard:
+        """One contiguous user range as a :class:`StoreShard` (zero-copy)."""
+        n_users = len(self)
+        if not 0 <= start <= stop <= n_users:
+            raise DatasetError(
+                f"shard range [{start}, {stop}) outside store of {n_users} users"
+            )
+        lo = int(self._offsets[start])
+        hi = int(self._offsets[stop])
+        return StoreShard(
+            user_ids=tuple(str(u) for u in self._user_ids[start:stop]),
+            stamps=self._stamps[lo:hi],
+            lengths=np.diff(self._offsets[start : stop + 1]),
+            start_index=int(start),
+        )
 
     def iter_shards(
         self, max_users: int = DEFAULT_SHARD_USERS

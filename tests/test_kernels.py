@@ -1,0 +1,191 @@
+"""Counts-kernel backends and the blocked EMD kernels.
+
+The dispatcher contract is that backends are interchangeable bit for bit:
+the numpy pass is the reference, the numba JIT (when installed) must
+match it exactly, and the blocked ``distance_matrix`` kernels must be
+invariant to the block size down to the last bit -- that exactness is
+what the sharded engine's merge correctness rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import emd as emd_module
+from repro.core import kernels
+from repro.core.emd import ALL_DISTANCES, distance_matrix
+from repro.core.kernels import (
+    HAVE_NUMBA,
+    available_backends,
+    kernel_backend,
+    segment_counts,
+    segment_counts_numpy,
+    set_kernel_backend,
+)
+from repro.timebase.clock import split_day_hours
+
+
+def _naive_counts(arrays: list[np.ndarray], offset_hours: float) -> np.ndarray:
+    """Per-user dict-of-cells oracle for the segmented counts kernels."""
+    out = np.zeros((len(arrays), 24), dtype=float)
+    for i, stamps in enumerate(arrays):
+        stamps = np.asarray(stamps, dtype=float)
+        if stamps.size == 0:
+            continue
+        days, hours = split_day_hours(stamps, offset_hours)
+        cells = {(int(day), int(hour)) for day, hour in zip(days, hours)}
+        for _, hour in cells:
+            out[i, hour] += 1.0
+    return out
+
+
+def _flatten(arrays: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    lengths = np.asarray([len(a) for a in arrays], dtype=np.int64)
+    stamps = (
+        np.concatenate([np.asarray(a, dtype=float) for a in arrays])
+        if arrays
+        else np.zeros(0, dtype=float)
+    )
+    return stamps, lengths
+
+
+segments = st.lists(
+    st.lists(
+        st.floats(-3e5, 3e6, allow_nan=False, allow_infinity=False),
+        min_size=0,
+        max_size=25,
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestNumpyBackend:
+    @given(segments, st.sampled_from([0.0, -5.0, 3.0, 11.5]))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_oracle(self, arrays, offset):
+        """Unsorted, negative and empty segments all count correctly."""
+        lists = [np.asarray(a, dtype=float) for a in arrays]
+        stamps, lengths = _flatten(lists)
+        np.testing.assert_array_equal(
+            segment_counts_numpy(stamps, lengths, offset),
+            _naive_counts(lists, offset),
+        )
+
+    def test_empty_column_shapes(self):
+        empty = np.zeros(0, dtype=float)
+        no_users = segment_counts_numpy(empty, np.zeros(0, dtype=np.int64))
+        assert no_users.shape == (0, 24)
+        silent = segment_counts_numpy(empty, np.zeros(3, dtype=np.int64))
+        np.testing.assert_array_equal(silent, np.zeros((3, 24)))
+
+    def test_rows_are_float64(self):
+        counts = segment_counts_numpy(
+            np.array([10.0, 3700.0]), np.array([2], dtype=np.int64)
+        )
+        assert counts.dtype == np.float64
+
+
+class TestBackendDispatch:
+    def test_default_backend_is_listed(self):
+        assert kernel_backend() in available_backends()
+        assert "numpy" in available_backends()
+
+    def test_set_and_restore(self):
+        previous = set_kernel_backend("numpy")
+        try:
+            assert kernel_backend() == "numpy"
+            counts = segment_counts(
+                np.array([100.0, 7300.0]), np.array([2], dtype=np.int64)
+            )
+            assert counts.shape == (1, 24)
+        finally:
+            set_kernel_backend(previous)
+        assert kernel_backend() == previous
+
+    def test_unknown_backend_refused(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_kernel_backend("fortran")
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed here")
+    def test_numba_requested_but_missing_refused(self):
+        with pytest.raises(ValueError, match="numba is not installed"):
+            set_kernel_backend("numba")
+        with pytest.raises(RuntimeError, match="numba is not installed"):
+            kernels.segment_counts_numba(
+                np.array([1.0]), np.array([1], dtype=np.int64)
+            )
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+class TestNumbaBackend:
+    @given(segments, st.sampled_from([0.0, -5.0, 3.0, 11.5]))
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identical_to_numpy(self, arrays, offset):
+        lists = [np.asarray(a, dtype=float) for a in arrays]
+        stamps, lengths = _flatten(lists)
+        np.testing.assert_array_equal(
+            kernels.segment_counts_numba(stamps, lengths, offset),
+            segment_counts_numpy(stamps, lengths, offset),
+        )
+
+    def test_backend_selectable(self):
+        previous = set_kernel_backend("numba")
+        try:
+            assert kernel_backend() == "numba"
+        finally:
+            set_kernel_backend(previous)
+
+
+class TestBlockedDistanceKernels:
+    def _profiles(self, n: int, seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.uniform(0.05, 4.0, size=(n, 24))
+
+    def _naive(self, p: np.ndarray, q: np.ndarray, metric: str) -> np.ndarray:
+        distance = ALL_DISTANCES[metric]
+        return np.array(
+            [[distance(row, ref) for ref in q] for row in p], dtype=float
+        )
+
+    @pytest.mark.parametrize("metric", sorted(ALL_DISTANCES))
+    def test_matches_scalar_metrics(self, metric):
+        p = self._profiles(17, 1)
+        q = self._profiles(5, 2)
+        np.testing.assert_allclose(
+            distance_matrix(p, q, metric=metric),
+            self._naive(p, q, metric),
+            atol=1e-12,
+        )
+
+    @pytest.mark.parametrize("metric", sorted(ALL_DISTANCES))
+    def test_block_size_invariance_is_bitwise(self, metric, monkeypatch):
+        """Shrinking the block to a couple of rows changes nothing, bit-wise.
+
+        Each output element is a reduction over one (profile, reference)
+        pair, so blocking (and therefore sharding) cannot perturb results.
+        """
+        p = self._profiles(41, 3)
+        q = self._profiles(7, 4)
+        whole = distance_matrix(p, q, metric=metric)
+        monkeypatch.setattr(emd_module, "_BLOCK_BYTES", 1)
+        monkeypatch.setattr(emd_module, "_MIN_BLOCK_ROWS", 2)
+        monkeypatch.setattr(emd_module, "_MAX_BLOCK_ROWS", 2)
+        tiny_blocks = distance_matrix(p, q, metric=metric)
+        np.testing.assert_array_equal(whole, tiny_blocks)
+
+    def test_adaptive_block_rows_respects_budget(self):
+        assert emd_module._block_rows(1) == emd_module._MAX_BLOCK_ROWS
+        huge_q = emd_module._block_rows(100_000)
+        assert huge_q == emd_module._MIN_BLOCK_ROWS
+        mid = emd_module._block_rows(256)
+        per_row = 256 * 24 * 8
+        assert mid * per_row <= emd_module._BLOCK_BYTES
+        assert emd_module._MIN_BLOCK_ROWS <= mid <= emd_module._MAX_BLOCK_ROWS
+
+    def test_empty_inputs(self):
+        p = self._profiles(3, 5)
+        assert distance_matrix(p, np.zeros((0, 24))).shape == (3, 0)
+        assert distance_matrix(np.zeros((0, 24)), p).shape == (0, 3)

@@ -146,6 +146,81 @@ class TestShardedReads:
         np.testing.assert_array_equal(via_store.matrix, via_traces.matrix)
 
 
+class TestWriteColumns:
+    def _chunks(self, crowd: TraceSet, chunk_users: int):
+        traces = list(crowd)
+        for start in range(0, len(traces), chunk_users):
+            block = traces[start : start + chunk_users]
+            yield (
+                [trace.user_id for trace in block],
+                np.array([len(trace) for trace in block], dtype=np.int64),
+                np.concatenate(
+                    [trace.timestamps for trace in block]
+                )
+                if block
+                else np.zeros(0),
+            )
+
+    def test_equivalent_to_write(self, tmp_path):
+        crowd = _crowd(17, seed=11)
+        via_traces = TraceStore.write(crowd, tmp_path / "a")
+        via_columns = TraceStore.write_columns(
+            self._chunks(crowd, chunk_users=5), tmp_path / "b"
+        )
+        assert via_columns.user_ids() == via_traces.user_ids()
+        np.testing.assert_array_equal(
+            via_columns.lengths(), via_traces.lengths()
+        )
+        for trace in crowd:
+            np.testing.assert_array_equal(
+                via_columns.stamps_of(trace.user_id),
+                via_traces.stamps_of(trace.user_id),
+            )
+
+    def test_empty_chunk_stream(self, tmp_path):
+        store = TraceStore.write_columns(iter(()), tmp_path / "e")
+        assert len(store) == 0
+        assert store.total_posts() == 0
+
+    def test_mismatched_lengths_refused(self, tmp_path):
+        bad = [(["a", "b"], np.array([1], dtype=np.int64), np.array([1.0]))]
+        with pytest.raises(DatasetError, match="lengths"):
+            TraceStore.write_columns(iter(bad), tmp_path / "bad")
+        assert not (tmp_path / "bad").exists()
+
+    def test_lengths_stamps_desync_refused(self, tmp_path):
+        bad = [(["a"], np.array([3], dtype=np.int64), np.array([1.0, 2.0]))]
+        with pytest.raises(DatasetError, match="stamps"):
+            TraceStore.write_columns(iter(bad), tmp_path / "bad")
+
+    def test_duplicate_ids_across_chunks_refused(self, tmp_path):
+        bad = [
+            (["a"], np.array([1], dtype=np.int64), np.array([1.0])),
+            (["a"], np.array([1], dtype=np.int64), np.array([2.0])),
+        ]
+        with pytest.raises(DatasetError, match="duplicate"):
+            TraceStore.write_columns(iter(bad), tmp_path / "bad")
+
+
+class TestShardBoundsAndRanges:
+    def test_shard_matches_iter_shards(self, tmp_path):
+        TraceStore.write(_crowd(23), tmp_path / "s")
+        store = TraceStore.open(tmp_path / "s")
+        walked = list(store.iter_shards(max_users=5))
+        for shard in walked:
+            direct = store.shard(
+                shard.start_index, shard.start_index + len(shard)
+            )
+            assert direct.user_ids == shard.user_ids
+            np.testing.assert_array_equal(direct.stamps, shard.stamps)
+            np.testing.assert_array_equal(direct.lengths, shard.lengths)
+
+    def test_bounds_on_empty_store(self, tmp_path):
+        TraceStore.write(TraceSet(), tmp_path / "s")
+        store = TraceStore.open(tmp_path / "s")
+        assert store.shard_bounds(4) == []
+
+
 class TestConvertJsonl:
     def test_convert_preserves_every_trace(self, tmp_path):
         crowd = _crowd(15)
