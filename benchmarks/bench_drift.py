@@ -1,0 +1,70 @@
+"""Temporal-drift layer: detection quality and lifecycle overhead.
+
+Scores the ROADMAP item 4 acceptance scenario (20% of a crowd relocating
++6 h mid-stream) and times the per-event cost of streaming with the
+confidence lifecycle enabled vs disabled.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ascii_table
+from repro.analysis.streaming_experiments import run_drift_experiment
+from repro.core.drift import DriftConfig
+from repro.core.streaming import StreamingGeolocator
+from repro.synth.drift import build_dst_scenario, build_relocation_scenario
+
+
+def test_drift_acceptance_scenario(benchmark, artifact_writer):
+    report = benchmark.pedantic(
+        run_drift_experiment,
+        kwargs={"seed": 11},
+        rounds=1,
+        iterations=1,
+    )
+    artifact_writer(
+        "drift_acceptance",
+        ascii_table(
+            ["metric", "value"],
+            [
+                ("scenario", report.kind),
+                ("placed movers", report.n_placed_movers),
+                ("detected", report.n_detected),
+                ("correct new zone", report.n_correct),
+                ("detection rate", f"{report.detection_rate:.2f}"),
+                ("correct rate", f"{report.correct_rate:.2f}"),
+                ("false-positive rate", f"{report.false_positive_rate:.3f}"),
+                ("timeline L1 vs oracle", f"{report.timeline_l1:.3f}"),
+                ("warm == cold", report.warm_equals_cold),
+            ],
+            title="Drift acceptance -- 20% of the crowd relocates +6h",
+        ),
+    )
+    assert report.detection_rate >= 0.9
+    assert report.correct_rate >= 0.9
+    assert report.false_positive_rate < 0.05
+    assert report.warm_equals_cold
+
+
+def test_drift_dst_negative_control(benchmark):
+    report = benchmark.pedantic(
+        run_drift_experiment,
+        args=(build_dst_scenario(n_users=50, n_days=240, seed=5),),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.n_detected <= max(2, report.n_placed_movers // 10)
+
+
+def test_drift_lifecycle_event_cost(benchmark):
+    """Per-event overhead of the enabled lifecycle on a drifting crowd."""
+    scenario = build_relocation_scenario(n_users=60, n_days=240, seed=7)
+    events = scenario.sorted_events()
+
+    def stream():
+        engine = StreamingGeolocator(drift=DriftConfig())
+        for timestamp, user_id in events:
+            engine.observe(user_id, timestamp)
+        return engine.snapshot()
+
+    snapshot = benchmark(stream)
+    assert snapshot.n_events_seen == len(events)

@@ -59,6 +59,80 @@ def _obs_overhead_check() -> bool:
     return ok
 
 
+#: Maximum tolerated slowdown of a drift-*disabled* streaming engine vs a
+#: replica of the pre-drift observe() body -- the drift layer must be
+#: inert when not asked for.
+DRIFT_OFF_TOLERANCE = 1.05
+
+#: Absolute slack for the drift-off gate, against scheduler noise.
+DRIFT_ABSOLUTE_SLACK_S = 0.050
+
+
+def _drift_inertness_check() -> bool:
+    """Gate: the drift layer costs nothing and changes nothing when off.
+
+    Streams the same crowd through (a) a drift-disabled engine and (b) a
+    replica running the pre-drift ``observe`` body verbatim, then checks
+    the drift-off run is within 5% of the replica and that its snapshot
+    is bit-identical to both the replica's and the cold
+    ``snapshot_reference()`` oracle.
+    """
+    from _shared import synthetic_crowd
+    from repro.core.streaming import StreamingGeolocator, _UserState
+
+    class _PreDriftReplica(StreamingGeolocator):
+        def observe(self, user_id: str, timestamp: float) -> None:
+            state = self._users.get(user_id)
+            if state is None:
+                state = self._users[user_id] = _UserState()
+            opened_cell = state.add(float(timestamp))
+            if opened_cell or state.n_posts == self.min_posts:
+                self._dirty.add(user_id)
+            self._n_events += 1
+
+    crowd = synthetic_crowd(400, seed=29)
+    events = sorted(
+        (float(ts), trace.user_id)
+        for trace in crowd
+        for ts in trace.timestamps
+    )
+
+    def stream(engine_class):
+        engine = engine_class()
+        for timestamp, user_id in events:
+            engine.observe(user_id, timestamp)
+        engine.snapshot()
+        return engine
+
+    replica_s = _time(stream, _PreDriftReplica, repeat=5)
+    drift_off_s = _time(stream, StreamingGeolocator, repeat=5)
+    ratio = drift_off_s / replica_s
+    fast_enough = (
+        drift_off_s <= replica_s * DRIFT_OFF_TOLERANCE + DRIFT_ABSOLUTE_SLACK_S
+    )
+
+    drift_off = stream(StreamingGeolocator)
+    replica = stream(_PreDriftReplica)
+    warm = drift_off.snapshot()
+    identical = (
+        warm.placement == replica.snapshot().placement
+        and warm.placement == drift_off.snapshot_reference().placement
+        and drift_off.migrations == []
+        and drift_off.timeline is None
+        and warm.confidence is None
+    )
+
+    ok = fast_enough and identical
+    status = "ok" if ok else "FAIL"
+    detail = "bit-identical" if identical else "DIVERGED"
+    print(
+        f"  {'drift_off_inertness':24s} replica {replica_s * 1e3:8.2f} ms  "
+        f"drift-off {drift_off_s * 1e3:8.2f} ms  ({ratio:.2f}x, {detail})  "
+        f"{status}"
+    )
+    return ok
+
+
 def _shard_merge_check() -> bool:
     """Gate: 2-shard merged verdict must be bit-identical to the oracle."""
     import tempfile
@@ -129,6 +203,9 @@ def main() -> int:
 
     if not _shard_merge_check():
         failures.append(("shard_merge_identity", 1.0))
+
+    if not _drift_inertness_check():
+        failures.append(("drift_off_inertness", DRIFT_OFF_TOLERANCE))
 
     if failures:
         worst = ", ".join(f"{name} {ratio:.2f}x" for name, ratio in failures)

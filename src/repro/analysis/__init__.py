@@ -26,7 +26,11 @@ from repro.analysis.countermeasures import (
     run_monitor_experiment,
 )
 from repro.analysis.robustness import run_seed_stability
-from repro.analysis.streaming_experiments import run_convergence_experiment
+from repro.analysis.streaming_experiments import (
+    DriftExperimentReport,
+    run_convergence_experiment,
+    run_drift_experiment,
+)
 from repro.analysis.sweeps import run_activity_sweep, run_crowd_size_sweep
 from repro.analysis.report import ascii_bars, ascii_table, series_csv
 
@@ -53,6 +57,8 @@ __all__ = [
     "run_activity_sweep",
     "run_crowd_size_sweep",
     "run_convergence_experiment",
+    "run_drift_experiment",
+    "DriftExperimentReport",
     "run_seed_stability",
     "ascii_bars",
     "ascii_table",

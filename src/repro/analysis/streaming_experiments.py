@@ -3,16 +3,26 @@
 Answers Sec. VII's operational question: if we must monitor a forum
 (because it hides timestamps, or because we joined it today), how many
 days until the crowd verdict stabilises?
+
+Also home of the drift acceptance experiment
+(:func:`run_drift_experiment`): stream a crowd with known mid-stream
+relocations through a drift-enabled engine and score the emitted
+:class:`~repro.core.drift.ZoneMigrationEvent` log against ground truth.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.analysis.experiments import ExperimentContext, make_context
+from repro.core.drift import DriftConfig
 from repro.core.streaming import StreamingGeolocator
+from repro.synth.drift import DriftScenario, build_relocation_scenario
 from repro.synth.forums import FORUM_SPECS, build_forum_crowd
 from repro.timebase.clock import SECONDS_PER_DAY
+from repro.timebase.zones import ZONE_OFFSETS
 
 
 @dataclass(frozen=True)
@@ -70,3 +80,170 @@ def run_convergence_experiment(
             )
         )
     return rows
+
+
+@dataclass(frozen=True)
+class DriftExperimentReport:
+    """Scorecard of one drift scenario run (see :func:`run_drift_experiment`)."""
+
+    kind: str
+    n_users: int
+    #: Moved users that pass the activity threshold -- the only ones any
+    #: estimator (streaming or batch) can place at all, hence the
+    #: denominator of both rates below.
+    n_placed_movers: int
+    #: Placed movers with at least one migration event.
+    n_detected: int
+    #: Placed movers whose *last* event's zone matches the oracle re-fit.
+    n_correct: int
+    #: Distinct stationary users that emitted any migration event.
+    n_false_positive: int
+    n_stationary: int
+    n_migration_events: int
+    #: L1 distance between the final composition sample and the oracle
+    #: composition (both over the 24 zone bins, each summing to 1).
+    timeline_l1: float
+    #: Final warm snapshot histogram == cold ``snapshot_reference()``.
+    warm_equals_cold: bool
+
+    @property
+    def detection_rate(self) -> float:
+        return self.n_detected / self.n_placed_movers if self.n_placed_movers else 0.0
+
+    @property
+    def correct_rate(self) -> float:
+        return self.n_correct / self.n_placed_movers if self.n_placed_movers else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        return self.n_false_positive / self.n_stationary if self.n_stationary else 0.0
+
+
+def _oracle_zone_of(
+    oracle: StreamingGeolocator, scenario: DriftScenario
+) -> "dict[str, int | None]":
+    """Zone a from-scratch batch re-fit assigns each user's current regime.
+
+    Movers contribute only their post-move slice (what a fresh campaign
+    started after the move would see); stationary users their whole
+    trace.  This is the ground truth the event log is scored against --
+    see :func:`run_drift_experiment` for why it is *not* the scenario's
+    nominal zone.
+    """
+    deadline = scenario.move_day
+    for trace in scenario.traces:
+        moved = trace.user_id in scenario.moved_ids
+        for timestamp in trace.timestamps:
+            if not moved or int(timestamp // SECONDS_PER_DAY) >= deadline:
+                oracle.observe(trace.user_id, float(timestamp))
+    oracle.snapshot()
+    zones: "dict[str, int | None]" = {}
+    for user_id in scenario.traces.user_ids():
+        index = oracle.zone_index_of(user_id)
+        zones[user_id] = None if index is None else int(ZONE_OFFSETS[index])
+    return zones
+
+
+def run_drift_experiment(
+    scenario: DriftScenario | None = None,
+    *,
+    config: DriftConfig | None = None,
+    snapshot_every_days: int = 7,
+    zone_tolerance: int = 1,
+    seed: int = 0,
+) -> DriftExperimentReport:
+    """Stream a drift scenario and score the migration log it produces.
+
+    The default scenario is ROADMAP item 4's acceptance shape: a 100-user
+    single-region crowd, 20% of which relocates +6 h at the stream
+    midpoint.  Events arrive in timestamp order with a snapshot every
+    *snapshot_every_days* stream days (detection itself is
+    snapshot-cadence independent; the cadence only exercises the
+    incremental histogram path).
+
+    **What counts as the correct new zone.**  The synthetic population
+    gives every user a chronotype bias of up to a couple of hours, so
+    even the paper's own batch estimator applied to a mover's full
+    post-move history lands within one zone of the *nominal* new zone
+    only about half the time -- absolute zone recovery is bounded by the
+    population, not the detector.  The drift layer's contract is
+    therefore convergence: the last event a user emits must match, within
+    *zone_tolerance* (default one zone -- placement is hour-quantised),
+    what a from-scratch batch re-fit of their post-move activity says.
+    The ``reason="refine"`` correction events exist precisely to close
+    that gap while the truncated record is still thin.
+
+    The crowd-level check is the same idea one level up: the final
+    :class:`~repro.core.drift.CompositionTimeline` sample must sit within
+    a small L1 distance of the composition the oracle re-fit produces.
+    """
+    if scenario is None:
+        scenario = build_relocation_scenario(seed=seed)
+    drift = config or DriftConfig()
+    engine = StreamingGeolocator(drift=drift)
+    next_snapshot: int | None = None
+    for timestamp, user_id in scenario.sorted_events():
+        day = int(timestamp // SECONDS_PER_DAY)
+        if next_snapshot is None:
+            next_snapshot = day + snapshot_every_days
+        elif day >= next_snapshot:
+            engine.snapshot()
+            next_snapshot = day + snapshot_every_days
+        engine.observe(user_id, timestamp)
+    final = engine.snapshot()
+
+    oracle_zone = _oracle_zone_of(StreamingGeolocator(), scenario)
+    movers = scenario.moved_ids
+    placed_movers = [
+        user_id for user_id in movers if oracle_zone.get(user_id) is not None
+    ]
+    last_event = {
+        event.user_id: event
+        for event in engine.migrations
+        if event.user_id in movers
+    }
+    n_correct = 0
+    for user_id in placed_movers:
+        event = last_event.get(user_id)
+        target = oracle_zone[user_id]
+        if (
+            event is not None
+            and event.new_offset is not None
+            and target is not None
+            and abs(event.new_offset - target) <= zone_tolerance
+        ):
+            n_correct += 1
+    stationary = scenario.stationary_ids()
+    false_positives = {
+        event.user_id for event in engine.migrations if event.user_id in stationary
+    }
+
+    oracle_hist = np.zeros(len(ZONE_OFFSETS), dtype=float)
+    for zone in oracle_zone.values():
+        if zone is not None:
+            oracle_hist[ZONE_OFFSETS.index(zone)] += 1.0
+    timeline_l1 = float("nan")
+    if engine.timeline is not None and len(engine.timeline):
+        sample = engine.timeline.samples()[-1]
+        fractions = np.asarray(sample.fractions, dtype=float)
+        if oracle_hist.sum() > 0 and fractions.sum() > 0:
+            timeline_l1 = float(
+                np.abs(fractions - oracle_hist / oracle_hist.sum()).sum()
+            )
+    # The experiment *scores* the warm==cold invariant, so the cold
+    # oracle is the point here, not a hidden slow path.
+    reference = engine.snapshot_reference()  # darkcrowd: disable=DC009
+    warm_equals_cold = final.placement == reference.placement
+
+    return DriftExperimentReport(
+        kind=scenario.kind,
+        n_users=len(scenario.traces.user_ids()),
+        n_placed_movers=len(placed_movers),
+        n_detected=sum(1 for user_id in placed_movers if user_id in last_event),
+        n_correct=n_correct,
+        n_false_positive=len(false_positives),
+        n_stationary=len(stationary),
+        n_migration_events=len(engine.migrations),
+        timeline_l1=timeline_l1,
+        warm_equals_cold=warm_equals_cold,
+    )

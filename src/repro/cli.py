@@ -12,6 +12,7 @@ Examples::
     darkcrowd sweeps             # crowd-size / activity sensitivity
     darkcrowd monitor --fault-rate 0.2 --checkpoint campaign.json
     darkcrowd monitor --resume campaign.json
+    darkcrowd monitor --drift-window 30 --migrations-out migrations.jsonl
     darkcrowd geolocate traces.jsonl --quarantine
     darkcrowd convert traces.jsonl traces.store
     darkcrowd geolocate traces.store --store
@@ -50,7 +51,9 @@ from repro.analysis.experiments import (
     run_table2,
 )
 from repro.analysis.report import ascii_bars, ascii_table
+from repro.core.drift import DriftConfig
 from repro.core.geolocate import CrowdGeolocator
+from repro.core.streaming import StreamingGeolocator
 from repro.datasets.store import TraceStore, convert_jsonl
 from repro.datasets.traces import load_trace_set, load_trace_set_resilient
 from repro.errors import EmptyTraceError
@@ -359,6 +362,9 @@ def _cmd_monitor(context, args) -> None:
     print(result.summary())
     if checkpoint_path:
         print(f"checkpoint saved to {checkpoint_path}")
+    if args.drift_window is not None:
+        _run_drift_monitor(context, args, result)
+        return
     try:
         report = CrowdGeolocator(context.references).geolocate(
             result.traces, crowd_name=result.forum_name
@@ -368,6 +374,57 @@ def _cmd_monitor(context, args) -> None:
         return
     _print_placement(f"{result.forum_name} placement (monitored)", report.placement)
     print(report.summary())
+
+
+def _run_drift_monitor(context, args, result) -> None:
+    """Replay the campaign through a drift-enabled streaming engine."""
+    drift = DriftConfig(
+        window_days=args.drift_window,
+        confidence_threshold=args.confidence_threshold,
+    )
+    engine = StreamingGeolocator(context.references, drift=drift)
+    sink = None
+    if args.migrations_out:
+        sink = open(args.migrations_out, "w", encoding="utf-8")
+
+        @engine.on_migration
+        def _write(event) -> None:
+            sink.write(json.dumps(event.to_dict()) + "\n")
+
+    try:
+        events = sorted(
+            (float(timestamp), trace.user_id)
+            for trace in result.traces
+            for timestamp in trace.timestamps
+        )
+        for timestamp, user_id in events:
+            engine.observe(user_id, timestamp)
+        snapshot = engine.snapshot()
+    finally:
+        if sink is not None:
+            sink.close()
+    print(
+        f"{result.forum_name}: streamed {snapshot.n_events_seen} events, "
+        f"{snapshot.n_users_active} active users"
+    )
+    summary = snapshot.confidence
+    if summary is not None and summary.n_tracked:
+        print(
+            f"confidence: mean {summary.mean:.2f} min {summary.minimum:.2f} "
+            f"({summary.n_stale}/{summary.n_tracked} below "
+            f"{summary.threshold:.2f})"
+        )
+    by_reason: dict[str, int] = {}
+    for event in engine.migrations:
+        by_reason[event.reason] = by_reason.get(event.reason, 0) + 1
+    reasons = ", ".join(f"{k}: {v}" for k, v in sorted(by_reason.items())) or "none"
+    print(f"zone migrations: {len(engine.migrations)} ({reasons})")
+    if engine.timeline is not None and len(engine.timeline):
+        top = engine.timeline.samples()[-1].top_zones(3)
+        zones = ", ".join(f"UTC{z:+d} {f:.0%}" for z, f in top)
+        print(f"final composition: {zones}")
+    if args.migrations_out:
+        print(f"migration events written to {args.migrations_out}")
 
 
 def _cmd_convert(context, args) -> None:
@@ -766,6 +823,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CHECKPOINT",
         help="resume the campaign from this checkpoint file",
     )
+    monitor.add_argument(
+        "--drift-window",
+        type=int,
+        default=None,
+        metavar="DAYS",
+        help="enable temporal-drift tracking with this rolling window "
+        "(replays the campaign through the streaming engine)",
+    )
+    monitor.add_argument(
+        "--confidence-threshold",
+        type=float,
+        default=0.5,
+        help="effective confidence below which a placement is re-verified "
+        "(with --drift-window)",
+    )
+    monitor.add_argument(
+        "--migrations-out",
+        default=None,
+        metavar="PATH",
+        help="write zone-migration events to this JSONL file "
+        "(with --drift-window)",
+    )
     geolocate = sub.add_parser(
         "geolocate",
         help="geolocate a JSONL trace set (see datasets.save_trace_set)",
@@ -818,7 +897,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="project-aware static analysis (reproducibility invariants "
-        "DC001..DC008; see --list-rules)",
+        "DC001..DC009; see --list-rules)",
         parents=parents,
     )
     lint.add_argument(

@@ -9,34 +9,54 @@ ask for the current verdict at any point -- the convergence experiment
 (:func:`repro.analysis.streaming_experiments.run_convergence_experiment`)
 then answers *how many days of monitoring a given forum needs*.
 
-Incremental state is kept per user as the (day, hour) active-cell counts
-of Eq. 1, so an update is O(1) -- and so is most of a snapshot: the
-geolocator caches every user's zone assignment and flat/active status,
-together with the 25-bin placement histogram, and a *dirty set* records
-exactly which users changed (a post landing in a new Eq. 1 cell, or a
-user crossing the activity threshold) since the last snapshot.
-``snapshot()`` re-places only the dirty users and patches the histogram
-by count deltas, making its cost O(dirty + bins) instead of O(all
-users); the always-cold pipeline is preserved as
+Incremental state is kept per user as a **versioned record**: the (day,
+hour) active-cell counts of Eq. 1, a record version, and -- when the
+temporal-drift layer is enabled -- a confidence score in [0, 1] with
+passive time decay (:mod:`repro.core.drift`).  An update is O(1), and so
+is most of a snapshot: the geolocator caches every user's zone
+assignment and flat/active status, together with the 25-bin placement
+histogram, and a *dirty set* records exactly which users changed (a post
+landing in a new Eq. 1 cell, or a user crossing the activity threshold)
+since the last snapshot.  ``snapshot()`` re-places only the dirty users
+and patches the histogram by count deltas, making its cost O(dirty +
+bins) instead of O(all users); the always-cold pipeline is preserved as
 :meth:`StreamingGeolocator.snapshot_reference`, the oracle the
 incremental path is property-tested against.
 
+**Temporal drift** (ROADMAP item 4): pass a
+:class:`~repro.core.drift.DriftConfig` and the engine watches every
+user's rolling window against their historical profile with the same EMD
+the placement uses.  When a change-point fires -- or confidence decays
+below threshold while the window disagrees with the cached placement --
+the user's record is truncated to the window, re-placed, and a
+:class:`~repro.core.drift.ZoneMigrationEvent` is emitted through
+:meth:`StreamingGeolocator.on_migration` subscribers; the placement
+histogram absorbs the change through the ordinary dirty-set delta
+machinery, so drift-adjusted snapshots remain bit-identical to
+``snapshot_reference()`` over the same records.  With drift disabled
+(the default) the engine is bit-identical to, and within noise as fast
+as, the pre-drift release -- ``perf_smoke.py`` gates both.
+
 A monitoring campaign runs for months, so the geolocator's full state
-(configuration, reference profiles, every user's active cells) round-trips
-through :meth:`StreamingGeolocator.save_checkpoint` /
+(configuration, reference profiles, every user's versioned record, the
+drift configuration and composition timeline) round-trips through
+:meth:`StreamingGeolocator.save_checkpoint` /
 :meth:`StreamingGeolocator.load_checkpoint` -- kill the process at any
 point and the reloaded instance produces the same snapshots.  Two payload
 formats are supported: the JSON document of earlier releases (still
 written by default, still loadable) and a binary ``.npz`` payload whose
 cell sets travel as integer columns, so a million-user checkpoint
-round-trips in seconds.  ``load_checkpoint`` negotiates the format from
-the file itself.
+round-trips in seconds.  ``load_checkpoint`` negotiates both the payload
+format and the schema version from the file itself: version-1
+checkpoints written before the drift layer existed load with
+full-confidence defaults, while a version-2 checkpoint handed to a
+version-1 reader fails loudly with a :class:`CheckpointError`.
 """
 
 from __future__ import annotations
 
 import time
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
@@ -44,6 +64,14 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.core.batch import ProfileMatrix
+from repro.core.drift import (
+    ChangePointDetector,
+    CompositionTimeline,
+    ConfidenceSummary,
+    DriftConfig,
+    UserConfidence,
+    ZoneMigrationEvent,
+)
 from repro.core.em import GaussianMixtureModel, select_mixture
 from repro.core.emd import distance_matrix
 from repro.core.events import PostEvent
@@ -57,11 +85,12 @@ from repro.obs import metrics as obs_metrics
 from repro.obs.tracing import trace_span
 from repro.reliability.checkpoint import (
     checkpoint_format,
-    read_binary_checkpoint,
-    read_checkpoint,
+    read_binary_checkpoint_negotiated,
+    read_checkpoint_negotiated,
     write_binary_checkpoint,
     write_checkpoint,
 )
+from repro.reliability.clocks import WallClockFn, wall_now
 
 if TYPE_CHECKING:
     from repro.core.types import AnyArray, FloatArray
@@ -69,7 +98,29 @@ from repro.timebase.zones import ZONE_OFFSETS
 
 #: Checkpoint envelope identifiers for :class:`StreamingGeolocator` state.
 STREAM_CHECKPOINT_KIND = "streaming-geolocator"
-STREAM_CHECKPOINT_VERSION = 1
+#: Version written by this release (2: versioned per-user records with
+#: confidence lifecycle fields, drift config and composition timeline).
+STREAM_CHECKPOINT_VERSION = 2
+#: Every version this release can still read; version 1 (pre-drift) loads
+#: with full-confidence defaults.
+STREAM_CHECKPOINT_COMPAT: tuple[int, ...] = (1, 2)
+
+#: :meth:`StreamSnapshot.verdict_state` sentinels.  ``EMPTY_STREAM`` is the
+#: explicit "snapshot taken before any observe()" state -- previously
+#: indistinguishable from an under-evidenced crowd.
+EMPTY_STREAM = "empty-stream"
+UNDER_EVIDENCED = "under-evidenced"
+VERDICT = "verdict"
+
+#: Column sentinel for "no anchor / no day yet" in binary checkpoints
+#: (chosen far outside any reachable day ordinal).
+_NO_DAY = -(2**62)
+
+#: A freshly truncated record keeps getting its zone re-checked (and
+#: corrected via ``reason="refine"`` events) until it holds this many
+#: times ``min_reestimate_cells`` -- at which point one more cell cannot
+#: move the placement and the estimate is considered settled.
+_REFINE_SETTLED_FACTOR = 4.0
 
 
 @dataclass(frozen=True)
@@ -83,9 +134,31 @@ class StreamSnapshot:
     #: The placement histogram behind the verdict (None while
     #: under-evidenced).  Maintained incrementally by count deltas.
     placement: PlacementDistribution | None = None
+    #: Crowd confidence digest; None unless the drift layer is enabled.
+    confidence: ConfidenceSummary | None = None
+
+    def is_empty_stream(self) -> bool:
+        """True when the snapshot was taken before any ``observe()``."""
+        return self.n_events_seen == 0
+
+    def verdict_state(self) -> str:
+        """Explicit tri-state: ``empty-stream``/``under-evidenced``/``verdict``.
+
+        An empty stream used to be silently indistinguishable from an
+        under-evidenced crowd; this is the explicit sentinel callers
+        should branch on before asking for a verdict.
+        """
+        if self.is_empty_stream():
+            return EMPTY_STREAM
+        return VERDICT if self.mixture is not None else UNDER_EVIDENCED
 
     def dominant_mean(self) -> float:
         if self.mixture is None:
+            if self.is_empty_stream():
+                raise EmptyTraceError(
+                    "empty stream: snapshot taken before any observe(); "
+                    "check verdict_state() before asking for a verdict"
+                )
             return float("nan")
         return self.mixture.dominant().mean
 
@@ -94,16 +167,37 @@ class StreamSnapshot:
 
 
 class _UserState:
-    """Incremental Eq. 1 accumulator for one user.
+    """One user's versioned incremental Eq. 1 record.
 
     Active cells are kept as encoded ``day * 24 + hour`` integers (cheaper
     to hash and to checkpoint than tuples).  The normalised profile row is
     cached and invalidated only when a new active cell appears, so
     snapshots reuse the row of every user whose activity pattern did not
     change since the previous snapshot.
+
+    The record is *versioned*: ``record_version`` starts at 1 and is
+    bumped by :meth:`truncate_to` when the drift layer re-estimates the
+    user from their recent window -- ``counts`` then covers only cells
+    with ``day >= anchor_day`` while the cell set keeps the full history
+    for deduplication.  ``confidence`` (a
+    :class:`~repro.core.drift.UserConfidence`) and the lazily built
+    per-day hour bitmasks exist only when the drift layer asks for them;
+    with drift disabled every new field is inert.
     """
 
-    __slots__ = ("_cells", "_frozen", "counts", "n_posts", "_mass")
+    __slots__ = (
+        "_cells",
+        "_frozen",
+        "counts",
+        "n_posts",
+        "_mass",
+        "record_version",
+        "confidence",
+        "anchor_day",
+        "last_check_day",
+        "max_day",
+        "_day_bits",
+    )
 
     def __init__(self) -> None:
         self._cells: set[int] | None = set()
@@ -116,6 +210,13 @@ class _UserState:
         self.counts = np.zeros(HOURS, dtype=float)
         self.n_posts = 0
         self._mass: FloatArray | None = None
+        # -- versioned-record / drift-lifecycle fields -------------------
+        self.record_version = 1
+        self.confidence: UserConfidence | None = None
+        self.anchor_day: int | None = None
+        self.last_check_day: int = _NO_DAY
+        self.max_day: int = _NO_DAY
+        self._day_bits: dict[int, int] | None = None
 
     @property
     def cells(self) -> set[int]:
@@ -134,30 +235,106 @@ class _UserState:
         return sorted(self._cells)
 
     def add(self, timestamp: float) -> bool:
-        """Record one post; True when it opened a new (day, hour) cell."""
+        """Record one post; True when it opened a new in-record cell."""
         self.n_posts += 1
         day = int(timestamp // 86400.0)
         hour = int((timestamp % 86400.0) // 3600.0)
+        if day > self.max_day:
+            self.max_day = day
         cell = day * HOURS + hour
         if cell in self.cells:
             return False
         self._cells.add(cell)
+        if self.anchor_day is not None and day < self.anchor_day:
+            # A straggler from before the current record's anchor: keep it
+            # for deduplication, but a truncated record never re-absorbs
+            # pre-migration history.
+            return False
         self.counts[hour] += 1.0
+        if self._day_bits is not None:
+            self._day_bits[day] = self._day_bits.get(day, 0) | (1 << hour)
         self._mass = None
         return True
 
     def mass(self) -> FloatArray:
-        """Cached normalised 24-vector of the accumulated cells."""
+        """Cached normalised 24-vector of the current record's cells."""
         if self._mass is None:
-            if self.n_cells() == 0:
+            total = self.counts.sum()
+            if total <= 0.0:
                 raise EmptyTraceError("no activity accumulated")
-            self._mass = self.counts / self.counts.sum()
+            self._mass = self.counts / total
         return self._mass
 
     def profile(self) -> Profile:
-        if self.n_cells() == 0:
+        if self.counts.sum() <= 0.0:
             raise EmptyTraceError("no activity accumulated")
         return Profile(self.counts)
+
+    # -- drift-lifecycle helpers ------------------------------------------
+
+    def ensure_confidence(self, day: int) -> UserConfidence:
+        """This user's confidence record, created at full on first use."""
+        if self.confidence is None:
+            self.confidence = UserConfidence(1.0, day)
+        return self.confidence
+
+    def day_bits(self) -> dict[int, int]:
+        """``day -> 24-bit hour mask`` of the current record (lazy).
+
+        Built once from the cell set (or the frozen checkpoint slice) and
+        maintained incrementally by :meth:`add` afterwards, so window
+        queries cost O(window days), not O(record cells).
+        """
+        if self._day_bits is None:
+            bits: dict[int, int] = {}
+            anchor = self.anchor_day
+            source: Iterable[int]
+            if self._cells is None:
+                source = self._frozen.tolist()
+            else:
+                source = self._cells
+            for encoded in source:
+                day, hour = divmod(int(encoded), HOURS)
+                if anchor is None or day >= anchor:
+                    bits[day] = bits.get(day, 0) | (1 << hour)
+            self._day_bits = bits
+        return self._day_bits
+
+    @staticmethod
+    def _counts_of_bits(bits_by_day: Iterable[int]) -> FloatArray:
+        counts = np.zeros(HOURS, dtype=float)
+        for bits in bits_by_day:
+            while bits:
+                low = bits & -bits
+                counts[low.bit_length() - 1] += 1.0
+                bits &= bits - 1
+        return counts
+
+    def window_counts(self, start_day: int, end_day: int) -> FloatArray:
+        """Hour counts of record cells with day in [start_day, end_day]."""
+        bits_by_day = self.day_bits()
+        selected: Iterable[int]
+        if len(bits_by_day) <= end_day - start_day + 1:
+            selected = (
+                bits for day, bits in bits_by_day.items()
+                if start_day <= day <= end_day
+            )
+        else:
+            selected = (
+                bits_by_day.get(day, 0) for day in range(start_day, end_day + 1)
+            )
+        return self._counts_of_bits(selected)
+
+    def truncate_to(self, anchor_day: int) -> None:
+        """Open a new record version holding only days >= *anchor_day*."""
+        kept = {
+            day: bits for day, bits in self.day_bits().items() if day >= anchor_day
+        }
+        self._day_bits = kept
+        self.counts = self._counts_of_bits(kept.values())
+        self.anchor_day = anchor_day
+        self.record_version += 1
+        self._mass = None
 
 
 class StreamingGeolocator:
@@ -167,9 +344,19 @@ class StreamingGeolocator:
     user is in the dirty set, or their cached zone assignment / flat flag
     / histogram contribution equals what a cold full re-place would
     compute.  ``observe`` only dirties a user when their Eq. 1 profile can
-    actually have changed (new active cell) or their activity status can
-    have flipped (post count reaching ``min_posts``), so a quiet crowd
-    costs nothing to snapshot.
+    actually have changed (new active cell, or a drift re-estimation
+    truncating their record) or their activity status can have flipped
+    (post count reaching ``min_posts``), so a quiet crowd costs nothing
+    to snapshot.
+
+    With *drift* supplied, every new Eq. 1 cell also advances the user's
+    confidence lifecycle (at most one check per
+    ``drift.check_interval_days`` stream days per user); re-estimations
+    go through the same dirty set, which is what keeps ``snapshot()``
+    equal to ``snapshot_reference()`` whether or not migrations fired.
+    The wall-clock stamps on emitted migration events are read through
+    the injectable seam of :mod:`repro.reliability.clocks` (``wall_clock``
+    parameter), never ``time.time()`` directly.
     """
 
     def __init__(
@@ -181,6 +368,8 @@ class StreamingGeolocator:
         sigma_init: float = PAPER_SIGMA,
         max_components: int = 4,
         min_users_for_verdict: int = 10,
+        drift: DriftConfig | None = None,
+        wall_clock: WallClockFn | None = None,
     ) -> None:
         self.references = references or ReferenceProfiles.canonical()
         self.metric = metric
@@ -196,6 +385,20 @@ class StreamingGeolocator:
         self._flat_ids: set[str] = set()
         self._hist = np.zeros(len(ZONE_OFFSETS), dtype=np.int64)
         self._matrix_cache: ProfileMatrix | None = None
+        # -- temporal-drift layer (inert when drift is None) --------------
+        self.drift = drift
+        self._wall_now: WallClockFn = wall_clock if wall_clock is not None else wall_now
+        self._detector = ChangePointDetector(drift) if drift is not None else None
+        self._stream_day: int | None = None
+        self.timeline: CompositionTimeline | None = (
+            CompositionTimeline() if drift is not None else None
+        )
+        self.migrations: list[ZoneMigrationEvent] = []
+        self._migration_subscribers: list[Callable[[ZoneMigrationEvent], None]] = []
+        # Users whose post-migration record is still thin get their zone
+        # re-checked at each lifecycle check until it settles; the value
+        # is the latest estimate a correction would be issued against.
+        self._pending_refine: dict[str, ZoneMigrationEvent] = {}
 
     def observe(self, user_id: str, timestamp: float) -> None:
         """Feed one (author, UTC timestamp) observation."""
@@ -206,6 +409,8 @@ class StreamingGeolocator:
         if opened_cell or state.n_posts == self.min_posts:
             self._dirty.add(user_id)
         self._n_events += 1
+        if self.drift is not None and opened_cell:
+            self._drift_on_new_cell(user_id, state)
 
     def observe_events(self, events: Iterable[PostEvent]) -> None:
         for event in events:
@@ -231,6 +436,388 @@ class StreamingGeolocator:
         """
         self._dirty.update(self._users)
         self._matrix_cache = None
+
+    # -- temporal-drift lifecycle -----------------------------------------
+
+    def on_migration(
+        self, callback: Callable[[ZoneMigrationEvent], None]
+    ) -> Callable[[ZoneMigrationEvent], None]:
+        """Subscribe *callback* to every emitted zone-migration event.
+
+        Returns the callback so the method works as a decorator.  Events
+        are also retained on :attr:`migrations` for post-hoc inspection.
+        """
+        self._migration_subscribers.append(callback)
+        return callback
+
+    def _drift_on_new_cell(self, user_id: str, state: _UserState) -> None:
+        """Advance the stream clock and run the throttled lifecycle check."""
+        config = self.drift
+        if config is None:
+            return
+        day = state.max_day
+        if self._stream_day is None or day > self._stream_day:
+            self._stream_day = day
+        confidence = state.ensure_confidence(day)
+        if day - state.last_check_day < config.check_interval_days:
+            return
+        self._drift_check(user_id, state, confidence, day)
+
+    def _drift_check(
+        self,
+        user_id: str,
+        state: _UserState,
+        confidence: UserConfidence,
+        now_day: int,
+    ) -> None:
+        """One confidence-lifecycle step: decay, compare, maybe re-estimate.
+
+        The recent window (last ``window_days`` of the record) is compared
+        against the record's pre-window history with the configured EMD.
+        Window agreeing with history re-verifies the placement (confidence
+        back to full); a change-point score or a below-threshold decayed
+        confidence triggers re-estimation from the window.
+        """
+        config = self.drift
+        detector = self._detector
+        if config is None or detector is None:
+            return
+        state.last_check_day = now_day
+        obs_metrics.counter(
+            "repro_stream_drift_checks_total",
+            "per-user confidence-lifecycle checks run",
+        ).inc()
+        if user_id in self._pending_refine:
+            self._refine(user_id, state, confidence, now_day)
+            if user_id in self._pending_refine:
+                # Still settling: the record is too young for the
+                # change-point machinery to say anything new.
+                return
+        window_start = now_day - config.window_days + 1
+        window = state.window_counts(window_start, now_day)
+        if window.sum() < config.min_window_cells:
+            # Casual posters: "recent behaviour" just spans more days for
+            # them.  Stretch the window back (up to 4x) until it holds
+            # enough cells, instead of leaving them forever uncheckable.
+            limit = now_day - 4 * config.window_days + 1
+            bits = state.day_bits()
+            for day in sorted(
+                (d for d in bits if limit <= d < window_start), reverse=True
+            ):
+                window = window + _UserState._counts_of_bits((bits[day],))
+                window_start = day
+                if window.sum() >= config.min_window_cells:
+                    break
+        history = state.counts - window
+        window_ok, history_ok = detector.has_evidence(window, history)
+        if not window_ok:
+            # Too little recent evidence to judge; confidence keeps
+            # decaying until the window fills back up.
+            return
+        if not history_ok:
+            # Young record: the window *is* the record, nothing to drift
+            # from -- fresh consistent evidence re-verifies.
+            confidence.reset(now_day)
+            return
+        score = detector.score(window, history)
+        effective = confidence.effective(now_day, config.decay_per_day)
+        if score > config.screen_threshold:
+            # The windowed score dilutes as post-change data bleeds into
+            # the history, so it only screens; the localised split score
+            # (undiluted, pure prefix vs pure suffix) makes the call.
+            anchor, split_score = self._split_change_day(state, now_day)
+            if detector.fires(split_score):
+                self._reestimate(
+                    user_id,
+                    state,
+                    now_day,
+                    anchor,
+                    split_score,
+                    effective,
+                    "change-point",
+                )
+                return
+        if effective >= config.confidence_threshold:
+            confidence.reset(now_day)
+            return
+        # Confidence has decayed below threshold without a change-point.
+        # Re-verify from the window first (ADR-003): a window placing
+        # within one zone of the full record (placement itself has ~1 h
+        # of chronotype noise) restores confidence without touching the
+        # record; only a clearly disagreeing window migrates.
+        window_index, window_flat = self._place_from_counts(window, state)
+        record_index, record_flat = self._place_single(state)
+        agrees = window_flat == record_flat and (
+            (window_index is None and record_index is None)
+            or (
+                window_index is not None
+                and record_index is not None
+                and abs(window_index - record_index) <= 1
+            )
+        )
+        if agrees:
+            confidence.reset(now_day)
+            return
+        anchor, split_score = self._split_change_day(state, now_day)
+        self._reestimate(
+            user_id,
+            state,
+            now_day,
+            anchor,
+            split_score if split_score >= 0.0 else score,
+            effective,
+            "confidence",
+        )
+
+    def _place_from_counts(
+        self, counts: FloatArray, state: _UserState
+    ) -> "tuple[int | None, bool]":
+        """(zone index, flat flag) a record with *counts* would be assigned."""
+        if state.n_posts < self.min_posts:
+            return None, False
+        total = counts.sum()
+        if total <= 0.0:
+            return None, False
+        matrix = ProfileMatrix(["_"], (counts / total)[None, :])
+        if bool(flat_profile_mask(matrix, self.references, metric=self.metric)[0]):
+            return None, True
+        nearest = int(
+            np.argmin(
+                distance_matrix(matrix, self.references, metric=self.metric), axis=1
+            )[0]
+        )
+        return nearest, False
+
+    def _place_single(self, state: _UserState) -> "tuple[int | None, bool]":
+        """(zone index, flat flag) the next refresh will assign this record."""
+        return self._place_from_counts(state.counts, state)
+
+    def zone_index_of(self, user_id: str) -> "int | None":
+        """Index into ``ZONE_OFFSETS`` of *user_id*'s current placement.
+
+        ``None`` for unknown, under-evidenced, or flat-filtered users.
+        Clean users are read from the incremental cache; dirty ones are
+        placed fresh, so the answer never depends on snapshot cadence.
+        """
+        if user_id not in self._dirty:
+            return self._zone_of.get(user_id)
+        state = self._users.get(user_id)
+        if state is None:
+            return None
+        index, flat = self._place_single(state)
+        return None if flat else index
+
+    def _split_change_day(
+        self, state: _UserState, now_day: int
+    ) -> "tuple[int, float]":
+        """(most likely change day, localised split score) for the record.
+
+        The rolling window usually *straddles* the actual change (checks
+        run every ``check_interval_days``), so re-estimating from the
+        whole window would mix pre- and post-change behaviour and place
+        the user somewhere in between.  Scanning every split of the
+        record for the one maximising the EMD between its two sides pins
+        the change day; only the suffix from there on feeds the
+        re-estimate, and for changes older than the window that suffix is
+        *longer* than the window -- casual posters still accumulate
+        enough post-change cells to re-place reliably.  The returned
+        score is ``-1.0`` when no split leaves both sides enough cells.
+        """
+        config = self.drift
+        detector = self._detector
+        if config is None or detector is None:
+            return now_day, -1.0
+        bits = state.day_bits()
+        if not bits:
+            return now_day, -1.0
+        active_days = sorted(bits)
+        total = state.counts.astype(float)
+        # Tiny split sides have huge EMD sampling noise, and the argmax
+        # over a record's worth of candidate splits would happily pick a
+        # six-cell tail and call it a migration -- the size discount in
+        # :meth:`ChangePointDetector.split_score` flattens that noise
+        # floor, so the hard floor here only prunes hopeless splits (the
+        # commit floor on the post-change suffix is separate, in
+        # :meth:`_reestimate`).
+        min_side = float(max(8, config.min_reestimate_cells // 2))
+        prefix = np.zeros(HOURS, dtype=float)
+        best_day = active_days[0]
+        best_score = -1.0
+        for day in active_days[:-1]:
+            prefix = prefix + _UserState._counts_of_bits((bits[day],))
+            suffix = total - prefix
+            if prefix.sum() < min_side or suffix.sum() < min_side:
+                continue
+            score = detector.split_score(prefix, suffix)
+            if score > best_score:
+                best_score = score
+                best_day = day + 1
+        return best_day, best_score
+
+    def _reestimate(
+        self,
+        user_id: str,
+        state: _UserState,
+        now_day: int,
+        anchor: int,
+        score: float,
+        effective: float,
+        reason: str,
+    ) -> None:
+        """Truncate the record at the estimated change day and re-place.
+
+        When the post-change suffix is still too thin to place reliably,
+        the re-estimate is deferred -- the signal will fire again at the
+        next check, by which time more post-change evidence has arrived.
+        Otherwise the user joins the dirty set, so the placement histogram
+        absorbs the change through the ordinary delta machinery at the
+        next snapshot.  A :class:`ZoneMigrationEvent` is emitted only when
+        the placement outcome actually changed; old and new placements are
+        both computed fresh (pre- and post-truncation), so event emission
+        does not depend on how often the caller snapshots.
+        """
+        config = self.drift
+        if config is None:
+            return
+        recent = state.window_counts(anchor, now_day)
+        if float(recent.sum()) < config.min_reestimate_cells:
+            obs_metrics.counter(
+                "repro_stream_drift_deferrals_total",
+                "re-estimates deferred for thin post-change evidence",
+            ).inc()
+            return
+        with trace_span("drift_reestimate", user_id=user_id, reason=reason):
+            # The pre-change placement comes from the record *prefix*: by
+            # detection time the full record already mixes in post-change
+            # cells, which would drag the reported old zone toward the
+            # new one.
+            old_index, was_flat = self._place_from_counts(
+                state.counts - recent, state
+            )
+            state.truncate_to(anchor)
+            new_index, new_flat = self._place_single(state)
+            state.ensure_confidence(now_day).reset(now_day)
+            self._dirty.add(user_id)
+            self._matrix_cache = None
+        obs_metrics.counter(
+            "repro_stream_drift_reestimates_total",
+            "record truncations after a drift signal",
+        ).inc()
+        event = ZoneMigrationEvent(
+            user_id=user_id,
+            old_offset=None if old_index is None else ZONE_OFFSETS[old_index],
+            new_offset=None if new_index is None else ZONE_OFFSETS[new_index],
+            day=now_day,
+            emd_score=score,
+            confidence=effective,
+            window_cells=int(recent.sum()),
+            reason=reason,
+            record_version=state.record_version,
+            wall_time=self._wall_now(),
+        )
+        # The zone is re-checked at later lifecycle checks until the
+        # truncated record settles, whether or not an event fires now.
+        self._pending_refine[user_id] = event
+        if new_index == old_index and new_flat == was_flat:
+            return
+        self._emit_migration(event)
+
+    def _refine(
+        self,
+        user_id: str,
+        state: _UserState,
+        confidence: UserConfidence,
+        now_day: int,
+    ) -> None:
+        """Correct a recent migration's zone as its thin record fills in.
+
+        A migration is announced from whatever post-change evidence has
+        accrued by detection time (roughly ``min_reestimate_cells``), and
+        a placement from that little data carries an extra zone or two of
+        sampling noise on top of the user's chronotype bias.  Until the
+        truncated record reaches ``_REFINE_SETTLED_FACTOR`` times the
+        commit floor, each lifecycle check re-places it and emits a
+        ``reason="refine"`` correction event whenever the zone moved --
+        so the *last* event per user converges to what a from-scratch
+        re-fit of the post-change data would say.  Tracking is in-memory
+        only: a checkpoint round-trip drops pending refinements (the
+        truncated record itself persists, so the placement stays right).
+        """
+        config = self.drift
+        prior = self._pending_refine[user_id]
+        if config is None:
+            del self._pending_refine[user_id]
+            return
+        cells = float(state.counts.sum())
+        settled = cells >= _REFINE_SETTLED_FACTOR * config.min_reestimate_cells
+        if settled:
+            del self._pending_refine[user_id]
+        new_index, new_flat = self._place_single(state)
+        if new_flat:
+            return
+        confidence.reset(now_day)
+        new_offset = None if new_index is None else int(ZONE_OFFSETS[new_index])
+        if new_offset is None or new_offset == prior.new_offset:
+            return
+        event = ZoneMigrationEvent(
+            user_id=user_id,
+            old_offset=prior.new_offset,
+            new_offset=new_offset,
+            day=now_day,
+            emd_score=prior.emd_score,
+            confidence=confidence.value,
+            window_cells=int(cells),
+            reason="refine",
+            record_version=state.record_version,
+            wall_time=self._wall_now(),
+        )
+        if not settled:
+            self._pending_refine[user_id] = event
+        self._emit_migration(event)
+
+    def _emit_migration(self, event: ZoneMigrationEvent) -> None:
+        """Log *event* and fan it out to subscribers."""
+        self.migrations.append(event)
+        obs_metrics.counter(
+            "repro_stream_drift_migrations_total",
+            "zone-migration events emitted",
+            reason=event.reason,
+        ).inc()
+        for subscriber in self._migration_subscribers:
+            subscriber(event)
+
+    def _confidence_summary(self) -> ConfidenceSummary:
+        """Crowd-level effective-confidence digest (drift enabled only)."""
+        config = self.drift
+        if config is None:
+            raise ValueError("confidence summary requires the drift layer")
+        now_day = self._stream_day if self._stream_day is not None else 0
+        values = [
+            state.confidence.effective(now_day, config.decay_per_day)
+            for state in self._users.values()
+            if state.n_posts >= self.min_posts and state.confidence is not None
+        ]
+        if not values:
+            return ConfidenceSummary(
+                n_tracked=0,
+                mean=float("nan"),
+                minimum=float("nan"),
+                n_stale=0,
+                threshold=config.confidence_threshold,
+            )
+        array = np.asarray(values, dtype=float)
+        n_stale = int((array < config.confidence_threshold).sum())
+        obs_metrics.gauge(
+            "repro_stream_drift_stale_users",
+            "placed users below the confidence threshold",
+        ).set(n_stale)
+        return ConfidenceSummary(
+            n_tracked=len(values),
+            mean=float(array.mean()),
+            minimum=float(array.min()),
+            n_stale=n_stale,
+            threshold=config.confidence_threshold,
+        )
 
     # -- incremental placement --------------------------------------------
 
@@ -312,12 +899,18 @@ class StreamingGeolocator:
                 max_components=self.max_components,
                 sigma_init=self.sigma_init,
             )
+        confidence_summary: ConfidenceSummary | None = None
+        if self.drift is not None:
+            confidence_summary = self._confidence_summary()
+            if self.timeline is not None and self._stream_day is not None:
+                self.timeline.record(self._stream_day, self._hist)
         return StreamSnapshot(
             n_events_seen=self._n_events,
             n_users_seen=len(self._users),
             n_users_active=n_active,
             mixture=mixture,
             placement=placement,
+            confidence=confidence_summary,
         )
 
     def snapshot(self) -> StreamSnapshot:
@@ -325,7 +918,10 @@ class StreamingGeolocator:
 
         Costs O(dirty users + histogram bins): only users invalidated
         since the previous snapshot are re-placed, and the placement
-        histogram is patched by count deltas rather than recounted.
+        histogram is patched by count deltas rather than recounted.  With
+        drift enabled the snapshot additionally carries the crowd
+        confidence summary and records one composition-timeline sample
+        per stream day (both O(users), amortised by the snapshot cadence).
         """
         n_dirty = len(self._dirty)
         started = time.perf_counter()
@@ -350,7 +946,10 @@ class StreamingGeolocator:
 
         This is the pre-incremental pipeline kept verbatim; the property
         tests assert ``snapshot()`` equals it after any interleaving of
-        observes, snapshots and checkpoint round-trips.
+        observes, snapshots, drift re-estimations and checkpoint
+        round-trips.  It is an O(all users) oracle for tests and benches,
+        not a production path -- lint rule DC009 flags calls from library
+        code.
         """
         started = time.perf_counter()
         try:
@@ -415,28 +1014,47 @@ class StreamingGeolocator:
         """The full resumable state as plain JSON-serialisable python.
 
         Per-user counts are not stored: they are a pure function of the
-        active-cell sets and are rebuilt on load, which keeps the
-        checkpoint minimal and impossible to desynchronise.  The cached
-        placements are likewise omitted -- a restored instance re-places
-        everyone on its first snapshot.
+        active-cell sets and the record anchor, and are rebuilt on load,
+        which keeps the checkpoint minimal and impossible to
+        desynchronise.  The cached placements are likewise omitted -- a
+        restored instance re-places everyone on its first snapshot.
+        Version 2 adds the versioned-record fields (record version,
+        anchor, confidence value and anchor day), the drift configuration
+        and the composition timeline.
         """
+        users: dict[str, Any] = {}
+        for user_id, state in self._users.items():
+            confidence = state.confidence
+            users[user_id] = {
+                # Encoded cells sort like (day, hour) pairs, so the
+                # decoded list is already in the documented order.
+                "cells": [
+                    [cell // HOURS, cell % HOURS]
+                    for cell in state.sorted_cells()
+                ],
+                "n_posts": state.n_posts,
+                "record_version": state.record_version,
+                "anchor_day": state.anchor_day,
+                "confidence": 1.0 if confidence is None else confidence.value,
+                "confidence_day": (
+                    self._default_confidence_day(state)
+                    if confidence is None
+                    else confidence.as_of_day
+                ),
+            }
         return {
             "config": self._config_dict(),
             "generic_profile": [float(x) for x in self.references.generic.mass],
             "n_events": self._n_events,
-            "users": {
-                user_id: {
-                    # Encoded cells sort like (day, hour) pairs, so the
-                    # decoded list is already in the documented order.
-                    "cells": [
-                        [cell // HOURS, cell % HOURS]
-                        for cell in state.sorted_cells()
-                    ],
-                    "n_posts": state.n_posts,
-                }
-                for user_id, state in self._users.items()
-            },
+            "stream_day": self._stream_day,
+            "drift": None if self.drift is None else self.drift.as_dict(),
+            "timeline": None if self.timeline is None else self.timeline.as_state(),
+            "users": users,
         }
+
+    @staticmethod
+    def _default_confidence_day(state: _UserState) -> int:
+        return state.max_day if state.max_day != _NO_DAY else 0
 
     def binary_state(self) -> "tuple[dict[str, Any], dict[str, AnyArray]]":
         """The resumable state as (JSON metadata, numpy columns).
@@ -445,31 +1063,79 @@ class StreamingGeolocator:
         ``day * 24 + hour`` int64 column plus a per-user offset table --
         the same columnar idea as the trace store -- so writing and
         reading scale with ``numpy`` throughput, not Python object count.
+        Version 2 adds one column per versioned-record field and two
+        timeline columns; the anchor column uses a far-out-of-range
+        sentinel for "no anchor".
         """
         user_ids = list(self._users)
+        n = len(user_ids)
         cell_counts = np.fromiter(
             (self._users[u].n_cells() for u in user_ids),
             dtype=np.int64,
-            count=len(user_ids),
+            count=n,
         )
         offsets = np.concatenate([[0], np.cumsum(cell_counts)]).astype(np.int64)
         cells = np.empty(int(offsets[-1]), dtype=np.int64)
         for i, user_id in enumerate(user_ids):
             # Sorted per user so checkpoint bytes are deterministic.
             cells[offsets[i] : offsets[i + 1]] = self._users[user_id].sorted_cells()
-        meta = {"config": self._config_dict(), "n_events": self._n_events}
+        meta = {
+            "config": self._config_dict(),
+            "n_events": self._n_events,
+            "stream_day": self._stream_day,
+            "drift": None if self.drift is None else self.drift.as_dict(),
+        }
+        timeline = self.timeline if self.timeline is not None else CompositionTimeline()
+        timeline_days, timeline_hists = timeline.arrays()
         arrays = {
             "user_ids": np.asarray(user_ids, dtype=np.str_),
             "n_posts": np.fromiter(
                 (self._users[u].n_posts for u in user_ids),
                 dtype=np.int64,
-                count=len(user_ids),
+                count=n,
             ),
             "cell_offsets": offsets,
             "cells": cells,
             "generic_profile": np.asarray(
                 self.references.generic.mass, dtype=np.float64
             ),
+            "record_version": np.fromiter(
+                (self._users[u].record_version for u in user_ids),
+                dtype=np.int64,
+                count=n,
+            ),
+            "anchor_day": np.fromiter(
+                (
+                    _NO_DAY
+                    if self._users[u].anchor_day is None
+                    else self._users[u].anchor_day
+                    for u in user_ids
+                ),
+                dtype=np.int64,
+                count=n,
+            ),
+            "confidence": np.fromiter(
+                (
+                    1.0
+                    if self._users[u].confidence is None
+                    else self._users[u].confidence.value
+                    for u in user_ids
+                ),
+                dtype=np.float64,
+                count=n,
+            ),
+            "confidence_day": np.fromiter(
+                (
+                    self._default_confidence_day(self._users[u])
+                    if self._users[u].confidence is None
+                    else self._users[u].confidence.as_of_day
+                    for u in user_ids
+                ),
+                dtype=np.int64,
+                count=n,
+            ),
+            "timeline_days": timeline_days,
+            "timeline_hists": timeline_hists,
         }
         return meta, arrays
 
@@ -481,7 +1147,10 @@ class StreamingGeolocator:
 
         JSON stays the default for non-``.npz`` paths, so checkpoints
         written by earlier releases and by unchanged callers keep their
-        format; the binary payload is the fast path for big crowds.
+        format; the binary payload is the fast path for big crowds.  Both
+        formats are written at :data:`STREAM_CHECKPOINT_VERSION` (2): an
+        old reader refuses them loudly instead of silently dropping the
+        drift state.
         """
         if format is None:
             format = "binary" if str(path).endswith(".npz") else "json"
@@ -508,6 +1177,8 @@ class StreamingGeolocator:
         config: "dict[str, Any]",
         generic_mass: "Sequence[float] | FloatArray",
         references: ReferenceProfiles | None,
+        *,
+        drift: DriftConfig | None = None,
     ) -> "StreamingGeolocator":
         if references is None:
             references = ReferenceProfiles(
@@ -520,37 +1191,125 @@ class StreamingGeolocator:
             sigma_init=float(config["sigma_init"]),
             max_components=int(config["max_components"]),
             min_users_for_verdict=int(config["min_users_for_verdict"]),
+            drift=drift,
         )
 
     @classmethod
+    def _negotiate_drift(
+        cls,
+        stored: "dict[str, Any] | None",
+        override: DriftConfig | None,
+        version: int,
+    ) -> DriftConfig | None:
+        """The drift config a restored instance should run with.
+
+        An explicit *override* wins; otherwise the checkpointed config is
+        restored (version 2), and version-1 checkpoints -- written before
+        the drift layer existed -- come back with drift disabled.
+        """
+        if override is not None:
+            return override
+        if version >= 2 and stored is not None:
+            return DriftConfig.from_dict(stored)
+        return None
+
+    @classmethod
     def from_state_dict(
-        cls, state: dict[str, Any], *, references: ReferenceProfiles | None = None
+        cls,
+        state: dict[str, Any],
+        *,
+        references: ReferenceProfiles | None = None,
+        version: int = STREAM_CHECKPOINT_VERSION,
+        drift: DriftConfig | None = None,
     ) -> "StreamingGeolocator":
         """Inverse of :meth:`state_dict`.
 
         The reference profiles are rebuilt from the checkpointed generic
         profile unless an explicit *references* object is supplied.
+        *version* selects the schema (1 = pre-drift: users restore with
+        full-confidence defaults); *drift* overrides the checkpointed
+        drift configuration -- pass one to enable the drift layer on a
+        version-1 checkpoint.
         """
         try:
+            drift_config = cls._negotiate_drift(
+                state.get("drift") if version >= 2 else None, drift, version
+            )
             geolocator = cls._from_config(
-                state["config"], state["generic_profile"], references
+                state["config"],
+                state["generic_profile"],
+                references,
+                drift=drift_config,
             )
             geolocator._n_events = int(state["n_events"])
+            if version >= 2:
+                stream_day = state.get("stream_day")
+                geolocator._stream_day = (
+                    None if stream_day is None else int(stream_day)
+                )
+                timeline_state = state.get("timeline")
+                if geolocator.timeline is not None and timeline_state is not None:
+                    geolocator.timeline = CompositionTimeline.from_state(
+                        timeline_state
+                    )
             for user_id, user_state in state["users"].items():
                 restored = _UserState()
                 restored.n_posts = int(user_state["n_posts"])
+                if version >= 2:
+                    anchor = user_state.get("anchor_day")
+                    restored.anchor_day = None if anchor is None else int(anchor)
+                    restored.record_version = int(
+                        user_state.get("record_version", 1)
+                    )
                 for day, hour in user_state["cells"]:
                     cell = int(day) * HOURS + int(hour)
                     if cell not in restored.cells:
                         restored.cells.add(cell)
-                        restored.counts[int(hour)] += 1.0
+                        if int(day) > restored.max_day:
+                            restored.max_day = int(day)
+                        if (
+                            restored.anchor_day is None
+                            or int(day) >= restored.anchor_day
+                        ):
+                            restored.counts[int(hour)] += 1.0
+                if drift_config is not None:
+                    if version >= 2:
+                        restored.confidence = UserConfidence(
+                            float(user_state.get("confidence", 1.0)),
+                            int(
+                                user_state.get(
+                                    "confidence_day",
+                                    cls._default_confidence_day(restored),
+                                )
+                            ),
+                        )
+                    else:
+                        restored.confidence = UserConfidence(
+                            1.0, cls._default_confidence_day(restored)
+                        )
                 geolocator._users[user_id] = restored
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(
                 f"malformed streaming-geolocator state: {exc!r}"
             ) from exc
         geolocator._dirty.update(geolocator._users)
+        geolocator._seed_stream_day()
         return geolocator
+
+    def _seed_stream_day(self) -> None:
+        """Derive the stream day from restored records when absent.
+
+        Version-1 checkpoints never stored it; confidence decay needs a
+        "now" to measure from, so the newest observed day stands in.
+        """
+        if self.drift is None or self._stream_day is not None:
+            return
+        days = [
+            state.max_day
+            for state in self._users.values()
+            if state.max_day != _NO_DAY
+        ]
+        self._stream_day = max(days) if days else None
 
     @classmethod
     def from_binary_state(
@@ -559,12 +1318,21 @@ class StreamingGeolocator:
         arrays: "dict[str, AnyArray]",
         *,
         references: ReferenceProfiles | None = None,
+        version: int = STREAM_CHECKPOINT_VERSION,
+        drift: DriftConfig | None = None,
     ) -> "StreamingGeolocator":
         """Inverse of :meth:`binary_state`; per-user counts are rebuilt
-        with one vectorised bincount over the whole cell column."""
+        with one vectorised bincount over the whole cell column (masked by
+        each user's record anchor)."""
         try:
+            drift_config = cls._negotiate_drift(
+                meta.get("drift") if version >= 2 else None, drift, version
+            )
             geolocator = cls._from_config(
-                meta["config"], arrays["generic_profile"], references
+                meta["config"],
+                arrays["generic_profile"],
+                references,
+                drift=drift_config,
             )
             geolocator._n_events = int(meta["n_events"])
             user_ids = arrays["user_ids"]
@@ -580,6 +1348,38 @@ class StreamingGeolocator:
                 raise CheckpointError(
                     "binary checkpoint offset table does not cover the cells"
                 )
+            if version >= 2:
+                stream_day = meta.get("stream_day")
+                geolocator._stream_day = (
+                    None if stream_day is None else int(stream_day)
+                )
+                anchor_col = np.asarray(arrays["anchor_day"], dtype=np.int64)
+                version_col = np.asarray(arrays["record_version"], dtype=np.int64)
+                confidence_col = np.asarray(arrays["confidence"], dtype=np.float64)
+                confidence_day_col = np.asarray(
+                    arrays["confidence_day"], dtype=np.int64
+                )
+                for name, column in (
+                    ("anchor_day", anchor_col),
+                    ("record_version", version_col),
+                    ("confidence", confidence_col),
+                    ("confidence_day", confidence_day_col),
+                ):
+                    if column.size != n_users:
+                        raise CheckpointError(
+                            f"binary checkpoint column {name!r} disagrees "
+                            "on the user count"
+                        )
+                if geolocator.timeline is not None:
+                    geolocator.timeline = CompositionTimeline.from_arrays(
+                        np.asarray(arrays["timeline_days"], dtype=np.int64),
+                        np.asarray(arrays["timeline_hists"], dtype=np.int64),
+                    )
+            else:
+                anchor_col = np.full(n_users, _NO_DAY, dtype=np.int64)
+                version_col = np.ones(n_users, dtype=np.int64)
+                confidence_col = np.ones(n_users, dtype=np.float64)
+                confidence_day_col = np.full(n_users, _NO_DAY, dtype=np.int64)
             if cells.size:
                 # Each user's segment must be strictly increasing (the
                 # writer sorts and de-duplicates); one vectorised pass
@@ -594,24 +1394,41 @@ class StreamingGeolocator:
                         "binary checkpoint has unsorted or duplicate cells"
                     )
             counts = np.zeros((n_users, HOURS), dtype=float)
+            max_days = np.full(n_users, _NO_DAY, dtype=np.int64)
             if cells.size:
                 owners = np.repeat(
                     np.arange(n_users, dtype=np.int64), np.diff(offsets)
                 )
+                days = cells // HOURS
                 hours = np.mod(cells, HOURS)
+                # Cells before a truncated record's anchor stay out of the
+                # counts (they exist only for deduplication).
+                in_record = days >= anchor_col[owners]
+                keyed = (owners * HOURS + hours)[in_record]
                 counts = (
-                    np.bincount(
-                        owners * HOURS + hours, minlength=n_users * HOURS
-                    )
+                    np.bincount(keyed, minlength=n_users * HOURS)
                     .reshape(n_users, HOURS)
                     .astype(float)
                 )
+                nonempty = np.flatnonzero(np.diff(offsets) > 0)
+                max_days[nonempty] = days[offsets[nonempty + 1] - 1]
             for i in range(n_users):
                 restored = _UserState()
                 restored.n_posts = int(n_posts[i])
                 restored._cells = None
                 restored._frozen = cells[offsets[i] : offsets[i + 1]]
                 restored.counts = counts[i]
+                restored.max_day = int(max_days[i])
+                anchor = int(anchor_col[i])
+                restored.anchor_day = None if anchor == _NO_DAY else anchor
+                restored.record_version = int(version_col[i])
+                if drift_config is not None:
+                    day_anchor = int(confidence_day_col[i])
+                    if day_anchor == _NO_DAY:
+                        day_anchor = cls._default_confidence_day(restored)
+                    restored.confidence = UserConfidence(
+                        float(confidence_col[i]), day_anchor
+                    )
                 geolocator._users[str(user_ids[i])] = restored
         except CheckpointError:
             raise
@@ -620,24 +1437,36 @@ class StreamingGeolocator:
                 f"malformed streaming-geolocator state: {exc!r}"
             ) from exc
         geolocator._dirty.update(geolocator._users)
+        geolocator._seed_stream_day()
         return geolocator
 
     @classmethod
     def load_checkpoint(
-        cls, path: "str | Path", *, references: ReferenceProfiles | None = None
+        cls,
+        path: "str | Path",
+        *,
+        references: ReferenceProfiles | None = None,
+        drift: DriftConfig | None = None,
     ) -> "StreamingGeolocator":
         """Rebuild a geolocator from :meth:`save_checkpoint` output.
 
-        The payload format (JSON of earlier releases, or binary ``.npz``)
-        is negotiated from the file's magic bytes, so old checkpoints keep
-        loading without callers changing anything.
+        Both the payload format (JSON of earlier releases, or binary
+        ``.npz``) and the schema version are negotiated from the file
+        itself: version-1 checkpoints load with full-confidence defaults
+        and drift disabled (pass *drift* to enable it), version-2
+        checkpoints restore their drift configuration and composition
+        timeline, and anything newer fails loudly.
         """
         if checkpoint_format(path) == "binary":
-            meta, arrays = read_binary_checkpoint(
-                path, STREAM_CHECKPOINT_KIND, STREAM_CHECKPOINT_VERSION
+            version, meta, arrays = read_binary_checkpoint_negotiated(
+                path, STREAM_CHECKPOINT_KIND, STREAM_CHECKPOINT_COMPAT
             )
-            return cls.from_binary_state(meta, arrays, references=references)
-        state = read_checkpoint(
-            path, STREAM_CHECKPOINT_KIND, STREAM_CHECKPOINT_VERSION
+            return cls.from_binary_state(
+                meta, arrays, references=references, version=version, drift=drift
+            )
+        version, state = read_checkpoint_negotiated(
+            path, STREAM_CHECKPOINT_KIND, STREAM_CHECKPOINT_COMPAT
         )
-        return cls.from_state_dict(state, references=references)
+        return cls.from_state_dict(
+            state, references=references, version=version, drift=drift
+        )

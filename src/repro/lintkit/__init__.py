@@ -4,7 +4,7 @@
 enforces the conventions the pipeline's *reproducibility* leans on:
 injectable clocks, seeded RNG, observability naming, shared-memory
 hygiene, and a handful of classic Python footguns.  See
-:mod:`repro.lintkit.rules` for the rule catalogue (DC001..DC008) and the
+:mod:`repro.lintkit.rules` for the rule catalogue (DC001..DC009) and the
 README "Static analysis" section for the rationale table.
 
 Programmatic use::

@@ -2,9 +2,10 @@
 
 Each rule encodes one invariant that, when silently broken, destroys a
 property the paper's methodology needs -- bit-reproducible Eq. 1
-profiles, deterministic retries and checkpoints, resumable campaigns, or
-leak-free parallel kernels.  The rule ids are stable (``DC001`` ..
-``DC008``) and suppressible per line with ``# darkcrowd: disable=DCnnn``.
+profiles, deterministic retries and checkpoints, resumable campaigns,
+leak-free parallel kernels, or the streaming engine's incremental win.
+The rule ids are stable (``DC001`` .. ``DC009``) and suppressible per
+line with ``# darkcrowd: disable=DCnnn``.
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ __all__ = [
     "SharedMemoryLifecycleRule",
     "MutableDefaultRule",
     "SwallowedExceptionRule",
+    "ColdSnapshotRule",
 ]
 
 #: Wall-clock reads that make a run irreproducible when taken outside the
@@ -364,3 +366,42 @@ class SwallowedExceptionRule(Rule):
             and isinstance(stmt.value, ast.Constant)
             and stmt.value.value is Ellipsis
         )
+
+
+@register
+class ColdSnapshotRule(Rule):
+    """DC009: cold ``snapshot_reference()`` calls in library code."""
+
+    rule_id: ClassVar[str] = "DC009"
+    summary: ClassVar[str] = (
+        "snapshot_reference() (the O(users) cold oracle) called in library code"
+    )
+    rationale: ClassVar[str] = (
+        "snapshot_reference() exists to *verify* the incremental engine -- "
+        "it re-places every user from scratch.  A library call site quietly "
+        "turns a snapshot into a full cold re-place, erasing the dirty-set "
+        "win the streaming engine is built around; production paths must "
+        "use snapshot(), and oracle comparisons belong in tests and "
+        "benchmarks."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # streaming.py defines the oracle; everywhere else in the package
+        # a call is a cold path hiding in a hot one.
+        return ctx.is_library_code and not ctx.path_endswith("core/streaming.py")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        else:
+            return
+        if name == "snapshot_reference":
+            ctx.report(
+                self.rule_id,
+                node,
+                "cold-path snapshot_reference(); use the incremental "
+                "snapshot(), and keep oracle comparisons in tests/benchmarks",
+            )

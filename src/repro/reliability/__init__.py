@@ -17,7 +17,11 @@ layers degrade gracefully instead of losing the campaign:
   :class:`DataQualityReport` honest accounting.
 """
 
-from repro.reliability.checkpoint import read_checkpoint, write_checkpoint
+from repro.reliability.checkpoint import (
+    read_checkpoint,
+    read_checkpoint_negotiated,
+    write_checkpoint,
+)
 from repro.reliability.clocks import Clock, ManualClock, SystemClock
 from repro.reliability.faults import FaultSpec, FlakyForumProxy
 from repro.reliability.policy import CircuitBreaker, CircuitState, RetryPolicy
@@ -39,6 +43,7 @@ __all__ = [
     "FaultSpec",
     "FlakyForumProxy",
     "read_checkpoint",
+    "read_checkpoint_negotiated",
     "write_checkpoint",
     "DataQualityReport",
     "QuarantinedUser",

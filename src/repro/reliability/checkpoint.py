@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import os
 import zipfile
+from collections.abc import Sequence
 from pathlib import Path
 from typing import Any
 
@@ -36,6 +37,24 @@ from repro.errors import CheckpointError
 
 #: Reserved array key carrying the binary checkpoint's JSON envelope.
 _BINARY_META_KEY = "__meta__"
+
+
+def _negotiate_version(
+    payload_version: Any, versions: Sequence[int], source: Path
+) -> int:
+    """The envelope version, or a loud :class:`CheckpointError`.
+
+    Readers pass every schema version they can interpret; a checkpoint
+    written by a *newer* release (or a corrupted version field) must fail
+    here with a message naming both sides -- never be half-read.
+    """
+    if payload_version in versions:
+        return int(payload_version)
+    accepted = "/".join(str(v) for v in versions)
+    raise CheckpointError(
+        f"checkpoint {source} has version {payload_version!r}, "
+        f"this code reads version {accepted}"
+    )
 
 
 def write_checkpoint(path: "str | Path", kind: str, version: int, state: dict[str, Any]) -> None:
@@ -56,6 +75,19 @@ def write_checkpoint(path: "str | Path", kind: str, version: int, state: dict[st
 
 def read_checkpoint(path: "str | Path", kind: str, version: int) -> dict[str, Any]:
     """Load and validate a checkpoint written by :func:`write_checkpoint`."""
+    _, state = read_checkpoint_negotiated(path, kind, (version,))
+    return state
+
+
+def read_checkpoint_negotiated(
+    path: "str | Path", kind: str, versions: Sequence[int]
+) -> tuple[int, dict[str, Any]]:
+    """Like :func:`read_checkpoint` but accepting any of *versions*.
+
+    Returns ``(version, state)`` so the caller can dispatch on the schema
+    it actually got -- the format-negotiation entry point readers use to
+    keep loading checkpoints written by earlier releases.
+    """
     source = Path(path)
     try:
         document = source.read_text(encoding="utf-8")
@@ -72,15 +104,11 @@ def read_checkpoint(path: "str | Path", kind: str, version: int) -> dict[str, An
             f"checkpoint {source} is of kind {payload.get('kind')!r}, "
             f"expected {kind!r}"
         )
-    if payload.get("version") != version:
-        raise CheckpointError(
-            f"checkpoint {source} has version {payload.get('version')!r}, "
-            f"this code reads version {version}"
-        )
+    negotiated = _negotiate_version(payload.get("version"), versions, source)
     state = payload["state"]
     if not isinstance(state, dict):
         raise CheckpointError(f"corrupt checkpoint {source}: state is not an object")
-    return state
+    return negotiated, state
 
 
 def checkpoint_format(path: "str | Path") -> str:
@@ -146,6 +174,18 @@ def read_binary_checkpoint(
     missing envelope, wrong kind or version -- surfaces as
     :class:`CheckpointError`, never a bare ``zipfile``/``numpy`` error.
     """
+    _, meta, arrays = read_binary_checkpoint_negotiated(path, kind, (version,))
+    return meta, arrays
+
+
+def read_binary_checkpoint_negotiated(
+    path: "str | Path", kind: str, versions: Sequence[int]
+) -> tuple[int, dict[str, Any], dict[str, np.ndarray]]:
+    """Binary counterpart of :func:`read_checkpoint_negotiated`.
+
+    Returns ``(version, meta, arrays)``; a version outside *versions*
+    fails with a loud :class:`CheckpointError` naming both sides.
+    """
     source = Path(path)
     try:
         with np.load(source, allow_pickle=False) as data:
@@ -174,12 +214,8 @@ def read_binary_checkpoint(
             f"checkpoint {source} is of kind {envelope.get('kind')!r}, "
             f"expected {kind!r}"
         )
-    if envelope.get("version") != version:
-        raise CheckpointError(
-            f"checkpoint {source} has version {envelope.get('version')!r}, "
-            f"this code reads version {version}"
-        )
+    negotiated = _negotiate_version(envelope.get("version"), versions, source)
     meta = envelope["meta"]
     if not isinstance(meta, dict):
         raise CheckpointError(f"corrupt checkpoint {source}: meta is not an object")
-    return meta, arrays
+    return negotiated, meta, arrays

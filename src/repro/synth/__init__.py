@@ -13,6 +13,12 @@ from repro.synth.diurnal import (
     DiurnalModel,
     model_for_region,
 )
+from repro.synth.drift import (
+    DriftScenario,
+    build_dst_scenario,
+    build_relocation_scenario,
+    build_server_offset_scenario,
+)
 from repro.synth.forums import (
     FORUM_SPECS,
     ForumCrowd,
@@ -42,6 +48,10 @@ __all__ = [
     "build_forum_crowd",
     "build_merged_crowd",
     "build_relocated_crowd",
+    "DriftScenario",
+    "build_dst_scenario",
+    "build_relocation_scenario",
+    "build_server_offset_scenario",
     "UserSpec",
     "sample_population",
     "sample_user",

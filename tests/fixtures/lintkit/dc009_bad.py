@@ -1,0 +1,13 @@
+"""Fixture: cold snapshot_reference() in library code (DC009 must fire)."""
+
+
+def crowd_summary(engine):
+    snapshot = engine.snapshot_reference()
+    return snapshot.n_users_active
+
+
+def compare_then_serve(engine):
+    from repro.core.streaming import StreamingGeolocator
+
+    other = StreamingGeolocator()
+    return engine.snapshot_reference().placement == other.snapshot().placement

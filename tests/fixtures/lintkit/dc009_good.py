@@ -1,0 +1,12 @@
+"""Fixture: incremental snapshot() and a suppressed oracle (DC009 clean)."""
+
+
+def crowd_summary(engine):
+    snapshot = engine.snapshot()
+    return snapshot.n_users_active
+
+
+def scored_invariant(engine):
+    warm = engine.snapshot()
+    cold = engine.snapshot_reference()  # darkcrowd: disable=DC009
+    return warm.placement == cold.placement

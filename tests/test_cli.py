@@ -132,6 +132,42 @@ class TestMonitorCommand:
         out = capsys.readouterr().out
         assert "polls" in out
 
+    def test_parser_drift_flags(self):
+        args = build_parser().parse_args(
+            [
+                "monitor",
+                "--drift-window",
+                "30",
+                "--confidence-threshold",
+                "0.4",
+                "--migrations-out",
+                "migrations.jsonl",
+            ]
+        )
+        assert args.drift_window == 30
+        assert args.confidence_threshold == 0.4
+        assert args.migrations_out == "migrations.jsonl"
+
+    def test_monitor_drift_replay(self, capsys, tmp_path):
+        import json as json_module
+
+        out_path = tmp_path / "migrations.jsonl"
+        assert (
+            main(
+                _monitor_args(
+                    "--drift-window", "30", "--migrations-out", str(out_path)
+                )
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "zone migrations" in out
+        assert f"migration events written to {out_path}" in out
+        assert out_path.exists()
+        for line in out_path.read_text().splitlines():
+            event = json_module.loads(line)
+            assert {"user_id", "new_offset", "reason"} <= set(event)
+
 
 class TestGeolocateCommand:
     def _write_traces(self, path, corrupt=False):

@@ -1,0 +1,381 @@
+"""Temporal-drift robustness: confidence lifecycle, change-points, events.
+
+Covers the drift layer end to end -- unit behaviour of the config and
+confidence primitives, the acceptance scenario (20% of a crowd relocating
++6 h mid-stream), the DST negative control, the drift-off inertness
+invariant, and checkpoint schema negotiation across versions 1 and 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.streaming_experiments import run_drift_experiment
+from repro.core.drift import (
+    ChangePointDetector,
+    CompositionTimeline,
+    DriftConfig,
+    UserConfidence,
+)
+from repro.core.streaming import (
+    STREAM_CHECKPOINT_KIND,
+    EMPTY_STREAM,
+    UNDER_EVIDENCED,
+    VERDICT,
+    StreamingGeolocator,
+)
+from repro.errors import CheckpointError, EmptyTraceError
+from repro.reliability import read_checkpoint
+from repro.synth.drift import (
+    build_dst_scenario,
+    build_relocation_scenario,
+    build_server_offset_scenario,
+)
+from repro.synth.twitter import build_region_crowd
+from repro.timebase.clock import SECONDS_PER_DAY
+from repro.timebase.zones import ZONE_OFFSETS
+
+pytestmark = pytest.mark.drift
+
+
+def _stream(engine: StreamingGeolocator, scenario, *, snapshot_every: int = 7):
+    next_snapshot = None
+    for timestamp, user_id in scenario.sorted_events():
+        day = int(timestamp // SECONDS_PER_DAY)
+        if next_snapshot is None:
+            next_snapshot = day + snapshot_every
+        elif day >= next_snapshot:
+            engine.snapshot()
+            next_snapshot = day + snapshot_every
+        engine.observe(user_id, timestamp)
+    return engine.snapshot()
+
+
+class TestDriftConfig:
+    def test_defaults_validate_and_round_trip(self):
+        config = DriftConfig()
+        assert DriftConfig.from_dict(config.as_dict()) == config
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window_days": 0},
+            {"check_interval_days": 0},
+            {"emd_threshold": -1.0},
+            {"screen_threshold": 5.0},  # above emd_threshold
+            {"confidence_threshold": 1.5},
+            {"decay_per_day": -0.1},
+            {"min_reestimate_cells": 4},  # below min_window_cells
+            {"metric": "nosuch"},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftConfig(**kwargs)
+
+
+class TestUserConfidence:
+    def test_decays_linearly_and_clamps(self):
+        confidence = UserConfidence(1.0, as_of_day=10)
+        assert confidence.effective(10, 0.01) == pytest.approx(1.0)
+        assert confidence.effective(60, 0.01) == pytest.approx(0.5)
+        assert confidence.effective(10_000, 0.01) == 0.0
+
+    def test_reset_restores_full_confidence(self):
+        confidence = UserConfidence(0.2, as_of_day=0)
+        confidence.reset(42)
+        assert confidence.value == 1.0
+        assert confidence.as_of_day == 42
+
+
+class TestChangePointDetector:
+    def test_shifted_profile_scores_above_threshold(self):
+        config = DriftConfig()
+        detector = ChangePointDetector(config)
+        history = np.zeros(24)
+        history[8:16] = 10.0
+        window = np.roll(history, 6)
+        assert detector.score(window, history) > config.emd_threshold
+        assert detector.score(history, history) == pytest.approx(0.0)
+
+    def test_split_score_discounts_thin_sides(self):
+        config = DriftConfig()
+        detector = ChangePointDetector(config)
+        history = np.zeros(24)
+        history[8:16] = 100.0
+        thin = np.roll(history, 6) / 100.0 * 6.0  # six cells only
+        assert detector.split_score(thin, history) < detector.score(thin, history)
+
+
+class TestEmptyStreamSentinel:
+    """Regression: a pre-observe snapshot is not just 'under-evidenced'."""
+
+    def test_empty_stream_is_distinguished(self, references):
+        stream = StreamingGeolocator(references)
+        snapshot = stream.snapshot()
+        assert snapshot.is_empty_stream()
+        assert snapshot.verdict_state() == EMPTY_STREAM
+        assert not snapshot.has_verdict()
+        with pytest.raises(EmptyTraceError, match="empty stream"):
+            snapshot.dominant_mean()
+
+    def test_under_evidenced_still_returns_nan(self, references):
+        stream = StreamingGeolocator(references)
+        stream.observe("u", 1000.0)
+        snapshot = stream.snapshot()
+        assert not snapshot.is_empty_stream()
+        assert snapshot.verdict_state() == UNDER_EVIDENCED
+        assert np.isnan(snapshot.dominant_mean())
+
+    def test_verdict_state_with_crowd(self, references):
+        crowd = build_region_crowd("germany", 30, seed=3, n_days=200)
+        stream = StreamingGeolocator(references)
+        for trace in crowd:
+            for timestamp in trace.timestamps:
+                stream.observe(trace.user_id, float(timestamp))
+        assert stream.snapshot().verdict_state() == VERDICT
+
+
+class TestWarmColdInvariant:
+    """snapshot() must equal snapshot_reference() under any interleaving."""
+
+    def test_interleaved_observe_snapshot_invalidate(self, references):
+        crowd = build_region_crowd("japan", 12, seed=9, n_days=240)
+        events = sorted(
+            (float(ts), trace.user_id)
+            for trace in crowd
+            for ts in trace.timestamps
+        )
+        stream = StreamingGeolocator(references)
+        rng = np.random.default_rng(17)
+        for i, (timestamp, user_id) in enumerate(events):
+            stream.observe(user_id, timestamp)
+            if rng.random() < 0.01:
+                warm = stream.snapshot()
+                cold = stream.snapshot_reference()
+                assert warm.placement == cold.placement, f"diverged at event {i}"
+            if rng.random() < 0.005:
+                stream.invalidate_all()
+        assert stream.snapshot().placement == stream.snapshot_reference().placement
+
+    def test_drift_enabled_still_matches_reference(self):
+        scenario = build_relocation_scenario(n_users=40, n_days=160, seed=3)
+        engine = StreamingGeolocator(drift=DriftConfig())
+        snapshot = _stream(engine, scenario)
+        assert snapshot.placement == engine.snapshot_reference().placement
+
+    def test_observe_after_invalidate_does_not_double_count(self, references):
+        crowd = build_region_crowd("germany", 15, seed=4, n_days=120)
+        stream = StreamingGeolocator(references)
+        for trace in crowd:
+            for timestamp in trace.timestamps:
+                stream.observe(trace.user_id, float(timestamp))
+        stream.snapshot()
+        stream.invalidate_all()
+        # More observations while everyone is already dirty: subtraction
+        # of the stale contribution must happen exactly once per user.
+        for trace in crowd:
+            for timestamp in trace.timestamps[:5]:
+                stream.observe(trace.user_id, float(timestamp) + 1.0)
+        warm = stream.snapshot()
+        cold = stream.snapshot_reference()
+        assert warm.placement == cold.placement
+        assert warm.placement is not None
+        assert warm.placement.n_users == cold.placement.n_users
+
+
+class TestDriftAcceptance:
+    def test_relocation_scenario_meets_roadmap_bar(self):
+        report = run_drift_experiment(seed=11)
+        assert report.kind == "relocation"
+        assert report.detection_rate >= 0.9
+        assert report.correct_rate >= 0.9
+        assert report.false_positive_rate < 0.05
+        assert report.timeline_l1 < 0.15
+        assert report.warm_equals_cold
+
+    def test_migration_events_carry_evidence(self):
+        scenario = build_relocation_scenario(n_users=60, n_days=240, seed=23)
+        engine = StreamingGeolocator(drift=DriftConfig())
+        seen = []
+        engine.on_migration(seen.append)
+        _stream(engine, scenario)
+        assert seen == engine.migrations
+        assert any(e.reason == "change-point" for e in seen)
+        for event in seen:
+            assert event.user_id in scenario.traces.user_ids()
+            assert event.window_cells > 0
+            assert 0.0 <= event.confidence <= 1.0
+            assert event.record_version >= 1
+            payload = event.to_dict()
+            assert payload["reason"] in {"change-point", "confidence", "refine"}
+
+    def test_refinement_converges_to_settled_zone(self):
+        scenario = build_relocation_scenario(n_users=60, n_days=240, seed=23)
+        engine = StreamingGeolocator(drift=DriftConfig())
+        _stream(engine, scenario)
+        last = {}
+        for event in engine.migrations:
+            last[event.user_id] = event
+        for user_id, event in last.items():
+            if user_id not in scenario.moved_ids or event.new_offset is None:
+                continue
+            index = engine.zone_index_of(user_id)
+            if index is None:
+                continue
+            assert abs(event.new_offset - ZONE_OFFSETS[index]) <= 1
+
+    def test_dst_is_a_negative_control(self):
+        report = run_drift_experiment(
+            build_dst_scenario(n_users=50, n_days=240, seed=5)
+        )
+        # Everyone "moved" one hour; almost nobody should fire.
+        assert report.n_detected <= max(2, report.n_placed_movers // 10)
+
+    def test_server_offset_shift_is_detected_crowd_wide(self):
+        report = run_drift_experiment(
+            build_server_offset_scenario(
+                n_users=50, shift_hours=6, n_days=240, seed=13
+            )
+        )
+        assert report.detection_rate >= 0.9
+        assert report.warm_equals_cold
+
+
+class TestDriftOffInertness:
+    def test_disabled_drift_never_mutates_records(self):
+        scenario = build_relocation_scenario(n_users=30, n_days=160, seed=8)
+        plain = StreamingGeolocator()
+        snapshot = _stream(plain, scenario)
+        assert plain.migrations == []
+        assert plain.timeline is None
+        assert snapshot.confidence is None
+        assert snapshot.placement == plain.snapshot_reference().placement
+
+
+class TestCheckpointNegotiation:
+    def _small_engine(self, drift=None):
+        scenario = build_relocation_scenario(n_users=12, n_days=120, seed=2)
+        engine = StreamingGeolocator(
+            drift=DriftConfig() if drift is None else drift
+        )
+        _stream(engine, scenario)
+        return engine
+
+    def test_v2_json_round_trip_preserves_drift_state(self, tmp_path):
+        engine = self._small_engine()
+        path = tmp_path / "campaign.json"
+        engine.save_checkpoint(path)
+        restored = StreamingGeolocator.load_checkpoint(path)
+        assert restored.drift == engine.drift
+        assert restored.snapshot().placement == engine.snapshot().placement
+        assert restored.timeline is not None
+        assert len(restored.timeline) == len(engine.timeline)
+
+    def test_v2_binary_round_trip_preserves_drift_state(self, tmp_path):
+        engine = self._small_engine()
+        path = tmp_path / "campaign.npz"
+        engine.save_checkpoint(path)
+        restored = StreamingGeolocator.load_checkpoint(path)
+        assert restored.drift == engine.drift
+        assert restored.snapshot().placement == engine.snapshot().placement
+        assert len(restored.timeline) == len(engine.timeline)
+
+    def test_v1_json_loads_with_full_confidence_defaults(self, tmp_path):
+        from repro.reliability import write_checkpoint
+
+        engine = StreamingGeolocator()
+        crowd = build_region_crowd("germany", 5, seed=1, n_days=90)
+        for trace in crowd:
+            for timestamp in trace.timestamps:
+                engine.observe(trace.user_id, float(timestamp))
+        state = engine.state_dict()
+        # Reduce to the version-1 schema: pre-drift fields only.
+        for user_state in state["users"].values():
+            for key in ("record_version", "anchor_day", "confidence", "confidence_day"):
+                del user_state[key]
+        for key in ("stream_day", "drift", "timeline"):
+            del state[key]
+        path = tmp_path / "old.json"
+        write_checkpoint(path, STREAM_CHECKPOINT_KIND, 1, state)
+
+        plain = StreamingGeolocator.load_checkpoint(path)
+        assert plain.drift is None
+        assert plain.snapshot().placement == engine.snapshot().placement
+
+        enabled = StreamingGeolocator.load_checkpoint(path, drift=DriftConfig())
+        for user_state in enabled._users.values():
+            assert user_state.confidence is not None
+            assert user_state.confidence.value == 1.0
+            assert user_state.record_version == 1
+
+    def test_v2_file_fails_loudly_on_v1_reader(self, tmp_path):
+        engine = self._small_engine()
+        path = tmp_path / "campaign.json"
+        engine.save_checkpoint(path)
+        with pytest.raises(CheckpointError, match="version"):
+            read_checkpoint(path, STREAM_CHECKPOINT_KIND, 1)
+
+    def test_unknown_future_version_is_rejected(self, tmp_path):
+        from repro.reliability import write_checkpoint
+
+        path = tmp_path / "future.json"
+        write_checkpoint(path, STREAM_CHECKPOINT_KIND, 99, {"users": {}})
+        with pytest.raises(CheckpointError, match="version"):
+            StreamingGeolocator.load_checkpoint(path)
+
+    def test_drift_survives_checkpoint_mid_stream(self, tmp_path):
+        """Pause/resume mid-campaign: detection still fires after resume."""
+        scenario = build_relocation_scenario(n_users=40, n_days=240, seed=31)
+        engine = StreamingGeolocator(drift=DriftConfig())
+        events = scenario.sorted_events()
+        half = len(events) // 2
+        for timestamp, user_id in events[:half]:
+            engine.observe(user_id, timestamp)
+        engine.snapshot()
+        path = tmp_path / "mid.npz"
+        engine.save_checkpoint(path)
+
+        resumed = StreamingGeolocator.load_checkpoint(path)
+        for timestamp, user_id in events[half:]:
+            resumed.observe(user_id, timestamp)
+        snapshot = resumed.snapshot()
+        movers_fired = {
+            e.user_id for e in resumed.migrations if e.user_id in scenario.moved_ids
+        }
+        assert movers_fired, "no migrations detected after resume"
+        assert snapshot.placement == resumed.snapshot_reference().placement
+
+
+class TestCompositionTimeline:
+    def test_records_and_replaces_by_day(self):
+        timeline = CompositionTimeline()
+        hist = np.zeros(len(ZONE_OFFSETS), dtype=np.int64)
+        hist[3] = 5
+        timeline.record(10, hist)
+        hist[3] = 7
+        timeline.record(10, hist)
+        timeline.record(11, hist)
+        assert len(timeline) == 2
+        assert timeline.samples()[0].n_active == 7
+
+    def test_shift_visible_in_timeline(self):
+        scenario = build_server_offset_scenario(
+            n_users=40, shift_hours=6, n_days=240, seed=13
+        )
+        engine = StreamingGeolocator(drift=DriftConfig())
+        _stream(engine, scenario)
+        samples = engine.timeline.samples()
+        early = next(s for s in samples if s.n_active >= 10)
+        late = samples[-1]
+
+        def mean_zone(sample):
+            fractions = np.asarray(sample.fractions)
+            return float(fractions @ np.asarray(ZONE_OFFSETS))
+
+        # The fraction-weighted crowd centre slides by the server shift
+        # (the mode alone is too jumpy on a 40-user crowd).
+        assert abs(
+            (mean_zone(late) - mean_zone(early)) - scenario.shift_hours
+        ) <= 2.0

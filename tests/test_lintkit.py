@@ -50,6 +50,7 @@ EXPECTED_BAD_FINDINGS = {
     "DC006": 1,
     "DC007": 4,
     "DC008": 2,
+    "DC009": 2,
 }
 
 
@@ -58,8 +59,8 @@ def fixture_source(name: str) -> str:
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
-        assert sorted(all_rules()) == [f"DC00{i}" for i in range(1, 9)]
+    def test_all_nine_rules_registered(self):
+        assert sorted(all_rules()) == [f"DC00{i}" for i in range(1, 10)]
 
     def test_every_rule_documents_itself(self):
         for rule_id, rule_class in all_rules().items():
