@@ -8,9 +8,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from _shared import synthetic_crowd
 from repro.analysis.report import ascii_table
 from repro.analysis.streaming_experiments import run_convergence_experiment
 from repro.core.streaming import StreamingGeolocator
+from repro.datasets.store import TraceStore
 
 
 def test_streaming_convergence(benchmark, context, artifact_writer):
@@ -60,3 +62,42 @@ def test_streaming_event_throughput(benchmark, context):
 
     benchmark(feed)
     assert stream.n_events > 0
+
+
+def test_bulk_ingest_matches_per_event(benchmark, context):
+    """One observe_batch call over an interleaved feed, checked for
+    bit-identity against the per-event oracle after timing."""
+    crowd = synthetic_crowd(300, seed=13)
+    events = sorted(
+        (float(timestamp), trace.user_id)
+        for trace in crowd
+        for timestamp in trace.timestamps
+    )
+    user_ids = [user_id for _, user_id in events]
+    stamps = np.asarray([timestamp for timestamp, _ in events])
+
+    def bulk():
+        engine = StreamingGeolocator(context.references)
+        engine.observe_batch(user_ids, stamps)
+        return engine
+
+    engine = benchmark(bulk)
+    oracle = StreamingGeolocator(context.references)
+    for timestamp, user_id in events:
+        oracle.observe(user_id, timestamp)
+    assert engine.n_events == len(events)
+    assert engine.state_dict() == oracle.state_dict()
+
+
+def test_store_ingest_throughput(benchmark, context, tmp_path):
+    """Columnar replay of a TraceStore straight into the engine."""
+    crowd = synthetic_crowd(300, seed=13)
+    store = TraceStore.write(crowd, tmp_path / "bench.store")
+    n_posts = store.total_posts()
+
+    def from_store():
+        engine = StreamingGeolocator(context.references)
+        return engine.ingest_store(store)
+
+    ingested = benchmark(from_store)
+    assert ingested == n_posts

@@ -26,6 +26,8 @@ import tempfile
 import time
 from pathlib import Path
 
+import numpy as np
+
 sys.path.insert(0, str(Path(__file__).parent))
 
 from _shared import synthetic_crowd
@@ -137,6 +139,63 @@ def _timings(n_users: int, *, repeat: int) -> dict[str, dict[str, float]]:
     return results
 
 
+def _ingest_timings(n_users: int = SMOKE_USERS, *, repeat: int = 1) -> dict:
+    """Time the three streaming intake paths on one chronological feed.
+
+    ``per_event_s`` is the serial ``observe()`` loop, ``batch_s`` one
+    ``observe_batch`` call over the same interleaved event order, and
+    ``store_s`` the columnar ``ingest_store`` replay (pre-grouped, no
+    per-chunk factorisation).  All three land the engine in the same
+    final state (see ``tests/test_streaming_batch.py``), so the ratios
+    are pure pipeline cost.
+    """
+    crowd = synthetic_crowd(n_users, seed=17)
+    references = ReferenceProfiles.canonical()
+    events = sorted(
+        (float(timestamp), trace.user_id)
+        for trace in crowd
+        for timestamp in trace.timestamps
+    )
+    user_ids = [user_id for _, user_id in events]
+    stamps = np.asarray([timestamp for timestamp, _ in events], dtype=np.float64)
+
+    def per_event():
+        engine = StreamingGeolocator(references)
+        for timestamp, user_id in events:
+            engine.observe(user_id, timestamp)
+        return engine
+
+    def bulk():
+        engine = StreamingGeolocator(references)
+        engine.observe_batch(user_ids, stamps)
+        return engine
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TraceStore.write(crowd, Path(tmp) / "ingest.store")
+
+        def from_store():
+            engine = StreamingGeolocator(references)
+            engine.ingest_store(store)
+            return engine
+
+        per_event_s = _time(per_event, repeat=repeat)
+        batch_s = _time(bulk, repeat=repeat)
+        store_s = _time(from_store, repeat=repeat)
+    n_events = len(events)
+    return {
+        "n_users": n_users,
+        "n_events": n_events,
+        "per_event_s": round(per_event_s, 6),
+        "batch_s": round(batch_s, 6),
+        "store_s": round(store_s, 6),
+        "batch_speedup": round(per_event_s / batch_s, 2),
+        "store_speedup": round(per_event_s / store_s, 2),
+        "per_event_events_per_s": round(n_events / per_event_s),
+        "batch_events_per_s": round(n_events / batch_s),
+        "store_events_per_s": round(n_events / store_s),
+    }
+
+
 def run() -> dict:
     # The manifest fingerprint ties every BENCH_core.json entry back to the
     # exact bench configuration and toolchain that produced it (same
@@ -161,6 +220,9 @@ def run() -> dict:
         },
         "full": _timings(FULL_USERS, repeat=1),
         "smoke": _timings(SMOKE_USERS, repeat=3),
+        # Bulk-ingest trajectory (PR 8): one 100k-event chronological feed
+        # through all three intake paths, gated by perf_smoke.
+        "streaming_ingest": _ingest_timings(SMOKE_USERS, repeat=3),
     }
     return payload
 
@@ -192,6 +254,15 @@ def main(argv=None) -> int:
         speedup = entry.get("speedup")
         suffix = f"  ({speedup:.1f}x vs reference)" if speedup else ""
         print(f"  {name:24s} {entry['fast_s'] * 1e3:9.2f} ms{suffix}")
+    ingest = payload["streaming_ingest"]
+    print(
+        f"  {'streaming_ingest':24s} per-event {ingest['per_event_s'] * 1e3:.2f} ms"
+        f"  batch {ingest['batch_s'] * 1e3:.2f} ms"
+        f" ({ingest['batch_speedup']:.1f}x)"
+        f"  store {ingest['store_s'] * 1e3:.2f} ms"
+        f" ({ingest['store_speedup']:.1f}x,"
+        f" {ingest['store_events_per_s']:,} events/s)"
+    )
 
     if args.scale:
         import bench_scale

@@ -17,7 +17,14 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from perf_baseline import BENCH_PATH, FULL_USERS, SMOKE_USERS, _time, _timings
+from perf_baseline import (
+    BENCH_PATH,
+    FULL_USERS,
+    SMOKE_USERS,
+    _ingest_timings,
+    _time,
+    _timings,
+)
 
 #: Maximum tolerated slowdown factor vs the recorded smoke baseline.
 TOLERANCE = 2.0
@@ -133,6 +140,73 @@ def _drift_inertness_check() -> bool:
     return ok
 
 
+#: Minimum speedup of ``ingest_store`` over the per-event observe() loop
+#: on the smoke crowd (1000 users x 100 posts = 100k events) -- the
+#: ISSUE's bulk-ingest acceptance bar.
+INGEST_STORE_MIN_SPEEDUP = 5.0
+
+#: Minimum speedup of a single ``observe_batch`` call over the per-event
+#: loop on the same interleaved feed (pays per-chunk factorisation the
+#: store path skips, so the bar is lower).
+INGEST_BATCH_MIN_SPEEDUP = 2.0
+
+
+def _ingest_throughput_check() -> bool:
+    """Gate: bulk intake is fast *and* lands in the per-event state.
+
+    Re-times the three intake paths on the 100k-event smoke feed and
+    requires ``ingest_store`` >= 5x and ``observe_batch`` >= 2x the
+    per-event loop, then replays a smaller crowd through batch and store
+    to confirm the final engine state matches the per-event oracle --
+    speed bought by diverging would be no speedup at all.
+    """
+    import tempfile
+
+    from _shared import synthetic_crowd
+    from repro.core.streaming import StreamingGeolocator
+    from repro.datasets.store import TraceStore
+
+    timings = _ingest_timings(SMOKE_USERS, repeat=2)
+    fast_enough = (
+        timings["store_speedup"] >= INGEST_STORE_MIN_SPEEDUP
+        and timings["batch_speedup"] >= INGEST_BATCH_MIN_SPEEDUP
+    )
+
+    crowd = synthetic_crowd(400, seed=31)
+    events = sorted(
+        (float(timestamp), trace.user_id)
+        for trace in crowd
+        for timestamp in trace.timestamps
+    )
+    oracle = StreamingGeolocator()
+    for timestamp, user_id in events:
+        oracle.observe(user_id, timestamp)
+    batched = StreamingGeolocator()
+    batched.observe_batch(
+        [user_id for _, user_id in events],
+        [timestamp for timestamp, _ in events],
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TraceStore.write(crowd, Path(tmp) / "ingest.store")
+        from_store = StreamingGeolocator()
+        from_store.ingest_store(store)
+    reference = oracle.state_dict()
+    identical = (
+        batched.state_dict() == reference
+        and from_store.state_dict() == reference
+    )
+
+    ok = fast_enough and identical
+    status = "ok" if ok else "FAIL"
+    detail = "bit-identical" if identical else "DIVERGED"
+    print(
+        f"  {'ingest_throughput':24s} batch {timings['batch_speedup']:.1f}x  "
+        f"store {timings['store_speedup']:.1f}x "
+        f"({timings['store_events_per_s']:,} events/s, {detail})  {status}"
+    )
+    return ok
+
+
 def _shard_merge_check() -> bool:
     """Gate: 2-shard merged verdict must be bit-identical to the oracle."""
     import tempfile
@@ -206,6 +280,9 @@ def main() -> int:
 
     if not _drift_inertness_check():
         failures.append(("drift_off_inertness", DRIFT_OFF_TOLERANCE))
+
+    if not _ingest_throughput_check():
+        failures.append(("ingest_throughput", INGEST_STORE_MIN_SPEEDUP))
 
     if failures:
         worst = ", ".join(f"{name} {ratio:.2f}x" for name, ratio in failures)

@@ -59,16 +59,18 @@ def run_convergence_experiment(
         for trace in crowd.traces
         for timestamp in trace.timestamps
     )
+    stamps = np.asarray([timestamp for timestamp, _ in events], dtype=np.float64)
+    user_ids = [user_id for _, user_id in events]
 
     stream = StreamingGeolocator(context.references)
     rows = []
     cursor = 0
     for day in sorted(checkpoint_days):
         deadline = day * SECONDS_PER_DAY
-        while cursor < len(events) and events[cursor][0] <= deadline:
-            timestamp, user_id = events[cursor]
-            stream.observe(user_id, timestamp)
-            cursor += 1
+        boundary = int(np.searchsorted(stamps, deadline, side="right"))
+        if boundary > cursor:
+            stream.observe_batch(user_ids[cursor:boundary], stamps[cursor:boundary])
+            cursor = boundary
         snapshot = stream.snapshot()
         rows.append(
             ConvergenceRow(
@@ -131,11 +133,17 @@ def _oracle_zone_of(
     nominal zone.
     """
     deadline = scenario.move_day
+    batch_users: "list[str]" = []
+    batch_stamps: "list[np.ndarray]" = []
     for trace in scenario.traces:
-        moved = trace.user_id in scenario.moved_ids
-        for timestamp in trace.timestamps:
-            if not moved or int(timestamp // SECONDS_PER_DAY) >= deadline:
-                oracle.observe(trace.user_id, float(timestamp))
+        stamps = np.asarray(trace.timestamps, dtype=np.float64)
+        if trace.user_id in scenario.moved_ids:
+            stamps = stamps[stamps // SECONDS_PER_DAY >= deadline]
+        if stamps.size:
+            batch_users.extend([trace.user_id] * int(stamps.size))
+            batch_stamps.append(stamps)
+    if batch_users:
+        oracle.observe_batch(batch_users, np.concatenate(batch_stamps))
     oracle.snapshot()
     zones: "dict[str, int | None]" = {}
     for user_id in scenario.traces.user_ids():
@@ -181,15 +189,24 @@ def run_drift_experiment(
         scenario = build_relocation_scenario(seed=seed)
     drift = config or DriftConfig()
     engine = StreamingGeolocator(drift=drift)
-    next_snapshot: int | None = None
-    for timestamp, user_id in scenario.sorted_events():
-        day = int(timestamp // SECONDS_PER_DAY)
-        if next_snapshot is None:
-            next_snapshot = day + snapshot_every_days
-        elif day >= next_snapshot:
+    events = scenario.sorted_events()
+    stamps = np.asarray([timestamp for timestamp, _ in events], dtype=np.float64)
+    user_ids = [user_id for _, user_id in events]
+    cursor = 0
+    while cursor < len(events):
+        # The next snapshot fires at the first event whose stream day
+        # reaches the cadence deadline; floor(ts / day) >= k iff
+        # ts >= k * day, so the boundary is a single searchsorted.
+        next_snapshot = (
+            int(stamps[cursor] // SECONDS_PER_DAY) + snapshot_every_days
+        )
+        boundary = int(
+            np.searchsorted(stamps, next_snapshot * SECONDS_PER_DAY, side="left")
+        )
+        engine.observe_batch(user_ids[cursor:boundary], stamps[cursor:boundary])
+        cursor = boundary
+        if cursor < len(events):
             engine.snapshot()
-            next_snapshot = day + snapshot_every_days
-        engine.observe(user_id, timestamp)
     final = engine.snapshot()
 
     oracle_zone = _oracle_zone_of(StreamingGeolocator(), scenario)

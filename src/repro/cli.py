@@ -16,6 +16,8 @@ Examples::
     darkcrowd geolocate traces.jsonl --quarantine
     darkcrowd convert traces.jsonl traces.store
     darkcrowd geolocate traces.store --store
+    darkcrowd replay traces.store --store       # bulk streaming ingest
+    darkcrowd replay traces.jsonl --drift-window 30
     darkcrowd all --fast
 """
 
@@ -24,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.analysis.ablations import (
@@ -376,6 +379,43 @@ def _cmd_monitor(context, args) -> None:
     print(report.summary())
 
 
+def _stream_event_batches(engine, events, batch_size: int) -> None:
+    """Feed sorted ``(timestamp, user_id)`` events through the bulk path."""
+    for low in range(0, len(events), batch_size):
+        chunk = events[low : low + batch_size]
+        engine.observe_batch(
+            [user_id for _, user_id in chunk],
+            [timestamp for timestamp, _ in chunk],
+        )
+
+
+def _print_stream_report(name: str, engine, snapshot) -> None:
+    """The streaming verdict summary shared by ``monitor`` and ``replay``."""
+    print(
+        f"{name}: streamed {snapshot.n_events_seen} events, "
+        f"{snapshot.n_users_active} active users"
+    )
+    summary = snapshot.confidence
+    if summary is not None and summary.n_tracked:
+        print(
+            f"confidence: mean {summary.mean:.2f} min {summary.minimum:.2f} "
+            f"({summary.n_stale}/{summary.n_tracked} below "
+            f"{summary.threshold:.2f})"
+        )
+    if engine.drift is not None:
+        by_reason: dict[str, int] = {}
+        for event in engine.migrations:
+            by_reason[event.reason] = by_reason.get(event.reason, 0) + 1
+        reasons = (
+            ", ".join(f"{k}: {v}" for k, v in sorted(by_reason.items())) or "none"
+        )
+        print(f"zone migrations: {len(engine.migrations)} ({reasons})")
+    if engine.timeline is not None and len(engine.timeline):
+        top = engine.timeline.samples()[-1].top_zones(3)
+        zones = ", ".join(f"UTC{z:+d} {f:.0%}" for z, f in top)
+        print(f"final composition: {zones}")
+
+
 def _run_drift_monitor(context, args, result) -> None:
     """Replay the campaign through a drift-enabled streaming engine."""
     drift = DriftConfig(
@@ -397,32 +437,61 @@ def _run_drift_monitor(context, args, result) -> None:
             for trace in result.traces
             for timestamp in trace.timestamps
         )
-        for timestamp, user_id in events:
-            engine.observe(user_id, timestamp)
+        _stream_event_batches(engine, events, args.batch_size)
         snapshot = engine.snapshot()
     finally:
         if sink is not None:
             sink.close()
-    print(
-        f"{result.forum_name}: streamed {snapshot.n_events_seen} events, "
-        f"{snapshot.n_users_active} active users"
-    )
-    summary = snapshot.confidence
-    if summary is not None and summary.n_tracked:
-        print(
-            f"confidence: mean {summary.mean:.2f} min {summary.minimum:.2f} "
-            f"({summary.n_stale}/{summary.n_tracked} below "
-            f"{summary.threshold:.2f})"
+    _print_stream_report(result.forum_name, engine, snapshot)
+    if args.migrations_out:
+        print(f"migration events written to {args.migrations_out}")
+
+
+def _cmd_replay(context, args) -> None:
+    """Bulk-ingest a trace file through the streaming engine."""
+    drift = None
+    if args.drift_window is not None:
+        drift = DriftConfig(
+            window_days=args.drift_window,
+            confidence_threshold=args.confidence_threshold,
         )
-    by_reason: dict[str, int] = {}
-    for event in engine.migrations:
-        by_reason[event.reason] = by_reason.get(event.reason, 0) + 1
-    reasons = ", ".join(f"{k}: {v}" for k, v in sorted(by_reason.items())) or "none"
-    print(f"zone migrations: {len(engine.migrations)} ({reasons})")
-    if engine.timeline is not None and len(engine.timeline):
-        top = engine.timeline.samples()[-1].top_zones(3)
-        zones = ", ".join(f"UTC{z:+d} {f:.0%}" for z, f in top)
-        print(f"final composition: {zones}")
+    engine = StreamingGeolocator(context.references, drift=drift)
+    sink = None
+    if args.migrations_out:
+        if drift is None:
+            raise SystemExit("--migrations-out requires --drift-window")
+        sink = open(args.migrations_out, "w", encoding="utf-8")
+
+        @engine.on_migration
+        def _write(event) -> None:
+            sink.write(json.dumps(event.to_dict()) + "\n")
+
+    try:
+        started = time.perf_counter()
+        if args.store:
+            with trace_span("store_load", path=str(args.traces)):
+                store = TraceStore.open(args.traces)
+            n_events = engine.ingest_store(store, max_posts=args.batch_size)
+        else:
+            traces = load_trace_set(args.traces)
+            events = sorted(
+                (float(timestamp), trace.user_id)
+                for trace in traces
+                for timestamp in trace.timestamps
+            )
+            _stream_event_batches(engine, events, args.batch_size)
+            n_events = len(events)
+        elapsed = time.perf_counter() - started
+        snapshot = engine.snapshot()
+    finally:
+        if sink is not None:
+            sink.close()
+    name = Path(args.traces).stem
+    rate = n_events / elapsed if elapsed > 0 else float("inf")
+    print(f"ingested {n_events} events in {elapsed:.3f}s ({rate:,.0f} events/s)")
+    _print_stream_report(name, engine, snapshot)
+    if snapshot.placement is not None:
+        _print_placement(f"{name} placement (streamed)", snapshot.placement)
     if args.migrations_out:
         print(f"migration events written to {args.migrations_out}")
 
@@ -845,6 +914,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="write zone-migration events to this JSONL file "
         "(with --drift-window)",
     )
+    monitor.add_argument(
+        "--batch-size",
+        type=int,
+        default=8192,
+        metavar="N",
+        help="events per bulk observe_batch() call in the drift replay "
+        "(with --drift-window; bit-identical for any N)",
+    )
+    replay = sub.add_parser(
+        "replay",
+        help="bulk-ingest a trace file through the streaming engine "
+        "(vectorised observe_batch / ingest_store path)",
+        parents=parents,
+    )
+    replay.add_argument(
+        "traces", help="path to a JSONL trace-set file (or a store with --store)"
+    )
+    replay.add_argument(
+        "--store",
+        action="store_true",
+        help="treat the input as a columnar trace store (see 'convert') and "
+        "ingest it column-wise without materialising per-event tuples",
+    )
+    replay.add_argument(
+        "--batch-size",
+        type=int,
+        default=8192,
+        metavar="N",
+        help="events per bulk call (chunk size for JSONL, max posts per "
+        "column chunk for --store; bit-identical for any N)",
+    )
+    replay.add_argument(
+        "--drift-window",
+        type=int,
+        default=None,
+        metavar="DAYS",
+        help="enable temporal-drift tracking with this rolling window",
+    )
+    replay.add_argument(
+        "--confidence-threshold",
+        type=float,
+        default=0.5,
+        help="effective confidence below which a placement is re-verified "
+        "(with --drift-window)",
+    )
+    replay.add_argument(
+        "--migrations-out",
+        default=None,
+        metavar="PATH",
+        help="write zone-migration events to this JSONL file "
+        "(with --drift-window)",
+    )
     geolocate = sub.add_parser(
         "geolocate",
         help="geolocate a JSONL trace set (see datasets.save_trace_set)",
@@ -897,7 +1018,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="project-aware static analysis (reproducibility invariants "
-        "DC001..DC009; see --list-rules)",
+        "DC001..DC010; see --list-rules)",
         parents=parents,
     )
     lint.add_argument(
@@ -942,6 +1063,7 @@ _COMMANDS = {
     "countermeasures": _cmd_countermeasures,
     "sweeps": _cmd_sweeps,
     "monitor": _cmd_monitor,
+    "replay": _cmd_replay,
     "geolocate": _cmd_geolocate,
     "convert": _cmd_convert,
     "stats": _cmd_stats,

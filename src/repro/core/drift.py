@@ -149,6 +149,20 @@ class DriftConfig:
                 f"{sorted(ALL_DISTANCES)}"
             )
 
+    def check_due(self, now_day: int, last_check_day: int) -> bool:
+        """Whether a lifecycle check is due at *now_day* for this config.
+
+        The single throttle predicate of the new-cell hook: a user whose
+        last check ran at *last_check_day* is checked again only once
+        ``check_interval_days`` stream days have elapsed.  The streaming
+        engine's per-event path evaluates it per opened cell; the bulk
+        ingest evaluates it **once per (user, chunk)** against the
+        chunk's newest possible day -- when even that day is not due, no
+        event inside the chunk can fire a check, so the whole chunk is
+        applied with vectorised bookkeeping and zero per-event calls.
+        """
+        return now_day - last_check_day >= self.check_interval_days
+
     def as_dict(self) -> dict[str, Any]:
         """JSON-serialisable form (checkpoint envelope)."""
         return {

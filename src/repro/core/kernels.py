@@ -104,6 +104,46 @@ def segment_counts_numpy(
     return flat.reshape(n_users, HOURS).astype(float)
 
 
+def segment_unique_cells_numpy(
+    stamps: "FloatArray", lengths: "IntArray", offset_hours: float = 0.0
+) -> "tuple[IntArray, IntArray]":
+    """Per-user sorted unique ``day * 24 + hour`` cells of a segmented column.
+
+    The deduplication half of :func:`segment_counts_numpy`, factored out
+    for the streaming bulk-ingest path, which needs the distinct cells
+    themselves (to diff against each user's incremental record) rather
+    than their per-hour histogram.  Returns ``(cells, cell_lengths)``:
+    one concatenated int64 cell column, ascending within each user's
+    segment, plus the per-user segment sizes (``cell_lengths.sum() ==
+    cells.size``).  Shares the encode / monotone-fast-path machinery with
+    the counts kernel, so the two agree cell for cell.
+    """
+    n_users = int(lengths.size)
+    if stamps.size == 0:
+        return (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(n_users, dtype=np.int64),
+        )
+    user_index = np.repeat(np.arange(n_users, dtype=np.int64), lengths)
+    days, hours = split_day_hours(stamps, offset_hours)
+    cells = days * HOURS + hours
+    cell_min = int(cells.min())
+    span = int(cells.max()) - cell_min + 1
+    encoded = user_index * span + (cells - cell_min)
+    deltas = np.diff(encoded)
+    if np.all(deltas >= 0):
+        keep = np.empty(encoded.shape, dtype=bool)
+        keep[0] = True
+        np.not_equal(deltas, 0, out=keep[1:])
+        unique = encoded[keep]
+    else:
+        unique = _sorted_unique(encoded)
+    owners = unique // span
+    out_cells = unique - owners * span + cell_min
+    cell_lengths = np.bincount(owners, minlength=n_users).astype(np.int64)
+    return out_cells, cell_lengths
+
+
 def _build_numba_kernel() -> "Callable[[FloatArray, IntArray, float], FloatArray]":
     """Compile the per-user counts loop (called once, at import)."""
     assert _njit is not None
@@ -153,9 +193,84 @@ def _build_numba_kernel() -> "Callable[[FloatArray, IntArray, float], FloatArray
     return _segment_counts_jit
 
 
+def _build_numba_unique_kernel() -> "Callable[..., tuple[IntArray, IntArray]]":
+    """Compile the per-user unique-cells loop (called once, at import)."""
+    assert _njit is not None
+
+    @_njit(cache=True)  # type: ignore[misc]
+    def _segment_unique_jit(
+        stamps: "FloatArray", lengths: "IntArray", offset_seconds: float
+    ) -> "tuple[IntArray, IntArray]":
+        n_users = lengths.shape[0]
+        out_cells = np.empty(stamps.shape[0], dtype=np.int64)
+        cell_lengths = np.zeros(n_users, dtype=np.int64)
+        pos = 0
+        write = 0
+        for user in range(n_users):
+            n = int(lengths[user])
+            if n == 0:
+                continue
+            cells = np.empty(n, dtype=np.int64)
+            for k in range(n):
+                shifted = stamps[pos + k] + offset_seconds
+                day = np.int64(shifted // 86400.0)
+                second = shifted % 86400.0
+                hour = np.int64(second // 3600.0)
+                if hour > HOURS - 1:  # the tiny-negative-modulo artifact
+                    hour = HOURS - 1
+                if hour < 0:
+                    hour = 0
+                cells[k] = day * HOURS + hour
+            is_sorted = True
+            for k in range(1, n):
+                if cells[k] < cells[k - 1]:
+                    is_sorted = False
+                    break
+            if not is_sorted:
+                cells = np.sort(cells)
+            previous = cells[0]
+            out_cells[write] = previous
+            write += 1
+            count = 1
+            for k in range(1, n):
+                cell = cells[k]
+                if cell != previous:
+                    out_cells[write] = cell
+                    write += 1
+                    count += 1
+                    previous = cell
+            cell_lengths[user] = count
+            pos += n
+        return out_cells[:write], cell_lengths
+
+    return _segment_unique_jit
+
+
 _NUMBA_KERNEL: "Callable[[FloatArray, IntArray, float], FloatArray] | None" = (
     _build_numba_kernel() if HAVE_NUMBA else None
 )
+_NUMBA_UNIQUE_KERNEL: "Callable[..., tuple[IntArray, IntArray]] | None" = (
+    _build_numba_unique_kernel() if HAVE_NUMBA else None
+)
+
+
+def segment_unique_cells_numba(
+    stamps: "FloatArray", lengths: "IntArray", offset_hours: float = 0.0
+) -> "tuple[IntArray, IntArray]":
+    """JIT-compiled per-user unique-cells kernel (requires :mod:`numba`)."""
+    if _NUMBA_UNIQUE_KERNEL is None:
+        raise RuntimeError(
+            "numba is not installed; use segment_unique_cells_numpy or the "
+            "segment_unique_cells dispatcher"
+        )
+    stamps = np.ascontiguousarray(stamps, dtype=np.float64)
+    lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+    if stamps.size == 0:
+        return (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(int(lengths.size), dtype=np.int64),
+        )
+    return _NUMBA_UNIQUE_KERNEL(stamps, lengths, float(offset_hours) * 3600.0)
 
 
 def segment_counts_numba(
@@ -177,8 +292,12 @@ def segment_counts_numba(
 _BACKENDS: "dict[str, Callable[[FloatArray, IntArray, float], FloatArray]]" = {
     "numpy": segment_counts_numpy,
 }
+_UNIQUE_BACKENDS: "dict[str, Callable[..., tuple[IntArray, IntArray]]]" = {
+    "numpy": segment_unique_cells_numpy,
+}
 if HAVE_NUMBA:
     _BACKENDS["numba"] = segment_counts_numba
+    _UNIQUE_BACKENDS["numba"] = segment_unique_cells_numba
 
 
 def _default_backend() -> str:
@@ -236,3 +355,21 @@ def segment_counts(
         backend=_ACTIVE_BACKEND,
     ).inc()
     return _BACKENDS[_ACTIVE_BACKEND](stamps, lengths, offset_hours)
+
+
+def segment_unique_cells(
+    stamps: "FloatArray", lengths: "IntArray", offset_hours: float = 0.0
+) -> "tuple[IntArray, IntArray]":
+    """Per-user sorted unique cells via the active backend.
+
+    Same dispatch contract as :func:`segment_counts`: backends are
+    bit-identical (the cell arithmetic is shared), callers never need to
+    know which one ran.  This is the front half of the streaming bulk
+    ingest (:meth:`repro.core.streaming.StreamingGeolocator.observe_batch`).
+    """
+    obs_metrics.counter(
+        "repro_kernels_unique_cells_total",
+        "segmented unique-cells kernel invocations by backend",
+        backend=_ACTIVE_BACKEND,
+    ).inc()
+    return _UNIQUE_BACKENDS[_ACTIVE_BACKEND](stamps, lengths, offset_hours)

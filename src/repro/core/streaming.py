@@ -56,7 +56,7 @@ version-1 reader fails loudly with a :class:`CheckpointError`.
 from __future__ import annotations
 
 import time
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence, Sized
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
@@ -77,6 +77,7 @@ from repro.core.emd import distance_matrix
 from repro.core.events import PostEvent
 from repro.core.flatness import flat_profile_mask
 from repro.core.gaussian import PAPER_SIGMA
+from repro.core.kernels import segment_unique_cells
 from repro.core.placement import PlacementDistribution, place_profile_matrix
 from repro.core.profiles import HOURS, Profile
 from repro.core.reference import ReferenceProfiles
@@ -93,7 +94,9 @@ from repro.reliability.checkpoint import (
 from repro.reliability.clocks import WallClockFn, wall_now
 
 if TYPE_CHECKING:
-    from repro.core.types import AnyArray, FloatArray
+    from repro.core.types import AnyArray, FloatArray, IntArray
+    from repro.datasets.store import TraceStore
+from repro.timebase.clock import split_day_hours
 from repro.timebase.zones import ZONE_OFFSETS
 
 #: Checkpoint envelope identifiers for :class:`StreamingGeolocator` state.
@@ -116,11 +119,19 @@ VERDICT = "verdict"
 #: (chosen far outside any reachable day ordinal).
 _NO_DAY = -(2**62)
 
+#: Shared empty record for users the bulk path has not yet given cells.
+_EMPTY_CELLS: "IntArray" = np.zeros(0, dtype=np.int64)
+
 #: A freshly truncated record keeps getting its zone re-checked (and
 #: corrected via ``reason="refine"`` events) until it holds this many
 #: times ``min_reestimate_cells`` -- at which point one more cell cannot
 #: move the placement and the estimate is considered settled.
 _REFINE_SETTLED_FACTOR = 4.0
+
+#: :meth:`StreamingGeolocator.observe_events` routes sized inputs holding at
+#: least this many events through the vectorised bulk path; below it the
+#: array setup costs more than the per-event loop it replaces.
+BATCH_OBSERVE_THRESHOLD = 256
 
 
 @dataclass(frozen=True)
@@ -405,7 +416,9 @@ class StreamingGeolocator:
         state = self._users.get(user_id)
         if state is None:
             state = self._users[user_id] = _UserState()
-        opened_cell = state.add(float(timestamp))
+        # No float() coercion: the binning arithmetic in _UserState.add is
+        # bit-identical for python floats, ints and numpy float64 scalars.
+        opened_cell = state.add(timestamp)
         if opened_cell or state.n_posts == self.min_posts:
             self._dirty.add(user_id)
         self._n_events += 1
@@ -413,8 +426,477 @@ class StreamingGeolocator:
             self._drift_on_new_cell(user_id, state)
 
     def observe_events(self, events: Iterable[PostEvent]) -> None:
+        """Feed many events; large sized inputs take the vectorised path.
+
+        Anything with a ``len()`` of at least
+        :data:`BATCH_OBSERVE_THRESHOLD` is routed through
+        :meth:`observe_batch` (bit-identical to the serial loop, an order
+        of magnitude faster); generators and small inputs keep the
+        per-event loop.
+        """
+        if isinstance(events, Sized) and len(events) >= BATCH_OBSERVE_THRESHOLD:
+            size = len(events)
+            user_ids = [event.user_id for event in events]
+            stamps = np.fromiter(
+                (event.timestamp for event in events),
+                dtype=np.float64,
+                count=size,
+            )
+            self.observe_batch(user_ids, stamps)
+            return
         for event in events:
             self.observe(event.user_id, event.timestamp)
+
+    def observe_batch(
+        self,
+        user_ids: "Sequence[str]",
+        timestamps: "FloatArray | Sequence[float]",
+    ) -> int:
+        """Vectorised bulk intake of one chunk of (author, timestamp) events.
+
+        Bit-identical to calling :meth:`observe` once per event in the
+        given order -- snapshots, confidence lifecycle, migration events
+        and checkpoints all match the per-event loop exactly (the property
+        tests in ``tests/test_streaming_batch.py`` interleave the two
+        freely) -- while the heavy lifting (cell binning, per-user
+        grouping, deduplication) runs as array operations through the
+        :mod:`repro.core.kernels` segmented dispatcher.  Returns the
+        number of events ingested.
+        """
+        stamps = np.ascontiguousarray(timestamps, dtype=np.float64)
+        if stamps.ndim != 1:
+            raise ValueError(f"timestamps must be 1-D, got shape {stamps.shape}")
+        n = int(stamps.size)
+        if len(user_ids) != n:
+            raise ValueError(
+                f"user_ids ({len(user_ids)}) and timestamps ({n}) disagree"
+            )
+        if n == 0:
+            return 0
+        # Factorise author ids to dense codes numbered in first-appearance
+        # order -- state creation order must match the per-event loop (the
+        # checkpoint columns follow ``self._users`` insertion order).
+        codes = np.empty(n, dtype=np.int64)
+        if isinstance(user_ids, np.ndarray):
+            uniq_arr, first_seen, inverse = np.unique(
+                user_ids, return_index=True, return_inverse=True
+            )
+            appearance = np.argsort(first_seen, kind="stable")
+            remap = np.empty(appearance.size, dtype=np.int64)
+            remap[appearance] = np.arange(appearance.size, dtype=np.int64)
+            codes[:] = remap[inverse]
+            uniq = [str(u) for u in uniq_arr[appearance]]
+        else:
+            index: dict[str, int] = {}
+            uniq = []
+            for j, user_id in enumerate(user_ids):
+                code = index.get(user_id)
+                if code is None:
+                    code = len(uniq)
+                    index[user_id] = code
+                    uniq.append(user_id)
+                codes[j] = code
+        lengths = np.bincount(codes, minlength=len(uniq)).astype(np.int64)
+        order = np.argsort(codes, kind="stable").astype(np.int64)
+        with trace_span("streaming_observe_batch", n_events=n, n_users=len(uniq)):
+            self._ingest_grouped(uniq, lengths, stamps[order], order)
+        obs_metrics.counter(
+            "repro_streaming_batch_events_total",
+            "events ingested through the vectorised bulk path",
+        ).inc(n)
+        return n
+
+    def ingest_store(self, store: "TraceStore", *, max_posts: int = 262144) -> int:
+        """Replay every (user, timestamp) of a :class:`TraceStore` in bulk.
+
+        Equivalent to observing each user's full trace in store order --
+        the natural replay/backfill order -- through :meth:`observe`.
+        Chunking at *max_posts* events bounds peak memory without changing
+        any result: chunk boundaries never split a user, and the store
+        columns arrive pre-grouped, so the per-chunk regrouping of
+        :meth:`observe_batch` is skipped entirely.  Returns the number of
+        events ingested.
+        """
+        total = 0
+        with trace_span("streaming_ingest_store", max_posts=max_posts):
+            for ids, lengths, stamps in store.iter_column_chunks(
+                max_posts=max_posts
+            ):
+                self._ingest_grouped(ids, lengths, stamps, None)
+                total += int(stamps.size)
+        obs_metrics.counter(
+            "repro_streaming_batch_events_total",
+            "events ingested through the vectorised bulk path",
+        ).inc(total)
+        return total
+
+    def _ingest_grouped(
+        self,
+        user_ids: "Sequence[str]",
+        lengths: "IntArray",
+        stamps: "FloatArray",
+        positions: "IntArray | None",
+    ) -> None:
+        """Core of the bulk path: ingest a chunk already grouped by user.
+
+        *stamps* holds each user's chunk events back to back, preserving
+        their original relative order within the user; *positions* maps
+        each grouped event back to its index in the original interleaved
+        chunk (``None`` when the grouped order *is* the original order,
+        as for store replay).  Bit-identity with the per-event loop rests
+        on three facts the property tests pin down: counts, day bitmaps
+        and ``max_day`` change only at events that open a new in-record
+        cell; a user's ``n_posts`` at any event equals its pre-chunk value
+        plus the event's within-user ordinal plus one; and the
+        ``min_posts`` promotion fires exactly when the chunk crosses the
+        threshold.  Everything else per-event work does is a no-op.
+        """
+        n_users = len(user_ids)
+        lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+        if lengths.size != n_users:
+            raise ValueError(
+                f"user_ids ({n_users}) and lengths ({lengths.size}) disagree"
+            )
+        if int(lengths.sum()) != stamps.size:
+            raise ValueError("lengths do not cover the stamp column")
+        if n_users and bool((lengths == 0).any()):
+            # A zero-length user never reaches observe() in the per-event
+            # loop, so it must not acquire state here either.
+            keep = lengths > 0
+            user_ids = [u for u, k in zip(user_ids, keep) if k]
+            lengths = lengths[keep]
+            n_users = len(user_ids)
+        if stamps.size == 0:
+            return
+        seg_starts = np.zeros(n_users + 1, dtype=np.int64)
+        np.cumsum(lengths, out=seg_starts[1:])
+        states: list[_UserState] = []
+        for user_id in user_ids:
+            state = self._users.get(user_id)
+            if state is None:
+                state = self._users[user_id] = _UserState()
+            states.append(state)
+        before = [state.n_posts for state in states]
+        if self.drift is None:
+            self._bulk_apply(user_ids, states, lengths, stamps)
+        else:
+            self._bulk_apply_drift(
+                user_ids, states, before, lengths, seg_starts, stamps, positions
+            )
+        for i, state in enumerate(states):
+            state.n_posts = before[i] + int(lengths[i])
+            if before[i] < self.min_posts <= state.n_posts:
+                # The chunk crossed the activity threshold: exactly one of
+                # its events had n_posts == min_posts in the per-event
+                # loop, which dirties the user even with no new cell.
+                self._dirty.add(user_ids[i])
+        self._n_events += int(stamps.size)
+
+    def _apply_unique_cells(self, state: _UserState, seg: "IntArray") -> bool:
+        """Apply one chunk's sorted unique cells to *state*'s record.
+
+        Returns True when at least one *in-record* cell opened -- exactly
+        the chunks for which the per-event loop would have dirtied the
+        user.  ``n_posts`` bookkeeping is left to the caller.
+        """
+        if (
+            state.n_posts == 0
+            and state.n_cells() == 0
+            and state.anchor_day is None
+            and state._day_bits is None
+        ):
+            # Fresh user: the chunk is the whole record.  Adopt the sorted
+            # unique slice wholesale with deferred set materialisation
+            # (exactly how checkpoint restore leaves users) -- no
+            # membership tests, no per-cell python.
+            state._cells = None
+            state._frozen = seg.copy()
+            state.counts = np.bincount(seg % HOURS, minlength=HOURS).astype(float)
+            state.max_day = int(seg[-1]) // HOURS
+            state._mass = None
+            return True
+        cells = state.cells
+        counts = state.counts
+        bits = state._day_bits
+        anchor = state.anchor_day
+        max_day = state.max_day
+        opened = False
+        for cell in seg.tolist():
+            if cell in cells:
+                continue
+            cells.add(cell)
+            day = cell // HOURS
+            if day > max_day:
+                max_day = day
+            if anchor is not None and day < anchor:
+                # Pre-anchor straggler: deduplicated, never re-counted.
+                continue
+            counts[cell % HOURS] += 1.0
+            if bits is not None:
+                bits[day] = bits.get(day, 0) | (1 << (cell % HOURS))
+            opened = True
+        state.max_day = max_day
+        if opened:
+            state._mass = None
+        return opened
+
+    @staticmethod
+    def _frozen_record(state: _UserState) -> "IntArray | None":
+        """*state*'s record as a sorted cell array, or None if set-backed.
+
+        Records touched only by the bulk path stay as sorted int64 arrays
+        (the checkpoint-restore representation), which is what lets one
+        chunk be diffed against *all* its users' records in a single
+        vectorised pass.  Records with per-event history (a materialised
+        set, or drift day-bitmaps) fall back to the per-user loop.
+        """
+        if state._day_bits is not None:
+            return None
+        if state._cells is None:
+            return state._frozen
+        if state.n_posts == 0 and not state._cells and state.anchor_day is None:
+            return _EMPTY_CELLS
+        return None
+
+    def _bulk_apply(
+        self,
+        user_ids: "Sequence[str]",
+        states: "list[_UserState]",
+        lengths: "IntArray",
+        stamps: "FloatArray",
+    ) -> None:
+        """Drift-off bulk path: one kernel call bins the whole chunk.
+
+        Users whose records are array-backed (fresh, restored, or built by
+        earlier bulk chunks) are diffed and merged in one vectorised pass
+        over the whole chunk; set-backed records take the per-user loop.
+        """
+        unique_cells, cell_lengths = segment_unique_cells(stamps, lengths)
+        cell_starts = np.zeros(len(states) + 1, dtype=np.int64)
+        np.cumsum(cell_lengths, out=cell_starts[1:])
+        records: list[IntArray] = []
+        vectorised: list[int] = []
+        for i, state in enumerate(states):
+            record = self._frozen_record(state)
+            if record is None:
+                seg = unique_cells[cell_starts[i] : cell_starts[i + 1]]
+                if self._apply_unique_cells(state, seg):
+                    self._dirty.add(user_ids[i])
+            else:
+                records.append(record)
+                vectorised.append(i)
+        if vectorised:
+            self._vector_apply(
+                user_ids,
+                states,
+                vectorised,
+                records,
+                unique_cells,
+                cell_lengths,
+                cell_starts,
+            )
+
+    def _vector_apply(
+        self,
+        user_ids: "Sequence[str]",
+        states: "list[_UserState]",
+        vectorised: "list[int]",
+        records: "list[IntArray]",
+        unique_cells: "IntArray",
+        cell_lengths: "IntArray",
+        cell_starts: "IntArray",
+    ) -> None:
+        """Diff + merge one chunk against many records in one numpy pass.
+
+        Records and chunk candidates are encoded as ``user * span + cell``
+        keys (both sorted user-major, so membership is one searchsorted),
+        new cells are spliced into one merged key column, and every user's
+        record is re-pointed at its slice of the decoded result.  The
+        per-user outcome -- cells, counts (anchor-masked), ``max_day``,
+        dirty membership -- is identical to running
+        :meth:`_apply_unique_cells` per user, which is the fallback when
+        the key encoding would overflow int64.
+        """
+        n_vec = len(vectorised)
+        selector = np.asarray(vectorised, dtype=np.int64)
+        if n_vec == len(states):
+            cand = unique_cells
+            cand_lengths = cell_lengths
+        else:
+            cand = np.concatenate(
+                [
+                    unique_cells[cell_starts[i] : cell_starts[i + 1]]
+                    for i in vectorised
+                ]
+            )
+            cand_lengths = cell_lengths[selector]
+        record_lengths = np.fromiter(
+            (record.size for record in records), dtype=np.int64, count=n_vec
+        )
+        record_cells = (
+            np.concatenate(records) if record_lengths.any() else _EMPTY_CELLS
+        )
+        cell_min = int(cand.min())
+        cell_max = int(cand.max())
+        if record_cells.size:
+            cell_min = min(cell_min, int(record_cells.min()))
+            cell_max = max(cell_max, int(record_cells.max()))
+        span = cell_max - cell_min + 1
+        if n_vec * span >= 2**62:
+            # Pathological cell range: the encoded keys would overflow.
+            for i, record in zip(vectorised, records):
+                seg = unique_cells[cell_starts[i] : cell_starts[i + 1]]
+                if self._apply_unique_cells(states[i], seg):
+                    self._dirty.add(user_ids[i])
+            return
+        record_owner = np.repeat(
+            np.arange(n_vec, dtype=np.int64), record_lengths
+        )
+        cand_owner = np.repeat(np.arange(n_vec, dtype=np.int64), cand_lengths)
+        record_keys = record_owner * span + (record_cells - cell_min)
+        cand_keys = cand_owner * span + (cand - cell_min)
+        if record_keys.size:
+            at = np.minimum(
+                np.searchsorted(record_keys, cand_keys), record_keys.size - 1
+            )
+            new_mask = record_keys[at] != cand_keys
+        else:
+            new_mask = np.ones(cand_keys.size, dtype=bool)
+        new_keys = cand_keys[new_mask]
+        new_cells = cand[new_mask]
+        new_owner = cand_owner[new_mask]
+        merged_keys = np.insert(
+            record_keys, np.searchsorted(record_keys, new_keys), new_keys
+        )
+        merged_owner = merged_keys // span
+        merged_cells = merged_keys - merged_owner * span + cell_min
+        merged_starts = np.zeros(n_vec + 1, dtype=np.int64)
+        np.cumsum(
+            record_lengths + np.bincount(new_owner, minlength=n_vec),
+            out=merged_starts[1:],
+        )
+        # In-record (counted) new cells: at or after the record anchor.
+        anchors = np.fromiter(
+            (
+                _NO_DAY if states[i].anchor_day is None else states[i].anchor_day
+                for i in vectorised
+            ),
+            dtype=np.int64,
+            count=n_vec,
+        )
+        counted_mask = (new_cells // HOURS) >= anchors[new_owner]
+        counted_owner = new_owner[counted_mask]
+        counted_cells = new_cells[counted_mask]
+        deltas = (
+            np.bincount(
+                counted_owner * HOURS + counted_cells % HOURS,
+                minlength=n_vec * HOURS,
+            )
+            .reshape(n_vec, HOURS)
+            .astype(float)
+        )
+        opened = np.bincount(counted_owner, minlength=n_vec) > 0
+        for j, i in enumerate(vectorised):
+            state = states[i]
+            state._cells = None
+            state._frozen = merged_cells[merged_starts[j] : merged_starts[j + 1]]
+            # max_day equals the record's newest cell day: duplicates and
+            # stragglers can never raise it past their first occurrence.
+            state.max_day = int(merged_cells[merged_starts[j + 1] - 1]) // HOURS
+            if opened[j]:
+                state.counts = state.counts + deltas[j]
+                state._mass = None
+                self._dirty.add(user_ids[i])
+
+    def _bulk_apply_drift(
+        self,
+        user_ids: "Sequence[str]",
+        states: "list[_UserState]",
+        before: "list[int]",
+        lengths: "IntArray",
+        seg_starts: "IntArray",
+        stamps: "FloatArray",
+        positions: "IntArray | None",
+    ) -> None:
+        """Drift-on bulk path: amortised lifecycle checks, exact replay.
+
+        Users whose chunk cannot fire a lifecycle check -- the newest day
+        they could reach is still inside the :meth:`DriftConfig.check_due`
+        throttle -- take the vectorised path with **one** drift
+        bookkeeping step per (user, chunk).  The rest (due for a check, or
+        with no confidence record yet) replay their first-occurrence cells
+        through :meth:`observe`'s exact machinery in original chunk order,
+        because cross-user event interleaving decides the migration-log
+        order.  Duplicate events can never fire a check (they open no
+        cell), so skipping them is exact.
+        """
+        config = self.drift
+        assert config is not None
+        n = int(stamps.size)
+        n_users = len(states)
+        days, hours = split_day_hours(stamps)
+        cells = days * np.int64(HOURS) + hours
+        owner = np.repeat(np.arange(n_users, dtype=np.int64), lengths)
+        if positions is None:
+            positions = np.arange(n, dtype=np.int64)
+        # One candidate per distinct (user, cell): its earliest event in
+        # original order.  Later duplicates are no-ops in the per-event
+        # loop (no cell opens, max_day cannot rise past its first
+        # occurrence, n_posts is finalised separately).
+        order = np.lexsort((positions, cells, owner))
+        ordered_cells = cells[order]
+        ordered_owner = owner[order]
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        first[1:] = (ordered_cells[1:] != ordered_cells[:-1]) | (
+            ordered_owner[1:] != ordered_owner[:-1]
+        )
+        candidates = order[first]
+        candidate_owner = ordered_owner[first]
+        candidate_cells = ordered_cells[first]
+        candidate_starts = np.searchsorted(
+            candidate_owner, np.arange(n_users + 1), side="left"
+        )
+        ranks = np.arange(n, dtype=np.int64) - np.repeat(seg_starts[:-1], lengths)
+        replay = np.zeros(n_users, dtype=bool)
+        for i, state in enumerate(states):
+            # Candidate cells are sorted per user, so the segment's last
+            # entry carries the newest day this chunk can reach.
+            newest = int(candidate_cells[candidate_starts[i + 1] - 1]) // HOURS
+            if state.max_day > newest:
+                newest = state.max_day
+            if state.confidence is not None and not config.check_due(
+                newest, state.last_check_day
+            ):
+                seg = candidate_cells[
+                    candidate_starts[i] : candidate_starts[i + 1]
+                ]
+                if self._apply_unique_cells(state, seg):
+                    self._dirty.add(user_ids[i])
+                    # The stream clock advances at every opened event; its
+                    # chunk-wide maximum is the user's final max_day.
+                    if self._stream_day is None or state.max_day > self._stream_day:
+                        self._stream_day = state.max_day
+            else:
+                replay[i] = True
+        if not bool(replay.any()):
+            return
+        fire = candidates[replay[candidate_owner]]
+        # Original chunk order across users: migration-log order depends
+        # on how users interleave, so the replay must preserve it.
+        fire = fire[np.argsort(positions[fire], kind="stable")]
+        fire_owner = owner[fire].tolist()
+        fire_ranks = ranks[fire].tolist()
+        for g, i, rank in zip(fire.tolist(), fire_owner, fire_ranks):
+            state = states[i]
+            # Patch n_posts to what the per-event loop would hold at this
+            # event; skipped (duplicate) events are settled by the caller.
+            state.n_posts = before[i] + rank
+            opened = state.add(stamps[g])
+            if opened or state.n_posts == self.min_posts:
+                self._dirty.add(user_ids[i])
+            if opened:
+                self._drift_on_new_cell(user_ids[i], state)
 
     @property
     def n_events(self) -> int:

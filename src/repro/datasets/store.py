@@ -448,6 +448,48 @@ class TraceStore:
                 start_index=start,
             )
 
+    def iter_column_chunks(
+        self, max_posts: int = 262_144
+    ) -> "Iterator[tuple[list[str], np.ndarray, np.ndarray]]":
+        """Walk the store as ``(user_ids, lengths, stamps)`` column chunks.
+
+        The event-count dual of :meth:`iter_shards`: chunks are cut at
+        roughly *max_posts* events instead of a fixed user count, so a
+        crowd of casual posters and a crowd of heavy posters both stream
+        with comparable peak memory.  Chunk boundaries never split a user
+        -- a user posting more than *max_posts* times becomes a chunk of
+        their own -- which is what lets the streaming bulk ingest
+        (:meth:`repro.core.streaming.StreamingGeolocator.ingest_store`)
+        apply its once-per-(user, chunk) bookkeeping.  The yielded triple
+        matches the :meth:`write_columns` chunk layout exactly.
+        """
+        if max_posts <= 0:
+            raise DatasetError(f"max_posts must be positive, got {max_posts}")
+        n_users = len(self)
+        chunks = obs_metrics.counter(
+            "repro_datasets_store_column_chunks_total",
+            "column chunks yielded for bulk ingest",
+        )
+        start = 0
+        while start < n_users:
+            target = int(self._offsets[start]) + max_posts
+            stop = int(
+                np.searchsorted(self._offsets, target, side="right") - 1
+            )
+            # Always advance by at least one user (an oversized trace
+            # overflows its own chunk rather than stalling the walk).
+            stop = max(stop, start + 1)
+            stop = min(stop, n_users)
+            lo = int(self._offsets[start])
+            hi = int(self._offsets[stop])
+            chunks.inc()
+            yield (
+                [str(u) for u in self._user_ids[start:stop]],
+                np.diff(self._offsets[start : stop + 1]),
+                np.asarray(self._stamps[lo:hi]),
+            )
+            start = stop
+
     def to_trace_set(self) -> TraceSet:
         """Materialise the whole store as a :class:`TraceSet` (compat path)."""
         traces = TraceSet()

@@ -93,11 +93,17 @@ class ForumMonitor:
         *,
         retry_policy: RetryPolicy | None = None,
         clock: Clock | None = None,
+        engine=None,
     ) -> None:
         self.forum = forum
         self.username = username
         self.retry_policy = retry_policy
         self.clock = clock
+        #: Optional :class:`~repro.core.streaming.StreamingGeolocator`;
+        #: every poll's fresh observations are flushed into it through the
+        #: vectorised bulk path, so a long campaign feeds the streaming
+        #: verdict without a per-post python loop.
+        self.engine = engine
         self._last_poll_time = float("-inf")
         self._observations: list[Observation] = []
         self._seen_post_ids: set[int] = set()
@@ -165,6 +171,13 @@ class ForumMonitor:
                 )
             )
         self._observations.extend(fresh)
+        if self.engine is not None and fresh:
+            # One bulk call per poll: the window's posts arrive as a batch,
+            # bit-identical to observing them one by one in poll order.
+            self.engine.observe_batch(
+                [observation.author for observation in fresh],
+                [observation.observed_at for observation in fresh],
+            )
         if fresh:
             obs_metrics.counter(
                 "repro_forum_monitor_posts_stamped_total",
@@ -289,12 +302,15 @@ class ForumMonitor:
         *,
         retry_policy: RetryPolicy | None = None,
         clock: Clock | None = None,
+        engine=None,
     ) -> "ForumMonitor":
         """Rebuild a monitor from :meth:`save_checkpoint` state.
 
         Re-running :meth:`run_campaign` with the original arguments then
         continues from the last completed poll: already-performed polls
-        are skipped and already-stamped posts are deduplicated.
+        are skipped and already-stamped posts are deduplicated.  *engine*
+        re-attaches a streaming geolocator; polls replayed from before
+        the checkpoint are skipped, so nothing is double-fed.
         """
         state = read_checkpoint(
             path, MONITOR_CHECKPOINT_KIND, MONITOR_CHECKPOINT_VERSION
@@ -304,6 +320,7 @@ class ForumMonitor:
             username=str(state["username"]),
             retry_policy=retry_policy,
             clock=clock,
+            engine=engine,
         )
         monitor._last_poll_time = float(state["last_poll_time"])
         monitor._polls = int(state["n_polls"])

@@ -4,7 +4,7 @@ Each rule encodes one invariant that, when silently broken, destroys a
 property the paper's methodology needs -- bit-reproducible Eq. 1
 profiles, deterministic retries and checkpoints, resumable campaigns,
 leak-free parallel kernels, or the streaming engine's incremental win.
-The rule ids are stable (``DC001`` .. ``DC009``) and suppressible per
+The rule ids are stable (``DC001`` .. ``DC010``) and suppressible per
 line with ``# darkcrowd: disable=DCnnn``.
 """
 
@@ -27,6 +27,7 @@ __all__ = [
     "MutableDefaultRule",
     "SwallowedExceptionRule",
     "ColdSnapshotRule",
+    "BatchObserveRule",
 ]
 
 #: Wall-clock reads that make a run irreproducible when taken outside the
@@ -405,3 +406,64 @@ class ColdSnapshotRule(Rule):
                 "cold-path snapshot_reference(); use the incremental "
                 "snapshot(), and keep oracle comparisons in tests/benchmarks",
             )
+
+
+@register
+class BatchObserveRule(Rule):
+    """DC010: per-event ``observe()`` loops in library code."""
+
+    rule_id: ClassVar[str] = "DC010"
+    summary: ClassVar[str] = (
+        "per-event engine.observe(user, ts) inside a loop; use "
+        "observe_batch()/ingest_store()"
+    )
+    rationale: ClassVar[str] = (
+        "observe() pays python-level dict/set/float work per post; the "
+        "vectorised bulk path (observe_batch / ingest_store) is "
+        "bit-identical for the same event order and an order of magnitude "
+        "faster.  A per-event loop hiding in a library path quietly caps "
+        "ingest at a fraction of the engine's throughput; the serial seam "
+        "itself lives in core/streaming.py, and per-event feeding belongs "
+        "in tests and benchmarks that score the bulk path against it."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # streaming.py owns the serial fallback the bulk path is proven
+        # against; everywhere else in the package a looped observe() is a
+        # throughput cliff.
+        return ctx.is_library_code and not ctx.path_endswith("core/streaming.py")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        func = node.func
+        # Two positional args (user_id, timestamp) distinguishes the
+        # engine's observe() from histogram .observe(value) metrics.
+        if not isinstance(func, ast.Attribute) or func.attr != "observe":
+            return
+        if len(node.args) != 2 or node.keywords:
+            return
+        if self._in_loop(node, ctx):
+            ctx.report(
+                self.rule_id,
+                node,
+                "per-event observe() in a loop; collect the events and make "
+                "one observe_batch() / ingest_store() call (bit-identical, "
+                "vectorised)",
+            )
+
+    @staticmethod
+    def _in_loop(node: ast.AST, ctx: FileContext) -> bool:
+        child: ast.AST = node
+        parent = ctx.parents.get(child)
+        while parent is not None:
+            if isinstance(parent, (ast.For, ast.AsyncFor, ast.While)):
+                return True
+            if isinstance(
+                parent,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                # A nested function/lambda body does not run per loop
+                # iteration just because it is *defined* inside one.
+                return False
+            child = parent
+            parent = ctx.parents.get(child)
+        return False

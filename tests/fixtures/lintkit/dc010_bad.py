@@ -1,0 +1,22 @@
+"""Fixture: per-event observe() loops in library code (DC010 must fire)."""
+
+
+def replay_events(engine, events):
+    for timestamp, user_id in events:
+        engine.observe(user_id, timestamp)
+
+
+def replay_until(engine, events, deadline):
+    cursor = 0
+    while cursor < len(events):
+        timestamp, user_id = events[cursor]
+        if timestamp > deadline:
+            break
+        engine.observe(user_id, timestamp)
+        cursor += 1
+
+
+def feed_traces(engine, traces):
+    for trace in traces:
+        for timestamp in trace.timestamps:
+            engine.observe(trace.user_id, float(timestamp))

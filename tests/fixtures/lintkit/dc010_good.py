@@ -1,0 +1,32 @@
+"""Fixture: bulk ingest and non-engine observes (DC010 stays quiet)."""
+
+
+def replay_events(engine, events):
+    engine.observe_batch(
+        [user_id for _, user_id in events],
+        [timestamp for timestamp, _ in events],
+    )
+
+
+def replay_store(engine, store):
+    return engine.ingest_store(store, max_posts=65536)
+
+
+def time_polls(histogram, durations):
+    # One positional arg: a latency histogram, not the streaming engine.
+    for elapsed in durations:
+        histogram.observe(elapsed)
+
+
+def observe_once(engine, user_id, timestamp):
+    # Not inside a loop: a single trailing event is fine.
+    return engine.observe(user_id, timestamp)
+
+
+def deferred(engine, events):
+    # Defined inside a loop but executed elsewhere: the nested-function
+    # boundary stops the loop walk.
+    callbacks = []
+    for timestamp, user_id in events:
+        callbacks.append(lambda u=user_id, t=timestamp: engine.observe(u, t))
+    return callbacks

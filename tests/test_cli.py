@@ -211,3 +211,93 @@ class TestGeolocateCommand:
         assert "placement" in out
         assert "mangled" in out  # named in the load report's quarantine list
         assert "quarantined hollow: empty-trace" in out
+
+
+class TestReplayCommand:
+    def _write_traces(self, path):
+        lines = []
+        for index in range(10):
+            user_hour = 19 + index % 3
+            stamps = [day * 86400.0 + user_hour * 3600.0 for day in range(40)]
+            lines.append(
+                json.dumps({"user": f"u{index:02d}", "timestamps": stamps})
+            )
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["replay", "traces.store", "--store", "--batch-size", "4096"]
+        )
+        assert args.traces == "traces.store"
+        assert args.store
+        assert args.batch_size == 4096
+        assert args.drift_window is None
+        defaults = build_parser().parse_args(["replay", "t.jsonl"])
+        assert defaults.batch_size == 8192
+        assert not defaults.store
+
+    def test_monitor_batch_size_flag(self):
+        args = build_parser().parse_args(["monitor", "--batch-size", "1024"])
+        assert args.batch_size == 1024
+        assert build_parser().parse_args(["monitor"]).batch_size == 8192
+
+    def test_replay_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        self._write_traces(path)
+        assert main(["--scale", "0.02", "replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 400 events" in out
+        assert "events/s" in out
+        assert "streamed 400 events" in out
+        assert "placement" in out
+
+    def test_replay_store_matches_jsonl(self, capsys, tmp_path):
+        jsonl = tmp_path / "traces.jsonl"
+        self._write_traces(jsonl)
+        store = tmp_path / "traces.store"
+        assert main(["--scale", "0.02", "convert", str(jsonl), str(store)]) == 0
+        capsys.readouterr()
+        assert main(["--scale", "0.02", "replay", str(store), "--store"]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 400 events" in out
+        assert "placement" in out
+
+    def test_replay_drift_writes_migrations(self, capsys, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        self._write_traces(path)
+        out_path = tmp_path / "migrations.jsonl"
+        assert (
+            main(
+                [
+                    "--scale",
+                    "0.02",
+                    "replay",
+                    str(path),
+                    "--drift-window",
+                    "30",
+                    "--migrations-out",
+                    str(out_path),
+                    "--batch-size",
+                    "97",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "zone migrations" in out
+        assert out_path.exists()
+
+    def test_migrations_out_requires_drift_window(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        self._write_traces(path)
+        with pytest.raises(SystemExit, match="drift-window"):
+            main(
+                [
+                    "--scale",
+                    "0.02",
+                    "replay",
+                    str(path),
+                    "--migrations-out",
+                    str(tmp_path / "m.jsonl"),
+                ]
+            )

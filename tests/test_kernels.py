@@ -22,6 +22,8 @@ from repro.core.kernels import (
     kernel_backend,
     segment_counts,
     segment_counts_numpy,
+    segment_unique_cells,
+    segment_unique_cells_numpy,
     set_kernel_backend,
 )
 from repro.timebase.clock import split_day_hours
@@ -137,6 +139,90 @@ class TestNumbaBackend:
             assert kernel_backend() == "numba"
         finally:
             set_kernel_backend(previous)
+
+
+def _naive_unique(arrays: list, offset: float) -> tuple:
+    """Per-user sorted-set oracle for the unique-cells kernels."""
+    cells_out: list[int] = []
+    lengths = []
+    for stamps in arrays:
+        stamps = np.asarray(stamps, dtype=float)
+        if stamps.size == 0:
+            lengths.append(0)
+            continue
+        days, hours = split_day_hours(stamps, offset)
+        unique = sorted(
+            {int(day) * 24 + int(hour) for day, hour in zip(days, hours)}
+        )
+        cells_out.extend(unique)
+        lengths.append(len(unique))
+    return (
+        np.asarray(cells_out, dtype=np.int64),
+        np.asarray(lengths, dtype=np.int64),
+    )
+
+
+class TestSegmentUniqueCells:
+    @given(segments, st.sampled_from([0.0, -5.0, 3.0, 11.5]))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_oracle(self, arrays, offset):
+        """Unsorted, negative and empty segments all deduplicate correctly."""
+        lists = [np.asarray(a, dtype=float) for a in arrays]
+        stamps, lengths = _flatten(lists)
+        cells, counts = segment_unique_cells_numpy(stamps, lengths, offset)
+        want_cells, want_counts = _naive_unique(lists, offset)
+        np.testing.assert_array_equal(counts, want_counts)
+        np.testing.assert_array_equal(cells, want_cells)
+
+    def test_empty_column_shapes(self):
+        empty = np.zeros(0, dtype=float)
+        cells, counts = segment_unique_cells_numpy(
+            empty, np.zeros(3, dtype=np.int64)
+        )
+        assert cells.shape == (0,) and cells.dtype == np.int64
+        np.testing.assert_array_equal(counts, np.zeros(3, dtype=np.int64))
+
+    def test_duplicates_collapse_within_user_only(self):
+        # The same hour cell for two users stays one cell *each*.
+        stamps = np.asarray([3600.0, 3660.0, 3600.0], dtype=float)
+        lengths = np.asarray([2, 1], dtype=np.int64)
+        cells, counts = segment_unique_cells_numpy(stamps, lengths)
+        np.testing.assert_array_equal(counts, [1, 1])
+        np.testing.assert_array_equal(cells, [1, 1])
+
+    @given(segments, st.sampled_from([0.0, -5.0, 11.5]))
+    @settings(max_examples=30, deadline=None)
+    def test_dispatcher_matches_numpy(self, arrays, offset):
+        lists = [np.asarray(a, dtype=float) for a in arrays]
+        stamps, lengths = _flatten(lists)
+        cells, counts = segment_unique_cells(stamps, lengths, offset)
+        want_cells, want_counts = segment_unique_cells_numpy(
+            stamps, lengths, offset
+        )
+        np.testing.assert_array_equal(cells, want_cells)
+        np.testing.assert_array_equal(counts, want_counts)
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed here")
+    def test_numba_variant_missing_refused(self):
+        with pytest.raises(RuntimeError, match="numba is not installed"):
+            kernels.segment_unique_cells_numba(
+                np.array([1.0]), np.array([1], dtype=np.int64)
+            )
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    @given(segments, st.sampled_from([0.0, -5.0, 3.0, 11.5]))
+    @settings(max_examples=60, deadline=None)
+    def test_numba_bit_identical(self, arrays, offset):
+        lists = [np.asarray(a, dtype=float) for a in arrays]
+        stamps, lengths = _flatten(lists)
+        numba_cells, numba_counts = kernels.segment_unique_cells_numba(
+            stamps, lengths, offset
+        )
+        numpy_cells, numpy_counts = segment_unique_cells_numpy(
+            stamps, lengths, offset
+        )
+        np.testing.assert_array_equal(numba_cells, numpy_cells)
+        np.testing.assert_array_equal(numba_counts, numpy_counts)
 
 
 class TestBlockedDistanceKernels:

@@ -51,6 +51,7 @@ EXPECTED_BAD_FINDINGS = {
     "DC007": 4,
     "DC008": 2,
     "DC009": 2,
+    "DC010": 3,
 }
 
 
@@ -59,8 +60,8 @@ def fixture_source(name: str) -> str:
 
 
 class TestRegistry:
-    def test_all_nine_rules_registered(self):
-        assert sorted(all_rules()) == [f"DC00{i}" for i in range(1, 10)]
+    def test_all_ten_rules_registered(self):
+        assert sorted(all_rules()) == [f"DC00{i}" for i in range(1, 10)] + ["DC010"]
 
     def test_every_rule_documents_itself(self):
         for rule_id, rule_class in all_rules().items():
@@ -122,6 +123,12 @@ class TestRuleScoping:
         source = fixture_source("dc005_bad.py")
         assert lint_source(source, path="src/repro/collect/fetch.py") == []
         assert len(lint_source(source, path=CORE_PATH)) == 2
+
+    def test_dc010_exempts_streaming_and_tests(self):
+        source = fixture_source("dc010_bad.py")
+        assert lint_source(source, path="src/repro/core/streaming.py") == []
+        assert lint_source(source, path="tests/test_example.py") == []
+        assert len(lint_source(source, path=CORE_PATH)) == 3
 
 
 class TestSuppressions:

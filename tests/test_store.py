@@ -146,6 +146,60 @@ class TestShardedReads:
         np.testing.assert_array_equal(via_store.matrix, via_traces.matrix)
 
 
+class TestColumnChunks:
+    def test_chunks_tile_the_columns_exactly(self, tmp_path):
+        store = TraceStore.write(_crowd(n_users=23, posts=17), tmp_path / "s")
+        ids: list[str] = []
+        lengths: list[int] = []
+        stamps: list[np.ndarray] = []
+        for chunk_ids, chunk_lengths, chunk_stamps in store.iter_column_chunks(
+            max_posts=100
+        ):
+            assert len(chunk_ids) == chunk_lengths.size
+            assert int(chunk_lengths.sum()) == chunk_stamps.size
+            ids.extend(chunk_ids)
+            lengths.extend(int(n) for n in chunk_lengths)
+            stamps.append(chunk_stamps)
+        assert ids == list(store.user_ids())
+        assert lengths == [len(store.trace(u)) for u in ids]
+        np.testing.assert_array_equal(
+            np.concatenate(stamps),
+            np.concatenate([store.trace(u).timestamps for u in ids]),
+        )
+
+    def test_chunk_boundaries_never_split_a_user(self, tmp_path):
+        store = TraceStore.write(_crowd(n_users=9, posts=40), tmp_path / "s")
+        # 100 events is 2.5 users' worth: chunks hold whole users only.
+        sizes = [
+            len(chunk_ids)
+            for chunk_ids, _, _ in store.iter_column_chunks(max_posts=100)
+        ]
+        assert sum(sizes) == 9
+        assert all(size >= 1 for size in sizes)
+
+    def test_oversized_user_gets_own_chunk(self, tmp_path):
+        store = TraceStore.write(_crowd(n_users=4, posts=50), tmp_path / "s")
+        chunks = list(store.iter_column_chunks(max_posts=1))
+        assert [chunk_ids for chunk_ids, _, _ in chunks] == [
+            [user_id] for user_id in store.user_ids()
+        ]
+
+    def test_single_chunk_when_budget_covers_the_crowd(self, tmp_path):
+        store = TraceStore.write(_crowd(n_users=6, posts=10), tmp_path / "s")
+        chunks = list(store.iter_column_chunks(max_posts=10_000))
+        assert len(chunks) == 1
+        assert chunks[0][2].size == store.total_posts()
+
+    def test_nonpositive_budget_refused(self, tmp_path):
+        store = TraceStore.write(_crowd(n_users=2, posts=5), tmp_path / "s")
+        with pytest.raises(DatasetError, match="max_posts"):
+            next(store.iter_column_chunks(max_posts=0))
+
+    def test_empty_store_yields_nothing(self, tmp_path):
+        store = TraceStore.write([], tmp_path / "s")
+        assert list(store.iter_column_chunks(max_posts=10)) == []
+
+
 class TestWriteColumns:
     def _chunks(self, crowd: TraceSet, chunk_users: int):
         traces = list(crowd)
