@@ -14,6 +14,20 @@ three artifacts the run writes:
   :meth:`RunManifest.load` with a consistent fingerprint and a dataset
   fingerprint matching the store directory on disk.
 
+It then replays a synthetic relocation scenario through ``darkcrowd
+replay --drift-window`` with the health observatory attached
+(``--series-out`` / ``--health-out`` / ``--profile-out``) and validates
+the three observatory artifacts:
+
+* the series document (``kind: repro-series``) must carry the engine
+  heartbeat series and their derived rates;
+* the health log (``kind: repro-health``) must record the migration-rate
+  SLO tripping on the relocation burst and recovering afterwards;
+* the profile (``kind: repro-profile``) must be schema-valid, and
+  ``darkcrowd dashboard`` must render all three into one self-contained
+  HTML page (written to ``$OBS_SMOKE_DASHBOARD_OUT`` when set, so CI can
+  upload it).
+
 It also asserts the observability run is numerically inert: the report
 computed with everything enabled equals one computed with the no-op
 defaults.  Exits non-zero on any violation, so CI can gate on it::
@@ -24,6 +38,7 @@ defaults.  Exits non-zero on any violation, so CI can gate on it::
 from __future__ import annotations
 
 import json
+import os
 import sys
 import tempfile
 from pathlib import Path
@@ -130,6 +145,139 @@ def validate_manifest(path: Path, store_path: Path) -> None:
     )
 
 
+#: Series every observatory replay must sample (heartbeat + derived rate).
+REQUIRED_SERIES = {
+    "stream_events_total",
+    "stream_events_total_rate",
+    "stream_users_seen",
+    "stream_migrations_total",
+    "stream_migrations_total_rate",
+    "stream_stale_ratio",
+}
+
+
+def validate_series(path: Path) -> None:
+    from repro.obs.timeseries import load_series_jsonl
+
+    frame = load_series_jsonl(path)  # raises on a bad header kind
+    check(len(frame) >= 10, f"series has enough samples ({len(frame)})")
+    check(frame.interval_s > 0, "series header records the interval")
+    missing = REQUIRED_SERIES - set(frame.names())
+    check(not missing, f"required series present (missing: {sorted(missing)})")
+    times, values = frame.series("stream_events_total")
+    check(
+        list(times) == sorted(times) and list(values) == sorted(values),
+        "event counter series is monotone in stream time",
+    )
+
+
+def validate_health(path: Path) -> None:
+    from repro.obs.health import OK, load_health_jsonl
+
+    header, events = load_health_jsonl(path)
+    check(
+        "migration_rate_spike" in header.get("rules", {}),
+        "health header describes the migration-rate rule",
+    )
+    spike = [e for e in events if e.rule == "migration_rate_spike"]
+    tripped = [e for e in spike if e.old_state == OK]
+    recovered = [e for e in spike if e.new_state == OK]
+    check(
+        bool(tripped),
+        "migration-rate SLO trips on the relocation burst",
+    )
+    check(
+        bool(recovered),
+        "migration-rate SLO recovers once the burst rolls out",
+    )
+
+
+def validate_profile(path: Path) -> None:
+    from repro.obs.profiler import load_profile
+
+    payload = load_profile(path)  # raises on a bad kind
+    check(payload["n_samples"] >= 0, "profile records its sample count")
+    check(
+        all(
+            {"frame", "self_samples", "total_samples", "self_fraction"}
+            <= set(entry)
+            for entry in payload.get("hotspots", [])
+        ),
+        "profile hotspot entries are schema-valid",
+    )
+    check(
+        all(
+            isinstance(stack, str) and isinstance(count, int)
+            for stack, count in payload.get("collapsed", {}).items()
+        ),
+        "profile collapsed stacks map str -> int",
+    )
+
+
+def observatory_replay(work: Path) -> None:
+    """Replay a relocation scenario with the observatory attached."""
+    from repro.synth.drift import build_relocation_scenario
+
+    scenario = build_relocation_scenario(n_users=100, seed=0, start_day=1)
+    drift_jsonl = work / "drift.jsonl"
+    save_trace_set(scenario.traces, drift_jsonl)
+
+    series_out = work / "series.jsonl"
+    health_out = work / "health.jsonl"
+    profile_out = work / "run.profile.json"
+    code = cli_main(
+        [
+            "--scale",
+            "0.02",
+            "replay",
+            str(drift_jsonl),
+            "--drift-window",
+            "30",
+            "--batch-size",
+            "256",
+            "--series-out",
+            str(series_out),
+            "--health-out",
+            str(health_out),
+            "--profile-out",
+            str(profile_out),
+        ]
+    )
+    check(code == 0, "observatory replay exits 0")
+    for artifact in (series_out, health_out, profile_out):
+        check(artifact.exists(), f"{artifact.name} written")
+    if _failures:
+        return
+    validate_series(series_out)
+    validate_health(health_out)
+    validate_profile(profile_out)
+
+    dashboard_out = Path(
+        os.environ.get("OBS_SMOKE_DASHBOARD_OUT", work / "dashboard.html")
+    )
+    dashboard_out.parent.mkdir(parents=True, exist_ok=True)
+    code = cli_main(
+        [
+            "dashboard",
+            "--series",
+            str(series_out),
+            "--health",
+            str(health_out),
+            "--profile",
+            str(profile_out),
+            "--out",
+            str(dashboard_out),
+        ]
+    )
+    check(code == 0, "dashboard render exits 0")
+    html = dashboard_out.read_text(encoding="utf-8")
+    check(html.lstrip().startswith("<!DOCTYPE html>"), "dashboard is HTML")
+    check(
+        "src=" not in html and "href=" not in html,
+        "dashboard is self-contained (no external fetches)",
+    )
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory() as tmp:
         work = Path(tmp)
@@ -163,6 +311,8 @@ def main() -> int:
         validate_metrics(metrics_out)
         validate_trace(trace_out)
         validate_manifest(manifest_out, store_path)
+
+        observatory_replay(work)
 
         # Observability must be numerically inert: the instrumented run's
         # verdict equals a run under the no-op defaults, bit for bit.

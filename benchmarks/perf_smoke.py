@@ -66,6 +66,91 @@ def _obs_overhead_check() -> bool:
     return ok
 
 
+#: Maximum tolerated slowdown of a streaming replay with the full health
+#: observatory attached (series sampler + SLO monitor + sampling
+#: profiler) vs the same replay with no observatory -- the ISSUE's <5%
+#: budget for the observatory layer.
+OBSERVATORY_OVERHEAD_TOLERANCE = 1.05
+
+#: Absolute slack for the observatory gate, against scheduler noise.
+OBSERVATORY_ABSOLUTE_SLACK_S = 0.050
+
+
+def _observatory_overhead_check() -> bool:
+    """Gate: the attached observatory costs < 5% and mutates nothing.
+
+    Replays the same chunked feed through (a) a bare engine and (b) an
+    engine with a bound series sampler, the default SLO rules and a live
+    sampling profiler, ticking the observatory on every chunk's stream
+    time exactly like ``darkcrowd replay``.  The observed run must stay
+    within 5% of the bare run and its ``state_dict()`` must be
+    bit-identical -- the observatory is a read-only passenger.
+    """
+    from _shared import synthetic_crowd
+    from repro.core.streaming import StreamingGeolocator
+    from repro.obs.health import HealthMonitor, Observatory, default_streaming_rules
+    from repro.obs.profiler import SamplingProfiler
+    from repro.obs.timeseries import SeriesSampler
+
+    crowd = synthetic_crowd(400, seed=37)
+    events = sorted(
+        (float(timestamp), trace.user_id)
+        for trace in crowd
+        for timestamp in trace.timestamps
+    )
+    chunks = [events[i : i + 1024] for i in range(0, len(events), 1024)]
+
+    def stream(observed: bool):
+        engine = StreamingGeolocator()
+        observatory = None
+        profiler = None
+        if observed:
+            sampler = SeriesSampler()
+            sampler.bind_streaming_engine(engine)
+            observatory = Observatory(
+                sampler=sampler,
+                health=HealthMonitor(
+                    default_streaming_rules(interval_s=sampler.interval_s)
+                ),
+            )
+            profiler = SamplingProfiler()
+            profiler.start()
+        try:
+            for chunk in chunks:
+                engine.observe_batch(
+                    [user_id for _, user_id in chunk],
+                    [timestamp for timestamp, _ in chunk],
+                )
+                if observatory is not None:
+                    observatory.tick(chunk[-1][0])
+            engine.snapshot()
+        finally:
+            if profiler is not None:
+                profiler.stop()
+            if observatory is not None:
+                observatory.close()
+        return engine
+
+    bare_s = _time(stream, False, repeat=3)
+    observed_s = _time(stream, True, repeat=3)
+    ratio = observed_s / bare_s
+    fast_enough = (
+        observed_s <= bare_s * OBSERVATORY_OVERHEAD_TOLERANCE
+        + OBSERVATORY_ABSOLUTE_SLACK_S
+    )
+    identical = stream(True).state_dict() == stream(False).state_dict()
+
+    ok = fast_enough and identical
+    status = "ok" if ok else "FAIL"
+    detail = "bit-identical" if identical else "DIVERGED"
+    print(
+        f"  {'observatory_overhead':24s} bare {bare_s * 1e3:8.2f} ms  "
+        f"observed {observed_s * 1e3:8.2f} ms  ({ratio:.2f}x, {detail})  "
+        f"{status}"
+    )
+    return ok
+
+
 #: Maximum tolerated slowdown of a drift-*disabled* streaming engine vs a
 #: replica of the pre-drift observe() body -- the drift layer must be
 #: inert when not asked for.
@@ -274,6 +359,11 @@ def main() -> int:
 
     if not _obs_overhead_check():
         failures.append(("obs_overhead", OBS_OVERHEAD_TOLERANCE))
+
+    if not _observatory_overhead_check():
+        failures.append(
+            ("observatory_overhead", OBSERVATORY_OVERHEAD_TOLERANCE)
+        )
 
     if not _shard_merge_check():
         failures.append(("shard_merge_identity", 1.0))

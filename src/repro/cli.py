@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
-import time
 from pathlib import Path
 
 from repro.analysis.ablations import (
@@ -63,8 +63,16 @@ from repro.errors import EmptyTraceError
 from repro.forum.monitor import ForumMonitor
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing as obs_tracing
+from repro.obs.health import (
+    HealthMonitor,
+    Observatory,
+    default_streaming_rules,
+    load_health_jsonl,
+)
 from repro.obs.logs import configure_logging
 from repro.obs.manifest import RunManifest
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.timeseries import SeriesSampler, load_series_jsonl
 from repro.obs.tracing import trace_span
 from repro.reliability import FaultSpec, FlakyForumProxy, ManualClock, RetryPolicy
 from repro.synth.forums import FORUM_SPECS
@@ -346,13 +354,25 @@ def _cmd_monitor(context, args) -> None:
         else None
     )
     clock = ManualClock()  # backoff sleeps are simulated, not slept
+    # With --drift-window the observatory instead rides the streaming
+    # replay (where the engine heartbeat lives); without it the campaign
+    # loop ticks a registry-only observatory on campaign time.
+    observatory = None
+    if args.drift_window is None:
+        observatory = _build_observatory(None, args)
     if args.resume:
         monitor = ForumMonitor.from_checkpoint(
-            forum, args.resume, retry_policy=policy, clock=clock
+            forum,
+            args.resume,
+            retry_policy=policy,
+            clock=clock,
+            observatory=observatory,
         )
         checkpoint_path = args.checkpoint or args.resume
     else:
-        monitor = ForumMonitor(forum, retry_policy=policy, clock=clock)
+        monitor = ForumMonitor(
+            forum, retry_policy=policy, clock=clock, observatory=observatory
+        )
         checkpoint_path = args.checkpoint
     days = args.days if args.days is not None else context.n_days + 1
     result = monitor.run_campaign(
@@ -365,6 +385,7 @@ def _cmd_monitor(context, args) -> None:
     print(result.summary())
     if checkpoint_path:
         print(f"checkpoint saved to {checkpoint_path}")
+    _report_observatory(observatory, args)
     if args.drift_window is not None:
         _run_drift_monitor(context, args, result)
         return
@@ -379,13 +400,65 @@ def _cmd_monitor(context, args) -> None:
     print(report.summary())
 
 
-def _stream_event_batches(engine, events, batch_size: int) -> None:
-    """Feed sorted ``(timestamp, user_id)`` events through the bulk path."""
+def _stream_event_batches(engine, events, batch_size: int, on_chunk=None) -> None:
+    """Feed sorted ``(timestamp, user_id)`` events through the bulk path.
+
+    *on_chunk* (if given) is called after every bulk call with
+    ``(events_so_far, chunk_max_timestamp)`` -- the observatory tick
+    point, on stream time rather than wall time.
+    """
+    total = 0
     for low in range(0, len(events), batch_size):
         chunk = events[low : low + batch_size]
         engine.observe_batch(
             [user_id for _, user_id in chunk],
             [timestamp for timestamp, _ in chunk],
+        )
+        total += len(chunk)
+        if on_chunk is not None and chunk:
+            on_chunk(total, chunk[-1][0])
+
+
+def _build_observatory(engine, args) -> Observatory | None:
+    """The series/health observatory a streaming command asked for.
+
+    ``None`` unless ``--series-out`` / ``--health-out`` was passed: the
+    disabled path must construct nothing and stay bit-identical to the
+    pre-observatory CLI.  *engine* is ``None`` for campaigns without a
+    streaming engine, where only registry-derived series are sampled
+    (the engine-heartbeat health rules then simply stay OK).
+    """
+    if not (args.series_out or args.health_out):
+        return None
+    sampler = SeriesSampler()
+    if engine is not None:
+        sampler.bind_streaming_engine(engine)
+    sampler.bind_registry(obs_metrics.get_registry())
+    if args.series_out:
+        sampler.attach_sink(args.series_out)
+    health = None
+    if args.health_out:
+        health = HealthMonitor(default_streaming_rules(interval_s=sampler.interval_s))
+        health.attach_sink(args.health_out)
+    return Observatory(sampler=sampler, health=health)
+
+
+def _report_observatory(observatory, args) -> None:
+    """Close the observatory sinks and say where the artifacts went."""
+    if observatory is None:
+        return
+    observatory.close()
+    if args.series_out:
+        print(
+            f"series written to {args.series_out} "
+            f"({observatory.sampler.n_samples} samples, "
+            f"{len(observatory.sampler.names())} series)"
+        )
+    if args.health_out:
+        health = observatory.health
+        print(
+            f"health events written to {args.health_out} "
+            f"({len(health.events)} transitions, overall {health.overall()})"
         )
 
 
@@ -431,20 +504,27 @@ def _run_drift_monitor(context, args, result) -> None:
         def _write(event) -> None:
             sink.write(json.dumps(event.to_dict()) + "\n")
 
+    observatory = _build_observatory(engine, args)
+    on_chunk = None
+    if observatory is not None:
+        on_chunk = lambda total, t: observatory.tick(t)  # noqa: E731
     try:
         events = sorted(
             (float(timestamp), trace.user_id)
             for trace in result.traces
             for timestamp in trace.timestamps
         )
-        _stream_event_batches(engine, events, args.batch_size)
+        _stream_event_batches(engine, events, args.batch_size, on_chunk=on_chunk)
         snapshot = engine.snapshot()
     finally:
+        if observatory is not None:
+            observatory.close()
         if sink is not None:
             sink.close()
     _print_stream_report(result.forum_name, engine, snapshot)
     if args.migrations_out:
         print(f"migration events written to {args.migrations_out}")
+    _report_observatory(observatory, args)
 
 
 def _cmd_replay(context, args) -> None:
@@ -466,12 +546,25 @@ def _cmd_replay(context, args) -> None:
         def _write(event) -> None:
             sink.write(json.dumps(event.to_dict()) + "\n")
 
+    observatory = _build_observatory(engine, args)
+    on_chunk = None
+    if observatory is not None:
+        on_chunk = lambda total, t: observatory.tick(t)  # noqa: E731
+        if args.store:
+            print(
+                "note: --store ingests user-ordered columns, so stream-time "
+                "series only sample near the stream tail and health verdicts "
+                "are unreliable; prefer the JSONL replay path with the "
+                "observatory"
+            )
     try:
-        started = time.perf_counter()
+        watch = obs_metrics.Stopwatch()
         if args.store:
             with trace_span("store_load", path=str(args.traces)):
                 store = TraceStore.open(args.traces)
-            n_events = engine.ingest_store(store, max_posts=args.batch_size)
+            n_events = engine.ingest_store(
+                store, max_posts=args.batch_size, on_chunk=on_chunk
+            )
         else:
             traces = load_trace_set(args.traces)
             events = sorted(
@@ -479,11 +572,13 @@ def _cmd_replay(context, args) -> None:
                 for trace in traces
                 for timestamp in trace.timestamps
             )
-            _stream_event_batches(engine, events, args.batch_size)
+            _stream_event_batches(engine, events, args.batch_size, on_chunk=on_chunk)
             n_events = len(events)
-        elapsed = time.perf_counter() - started
+        elapsed = watch.elapsed_s()
         snapshot = engine.snapshot()
     finally:
+        if observatory is not None:
+            observatory.close()
         if sink is not None:
             sink.close()
     name = Path(args.traces).stem
@@ -494,6 +589,7 @@ def _cmd_replay(context, args) -> None:
         _print_placement(f"{name} placement (streamed)", snapshot.placement)
     if args.migrations_out:
         print(f"migration events written to {args.migrations_out}")
+    _report_observatory(observatory, args)
 
 
 def _cmd_convert(context, args) -> None:
@@ -576,6 +672,9 @@ def _print_metrics_snapshot(metrics: dict) -> None:
             _label_str(entry["labels"]),
             entry["count"],
             f"{entry['sum']:.4f}",
+            _quantile_cell(entry, 0.5),
+            _quantile_cell(entry, 0.95),
+            _quantile_cell(entry, 0.99),
         )
         for entry in metrics.get("histograms", [])
     ]
@@ -583,11 +682,17 @@ def _print_metrics_snapshot(metrics: dict) -> None:
         print()
         print(
             ascii_table(
-                ["histogram", "labels", "count", "sum"],
+                ["histogram", "labels", "count", "sum", "p50", "p95", "p99"],
                 histogram_rows,
                 title="histograms",
             )
         )
+
+
+def _quantile_cell(entry: dict, q: float) -> str:
+    """Bucket-interpolated quantile of a serialised histogram entry."""
+    value = obs_metrics.percentile_from_counts(entry["buckets"], entry["counts"], q)
+    return "-" if math.isnan(value) else f"{value:.4g}"
 
 
 def _print_manifest(payload: dict) -> None:
@@ -652,24 +757,147 @@ def _print_chrome_trace(events: list) -> None:
     )
 
 
+def _print_series_artifact(path: Path) -> None:
+    frame = load_series_jsonl(path)
+    print(
+        f"series artifact: {len(frame)} samples, {len(frame.names())} series "
+        f"(interval {frame.interval_s:g}s)"
+    )
+    rows = []
+    for name in frame.names():
+        times, values = frame.series(name)
+        rows.append(
+            (
+                name,
+                len(values),
+                f"{values.min():.4g}",
+                f"{values.mean():.4g}",
+                f"{values.max():.4g}",
+                f"{values[-1]:.4g}",
+            )
+        )
+    print(
+        ascii_table(
+            ["series", "samples", "min", "mean", "max", "last"],
+            rows,
+            title="time-series",
+        )
+    )
+
+
+def _print_health_artifact(path: Path) -> None:
+    header, events = load_health_jsonl(path)
+    rules = header.get("rules") or {}
+    if rules:
+        print(
+            ascii_table(
+                ["rule", "predicate"],
+                sorted(rules.items()),
+                title="health rules",
+            )
+        )
+    if not events:
+        print("\nno health transitions recorded (every rule stayed ok)")
+        return
+    final: dict[str, str] = {}
+    for event in events:
+        final[event.rule] = event.new_state
+    print()
+    print(
+        ascii_table(
+            ["t", "rule", "transition", "value"],
+            [
+                (
+                    f"{event.t:g}",
+                    event.rule,
+                    f"{event.old_state} -> {event.new_state}",
+                    f"{event.value:.4g}",
+                )
+                for event in events
+            ],
+            title=f"health transitions -- {len(events)} events",
+        )
+    )
+    worst = max(final.values(), key=lambda s: {"ok": 0, "warn": 1, "crit": 2}[s])
+    print("\nfinal states: " + ", ".join(f"{k}={v}" for k, v in sorted(final.items())))
+    print(f"overall: {worst}")
+
+
+def _print_profile_artifact(payload: dict) -> None:
+    print(
+        f"sampling profile: {payload.get('n_samples', 0)} samples every "
+        f"{payload.get('interval_s', 0):g}s"
+    )
+    hotspots = payload.get("hotspots") or []
+    if not hotspots:
+        print("no stacks captured (run too short for the sampling interval?)")
+        return
+    print(
+        ascii_table(
+            ["frame", "self", "total", "self %"],
+            [
+                (
+                    entry["frame"],
+                    entry["self_samples"],
+                    entry["total_samples"],
+                    f"{100 * entry['self_fraction']:.1f}",
+                )
+                for entry in hotspots
+            ],
+            title="hotspots (by self samples)",
+        )
+    )
+
+
 def _cmd_stats(context, args) -> None:
-    """Pretty-print a metrics / manifest / Chrome-trace artifact."""
+    """Pretty-print a metrics / manifest / trace / observatory artifact."""
     path = Path(args.artifact)
     try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, ValueError) as exc:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
         raise SystemExit(f"cannot read {path}: {exc}")
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        # JSONL artifacts (--series-out / --health-out) carry their kind
+        # on the header line; anything else is genuinely unreadable.
+        first = text.splitlines()[0] if text.strip() else ""
+        try:
+            header = json.loads(first)
+        except ValueError:
+            raise SystemExit(f"cannot read {path}: not JSON or JSONL")
+        kind = header.get("kind") if isinstance(header, dict) else None
+        try:
+            if kind == "repro-series":
+                _print_series_artifact(path)
+                return
+            if kind == "repro-health":
+                _print_health_artifact(path)
+                return
+        except ValueError as exc:
+            raise SystemExit(f"cannot read {path}: {exc}")
+        raise SystemExit(
+            f"{path}: not a recognised observability artifact "
+            "(expected --series-out / --health-out output)"
+        )
     kind = payload.get("kind") if isinstance(payload, dict) else None
     if kind == "repro-run-manifest":
         _print_manifest(payload)
     elif kind == "repro-metrics":
         _print_metrics_snapshot(payload.get("metrics") or {})
+    elif kind == "repro-profile":
+        _print_profile_artifact(payload)
+    elif kind == "repro-series":
+        _print_series_artifact(path)  # header-only JSONL (no samples yet)
+    elif kind == "repro-health":
+        _print_health_artifact(path)
     elif isinstance(payload, dict) and "traceEvents" in payload:
         _print_chrome_trace(payload["traceEvents"])
     else:
         raise SystemExit(
             f"{path}: not a recognised observability artifact "
-            "(expected --metrics-out / --manifest-out / --trace-out output)"
+            "(expected --metrics-out / --manifest-out / --trace-out / "
+            "--series-out / --health-out / --profile-out output)"
         )
 
 
@@ -699,11 +927,50 @@ def _cmd_lint(context, args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_dashboard(context, args) -> None:
+    """Render the health-observatory dashboard from persisted artifacts."""
+    from repro.obs.dashboard import render_dashboard
+
+    if not any((args.series, args.health, args.profile, args.metrics, args.trace)):
+        raise SystemExit(
+            "dashboard: give at least one artifact "
+            "(--series / --health / --profile / --metrics / --trace)"
+        )
+    try:
+        rendered = render_dashboard(
+            series_path=args.series,
+            health_path=args.health,
+            profile_path=args.profile,
+            metrics_path=args.metrics,
+            trace_path=args.trace,
+            title=args.title,
+            ansi=args.ansi,
+            color=not args.no_color,
+        )
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"dashboard: {exc}")
+    if args.ansi:
+        print(rendered)
+        return
+    out = Path(args.out)
+    out.write_text(rendered, encoding="utf-8")
+    print(f"dashboard written to {out} ({len(rendered)} bytes, self-contained)")
+
+
 #: Flags that steer observability output rather than the computation; kept
 #: out of the manifest config so the fingerprint is independent of where
 #: the artifacts land.
 _OBS_ARG_NAMES = frozenset(
-    {"log_level", "log_json", "metrics_out", "trace_out", "manifest_out"}
+    {
+        "log_level",
+        "log_json",
+        "metrics_out",
+        "trace_out",
+        "manifest_out",
+        "series_out",
+        "health_out",
+        "profile_out",
+    }
 )
 
 
@@ -800,6 +1067,32 @@ def _add_obs_args(parser: argparse.ArgumentParser, *, top_level: bool) -> None:
         metavar="PATH",
         help="write the run manifest (defaults to <metrics-out>.manifest.json "
         "when --metrics-out is given)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=default(None),
+        metavar="PATH",
+        help="run the command under the wall-clock sampling profiler and "
+        "write the profile (JSON, or flamegraph collapsed-stack text "
+        "for a .collapsed suffix)",
+    )
+
+
+def _add_observatory_args(parser: argparse.ArgumentParser) -> None:
+    """``--series-out`` / ``--health-out``, on the streaming commands only."""
+    parser.add_argument(
+        "--series-out",
+        default=None,
+        metavar="PATH",
+        help="sample engine heartbeat and registry metrics into ring-buffered "
+        "time-series on stream time and write them as JSONL",
+    )
+    parser.add_argument(
+        "--health-out",
+        default=None,
+        metavar="PATH",
+        help="evaluate the stock SLO health rules against the sampled series "
+        "and write OK/WARN/CRIT transitions as JSONL",
     )
 
 
@@ -922,6 +1215,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="events per bulk observe_batch() call in the drift replay "
         "(with --drift-window; bit-identical for any N)",
     )
+    _add_observatory_args(monitor)
     replay = sub.add_parser(
         "replay",
         help="bulk-ingest a trace file through the streaming engine "
@@ -966,6 +1260,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write zone-migration events to this JSONL file "
         "(with --drift-window)",
     )
+    _add_observatory_args(replay)
     geolocate = sub.add_parser(
         "geolocate",
         help="geolocate a JSONL trace set (see datasets.save_trace_set)",
@@ -1011,14 +1306,57 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser(
         "stats",
         help="pretty-print an observability artifact written by "
-        "--metrics-out / --manifest-out / --trace-out",
+        "--metrics-out / --manifest-out / --trace-out / --series-out / "
+        "--health-out / --profile-out",
         parents=parents,
     )
-    stats.add_argument("artifact", help="path to the artifact JSON file")
+    stats.add_argument("artifact", help="path to the artifact JSON/JSONL file")
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="render a self-contained HTML (or ANSI) health dashboard from "
+        "observatory artifacts",
+        parents=parents,
+    )
+    dashboard.add_argument(
+        "--series", default=None, metavar="PATH", help="--series-out artifact"
+    )
+    dashboard.add_argument(
+        "--health", default=None, metavar="PATH", help="--health-out artifact"
+    )
+    dashboard.add_argument(
+        "--profile", default=None, metavar="PATH", help="--profile-out artifact"
+    )
+    dashboard.add_argument(
+        "--metrics", default=None, metavar="PATH", help="--metrics-out artifact"
+    )
+    dashboard.add_argument(
+        "--trace", default=None, metavar="PATH", help="--trace-out artifact"
+    )
+    dashboard.add_argument(
+        "--out",
+        default="dashboard.html",
+        metavar="PATH",
+        help="HTML output path (ignored with --ansi)",
+    )
+    dashboard.add_argument(
+        "--ansi",
+        action="store_true",
+        help="print an ANSI terminal report instead of writing HTML",
+    )
+    dashboard.add_argument(
+        "--no-color",
+        action="store_true",
+        help="with --ansi: plain text without colour codes",
+    )
+    dashboard.add_argument(
+        "--title",
+        default="darkcrowd health observatory",
+        help="dashboard page title",
+    )
     lint = sub.add_parser(
         "lint",
         help="project-aware static analysis (reproducibility invariants "
-        "DC001..DC010; see --list-rules)",
+        "DC001..DC011; see --list-rules)",
         parents=parents,
     )
     lint.add_argument(
@@ -1067,13 +1405,14 @@ _COMMANDS = {
     "geolocate": _cmd_geolocate,
     "convert": _cmd_convert,
     "stats": _cmd_stats,
+    "dashboard": _cmd_dashboard,
     "lint": _cmd_lint,
     "all": _cmd_all,
 }
 
 #: Commands that inspect files or artifacts and never need the synthetic
 #: experiment context (building it costs seconds of dataset generation).
-_CONTEXT_FREE_COMMANDS = frozenset({"stats", "lint"})
+_CONTEXT_FREE_COMMANDS = frozenset({"stats", "dashboard", "lint"})
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -1092,14 +1431,23 @@ def main(argv: list[str] | None = None) -> int:
     obs_metrics.set_registry(registry)
     if want_spans:
         obs_tracing.set_tracer(tracer)
+    profiler = SamplingProfiler() if args.profile_out else None
     try:
+        if profiler is not None:
+            profiler.start()
         if args.command in _CONTEXT_FREE_COMMANDS:
             _COMMANDS[args.command](None, args)
         else:
             context = make_context(seed=args.seed, scale=args.scale)
             _COMMANDS[args.command](context, args)
+        if profiler is not None:
+            profiler.stop()
+            path = profiler.write(args.profile_out)
+            print(f"profile written to {path} ({profiler.n_samples} samples)")
         _write_obs_artifacts(args, registry, tracer)
     finally:
+        if profiler is not None:
+            profiler.stop()
         obs_metrics.set_registry(previous_registry)
         obs_tracing.set_tracer(previous_tracer)
     return 0

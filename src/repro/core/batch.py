@@ -38,7 +38,6 @@ implementation the batch paths are property-tested against.
 from __future__ import annotations
 
 import logging
-import time
 import warnings
 from collections.abc import Iterable, Mapping
 from typing import TYPE_CHECKING, Any
@@ -437,7 +436,7 @@ class ProfileMatrix:
             arrays.append(trace.timestamps)
         if parallel is None:
             parallel = len(ids) >= PARALLEL_USER_THRESHOLD
-        started = time.perf_counter()
+        watch = obs_metrics.Stopwatch()
         branch = "serial"
         counts: FloatArray | None = None
         if parallel and len(ids) > 1:
@@ -452,7 +451,7 @@ class ProfileMatrix:
                 counts = None
         if counts is None:
             counts = segmented_hour_counts(arrays, offset_hours)
-        _record_build(branch, len(ids), time.perf_counter() - started)
+        _record_build(branch, len(ids), watch.elapsed_s())
         return cls(ids, counts)
 
     @classmethod
@@ -521,7 +520,7 @@ class ProfileMatrix:
                 and _default_workers(max_workers) > 1
             )
             stamps = np.asarray(shard.stamps, dtype=np.float64)
-            shard_started = time.perf_counter()
+            shard_watch = obs_metrics.Stopwatch()
             branch = "serial"
             if use_pool and len(shard) > 1:
                 try:
@@ -536,9 +535,7 @@ class ProfileMatrix:
                     )
             else:
                 counts = _flat_segment_counts(stamps, shard.lengths, offset_hours)
-            _record_build(
-                branch, len(shard), time.perf_counter() - shard_started
-            )
+            _record_build(branch, len(shard), shard_watch.elapsed_s())
             progress.advance(len(shard))
             keep = shard.lengths >= threshold
             if not keep.any():

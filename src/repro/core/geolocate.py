@@ -18,7 +18,6 @@ everything the paper reports per forum.
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
@@ -211,7 +210,7 @@ class CrowdGeolocator:
         :class:`~repro.errors.CorruptTraceError`, never a silently wrong
         placement.
         """
-        started = time.perf_counter()
+        watch = obs_metrics.Stopwatch()
         quality: DataQualityReport | None = None
         with trace_span("quarantine" if quarantine else "validate"):
             if quarantine:
@@ -227,7 +226,7 @@ class CrowdGeolocator:
             )
             if quarantine:
                 report = replace(report, data_quality=quality)
-            _record_run(report, "reference", time.perf_counter() - started)
+            _record_run(report, "reference", watch.elapsed_s())
             return report
         if engine != "batch":
             raise ValueError(f"unknown engine {engine!r}; options: batch, reference")
@@ -286,7 +285,7 @@ class CrowdGeolocator:
             hemisphere=hemisphere,
             data_quality=quality,
         )
-        _record_run(report, "batch", time.perf_counter() - started)
+        _record_run(report, "batch", watch.elapsed_s())
         return report
 
     def geolocate_store(
@@ -309,7 +308,7 @@ class CrowdGeolocator:
         not offered on this path (the store format already rejects
         corrupt traces at ``convert`` time).
         """
-        started = time.perf_counter()
+        watch = obs_metrics.Stopwatch()
         with trace_span("profile_build", crowd=crowd_name, source="store"):
             matrix = ProfileMatrix.from_store(
                 store,
@@ -365,7 +364,7 @@ class CrowdGeolocator:
             fit_metrics=fit_distance_metrics(placement, mixture.components),
             user_zones=assignments,
         )
-        _record_run(report, "store", time.perf_counter() - started)
+        _record_run(report, "store", watch.elapsed_s())
         return report
 
     def geolocate_store_sharded(
@@ -393,7 +392,7 @@ class CrowdGeolocator:
         """
         from repro.core.shard import compute_partials, merge_partials
 
-        started = time.perf_counter()
+        watch = obs_metrics.Stopwatch()
         partials = compute_partials(
             store,
             self.references,
@@ -453,7 +452,7 @@ class CrowdGeolocator:
             fit_metrics=fit_distance_metrics(placement, mixture.components),
             user_zones=assignments,
         )
-        _record_run(report, "store-sharded", time.perf_counter() - started)
+        _record_run(report, "store-sharded", watch.elapsed_s())
         return report
 
     def _geolocate_reference(

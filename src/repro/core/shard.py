@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import functools
 import logging
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -244,7 +243,7 @@ def _compute_shard_task(task: ShardTask) -> tuple[ShardPartial, float]:
     """Worker entry: open the store, reduce the range, report wall time."""
     from repro.datasets.store import TraceStore
 
-    started = time.perf_counter()
+    watch = obs_metrics.Stopwatch()
     store = TraceStore.open(task.store_path)
     partial = compute_shard_partial(
         store.shard(task.start, task.stop),
@@ -252,7 +251,7 @@ def _compute_shard_task(task: ShardTask) -> tuple[ShardPartial, float]:
         metric=task.metric,
         min_posts=task.min_posts,
     )
-    return partial, time.perf_counter() - started
+    return partial, watch.elapsed_s()
 
 
 def _record_partial(partial: ShardPartial, wall_s: float, mode: str) -> None:
@@ -307,14 +306,14 @@ def _compute_inline(
 ) -> list[ShardPartial]:
     partials: list[ShardPartial] = []
     for start, stop in bounds:
-        shard_started = time.perf_counter()
+        shard_watch = obs_metrics.Stopwatch()
         partial = compute_shard_partial(
             store.shard(start, stop),
             references,
             metric=metric,
             min_posts=min_posts,
         )
-        _record_partial(partial, time.perf_counter() - shard_started, "inline")
+        _record_partial(partial, shard_watch.elapsed_s(), "inline")
         partials.append(partial)
     return partials
 
@@ -386,12 +385,10 @@ def merge_partials(partials: list[ShardPartial]) -> ShardPartial:
     pass ``expected_users`` via the partials' ``n_users_seen`` sum, which
     :func:`compute_partials` guarantees covers every user once.
     """
-    started = time.perf_counter()
-    with trace_span("shard_merge", n_partials=len(partials)):
+    with obs_metrics.histogram(
+        "repro_shard_merge_seconds", "wall time to merge shard partials"
+    ).time(), trace_span("shard_merge", n_partials=len(partials)):
         merged = functools.reduce(
             ShardPartial.merge, partials, ShardPartial.identity()
         )
-    obs_metrics.histogram(
-        "repro_shard_merge_seconds", "wall time to merge shard partials"
-    ).observe(time.perf_counter() - started)
     return merged

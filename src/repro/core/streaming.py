@@ -55,7 +55,6 @@ version-1 reader fails loudly with a :class:`CheckpointError`.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable, Iterable, Sequence, Sized
 from dataclasses import dataclass
 from pathlib import Path
@@ -410,6 +409,12 @@ class StreamingGeolocator:
         # re-checked at each lifecycle check until it settles; the value
         # is the latest estimate a correction would be issued against.
         self._pending_refine: dict[str, ZoneMigrationEvent] = {}
+        # Observatory bookkeeping: event counts at the last snapshot /
+        # checkpoint.  Plain attributes outside state_dict(), so engine
+        # state and checkpoint bytes are untouched (bit-identity gate).
+        self._snapshot_events: int = 0
+        self._checkpoint_events: int | None = None
+        self._checkpoint_wall: float | None = None
 
     def observe(self, user_id: str, timestamp: float) -> None:
         """Feed one (author, UTC timestamp) observation."""
@@ -506,7 +511,13 @@ class StreamingGeolocator:
         ).inc(n)
         return n
 
-    def ingest_store(self, store: "TraceStore", *, max_posts: int = 262144) -> int:
+    def ingest_store(
+        self,
+        store: "TraceStore",
+        *,
+        max_posts: int = 262144,
+        on_chunk: "Callable[[int, float], None] | None" = None,
+    ) -> int:
         """Replay every (user, timestamp) of a :class:`TraceStore` in bulk.
 
         Equivalent to observing each user's full trace in store order --
@@ -516,6 +527,12 @@ class StreamingGeolocator:
         columns arrive pre-grouped, so the per-chunk regrouping of
         :meth:`observe_batch` is skipped entirely.  Returns the number of
         events ingested.
+
+        *on_chunk*, when given, is called after each ingested chunk with
+        ``(events_so_far, max_chunk_timestamp)`` -- the observatory hook
+        the CLI uses to tick its sampler on stream time.  It never
+        changes what is ingested, and the default ``None`` keeps the loop
+        byte-for-byte on the pre-observatory path.
         """
         total = 0
         with trace_span("streaming_ingest_store", max_posts=max_posts):
@@ -524,6 +541,8 @@ class StreamingGeolocator:
             ):
                 self._ingest_grouped(ids, lengths, stamps, None)
                 total += int(stamps.size)
+                if on_chunk is not None and stamps.size:
+                    on_chunk(total, float(stamps.max()))
         obs_metrics.counter(
             "repro_streaming_batch_events_total",
             "events ingested through the vectorised bulk path",
@@ -908,6 +927,45 @@ class StreamingGeolocator:
     def n_dirty(self) -> int:
         """Users whose cached placement must be refreshed at next snapshot."""
         return len(self._dirty)
+
+    def heartbeat(self) -> dict[str, float]:
+        """Cheap liveness gauges for the health observatory.
+
+        O(users) only when drift is enabled (the confidence digest);
+        otherwise O(zone bins).  The sampler
+        (:meth:`repro.obs.timeseries.SeriesSampler.bind_streaming_engine`)
+        reads this at its own cadence, so nothing here runs unless an
+        observatory is attached -- the hot ingest path never calls it.
+
+        ``snapshot_lag_events`` / ``checkpoint_lag_events`` count events
+        ingested since the last :meth:`snapshot` / :meth:`save_checkpoint`
+        (all events so far when neither has happened yet): deterministic
+        staleness measures that need no wall clock.
+        """
+        checkpointed = self._checkpoint_events or 0
+        beat: dict[str, float] = {
+            "events_total": float(self._n_events),
+            "users_seen": float(len(self._users)),
+            # Placements standing in the histogram as of the last refresh
+            # (0 until the first snapshot; never recomputed here -- a
+            # heartbeat must not trigger the O(dirty) refresh).
+            "users_placed": float(self._hist.sum()),
+            "dirty_users": float(len(self._dirty)),
+            "migrations_total": float(len(self.migrations)),
+            "snapshot_lag_events": float(self._n_events - self._snapshot_events),
+            "checkpoint_lag_events": float(self._n_events - checkpointed),
+        }
+        if self._checkpoint_wall is not None:
+            beat["checkpoint_age_s"] = float(self._wall_now() - self._checkpoint_wall)
+        if self.drift is not None:
+            if self._stream_day is not None:
+                beat["stream_day"] = float(self._stream_day)
+            summary = self._confidence_summary()
+            if summary.n_tracked:
+                beat["confidence_mean"] = summary.mean
+                beat["confidence_min"] = summary.minimum
+                beat["stale_ratio"] = summary.n_stale / summary.n_tracked
+        return beat
 
     def invalidate_all(self) -> None:
         """Force the next snapshot to re-place every user (cold path).
@@ -1406,10 +1464,13 @@ class StreamingGeolocator:
         per stream day (both O(users), amortised by the snapshot cadence).
         """
         n_dirty = len(self._dirty)
-        started = time.perf_counter()
-        with trace_span("streaming_snapshot", n_dirty=n_dirty):
-            self._refresh()
-            snapshot = self._snapshot_from_hist()
+        with obs_metrics.histogram(
+            "repro_streaming_snapshot_seconds",
+            "wall time of one incremental snapshot",
+        ).time():
+            with trace_span("streaming_snapshot", n_dirty=n_dirty):
+                self._refresh()
+                snapshot = self._snapshot_from_hist()
         obs_metrics.counter(
             "repro_streaming_snapshots_total", "incremental snapshots taken"
         ).inc()
@@ -1417,10 +1478,7 @@ class StreamingGeolocator:
             "repro_streaming_dirty_users",
             "users re-placed by the last incremental snapshot",
         ).set(n_dirty)
-        obs_metrics.histogram(
-            "repro_streaming_snapshot_seconds",
-            "wall time of one incremental snapshot",
-        ).observe(time.perf_counter() - started)
+        self._snapshot_events = self._n_events
         return snapshot
 
     def snapshot_reference(self) -> StreamSnapshot:
@@ -1433,14 +1491,11 @@ class StreamingGeolocator:
         not a production path -- lint rule DC009 flags calls from library
         code.
         """
-        started = time.perf_counter()
-        try:
+        with obs_metrics.histogram(
+            "repro_streaming_snapshot_cold_seconds",
+            "wall time of one cold (full re-place) snapshot",
+        ).time():
             return self._snapshot_reference_impl()
-        finally:
-            obs_metrics.histogram(
-                "repro_streaming_snapshot_cold_seconds",
-                "wall time of one cold (full re-place) snapshot",
-            ).observe(time.perf_counter() - started)
 
     def _snapshot_reference_impl(self) -> StreamSnapshot:
         ids: list[str] = []
@@ -1652,6 +1707,8 @@ class StreamingGeolocator:
             raise CheckpointError(
                 f"unknown checkpoint format {format!r}; options: json, binary"
             )
+        self._checkpoint_events = self._n_events
+        self._checkpoint_wall = self._wall_now()
 
     @classmethod
     def _from_config(

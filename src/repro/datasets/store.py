@@ -34,7 +34,6 @@ import json
 import logging
 import os
 import shutil
-import time
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
@@ -273,7 +272,7 @@ class TraceStore:
     @classmethod
     def open(cls, path: "str | Path", *, mmap: bool = True) -> "TraceStore":
         """Open a store directory; the stamp column is memmapped by default."""
-        started = time.perf_counter()
+        watch = obs_metrics.Stopwatch()
         source = Path(path)
         meta_path = source / _META_NAME
         if not source.is_dir() or not meta_path.exists():
@@ -319,7 +318,7 @@ class TraceStore:
                 f"corrupt trace store {source}: offset table does not cover "
                 f"the stamp column"
             )
-        elapsed = time.perf_counter() - started
+        elapsed = watch.elapsed_s()
         obs_metrics.counter(
             "repro_datasets_store_opens_total", "trace stores opened"
         ).inc()

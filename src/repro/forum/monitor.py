@@ -94,6 +94,7 @@ class ForumMonitor:
         retry_policy: RetryPolicy | None = None,
         clock: Clock | None = None,
         engine=None,
+        observatory=None,
     ) -> None:
         self.forum = forum
         self.username = username
@@ -104,6 +105,11 @@ class ForumMonitor:
         #: vectorised bulk path, so a long campaign feeds the streaming
         #: verdict without a per-post python loop.
         self.engine = engine
+        #: Optional :class:`~repro.obs.health.Observatory` (anything with
+        #: ``tick(now)``): ticked once per campaign step on campaign time,
+        #: so series sampling and health evaluation ride the poll cadence.
+        #: ``None`` (the default) keeps the campaign loop untouched.
+        self.observatory = observatory
         self._last_poll_time = float("-inf")
         self._observations: list[Observation] = []
         self._seen_post_ids: set[int] = set()
@@ -241,6 +247,8 @@ class ForumMonitor:
                         and self._polls % checkpoint_every == 0
                     ):
                         self.save_checkpoint(checkpoint_path)
+            if self.observatory is not None:
+                self.observatory.tick(time)
             progress.advance()
             time += poll_interval
         progress.finish()
@@ -303,6 +311,7 @@ class ForumMonitor:
         retry_policy: RetryPolicy | None = None,
         clock: Clock | None = None,
         engine=None,
+        observatory=None,
     ) -> "ForumMonitor":
         """Rebuild a monitor from :meth:`save_checkpoint` state.
 
@@ -311,6 +320,7 @@ class ForumMonitor:
         are skipped and already-stamped posts are deduplicated.  *engine*
         re-attaches a streaming geolocator; polls replayed from before
         the checkpoint are skipped, so nothing is double-fed.
+        *observatory* re-attaches a health observatory the same way.
         """
         state = read_checkpoint(
             path, MONITOR_CHECKPOINT_KIND, MONITOR_CHECKPOINT_VERSION
@@ -321,6 +331,7 @@ class ForumMonitor:
             retry_policy=retry_policy,
             clock=clock,
             engine=engine,
+            observatory=observatory,
         )
         monitor._last_poll_time = float(state["last_poll_time"])
         monitor._polls = int(state["n_polls"])

@@ -4,7 +4,7 @@ Each rule encodes one invariant that, when silently broken, destroys a
 property the paper's methodology needs -- bit-reproducible Eq. 1
 profiles, deterministic retries and checkpoints, resumable campaigns,
 leak-free parallel kernels, or the streaming engine's incremental win.
-The rule ids are stable (``DC001`` .. ``DC010``) and suppressible per
+The rule ids are stable (``DC001`` .. ``DC011``) and suppressible per
 line with ``# darkcrowd: disable=DCnnn``.
 """
 
@@ -28,6 +28,7 @@ __all__ = [
     "SwallowedExceptionRule",
     "ColdSnapshotRule",
     "BatchObserveRule",
+    "NakedTimingRule",
 ]
 
 #: Wall-clock reads that make a run irreproducible when taken outside the
@@ -467,3 +468,36 @@ class BatchObserveRule(Rule):
             child = parent
             parent = ctx.parents.get(child)
         return False
+
+
+@register
+class NakedTimingRule(Rule):
+    """DC011: ad-hoc ``time.perf_counter()`` timing outside ``repro/obs``."""
+
+    rule_id: ClassVar[str] = "DC011"
+    summary: ClassVar[str] = (
+        "time.perf_counter() timing in library code outside repro/obs"
+    )
+    rationale: ClassVar[str] = (
+        "An ad-hoc perf_counter() delta is invisible to the observability "
+        "layer: the duration never reaches a histogram percentile, the "
+        "series sampler or the dashboard.  Library code times itself with "
+        "repro.obs.metrics.Stopwatch (when the elapsed value is consumed) "
+        "or histogram(...).time() (when it is only recorded); the obs "
+        "package itself is the one sanctioned home of the raw call."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # repro/obs implements the timing primitives, so the raw call is
+        # its plumbing; everywhere else it is a metrics-layer bypass.
+        return ctx.is_library_code and "obs" not in ctx.parts
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if ctx.resolve(node.func) == "time.perf_counter":
+            ctx.report(
+                self.rule_id,
+                node,
+                "naked time.perf_counter(); time with obs metrics.Stopwatch "
+                "or histogram(...).time() so the duration reaches the "
+                "observability layer",
+            )

@@ -19,6 +19,18 @@ package holds the four primitives every other layer reports through:
   record (config, seed, dataset fingerprint, versions, metrics snapshot,
   span digest) written atomically next to outputs.
 
+On top of those point-in-time primitives sits the **health
+observatory** (see DESIGN "Health observatory"):
+
+* :mod:`repro.obs.timeseries` -- :class:`SeriesSampler`, ring-buffered
+  metric time-series on an injectable clock with JSONL persistence;
+* :mod:`repro.obs.health`     -- :class:`HealthRule` SLO predicates and
+  the :class:`HealthMonitor` OK/WARN/CRIT state machine with hysteresis;
+* :mod:`repro.obs.profiler`   -- :class:`SamplingProfiler`, collapsed
+  stacks and hotspot digests from periodic frame captures;
+* :mod:`repro.obs.dashboard`  -- the ``darkcrowd dashboard``
+  self-contained HTML / ANSI report over the persisted artifacts.
+
 Everything is opt-in: until the CLI (or a host application) calls
 ``metrics.enable()`` / ``tracing.enable()`` / ``configure_logging()``,
 the instrumentation points scattered through the pipeline cost one
@@ -27,6 +39,14 @@ gated in ``benchmarks/perf_smoke.py`` even with everything enabled.
 """
 
 from repro.obs import metrics, tracing
+from repro.obs.health import (
+    HealthEvent,
+    HealthMonitor,
+    HealthRule,
+    Observatory,
+    default_streaming_rules,
+    load_health_jsonl,
+)
 from repro.obs.logs import (
     JsonlFormatter,
     configure_logging,
@@ -35,8 +55,10 @@ from repro.obs.logs import (
     reset_logging,
 )
 from repro.obs.manifest import RunManifest, fingerprint_dataset
-from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.metrics import MetricsRegistry, NullRegistry, Stopwatch
+from repro.obs.profiler import SamplingProfiler, load_profile
 from repro.obs.progress import ProgressReporter
+from repro.obs.timeseries import SeriesFrame, SeriesSampler, load_series_jsonl
 from repro.obs.tracing import Span, Tracer, trace_span, traced
 
 __all__ = [
@@ -44,6 +66,7 @@ __all__ = [
     "tracing",
     "MetricsRegistry",
     "NullRegistry",
+    "Stopwatch",
     "Span",
     "Tracer",
     "trace_span",
@@ -56,4 +79,15 @@ __all__ = [
     "ProgressReporter",
     "RunManifest",
     "fingerprint_dataset",
+    "SeriesSampler",
+    "SeriesFrame",
+    "load_series_jsonl",
+    "HealthRule",
+    "HealthMonitor",
+    "HealthEvent",
+    "Observatory",
+    "default_streaming_rules",
+    "load_health_jsonl",
+    "SamplingProfiler",
+    "load_profile",
 ]

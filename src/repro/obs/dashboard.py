@@ -1,0 +1,573 @@
+"""Operator dashboard: one self-contained HTML report per campaign.
+
+``darkcrowd dashboard`` folds the observatory's persisted artifacts --
+``--series-out`` JSONL, ``--health-out`` JSONL, ``--profile-out`` JSON,
+plus the PR-4 metrics/trace documents -- into a single static HTML file
+an operator can open from a USB stick on an air-gapped box: no CDN, no
+external scripts, inline CSS and SVG only.
+
+Rendering follows the project's chart conventions:
+
+* Every series is a **single-series sparkline** (2 px line, area wash at
+  10% opacity, end-dot with a surface ring, endpoint value label) -- one
+  color, so the panel title is the legend.  Hover carries per-sample
+  values via native SVG ``<title>`` tooltips, and every panel ships a
+  collapsible table twin so no value is gated behind hover or color.
+* Health states use the reserved status palette and never color alone:
+  each state renders as icon + label (``OK`` / ``! WARN`` / ``x CRIT``).
+* Text wears ink tokens, never series color; grids are solid hairlines;
+  dark mode is a selected palette behind ``prefers-color-scheme``, not
+  an automatic inversion.
+
+The ANSI mode (``--ansi``) prints the same digest for terminals:
+unicode sparkbars, colored state transitions, the hotspot table.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .health import CRIT, OK, WARN, HealthEvent, load_health_jsonl
+from .metrics import percentile_from_counts
+from .profiler import load_profile
+from .timeseries import SeriesFrame, load_series_jsonl
+
+__all__ = [
+    "render_ansi",
+    "render_html",
+    "render_dashboard",
+]
+
+#: Reference palette (validated; see DESIGN "Health observatory").
+_LIGHT = {
+    "surface": "#fcfcfb",
+    "page": "#f9f9f7",
+    "ink": "#0b0b0b",
+    "ink2": "#52514e",
+    "muted": "#898781",
+    "grid": "#e1e0d9",
+    "axis": "#c3c2b7",
+    "series": "#2a78d6",
+    "border": "rgba(11,11,11,0.10)",
+}
+_DARK = {
+    "surface": "#1a1a19",
+    "page": "#0d0d0d",
+    "ink": "#ffffff",
+    "ink2": "#c3c2b7",
+    "muted": "#898781",
+    "grid": "#2c2c2a",
+    "axis": "#383835",
+    "series": "#3987e5",
+    "border": "rgba(255,255,255,0.10)",
+}
+#: Reserved status palette -- shipped with icon + label, never color alone.
+_STATUS = {OK: "#0ca30c", WARN: "#fab219", CRIT: "#d03b3b"}
+_STATUS_LABEL = {OK: "OK", WARN: "! WARN", CRIT: "x CRIT"}
+
+_SPARK_W = 280
+_SPARK_H = 48
+_PAD = 6
+
+_BARS = "▁▂▃▄▅▆▇█"
+_ANSI_STATE = {OK: "\x1b[32m", WARN: "\x1b[33m", CRIT: "\x1b[31m"}
+_ANSI_RESET = "\x1b[0m"
+
+
+def _fmt(value: float) -> str:
+    """Compact human value: 1284 -> 1.3K, 0.000023 -> 2.3e-05."""
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e9:
+        return f"{value / 1e9:.1f}G"
+    if magnitude >= 1e6:
+        return f"{value / 1e6:.1f}M"
+    if magnitude >= 1e4:
+        return f"{value / 1e3:.1f}K"
+    if magnitude >= 1:
+        return f"{value:.6g}"
+    if magnitude >= 1e-3:
+        return f"{value:.4g}"
+    return f"{value:.2e}"
+
+
+def _fmt_t(t: float, t0: float) -> str:
+    """Offset from campaign start, in days when large enough to matter."""
+    dt = t - t0
+    if abs(dt) >= 2 * 86400:
+        return f"day {dt / 86400:.1f}"
+    if abs(dt) >= 7200:
+        return f"{dt / 3600:.1f}h"
+    return f"{dt:.0f}s"
+
+
+# ---------------------------------------------------------------------------
+# HTML building blocks
+# ---------------------------------------------------------------------------
+
+
+def _sparkline_svg(times: np.ndarray, values: np.ndarray, t0: float) -> str:
+    """Inline SVG sparkline: 2px line, 10% area wash, ringed end-dot."""
+    w, h, pad = _SPARK_W, _SPARK_H, _PAD
+    if times.size == 0:
+        return f'<svg width="{w}" height="{h}" role="img"></svg>'
+    tmin, tmax = float(times[0]), float(times[-1])
+    vmin, vmax = float(values.min()), float(values.max())
+    tspan = (tmax - tmin) or 1.0
+    vspan = (vmax - vmin) or 1.0
+
+    def x(t: float) -> float:
+        return pad + (t - tmin) / tspan * (w - 2 * pad)
+
+    def y(v: float) -> float:
+        return h - pad - (v - vmin) / vspan * (h - 2 * pad)
+
+    pts = [(x(float(t)), y(float(v))) for t, v in zip(times, values)]
+    line = " ".join(f"{px:.1f},{py:.1f}" for px, py in pts)
+    area = (
+        f"{pts[0][0]:.1f},{h - pad} " + line + f" {pts[-1][0]:.1f},{h - pad}"
+    )
+    ex, ey = pts[-1]
+    hover = "".join(
+        f'<circle cx="{px:.1f}" cy="{py:.1f}" r="7" fill="transparent">'
+        f"<title>{html.escape(_fmt_t(float(t), t0))}: "
+        f"{html.escape(_fmt(float(v)))}</title></circle>"
+        for (px, py), t, v in zip(pts, times, values)
+    )
+    return (
+        f'<svg width="{w}" height="{h}" viewBox="0 0 {w} {h}" role="img">'
+        f'<line x1="{pad}" y1="{h - pad}" x2="{w - pad}" y2="{h - pad}" '
+        f'stroke="var(--axis)" stroke-width="1"/>'
+        f'<polygon points="{area}" fill="var(--series)" opacity="0.10"/>'
+        f'<polyline points="{line}" fill="none" stroke="var(--series)" '
+        f'stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>'
+        f'<circle cx="{ex:.1f}" cy="{ey:.1f}" r="6" fill="var(--surface)"/>'
+        f'<circle cx="{ex:.1f}" cy="{ey:.1f}" r="4" fill="var(--series)"/>'
+        f"{hover}"
+        f"</svg>"
+    )
+
+
+def _series_table(times: np.ndarray, values: np.ndarray, t0: float) -> str:
+    rows = "".join(
+        f"<tr><td>{html.escape(_fmt_t(float(t), t0))}</td>"
+        f"<td>{html.escape(_fmt(float(v)))}</td></tr>"
+        for t, v in zip(times, values)
+    )
+    return (
+        "<details><summary>table</summary>"
+        "<table><thead><tr><th>t</th><th>value</th></tr></thead>"
+        f"<tbody>{rows}</tbody></table></details>"
+    )
+
+
+def _series_panel(name: str, times: np.ndarray, values: np.ndarray, t0: float) -> str:
+    last = _fmt(float(values[-1])) if values.size else "--"
+    return (
+        '<div class="panel">'
+        f'<div class="panel-title">{html.escape(name)}</div>'
+        f'<div class="panel-value">{html.escape(last)}</div>'
+        f"{_sparkline_svg(times, values, t0)}"
+        f"{_series_table(times, values, t0)}"
+        "</div>"
+    )
+
+
+def _state_chip(state: str) -> str:
+    color = _STATUS[state]
+    label = _STATUS_LABEL[state]
+    return (
+        f'<span class="chip"><span class="dot" style="background:{color}">'
+        f"</span>{html.escape(label)}</span>"
+    )
+
+
+def _health_lane(
+    rule: str,
+    segments: Sequence[tuple[float, str]],
+    t0: float,
+    t1: float,
+) -> str:
+    """One horizontal state lane: colored segments + transition ticks."""
+    w, h = 560, 14
+    span = (t1 - t0) or 1.0
+    parts: list[str] = []
+    for i, (start, state) in enumerate(segments):
+        seg_start = max(start, t0)
+        seg_end = segments[i + 1][0] if i + 1 < len(segments) else t1
+        if seg_end <= seg_start:
+            continue
+        x0 = (seg_start - t0) / span * w
+        x1 = (seg_end - t0) / span * w
+        parts.append(
+            f'<rect x="{x0:.1f}" y="2" width="{max(x1 - x0, 1.0):.1f}" '
+            f'height="{h - 4}" rx="2" fill="{_STATUS[state]}">'
+            f"<title>{html.escape(rule)}: {html.escape(_STATUS_LABEL[state])} "
+            f"from {html.escape(_fmt_t(seg_start, t0))}</title></rect>"
+        )
+    final = segments[-1][1] if segments else OK
+    return (
+        '<div class="lane">'
+        f'<div class="lane-name">{html.escape(rule)}</div>'
+        f'<svg width="{w}" height="{h}" viewBox="0 0 {w} {h}">{"".join(parts)}</svg>'
+        f"{_state_chip(final)}"
+        "</div>"
+    )
+
+
+def _health_section(
+    header: dict[str, Any], events: Sequence[HealthEvent], t0: float, t1: float
+) -> str:
+    rules = sorted(header.get("rules", {}))
+    lanes: dict[str, list[tuple[float, str]]] = {name: [(t0, OK)] for name in rules}
+    for event in events:
+        lanes.setdefault(event.rule, [(t0, OK)]).append((event.t, event.new_state))
+    lane_html = "".join(
+        _health_lane(rule, segments, t0, t1) for rule, segments in sorted(lanes.items())
+    )
+    rows = "".join(
+        f"<tr><td>{html.escape(_fmt_t(e.t, t0))}</td>"
+        f"<td>{html.escape(e.rule)}</td>"
+        f"<td>{_state_chip(e.old_state)} &rarr; {_state_chip(e.new_state)}</td>"
+        f"<td>{html.escape(_fmt(e.value))}</td></tr>"
+        for e in events
+    )
+    table = (
+        "<table><thead><tr><th>t</th><th>rule</th><th>transition</th>"
+        f"<th>value</th></tr></thead><tbody>{rows}</tbody></table>"
+        if events
+        else '<p class="muted">no transitions: every rule stayed OK.</p>'
+    )
+    return f"<h2>Health timeline</h2>{lane_html}{table}"
+
+
+def _hotspot_section(profile: dict[str, Any]) -> str:
+    hotspots = profile.get("hotspots", [])
+    if not hotspots:
+        return "<h2>Hotspots</h2><p class='muted'>no samples captured.</p>"
+    peak = max(h["self_samples"] for h in hotspots) or 1
+    rows = []
+    for spot in hotspots:
+        frac = spot["self_samples"] / peak
+        rows.append(
+            f"<tr><td class='frame'>{html.escape(str(spot['frame']))}</td>"
+            f"<td>{spot['self_samples']}</td><td>{spot['total_samples']}</td>"
+            f"<td>{spot['self_fraction'] * 100:.1f}%</td>"
+            f'<td><svg width="120" height="12"><rect x="0" y="1" '
+            f'width="{max(frac * 120, 2):.0f}" height="10" rx="2" '
+            f'fill="var(--series)"/></svg></td></tr>'
+        )
+    return (
+        f"<h2>Hotspots <span class='muted'>({profile.get('n_samples', 0)} samples "
+        f"@ {profile.get('interval_s', 0) * 1e3:g} ms)</span></h2>"
+        "<table><thead><tr><th>frame</th><th>self</th><th>total</th>"
+        f"<th>self %</th><th></th></tr></thead><tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _metrics_section(metrics_doc: dict[str, Any]) -> str:
+    body = metrics_doc.get("metrics", metrics_doc)
+    histograms = body.get("histograms", [])
+    if not histograms:
+        return ""
+    rows = []
+    for entry in histograms:
+        percentiles = [
+            percentile_from_counts(entry["buckets"], entry["counts"], q)
+            for q in (0.5, 0.95, 0.99)
+        ]
+        cells = "".join(
+            f"<td>{'--' if math.isnan(p) else html.escape(_fmt(p))}</td>"
+            for p in percentiles
+        )
+        label = entry["name"] + (
+            "{" + ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items())) + "}"
+            if entry.get("labels")
+            else ""
+        )
+        rows.append(
+            f"<tr><td class='frame'>{html.escape(label)}</td>"
+            f"<td>{entry['count']}</td>{cells}</tr>"
+        )
+    return (
+        "<h2>Latency percentiles</h2>"
+        "<table><thead><tr><th>histogram</th><th>count</th><th>p50</th>"
+        f"<th>p95</th><th>p99</th></tr></thead><tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _trace_section(trace_doc: dict[str, Any]) -> str:
+    events = trace_doc.get("traceEvents", [])
+    if not events:
+        return ""
+    by_name: dict[str, tuple[int, float]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        name = str(event.get("name", "?"))
+        count, total = by_name.get(name, (0, 0.0))
+        by_name[name] = (count + 1, total + float(event.get("dur", 0.0)) / 1e6)
+    ranked = sorted(by_name.items(), key=lambda kv: -kv[1][1])[:12]
+    rows = "".join(
+        f"<tr><td class='frame'>{html.escape(name)}</td><td>{count}</td>"
+        f"<td>{html.escape(_fmt(total))}s</td></tr>"
+        for name, (count, total) in ranked
+    )
+    return (
+        "<h2>Trace digest</h2>"
+        "<table><thead><tr><th>span</th><th>count</th><th>total</th></tr>"
+        f"</thead><tbody>{rows}</tbody></table>"
+    )
+
+
+_CSS = """
+:root { color-scheme: light; }
+body {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--ink);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+.viz {
+  --surface: %(l_surface)s; --page: %(l_page)s; --ink: %(l_ink)s;
+  --ink2: %(l_ink2)s; --muted: %(l_muted)s; --grid: %(l_grid)s;
+  --axis: %(l_axis)s; --series: %(l_series)s; --border: %(l_border)s;
+}
+@media (prefers-color-scheme: dark) {
+  :root { color-scheme: dark; }
+  .viz {
+    --surface: %(d_surface)s; --page: %(d_page)s; --ink: %(d_ink)s;
+    --ink2: %(d_ink2)s; --muted: %(d_muted)s; --grid: %(d_grid)s;
+    --axis: %(d_axis)s; --series: %(d_series)s; --border: %(d_border)s;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; color: var(--ink); }
+.muted { color: var(--muted); font-weight: 400; }
+.subtitle { color: var(--ink2); margin-bottom: 20px; }
+.hero { display: flex; gap: 24px; align-items: baseline; margin: 18px 0; }
+.hero .value { font-size: 48px; font-weight: 600; }
+.hero .label { color: var(--ink2); }
+.grid { display: flex; flex-wrap: wrap; gap: 12px; }
+.panel {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 14px; width: %(spark_w)spx;
+}
+.panel-title { color: var(--ink2); font-size: 12px; overflow-wrap: anywhere; }
+.panel-value { font-size: 22px; font-weight: 600; margin: 2px 0 6px; }
+.lane { display: flex; align-items: center; gap: 10px; margin: 4px 0; }
+.lane-name { width: 220px; color: var(--ink2); font-size: 13px;
+  overflow-wrap: anywhere; }
+.chip { display: inline-flex; align-items: center; gap: 6px;
+  font-size: 12px; color: var(--ink2); white-space: nowrap; }
+.dot { width: 10px; height: 10px; border-radius: 50%%; display: inline-block; }
+table { border-collapse: collapse; margin-top: 6px;
+  font-variant-numeric: tabular-nums; }
+th, td { text-align: left; padding: 3px 12px 3px 0; border-bottom: 1px solid
+  var(--grid); font-weight: 400; font-size: 13px; }
+th { color: var(--muted); font-size: 12px; }
+td.frame { font-family: ui-monospace, monospace; font-size: 12px; }
+details { margin-top: 6px; }
+summary { color: var(--muted); font-size: 12px; cursor: pointer; }
+"""
+
+
+def render_html(
+    *,
+    series: SeriesFrame | None = None,
+    health: tuple[dict[str, Any], list[HealthEvent]] | None = None,
+    profile: dict[str, Any] | None = None,
+    metrics_doc: dict[str, Any] | None = None,
+    trace_doc: dict[str, Any] | None = None,
+    title: str = "darkcrowd health observatory",
+) -> str:
+    """Assemble the self-contained HTML report from loaded artifacts."""
+    t0, t1 = 0.0, 1.0
+    if series is not None and series.times:
+        t0, t1 = float(series.times[0]), float(series.times[-1])
+    elif health is not None and health[1]:
+        ts = [e.t for e in health[1]]
+        t0, t1 = min(ts), max(ts)
+
+    overall = OK
+    if health is not None:
+        final: dict[str, str] = {}
+        for event in health[1]:
+            final[event.rule] = event.new_state
+        rank = {OK: 0, WARN: 1, CRIT: 2}
+        for state in final.values():
+            if rank[state] > rank[overall]:
+                overall = state
+
+    sections: list[str] = []
+    n_samples = len(series) if series is not None else 0
+    span_days = (t1 - t0) / 86400.0 if series is not None else 0.0
+    n_events = len(health[1]) if health is not None else 0
+    sections.append(
+        '<div class="hero">'
+        f'<div><div class="value">{_state_chip(overall)}</div>'
+        '<div class="label">final health</div></div>'
+        f'<div><div class="value">{n_samples}</div>'
+        '<div class="label">samples</div></div>'
+        f'<div><div class="value">{span_days:.0f}d</div>'
+        '<div class="label">span</div></div>'
+        f'<div><div class="value">{n_events}</div>'
+        '<div class="label">transitions</div></div>'
+        "</div>"
+    )
+    if series is not None:
+        panels = "".join(
+            _series_panel(name, *series.series(name), t0) for name in series.names()
+        )
+        sections.append(f"<h2>Series</h2><div class='grid'>{panels}</div>")
+    if health is not None:
+        sections.append(_health_section(health[0], health[1], t0, t1))
+    if profile is not None:
+        sections.append(_hotspot_section(profile))
+    if metrics_doc is not None:
+        sections.append(_metrics_section(metrics_doc))
+    if trace_doc is not None:
+        sections.append(_trace_section(trace_doc))
+
+    css = _CSS % {
+        "spark_w": _SPARK_W,
+        **{f"l_{k}": v for k, v in _LIGHT.items()},
+        **{f"d_{k}": v for k, v in _DARK.items()},
+    }
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{css}</style></head>"
+        '<body class="viz"><h1>' + html.escape(title) + "</h1>"
+        '<div class="subtitle">static report rendered from observatory '
+        "artifacts; safe to archive or mail.</div>"
+        + "".join(sections)
+        + "</body></html>\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# ANSI terminal mode
+# ---------------------------------------------------------------------------
+
+
+def _sparkbar(values: np.ndarray, width: int = 32) -> str:
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array(
+            [values[a:b].mean() for a, b in zip(edges, edges[1:]) if b > a]
+        )
+    vmin, vmax = float(values.min()), float(values.max())
+    span = (vmax - vmin) or 1.0
+    return "".join(
+        _BARS[min(int((float(v) - vmin) / span * (len(_BARS) - 1)), len(_BARS) - 1)]
+        for v in values
+    )
+
+
+def render_ansi(
+    *,
+    series: SeriesFrame | None = None,
+    health: tuple[dict[str, Any], list[HealthEvent]] | None = None,
+    profile: dict[str, Any] | None = None,
+    color: bool = True,
+) -> str:
+    """Terminal digest of the same artifacts (``darkcrowd dashboard --ansi``)."""
+
+    def paint(state: str, text: str) -> str:
+        if not color:
+            return text
+        return f"{_ANSI_STATE[state]}{text}{_ANSI_RESET}"
+
+    lines: list[str] = []
+    t0 = float(series.times[0]) if series is not None and series.times else 0.0
+    if series is not None:
+        lines.append(f"series ({len(series)} samples):")
+        for name in series.names():
+            times, values = series.series(name)
+            last = _fmt(float(values[-1])) if values.size else "--"
+            lines.append(f"  {name:48s} {_sparkbar(values):32s} last {last}")
+    if health is not None:
+        header, events = health
+        lines.append(f"health ({len(events)} transitions):")
+        final: dict[str, str] = {name: OK for name in header.get("rules", {})}
+        for event in events:
+            final[event.rule] = event.new_state
+            arrow = f"{event.old_state}->{event.new_state}"
+            lines.append(
+                f"  {_fmt_t(event.t, t0):>10s}  {event.rule:32s} "
+                f"{paint(event.new_state, arrow)}  ({_fmt(event.value)})"
+            )
+        summary = "  ".join(
+            f"{rule}={paint(state, state.upper())}"
+            for rule, state in sorted(final.items())
+        )
+        if summary:
+            lines.append(f"  final: {summary}")
+    if profile is not None:
+        lines.append(
+            f"hotspots ({profile.get('n_samples', 0)} samples @ "
+            f"{profile.get('interval_s', 0) * 1e3:g} ms):"
+        )
+        for spot in profile.get("hotspots", [])[:10]:
+            lines.append(
+                f"  {spot['frame']:48s} self {spot['self_samples']:6d}  "
+                f"total {spot['total_samples']:6d}  "
+                f"{spot['self_fraction'] * 100:5.1f}%"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_dashboard(
+    *,
+    series_path: str | Path | None = None,
+    health_path: str | Path | None = None,
+    profile_path: str | Path | None = None,
+    metrics_path: str | Path | None = None,
+    trace_path: str | Path | None = None,
+    title: str = "darkcrowd health observatory",
+    ansi: bool = False,
+    color: bool = True,
+) -> str:
+    """Load whichever artifacts exist and render HTML (or ANSI) output."""
+    if not any((series_path, health_path, profile_path, metrics_path, trace_path)):
+        raise ValueError(
+            "nothing to render: pass at least one artifact path "
+            "(series, health, profile, metrics or trace)"
+        )
+    series = load_series_jsonl(series_path) if series_path else None
+    health = load_health_jsonl(health_path) if health_path else None
+    profile = load_profile(profile_path) if profile_path else None
+    metrics_doc = _load_json(metrics_path, "repro-metrics") if metrics_path else None
+    trace_doc = (
+        json.loads(Path(trace_path).read_text(encoding="utf-8")) if trace_path else None
+    )
+    if ansi:
+        return render_ansi(series=series, health=health, profile=profile, color=color)
+    return render_html(
+        series=series,
+        health=health,
+        profile=profile,
+        metrics_doc=metrics_doc,
+        trace_doc=trace_doc,
+        title=title,
+    )
+
+
+def _load_json(path: str | Path | None, kind: str) -> dict[str, Any]:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("kind") != kind:
+        raise ValueError(f"{path}: expected kind {kind!r}, got {payload.get('kind')!r}")
+    return payload
+
+

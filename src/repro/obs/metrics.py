@@ -41,7 +41,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullRegistry",
+    "Stopwatch",
     "DEFAULT_BUCKETS",
+    "percentile_from_counts",
     "get_registry",
     "set_registry",
     "enable",
@@ -71,6 +73,75 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
     30.0,
     60.0,
 )
+
+
+def percentile_from_counts(
+    buckets: Iterable[float], counts: Iterable[int], q: float
+) -> float:
+    """Estimate the *q*-quantile (``0 < q <= 1``) from bucketed counts.
+
+    *buckets* are the finite upper bounds and *counts* the per-bucket
+    (non-cumulative) tallies with a trailing ``+Inf`` slot -- exactly the
+    shape :meth:`Histogram.bucket_counts` returns and the JSON metrics
+    snapshot persists, so the CLI and the dashboard can compute
+    percentiles from serialised documents.  The estimate interpolates
+    linearly inside the landing bucket (Prometheus ``histogram_quantile``
+    convention); a quantile landing in the ``+Inf`` bucket degrades to
+    the largest finite bound.  Returns ``nan`` for an empty histogram.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    bounds = [float(b) for b in buckets]
+    tallies = [int(c) for c in counts]
+    if len(tallies) != len(bounds) + 1:
+        raise ValueError(
+            f"expected {len(bounds) + 1} counts (one per bucket plus +Inf), "
+            f"got {len(tallies)}"
+        )
+    total = sum(tallies)
+    if total == 0:
+        return math.nan
+    rank = q * total
+    cumulative = 0
+    for i, tally in enumerate(tallies):
+        if tally == 0:
+            continue
+        previous = cumulative
+        cumulative += tally
+        if cumulative >= rank:
+            if i == len(bounds):  # +Inf bucket: no finite upper edge
+                return bounds[-1]
+            lower = bounds[i - 1] if i > 0 else 0.0
+            fraction = (rank - previous) / tally
+            return lower + (bounds[i] - lower) * fraction
+    return bounds[-1]  # pragma: no cover - unreachable, rank <= total
+
+
+class Stopwatch:
+    """Monotonic elapsed-time probe for code that *consumes* the duration.
+
+    ``Histogram.time()`` covers the common record-into-a-histogram case;
+    a :class:`Stopwatch` is for call sites that need the elapsed seconds
+    as a value (throughput lines, structured-log fields, report
+    attributes).  It is the one sanctioned home of
+    :func:`time.perf_counter` outside ``repro/obs`` -- lint rule DC011
+    flags naked ``perf_counter()`` timing in library code.
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = perf_counter()
+
+    def elapsed_s(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return perf_counter() - self._start
+
+    def restart(self) -> float:
+        """Reset the origin; returns the elapsed seconds up to the reset."""
+        elapsed = self.elapsed_s()
+        self._start = perf_counter()
+        return elapsed
 
 
 def _validate_name(name: str) -> str:
@@ -196,6 +267,10 @@ class Histogram:
         with self._lock:
             return list(self._counts)
 
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated *q*-quantile (``nan`` while empty)."""
+        return percentile_from_counts(self.buckets, self.bucket_counts(), q)
+
 
 class _NullMetric:
     """Shared do-nothing handle behind the disabled default registry."""
@@ -225,6 +300,9 @@ class _NullMetric:
 
     def bucket_counts(self) -> list[int]:
         return []
+
+    def percentile(self, q: float) -> float:
+        return math.nan
 
 
 class _NullContext:

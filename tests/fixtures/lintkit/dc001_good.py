@@ -5,5 +5,4 @@ from repro.reliability.clocks import utc_isoformat, wall_now
 
 started = wall_now()
 elapsed = time.monotonic()  # monotonic reads are fine
-precise = time.perf_counter()
 stamp = utc_isoformat(started)

@@ -1,0 +1,7 @@
+"""Fixture: ad-hoc perf_counter timing (DC011 must fire on every call)."""
+import time
+from time import perf_counter
+
+started = time.perf_counter()
+work_duration = time.perf_counter() - started
+aliased = perf_counter()

@@ -1,0 +1,10 @@
+"""Fixture: timing routed through the obs layer (DC011 quiet)."""
+import time
+
+from repro.obs import metrics as obs_metrics
+
+watch = obs_metrics.Stopwatch()
+elapsed = watch.elapsed_s()
+with obs_metrics.histogram("repro_core_step_seconds", "step wall time").time():
+    pass
+idle = time.monotonic()  # monotonic is the scheduling clock, not a timer

@@ -301,3 +301,188 @@ class TestReplayCommand:
                     str(tmp_path / "m.jsonl"),
                 ]
             )
+
+
+class TestObservatoryCli:
+    """--series-out/--health-out/--profile-out, stats on them, dashboard."""
+
+    def _write_traces(self, path):
+        lines = []
+        for index in range(10):
+            user_hour = 19 + index % 3
+            stamps = [day * 86400.0 + user_hour * 3600.0 for day in range(40)]
+            lines.append(
+                json.dumps({"user": f"u{index:02d}", "timestamps": stamps})
+            )
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    def _replay_with_observatory(self, tmp_path, capsys):
+        traces = tmp_path / "traces.jsonl"
+        self._write_traces(traces)
+        series = tmp_path / "series.jsonl"
+        health = tmp_path / "health.jsonl"
+        assert (
+            main(
+                [
+                    "--scale",
+                    "0.02",
+                    "replay",
+                    str(traces),
+                    "--batch-size",
+                    "97",
+                    "--series-out",
+                    str(series),
+                    "--health-out",
+                    str(health),
+                ]
+            )
+            == 0
+        )
+        return series, health, capsys.readouterr().out
+
+    def test_parser_observatory_flags(self):
+        args = build_parser().parse_args(
+            [
+                "replay",
+                "t.jsonl",
+                "--series-out",
+                "s.jsonl",
+                "--health-out",
+                "h.jsonl",
+                "--profile-out",
+                "p.json",
+            ]
+        )
+        assert args.series_out == "s.jsonl"
+        assert args.health_out == "h.jsonl"
+        assert args.profile_out == "p.json"
+        monitor = build_parser().parse_args(["monitor", "--series-out", "s.jsonl"])
+        assert monitor.series_out == "s.jsonl"
+        dash = build_parser().parse_args(["dashboard", "--series", "s.jsonl"])
+        assert dash.out == "dashboard.html"
+        assert not dash.ansi
+
+    def test_replay_writes_series_and_health(self, capsys, tmp_path):
+        from repro.obs.health import load_health_jsonl
+        from repro.obs.timeseries import load_series_jsonl
+
+        series, health, out = self._replay_with_observatory(tmp_path, capsys)
+        assert "series written to" in out
+        assert "health events written to" in out
+        frame = load_series_jsonl(series)
+        assert len(frame) >= 2  # several chunks crossed the 6 h interval
+        assert "stream_events_total" in frame.names()
+        times, values = frame.series("stream_events_total")
+        assert list(values) == sorted(values)  # a counter never decreases
+        header, events = load_health_jsonl(health)
+        assert "migration_rate_spike" in header["rules"]
+        assert events == []  # stationary crowd: nothing ever trips
+        assert "overall ok" in out
+
+    def test_replay_store_observatory_prints_caveat(self, capsys, tmp_path):
+        traces = tmp_path / "traces.jsonl"
+        self._write_traces(traces)
+        store = tmp_path / "traces.store"
+        assert main(["--scale", "0.02", "convert", str(traces), str(store)]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "--scale",
+                    "0.02",
+                    "replay",
+                    str(store),
+                    "--store",
+                    "--series-out",
+                    str(tmp_path / "s.jsonl"),
+                ]
+            )
+            == 0
+        )
+        assert "user-ordered columns" in capsys.readouterr().out
+
+    def test_profile_out_writes_profile(self, capsys, tmp_path):
+        from repro.obs.profiler import load_profile
+
+        traces = tmp_path / "traces.jsonl"
+        self._write_traces(traces)
+        profile = tmp_path / "run.profile.json"
+        assert (
+            main(
+                [
+                    "--scale",
+                    "0.02",
+                    "replay",
+                    str(traces),
+                    "--profile-out",
+                    str(profile),
+                ]
+            )
+            == 0
+        )
+        assert "profile written to" in capsys.readouterr().out
+        payload = load_profile(profile)
+        assert payload["kind"] == "repro-profile"
+        assert payload["n_samples"] >= 0
+
+    def test_stats_renders_observatory_artifacts(self, capsys, tmp_path):
+        series, health, _ = self._replay_with_observatory(tmp_path, capsys)
+        assert main(["stats", str(series)]) == 0
+        out = capsys.readouterr().out
+        assert "stream_events_total" in out
+        assert "samples" in out
+        assert main(["stats", str(health)]) == 0
+        out = capsys.readouterr().out
+        assert "migration_rate_spike" in out
+        assert "no health transitions recorded" in out
+
+    def test_stats_renders_profile(self, capsys, tmp_path):
+        from repro.obs.profiler import SamplingProfiler
+
+        profiler = SamplingProfiler()
+        profiler._counts[("main", "ingest")] = 5
+        profiler._n_samples = 5
+        path = profiler.write(tmp_path / "p.json")
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ingest" in out
+        assert "5" in out
+
+    def test_dashboard_writes_html(self, capsys, tmp_path):
+        series, health, _ = self._replay_with_observatory(tmp_path, capsys)
+        out_path = tmp_path / "dash.html"
+        assert (
+            main(
+                [
+                    "dashboard",
+                    "--series",
+                    str(series),
+                    "--health",
+                    str(health),
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        assert "dashboard written to" in capsys.readouterr().out
+        html = out_path.read_text(encoding="utf-8")
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        assert "stream_events_total" in html
+        assert "src=" not in html  # self-contained: no external fetches
+
+    def test_dashboard_ansi_prints_inline(self, capsys, tmp_path):
+        series, _, _ = self._replay_with_observatory(tmp_path, capsys)
+        assert main(["dashboard", "--series", str(series), "--ansi"]) == 0
+        out = capsys.readouterr().out
+        assert "stream_events_total" in out
+
+    def test_dashboard_requires_an_artifact(self):
+        with pytest.raises(SystemExit, match="at least one"):
+            main(["dashboard"])
+
+    def test_dashboard_rejects_corrupt_artifact(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["dashboard", "--series", str(bad)])

@@ -52,6 +52,7 @@ EXPECTED_BAD_FINDINGS = {
     "DC008": 2,
     "DC009": 2,
     "DC010": 3,
+    "DC011": 3,
 }
 
 
@@ -60,8 +61,11 @@ def fixture_source(name: str) -> str:
 
 
 class TestRegistry:
-    def test_all_ten_rules_registered(self):
-        assert sorted(all_rules()) == [f"DC00{i}" for i in range(1, 10)] + ["DC010"]
+    def test_all_eleven_rules_registered(self):
+        assert sorted(all_rules()) == [f"DC00{i}" for i in range(1, 10)] + [
+            "DC010",
+            "DC011",
+        ]
 
     def test_every_rule_documents_itself(self):
         for rule_id, rule_class in all_rules().items():
@@ -128,6 +132,16 @@ class TestRuleScoping:
         source = fixture_source("dc010_bad.py")
         assert lint_source(source, path="src/repro/core/streaming.py") == []
         assert lint_source(source, path="tests/test_example.py") == []
+        assert len(lint_source(source, path=CORE_PATH)) == 3
+
+    def test_dc011_exempts_obs_and_tests_but_not_cli(self):
+        source = fixture_source("dc011_bad.py")
+        assert lint_source(source, path="src/repro/obs/metrics.py") == []
+        assert lint_source(source, path="src/repro/obs/profiler.py") == []
+        assert lint_source(source, path="tests/test_example.py") == []
+        # the CLI is library code for timing purposes: its throughput
+        # prints consume Stopwatch values like any other caller
+        assert len(lint_source(source, path="src/repro/cli.py")) == 3
         assert len(lint_source(source, path=CORE_PATH)) == 3
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import io
 import json
 import logging
+import math
 import threading
 
 import pytest
@@ -29,6 +30,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    Stopwatch,
+    percentile_from_counts,
     use_registry,
 )
 from repro.obs.progress import ProgressReporter
@@ -464,3 +467,67 @@ class TestRunManifest:
         assert fingerprint_dataset(None) is None
         with pytest.raises(ReproError, match="missing dataset"):
             fingerprint_dataset("/nonexistent/path/xyz")
+
+
+class TestPercentileFromCounts:
+    def test_interpolates_inside_landing_bucket(self):
+        # 10 observations uniform in (0, 1], 10 in (1, 2]
+        buckets, counts = [1.0, 2.0], [10, 10, 0]
+        assert percentile_from_counts(buckets, counts, 0.5) == pytest.approx(1.0)
+        assert percentile_from_counts(buckets, counts, 0.25) == pytest.approx(0.5)
+        assert percentile_from_counts(buckets, counts, 0.75) == pytest.approx(1.5)
+        assert percentile_from_counts(buckets, counts, 1.0) == pytest.approx(2.0)
+
+    def test_inf_bucket_degrades_to_largest_finite_bound(self):
+        assert percentile_from_counts([1.0, 2.0], [0, 0, 5], 0.99) == 2.0
+
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(percentile_from_counts([1.0], [0, 0], 0.5))
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            percentile_from_counts([1.0], [1, 0], 0.0)
+        with pytest.raises(ValueError, match="quantile"):
+            percentile_from_counts([1.0], [1, 0], 1.5)
+
+    def test_count_length_must_match_buckets(self):
+        with pytest.raises(ValueError, match="expected 3 counts"):
+            percentile_from_counts([1.0, 2.0], [1, 0], 0.5)
+
+    def test_histogram_percentile_uses_live_counts(self):
+        h = Histogram("repro_test_seconds", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 1.5, 3.0):
+            h.observe(value)
+        assert h.percentile(0.5) == pytest.approx(1.0)
+        assert h.percentile(1.0) == pytest.approx(4.0)
+        assert math.isnan(Histogram("repro_test_empty", buckets=(1.0,)).percentile(0.5))
+
+    def test_null_registry_percentile_is_nan(self):
+        h = NullRegistry().histogram("repro_test_seconds", "help")
+        h.observe(1.0)
+        assert math.isnan(h.percentile(0.5))
+
+    def test_matches_snapshot_shape(self):
+        # the CLI computes percentiles from the persisted snapshot entries;
+        # the module function must accept that exact shape
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_test_seconds", "t", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        (entry,) = registry.snapshot()["histograms"]
+        value = percentile_from_counts(entry["buckets"], entry["counts"], 0.95)
+        assert value == pytest.approx(h.percentile(0.95))
+
+
+class TestStopwatch:
+    def test_elapsed_is_monotone_nonnegative(self):
+        watch = Stopwatch()
+        first = watch.elapsed_s()
+        second = watch.elapsed_s()
+        assert 0.0 <= first <= second
+
+    def test_restart_returns_elapsed_and_resets(self):
+        watch = Stopwatch()
+        elapsed = watch.restart()
+        assert elapsed >= 0.0
+        assert watch.elapsed_s() <= elapsed + 1.0  # origin moved forward

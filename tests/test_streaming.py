@@ -194,3 +194,66 @@ class TestIncrementalSnapshots:
         assert stream.n_dirty() == stream.n_users()
         cold = stream.snapshot()
         assert cold.placement == warm.placement
+
+
+class TestHeartbeat:
+    """The observatory's gauge surface: cheap, deterministic, drift-aware."""
+
+    def _fill(self, stream, n_users=5, n_days=30):
+        crowd = build_region_crowd("japan", n_users, seed=3, n_days=n_days)
+        for trace in crowd:
+            for timestamp in trace.timestamps:
+                stream.observe(trace.user_id, float(timestamp))
+
+    def test_counts_and_snapshot_lag(self, references):
+        stream = StreamingGeolocator(references)
+        self._fill(stream)
+        beat = stream.heartbeat()
+        assert beat["events_total"] == float(stream.n_events)
+        assert beat["users_seen"] == float(stream.n_users())
+        assert beat["dirty_users"] == float(stream.n_dirty())
+        assert beat["migrations_total"] == 0.0
+        # no snapshot or checkpoint yet: everything ingested is lag
+        assert beat["snapshot_lag_events"] == beat["events_total"]
+        assert beat["checkpoint_lag_events"] == beat["events_total"]
+        assert beat["users_placed"] == 0.0  # histogram fills at refresh
+
+        stream.snapshot()
+        beat = stream.heartbeat()
+        assert beat["snapshot_lag_events"] == 0.0
+        assert beat["users_placed"] > 0.0
+        stream.observe("late", 20 * 3600.0)
+        assert stream.heartbeat()["snapshot_lag_events"] == 1.0
+
+    def test_checkpoint_lag_and_age(self, references, tmp_path):
+        clock = {"t": 1000.0}
+        stream = StreamingGeolocator(references, wall_clock=lambda: clock["t"])
+        self._fill(stream, n_users=3)
+        assert "checkpoint_age_s" not in stream.heartbeat()
+        stream.save_checkpoint(tmp_path / "c.npz")
+        clock["t"] = 1007.0
+        beat = stream.heartbeat()
+        assert beat["checkpoint_lag_events"] == 0.0
+        assert beat["checkpoint_age_s"] == 7.0
+
+    def test_drift_gauges_only_with_drift_enabled(self, references):
+        plain = StreamingGeolocator(references)
+        self._fill(plain)
+        assert "stream_day" not in plain.heartbeat()
+        assert "stale_ratio" not in plain.heartbeat()
+
+        from repro.core.drift import DriftConfig
+
+        drifting = StreamingGeolocator(references, drift=DriftConfig())
+        self._fill(drifting, n_days=120)
+        beat = drifting.heartbeat()
+        assert beat["stream_day"] >= 100.0
+        assert 0.0 <= beat["stale_ratio"] <= 1.0
+        assert 0.0 <= beat["confidence_min"] <= beat["confidence_mean"] <= 1.0
+
+    def test_heartbeat_mutates_nothing(self, references):
+        stream = StreamingGeolocator(references)
+        self._fill(stream)
+        before = stream.heartbeat()
+        assert stream.heartbeat() == before
+        assert stream.n_dirty() > 0  # no hidden refresh happened
