@@ -123,7 +123,7 @@ class LabeledDataset:
         (user-count weighted) average.
         """
         selected = list(keys) if keys is not None else self.region_keys()
-        weighted = []
+        weighted: list[np.ndarray] = []
         for key in selected:
             crowd = self.crowd(key)
             if len(crowd) == 0:

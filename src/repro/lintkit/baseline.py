@@ -1,0 +1,127 @@
+"""Baseline suppression: adopt the linter without fixing history first.
+
+A baseline file records currently-accepted findings; subsequent runs
+drop exact matches and fail only on *new* findings.  Entries key on
+``(path, rule, hash-of-stripped-source-line)`` rather than line
+numbers, so unrelated edits that shift lines do not resurrect
+baselined findings -- but editing the offending line itself (or fixing
+it) invalidates the entry, which is the point.
+
+The shipped repo carries **no** baseline: every real finding was fixed
+(ISSUE 10 acceptance), and CI fails if a baseline file with entries
+ever appears.  The mechanism exists for downstream forks and for
+staged adoption of future rules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.lintkit.model import Finding
+
+__all__ = [
+    "BASELINE_KIND",
+    "BASELINE_VERSION",
+    "BaselineEntry",
+    "filter_findings",
+    "load_baseline",
+    "render_baseline",
+]
+
+BASELINE_KIND = "darkcrowd-lint-baseline"
+BASELINE_VERSION = 1
+
+#: Resolves a finding to its baseline key inputs: the normalized
+#: (project-root-relative, posix) path and the source line text the
+#: finding points at ("" when unavailable).
+KeyResolver = Callable[[Finding], "tuple[str, str]"]
+
+
+@dataclass(frozen=True, order=True)
+class BaselineEntry:
+    path: str
+    rule: str
+    line_hash: str
+
+
+def _hash_line(line: str) -> str:
+    return hashlib.sha256(line.strip().encode("utf-8")).hexdigest()[:16]
+
+
+def entry_for(finding: Finding, resolver: KeyResolver) -> BaselineEntry:
+    path, line_text = resolver(finding)
+    return BaselineEntry(
+        path=path, rule=finding.rule_id, line_hash=_hash_line(line_text)
+    )
+
+
+def load_baseline(path: "str | Path") -> set[BaselineEntry]:
+    """Parse a baseline document; raises ValueError on malformed input."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("kind") != BASELINE_KIND
+        or not isinstance(payload.get("entries"), list)
+    ):
+        raise ValueError(
+            f"baseline {path} is not a {BASELINE_KIND} document"
+        )
+    entries: set[BaselineEntry] = set()
+    for item in payload["entries"]:
+        if not isinstance(item, dict):
+            raise ValueError(f"baseline {path} has a non-object entry")
+        try:
+            entries.add(
+                BaselineEntry(
+                    path=item["path"],
+                    rule=item["rule"],
+                    line_hash=item["line_hash"],
+                )
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"baseline {path} entry is missing key {exc.args[0]!r}"
+            ) from exc
+    return entries
+
+
+def render_baseline(
+    findings: Sequence[Finding], resolver: KeyResolver
+) -> str:
+    """The baseline document accepting exactly *findings*."""
+    entries = sorted({entry_for(finding, resolver) for finding in findings})
+    payload = {
+        "kind": BASELINE_KIND,
+        "version": BASELINE_VERSION,
+        "n_entries": len(entries),
+        "entries": [
+            {"path": e.path, "rule": e.rule, "line_hash": e.line_hash}
+            for e in entries
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def filter_findings(
+    findings: Sequence[Finding],
+    baseline: set[BaselineEntry],
+    resolver: KeyResolver,
+) -> "tuple[list[Finding], int]":
+    """Drop baselined findings; returns (kept, n_suppressed)."""
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if entry_for(finding, resolver) in baseline:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -1,0 +1,361 @@
+"""Intraprocedural dataflow: reaching definitions rules can query.
+
+The whole-program rules (DC013, DC014) need more than "what does this
+name resolve to" -- they ask *where a value came from*: does the
+argument of a serialization sink originate in set iteration, is the
+callable handed to a process pool a closure, was this receiver
+constructed from ``ProcessPoolExecutor``.  :class:`FunctionDataflow`
+answers those questions with a classic reaching-definitions analysis
+over one function body (or a module's top-level statements).
+
+The analysis is deliberately conservative in the lint direction:
+
+* merges are unions and nothing is ever killed at a join, so a
+  definition that *may* reach a use always does;
+* loops are resolved by a two-pass fixpoint (union-only transfer
+  functions are monotone, and one extra pass propagates every
+  definition generated inside the body back to its head);
+* nested function bodies are opaque -- a nested ``def`` defines its
+  *name* (kind ``nested-function``, which DC014 uses to spot closure
+  workers) but its body belongs to another scope.
+
+Queries run through :meth:`FunctionDataflow.origins`, which chases a
+use back through the definitions reaching it and returns a set of
+:class:`Origin` descriptors -- ``call:numpy.random.default_rng``,
+``set-display``, ``param``, ... -- bounded by a small depth so cyclic
+reassignment cannot loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "Definition",
+    "Origin",
+    "FunctionDataflow",
+]
+
+#: name -> the definitions of it that may reach a program point.
+_DefMap = dict[str, frozenset["Definition"]]
+
+#: How many assignment hops :meth:`origins` follows before giving up.
+_MAX_TRACE_DEPTH = 6
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One binding of *name*, with the expression that produced it.
+
+    ``value`` is ``None`` when the binding has no single traceable
+    expression (tuple unpacking, ``for`` targets bind the element of the
+    iterable instead -- see ``iter_source``).
+    """
+
+    name: str
+    kind: str  # "assign" | "param" | "for-target" | "with-target" | "nested-function" | "import" | "unknown"
+    lineno: int
+    value: ast.expr | None = None
+    #: for ``for x in S`` targets: the iterable S whose elements bind x.
+    iter_source: ast.expr | None = None
+
+    def __hash__(self) -> int:  # identity of the binding site, not the AST
+        return hash((self.name, self.kind, self.lineno, id(self.value), id(self.iter_source)))
+
+
+@dataclass(frozen=True)
+class Origin:
+    """Where a value may have come from, as a comparable descriptor."""
+
+    kind: str  # "call" | "set-display" | "set-comp" | "iter-of-set" | "lambda" | "nested-function" | "param" | "const" | "unknown"
+    detail: str = ""
+    lineno: int = 0
+
+    def is_call_to(self, *targets: str) -> bool:
+        return self.kind == "call" and self.detail in targets
+
+
+def _assigned_names(target: ast.expr) -> Iterable[tuple[str, bool]]:
+    """Names bound by an assignment target; ``simple`` is False under unpacking."""
+    if isinstance(target, ast.Name):
+        yield target.id, True
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            for name, _ in _assigned_names(element):
+                yield name, False
+    elif isinstance(target, ast.Starred):
+        for name, _ in _assigned_names(target.value):
+            yield name, False
+
+
+def _merge(left: _DefMap, right: _DefMap) -> _DefMap:
+    merged = dict(left)
+    for name, defs in right.items():
+        existing = merged.get(name)
+        merged[name] = defs if existing is None else existing | defs
+    return merged
+
+
+class FunctionDataflow:
+    """Reaching definitions over one function body (or module top level).
+
+    *resolve* maps a ``Name``/``Attribute`` chain to its fully dotted
+    import origin (the per-file alias table) so origins of calls come
+    back project-resolved (``np.random.default_rng`` ->
+    ``numpy.random.default_rng``).
+    """
+
+    def __init__(
+        self,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda | ast.Module",
+        resolve: Callable[[ast.AST], "str | None"],
+    ) -> None:
+        self._resolve = resolve
+        #: statement -> definitions reaching its entry.
+        self._entry: dict[ast.stmt, _DefMap] = {}
+        seed: _DefMap = {}
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            args = node.args
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                definition = Definition(arg.arg, "param", getattr(arg, "lineno", 0))
+                seed[arg.arg] = frozenset({definition})
+        body: Sequence[ast.stmt]
+        if isinstance(node, ast.Lambda):
+            body = []
+        else:
+            body = node.body
+        self._exit = self._flow(body, seed)
+
+    # -- analysis ----------------------------------------------------------
+
+    def _flow(self, stmts: Sequence[ast.stmt], incoming: _DefMap) -> _DefMap:
+        current = incoming
+        for stmt in stmts:
+            self._entry[stmt] = current
+            current = self._transfer(stmt, current)
+        return current
+
+    def _bind(
+        self, current: _DefMap, name: str, definition: Definition
+    ) -> _DefMap:
+        updated = dict(current)
+        updated[name] = frozenset({definition})
+        return updated
+
+    def _transfer(self, stmt: ast.stmt, current: _DefMap) -> _DefMap:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for name, simple in _assigned_names(target):
+                    value = stmt.value if simple else None
+                    current = self._bind(
+                        current,
+                        name,
+                        Definition(name, "assign", stmt.lineno, value=value),
+                    )
+            return current
+        if isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                name = stmt.target.id
+                current = self._bind(
+                    current,
+                    name,
+                    Definition(name, "assign", stmt.lineno, value=stmt.value),
+                )
+            return current
+        if isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                name = stmt.target.id
+                current = self._bind(
+                    current, name, Definition(name, "unknown", stmt.lineno)
+                )
+            return current
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return self._bind(
+                current,
+                stmt.name,
+                Definition(stmt.name, "nested-function", stmt.lineno),
+            )
+        if isinstance(stmt, ast.ClassDef):
+            return self._bind(
+                current, stmt.name, Definition(stmt.name, "unknown", stmt.lineno)
+            )
+        if isinstance(stmt, ast.If):
+            then_out = self._flow(stmt.body, current)
+            else_out = self._flow(stmt.orelse, current)
+            return _merge(then_out, else_out)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            bound = current
+            for name, simple in _assigned_names(stmt.target):
+                bound = self._bind(
+                    bound,
+                    name,
+                    Definition(
+                        name,
+                        "for-target",
+                        stmt.lineno,
+                        iter_source=stmt.iter if simple else None,
+                    ),
+                )
+            first = self._flow(stmt.body, bound)
+            second = self._flow(stmt.body, _merge(bound, first))
+            after_else = self._flow(stmt.orelse, _merge(current, second))
+            return _merge(_merge(current, second), after_else)
+        if isinstance(stmt, ast.While):
+            first = self._flow(stmt.body, current)
+            second = self._flow(stmt.body, _merge(current, first))
+            after_else = self._flow(stmt.orelse, _merge(current, second))
+            return _merge(_merge(current, second), after_else)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            bound = current
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    for name, simple in _assigned_names(item.optional_vars):
+                        bound = self._bind(
+                            bound,
+                            name,
+                            Definition(
+                                name,
+                                "with-target",
+                                stmt.lineno,
+                                value=item.context_expr if simple else None,
+                            ),
+                        )
+            return self._flow(stmt.body, bound)
+        if isinstance(stmt, ast.Try):
+            body_out = self._flow(stmt.body, current)
+            merged = _merge(current, body_out)
+            for handler in stmt.handlers:
+                bound = merged
+                if handler.name:
+                    bound = self._bind(
+                        bound,
+                        handler.name,
+                        Definition(handler.name, "unknown", handler.lineno),
+                    )
+                merged = _merge(merged, self._flow(handler.body, bound))
+            merged = _merge(merged, self._flow(stmt.orelse, _merge(current, body_out)))
+            return self._flow(stmt.finalbody, merged)
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                current = self._bind(
+                    current, local, Definition(local, "import", stmt.lineno)
+                )
+            return current
+        # Return / Expr / Raise / Assert / Delete / Pass / Global / Nonlocal:
+        # no bindings the analysis tracks.
+        return current
+
+    # -- queries -----------------------------------------------------------
+
+    def reaching(self, stmt: ast.stmt) -> _DefMap:
+        """Definitions reaching the entry of *stmt* (empty if unknown)."""
+        return self._entry.get(stmt, {})
+
+    def has(self, stmt: ast.stmt) -> bool:
+        """Whether *stmt* belongs to this scope's analyzed statements."""
+        return stmt in self._entry
+
+    def definitions_at(self, name: str, stmt: ast.stmt) -> frozenset[Definition]:
+        return self.reaching(stmt).get(name, frozenset())
+
+    def origins(
+        self, expr: "ast.expr | None", stmt: ast.stmt, depth: int = _MAX_TRACE_DEPTH
+    ) -> set[Origin]:
+        """Descriptors of the value sources *expr* may take at *stmt*.
+
+        ``sorted(...)`` is treated as a terminal ordered origin -- the
+        sanctioned way to serialise set contents -- so taint queries stop
+        there instead of looking through it.
+        """
+        if expr is None or depth <= 0:
+            return {Origin("unknown")}
+        lineno = getattr(expr, "lineno", 0)
+        if isinstance(expr, ast.Name):
+            defs = self.definitions_at(expr.id, stmt)
+            if not defs:
+                return {Origin("unknown", expr.id, lineno)}
+            found: set[Origin] = set()
+            for definition in defs:
+                if definition.kind == "param":
+                    found.add(Origin("param", definition.name, definition.lineno))
+                elif definition.kind == "nested-function":
+                    found.add(
+                        Origin("nested-function", definition.name, definition.lineno)
+                    )
+                elif definition.kind == "for-target":
+                    found |= self._iter_origins(definition.iter_source, stmt, depth - 1)
+                elif definition.value is not None:
+                    found |= self.origins(definition.value, stmt, depth - 1)
+                else:
+                    found.add(Origin("unknown", definition.name, definition.lineno))
+            return found
+        if isinstance(expr, ast.Lambda):
+            return {Origin("lambda", "", lineno)}
+        if isinstance(expr, (ast.Set,)):
+            return {Origin("set-display", "", lineno)}
+        if isinstance(expr, ast.SetComp):
+            return {Origin("set-comp", "", lineno)}
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            sources: set[Origin] = set()
+            for comp in expr.generators[:1]:
+                sources |= self._iter_origins(comp.iter, stmt, depth - 1)
+            return sources or {Origin("unknown", "", lineno)}
+        if isinstance(expr, ast.Call):
+            target = self._resolve(expr.func) or ""
+            if not target and isinstance(expr.func, ast.Name):
+                # Could be a local binding (nested def, alias of a class).
+                defs = self.definitions_at(expr.func.id, stmt)
+                if any(d.kind == "nested-function" for d in defs):
+                    return {Origin("nested-function", expr.func.id, lineno)}
+                target = expr.func.id
+            elif not target and isinstance(expr.func, ast.Attribute):
+                target = f"@method:{expr.func.attr}"
+            if target in ("sorted", "builtins.sorted"):
+                return {Origin("call", "sorted", lineno)}
+            if target in ("set", "frozenset", "builtins.set", "builtins.frozenset"):
+                return {Origin("call", "set", lineno)}
+            if target in ("list", "tuple", "iter", "builtins.list", "builtins.tuple"):
+                # Ordered containers preserve their source's (dis)order.
+                passthrough: set[Origin] = set()
+                for arg in expr.args[:1]:
+                    passthrough |= self._iter_origins(arg, stmt, depth - 1)
+                return passthrough or {Origin("call", "list", lineno)}
+            return {Origin("call", target, lineno)}
+        if isinstance(expr, ast.Constant):
+            return {Origin("const", repr(expr.value), lineno)}
+        if isinstance(expr, (ast.Dict, ast.DictComp, ast.List, ast.Tuple)):
+            return {Origin("const", type(expr).__name__.lower(), lineno)}
+        if isinstance(expr, ast.Attribute):
+            resolved = self._resolve(expr)
+            if resolved is not None:
+                return {Origin("call", resolved, lineno)}
+            return {Origin("unknown", expr.attr, lineno)}
+        return {Origin("unknown", "", lineno)}
+
+    def _iter_origins(
+        self, iterable: "ast.expr | None", stmt: ast.stmt, depth: int
+    ) -> set[Origin]:
+        """Origins of *elements drawn from* an iterable expression.
+
+        Set-typed iterables surface as ``iter-of-set`` -- the taint DC013
+        keys on; everything else degrades to the iterable's own origins.
+        """
+        if iterable is None or depth <= 0:
+            return {Origin("unknown")}
+        base = self.origins(iterable, stmt, depth)
+        lifted: set[Origin] = set()
+        for origin in base:
+            if origin.kind in ("set-display", "set-comp") or origin.is_call_to("set"):
+                lifted.add(Origin("iter-of-set", origin.detail, origin.lineno))
+            else:
+                lifted.add(origin)
+        return lifted

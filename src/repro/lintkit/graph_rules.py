@@ -1,0 +1,446 @@
+"""Whole-program rules DC012..DC016 over the project index.
+
+Per-file rules (:mod:`repro.lintkit.rules`) see one AST at a time;
+these rules see the whole program -- the call graph, the public API
+surface, and cross-artifact state (DESIGN.md, ``api_surface.json``).
+They consume the pre-extracted :class:`~repro.lintkit.index.ModuleFacts`
+rather than re-walking trees, which is what lets the warm-cache path
+skip parsing entirely.
+
+Findings route through :class:`ProjectContext.report`, which applies
+the same per-line ``# darkcrowd: disable=`` suppressions as the
+per-file engine (the index carries each file's suppression table) and
+restricts module-anchored findings to the files the user asked about,
+so ``--changed`` scoping stays quiet about untouched code while the
+graph itself is always whole-program.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar
+
+from repro.lintkit.index import ModuleFacts, ProjectIndex
+from repro.lintkit.model import Finding
+from repro.lintkit.registry import GraphRule, register
+
+__all__ = [
+    "API_SURFACE_FILE",
+    "API_SURFACE_KIND",
+    "API_SURFACE_VERSION",
+    "ProjectContext",
+    "render_api_surface",
+]
+
+#: Committed baseline of the public API surface, at the project root.
+API_SURFACE_FILE = "api_surface.json"
+API_SURFACE_KIND = "darkcrowd-api-surface"
+API_SURFACE_VERSION = 1
+
+
+@dataclass
+class ProjectContext:
+    """Everything a :class:`GraphRule` can ask about the project."""
+
+    root: Path
+    index: ProjectIndex
+    #: root-relative path -> the path string findings should display
+    #: (how the file was named on the command line).  Keys define the
+    #: report scope: module-anchored findings outside it are dropped.
+    display: dict[str, str]
+    findings: list[Finding] = field(default_factory=list)
+    _artifact_cache: dict[str, "str | None"] = field(default_factory=dict)
+
+    def report(
+        self,
+        rule_id: str,
+        facts: ModuleFacts,
+        lineno: int,
+        col: int,
+        message: str,
+    ) -> None:
+        """Record a module-anchored finding (scope + suppression aware)."""
+        display = self.display.get(facts.path)
+        if display is None:
+            return  # real, but outside what this run was asked to report on
+        suppressed = facts.suppressions.get(lineno, [])
+        if "all" in suppressed or rule_id in suppressed:
+            return
+        self.findings.append(
+            Finding(
+                path=display, line=lineno, col=col, rule_id=rule_id, message=message
+            )
+        )
+
+    def report_artifact(
+        self, rule_id: str, artifact: str, message: str, lineno: int = 1
+    ) -> None:
+        """Record a finding against a non-Python artifact (always in scope)."""
+        self.findings.append(
+            Finding(path=artifact, line=lineno, col=0, rule_id=rule_id, message=message)
+        )
+
+    def artifact_text(self, name: str) -> "str | None":
+        """Contents of ``<root>/<name>``, or None when absent/unreadable."""
+        if name not in self._artifact_cache:
+            try:
+                text: "str | None" = (self.root / name).read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                text = None
+            self._artifact_cache[name] = text
+        return self._artifact_cache[name]
+
+
+def render_api_surface(index: ProjectIndex) -> str:
+    """The committed ``api_surface.json`` document for *index*."""
+    payload = {
+        "kind": API_SURFACE_KIND,
+        "version": API_SURFACE_VERSION,
+        "api": index.public_api(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+@register
+class UnseededRngReachable(GraphRule):
+    """DC012: unseeded RNG construction reachable from a public entry point.
+
+    DC002 catches module-global draws lexically; this rule follows the
+    call graph, so a ``default_rng()`` buried three private helpers deep
+    under a public function is flagged too, while dead private code is
+    not.  A ``field(default_factory=np.random.default_rng)`` dataclass
+    default counts: it constructs a fresh unseeded generator at every
+    instantiation, which is exactly how irreproducibility sneaks into
+    per-host simulations.
+    """
+
+    rule_id: ClassVar[str] = "DC012"
+    summary: ClassVar[str] = "no unseeded RNG reachable from public entry points"
+    rationale: ClassVar[str] = (
+        "Placement results must replay bit-identically from a manifest seed; "
+        "an unseeded generator anywhere under the public API breaks replay "
+        "even when every documented entry point takes a seed."
+    )
+
+    _HOW = {
+        "no-seed": "with no seed",
+        "none-seed": "with seed=None",
+        "default-factory": "as an unseeded dataclass default_factory",
+    }
+
+    def check(self, project: ProjectContext) -> None:
+        reached = project.index.reachable_from_entry_points()
+        for facts in project.index.modules.values():
+            if not facts.is_library or facts.is_test:
+                continue
+            for fn in facts.functions:
+                if not fn.rng_sites:
+                    continue
+                node = f"{facts.module}.{fn.qualname}"
+                entry = reached.get(node)
+                if entry is None:
+                    continue
+                via = "" if entry == node else f" via {entry}"
+                for site in fn.rng_sites:
+                    project.report(
+                        self.rule_id,
+                        facts,
+                        site.lineno,
+                        site.col,
+                        f"{site.factory}() constructed {self._HOW[site.how]} is "
+                        f"reachable from the public API{via}; thread an "
+                        "explicit seeded Generator instead",
+                    )
+
+
+@register
+class UnorderedIterationIntoSink(GraphRule):
+    """DC013: set-derived iteration order flowing into a serialization sink.
+
+    Set iteration order depends on insertion history and hash
+    randomization; letting it reach ``json.dump``/``pickle``/checkpoint
+    writers makes artifacts differ between identical runs.  The
+    sanctioned fix is ``sorted(...)``, which the dataflow layer treats
+    as a terminal ordered origin.
+    """
+
+    rule_id: ClassVar[str] = "DC013"
+    summary: ClassVar[str] = "no unordered set iteration into serialization sinks"
+    rationale: ClassVar[str] = (
+        "Checkpoints and reports are diffed and hashed across runs; "
+        "set-ordered content makes equal states produce unequal bytes."
+    )
+
+    def check(self, project: ProjectContext) -> None:
+        for facts in project.index.modules.values():
+            if facts.is_test:
+                continue
+            for fn in facts.functions:
+                for taint in fn.sink_taints:
+                    project.report(
+                        self.rule_id,
+                        facts,
+                        taint.lineno,
+                        taint.col,
+                        f"value derived from {taint.source} (line "
+                        f"{taint.source_line}) flows into {taint.sink}; "
+                        "serialize a sorted() view so byte output is "
+                        "deterministic",
+                    )
+
+
+@register
+class UnpicklablePoolDispatch(GraphRule):
+    """DC014: ProcessPoolExecutor dispatch that cannot survive pickling.
+
+    Lambdas and closures are not picklable, and locks/file handles/
+    memmaps must never be shipped to workers; all of them fail at
+    runtime (or worse, only on the spawn start method).  The sharded
+    engine's convention is module-level worker functions taking plain
+    data -- this rule makes that convention load-bearing.
+    """
+
+    rule_id: ClassVar[str] = "DC014"
+    summary: ClassVar[str] = "process-pool workers must be picklable module functions"
+    rationale: ClassVar[str] = (
+        "Fan-out paths must behave identically under fork and spawn; "
+        "closure workers and captured locks break spawn and hide "
+        "platform-dependent bugs."
+    )
+
+    _MESSAGES = {
+        "lambda-worker": (
+            "lambda submitted to a process pool; lambdas cannot be pickled "
+            "-- use a module-level worker function"
+        ),
+        "closure-worker": (
+            "nested function {detail!r} submitted to a process pool; "
+            "closures cannot be pickled -- hoist the worker to module level"
+        ),
+        "unpicklable-arg": (
+            "argument constructed from {detail} crosses a process-pool "
+            "boundary; pass plain picklable data instead"
+        ),
+    }
+
+    def check(self, project: ProjectContext) -> None:
+        for facts in project.index.modules.values():
+            if facts.is_test:
+                continue
+            for fn in facts.functions:
+                for hazard in fn.pool_hazards:
+                    template = self._MESSAGES[hazard.hazard]
+                    project.report(
+                        self.rule_id,
+                        facts,
+                        hazard.lineno,
+                        hazard.col,
+                        template.format(detail=hazard.detail),
+                    )
+
+
+@register
+class CheckpointVersionDrift(GraphRule):
+    """DC015: checkpoint version literals drifting from the negotiated set.
+
+    ``streaming.py`` declares the envelope contract
+    (STREAM_CHECKPOINT_KIND / _VERSION / _COMPAT); every library call
+    site touching that kind must route versions through those names.  A
+    hard-coded literal matches today and silently diverges the day the
+    format bumps -- exactly the drift version negotiation exists to
+    prevent.  Inert when no module declares the contract.
+    """
+
+    rule_id: ClassVar[str] = "DC015"
+    summary: ClassVar[str] = "checkpoint versions must come from the negotiated set"
+    rationale: ClassVar[str] = (
+        "Version negotiation (PR 7) only protects readers if writers and "
+        "readers share one source of truth for kind and version."
+    )
+
+    def check(self, project: ProjectContext) -> None:
+        streaming = self._contract_module(project.index)
+        if streaming is None:
+            return
+        kind = streaming.constants.get("STREAM_CHECKPOINT_KIND")
+        version = streaming.constants.get("STREAM_CHECKPOINT_VERSION")
+        compat = streaming.constants.get("STREAM_CHECKPOINT_COMPAT")
+        if (
+            not isinstance(kind, str)
+            or not isinstance(version, int)
+            or not isinstance(compat, tuple)
+        ):
+            return
+        if version not in compat:
+            project.report(
+                self.rule_id,
+                streaming,
+                1,
+                0,
+                f"STREAM_CHECKPOINT_VERSION={version} is not in the "
+                f"negotiated reader set STREAM_CHECKPOINT_COMPAT={compat}; "
+                "current writers would produce checkpoints no reader accepts",
+            )
+        for facts in project.index.modules.values():
+            if facts.is_test or not facts.is_library:
+                continue
+            for fn in facts.functions:
+                for call in fn.checkpoint_calls:
+                    if not self._targets_contract(call.kind_desc, kind):
+                        continue
+                    self._check_version(project, facts, call, compat)
+
+    @staticmethod
+    def _contract_module(index: ProjectIndex) -> "ModuleFacts | None":
+        for facts in index.modules.values():
+            if not facts.is_library:
+                continue
+            if {
+                "STREAM_CHECKPOINT_KIND",
+                "STREAM_CHECKPOINT_VERSION",
+                "STREAM_CHECKPOINT_COMPAT",
+            } <= set(facts.constants):
+                return facts
+        return None
+
+    @staticmethod
+    def _targets_contract(kind_desc: "tuple[str, object]", kind: str) -> bool:
+        desc_kind, desc_value = kind_desc
+        if desc_kind == "const":
+            return desc_value == kind
+        if desc_kind == "name":
+            return str(desc_value).endswith("STREAM_CHECKPOINT_KIND")
+        return False
+
+    def _check_version(self, project, facts, call, compat) -> None:
+        desc_kind, desc_value = call.version_desc
+        if desc_kind == "const" and isinstance(desc_value, int):
+            if desc_value not in compat:
+                message = (
+                    f"{call.callee}() uses version literal {desc_value}, "
+                    f"which drifted outside the negotiated reader set "
+                    f"{compat}; use STREAM_CHECKPOINT_VERSION / "
+                    "STREAM_CHECKPOINT_COMPAT"
+                )
+            else:
+                message = (
+                    f"{call.callee}() hard-codes version {desc_value} for the "
+                    "streaming checkpoint kind; route it through "
+                    "STREAM_CHECKPOINT_VERSION so format bumps cannot drift"
+                )
+            project.report(self.rule_id, facts, call.lineno, call.col, message)
+        elif desc_kind == "tuple":
+            project.report(
+                self.rule_id,
+                facts,
+                call.lineno,
+                call.col,
+                f"{call.callee}() hard-codes accepted versions "
+                f"{desc_value} for the streaming checkpoint kind; use "
+                "STREAM_CHECKPOINT_COMPAT so reader negotiation cannot drift",
+            )
+
+
+@register
+class ApiSurfaceDrift(GraphRule):
+    """DC016: public API drift without updating the recorded surface.
+
+    The committed ``api_surface.json`` is the acknowledged public
+    surface; any added, removed, or re-signed public function must come
+    with a regenerated baseline (``darkcrowd lint --write-api-baseline``)
+    -- a deliberate speed bump that makes API changes reviewable events.
+    The companion cross-artifact check keeps the DESIGN.md Sec. 9
+    invariants table covering every registered rule.  Both halves are
+    inert when their artifact is absent (incremental adoption).
+    """
+
+    rule_id: ClassVar[str] = "DC016"
+    summary: ClassVar[str] = "public API changes must update the recorded surface"
+    rationale: ClassVar[str] = (
+        "Downstream notebooks and the paper pipeline pin against the "
+        "documented surface; silent signature drift invalidates them "
+        "without any test failing."
+    )
+
+    def check(self, project: ProjectContext) -> None:
+        self._check_design_table(project)
+        self._check_surface(project)
+
+    def _check_design_table(self, project: ProjectContext) -> None:
+        design = project.artifact_text("DESIGN.md")
+        if design is None:
+            return
+        from repro.lintkit.registry import all_rules
+
+        missing = sorted(
+            rule_id for rule_id in all_rules() if rule_id not in design
+        )
+        if missing:
+            project.report_artifact(
+                self.rule_id,
+                "DESIGN.md",
+                "invariants table (Sec. 9) has no entry for: "
+                + ", ".join(missing),
+            )
+
+    def _check_surface(self, project: ProjectContext) -> None:
+        raw = project.artifact_text(API_SURFACE_FILE)
+        if raw is None:
+            return
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            project.report_artifact(
+                self.rule_id,
+                API_SURFACE_FILE,
+                "file is not valid JSON; regenerate with "
+                "darkcrowd lint --write-api-baseline",
+            )
+            return
+        baseline = payload.get("api") if isinstance(payload, dict) else None
+        if not isinstance(baseline, dict):
+            project.report_artifact(
+                self.rule_id,
+                API_SURFACE_FILE,
+                'file has no "api" table; regenerate with '
+                "darkcrowd lint --write-api-baseline",
+            )
+            return
+        current = project.index.public_api()
+        for name, signature in current.items():
+            recorded = baseline.get(name)
+            located = project.index.symbols.get(name)
+            if located is None:
+                continue
+            facts, fn = located
+            if recorded is None:
+                project.report(
+                    self.rule_id,
+                    facts,
+                    fn.lineno,
+                    0,
+                    f"new public API {name}{signature} is not recorded in "
+                    f"{API_SURFACE_FILE}; run darkcrowd lint "
+                    "--write-api-baseline and document invariants in "
+                    "DESIGN.md Sec. 9 if any changed",
+                )
+            elif recorded != signature:
+                project.report(
+                    self.rule_id,
+                    facts,
+                    fn.lineno,
+                    0,
+                    f"public API signature changed: {name}{signature} "
+                    f"(recorded: {recorded}); update {API_SURFACE_FILE} via "
+                    "--write-api-baseline and the DESIGN.md Sec. 9 entry "
+                    "if the invariant moved",
+                )
+        for name in sorted(set(baseline) - set(current)):
+            project.report_artifact(
+                self.rule_id,
+                API_SURFACE_FILE,
+                f"recorded public API {name} no longer exists; regenerate "
+                "with darkcrowd lint --write-api-baseline",
+            )

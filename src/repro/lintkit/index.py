@@ -1,0 +1,1112 @@
+"""Whole-program project index: symbols, imports, calls, cached facts.
+
+The v1 engine saw one file at a time; the v2 rules (DC012..DC016) need
+to see the *project* -- which functions a public entry point reaches,
+which module defines the negotiated checkpoint reader set, what the
+public API surface looks like.  This module parses every file once and
+distils each into a :class:`ModuleFacts` record: the import-alias
+table, the symbol table of functions/classes, per-function call sites,
+and the pre-computed dataflow facts the graph rules consume (unseeded
+RNG constructions, unordered-iteration-into-sink taints, process-pool
+worker hazards, checkpoint version literals, public signatures).
+
+Facts are plain JSON-serialisable data, which buys the on-disk cache:
+``.darkcrowd_cache/lint-index.json`` keyed by content hash, so a warm
+``darkcrowd lint`` re-parses only edited files and rebuilds the graphs
+from cached facts in well under a second.  The cache also memoises
+per-file rule findings (keyed by content hash *and* the active rule
+signature); graph-rule findings are recomputed every run, because they
+depend on the whole program, not one file.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import re
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.lintkit.dataflow import FunctionDataflow
+from repro.lintkit.model import FileContext, Finding
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CallFact",
+    "CheckpointCallFact",
+    "FunctionFacts",
+    "IndexCache",
+    "ModuleFacts",
+    "PoolHazardFact",
+    "ProjectIndex",
+    "RngFact",
+    "SinkTaintFact",
+    "detect_project_root",
+    "extract_module_facts",
+    "module_name_for",
+]
+
+#: Bump whenever the fact schema or extraction semantics change; a cache
+#: written by another schema is discarded wholesale, never misread.
+CACHE_SCHEMA_VERSION = 2
+
+#: Markers that terminate the project-root walk-up.
+_ROOT_MARKERS = ("pyproject.toml", ".git")
+
+_UPPER_CONST = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+#: Unseeded-RNG constructors DC012 tracks through the call graph.
+_RNG_FACTORIES = frozenset({"numpy.random.default_rng", "random.Random"})
+
+#: Serialization sinks DC013 guards (resolved origins).
+_SINK_ORIGINS = frozenset(
+    {
+        "json.dump",
+        "json.dumps",
+        "pickle.dump",
+        "pickle.dumps",
+        "numpy.savez",
+        "numpy.savez_compressed",
+        "repro.reliability.checkpoint.write_checkpoint",
+        "repro.reliability.checkpoint.write_binary_checkpoint",
+    }
+)
+
+#: Serialization sinks by bare/attribute name (checkpoint writers reached
+#: through any import path or as methods).
+_SINK_NAMES = frozenset(
+    {"write_checkpoint", "write_binary_checkpoint", "save_checkpoint"}
+)
+
+#: Checkpoint envelope readers/writers whose (kind, version) arguments
+#: DC015 audits against the negotiated set.
+_CHECKPOINT_CALLEES = frozenset(
+    {
+        "write_checkpoint",
+        "read_checkpoint",
+        "read_checkpoint_negotiated",
+        "write_binary_checkpoint",
+        "read_binary_checkpoint",
+        "read_binary_checkpoint_negotiated",
+    }
+)
+
+#: Constructors whose results must never cross a process-pool boundary.
+_UNPICKLABLE_ORIGINS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Event",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+        "open",
+        "builtins.open",
+        "numpy.memmap",
+        "multiprocessing.shared_memory.SharedMemory",
+    }
+)
+
+_POOL_ORIGINS = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+    }
+)
+
+
+# ---------------------------------------------------------------------------
+# fact records (all JSON round-trippable via asdict / from_dict)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CallFact:
+    """One call site, with a best-effort encoded target.
+
+    Encodings: a fully dotted import origin (``repro.core.batch.foo``),
+    ``@local:name`` for same-module calls, ``@self:Class.meth`` for
+    method self-calls, ``@recv:<ClassOrigin>:meth`` when the receiver's
+    constructing class was recovered by dataflow, and ``@method:meth``
+    for attribute calls on unresolved receivers.
+    """
+
+    lineno: int
+    col: int
+    target: str
+
+
+@dataclass(frozen=True)
+class RngFact:
+    """An unseeded seedable-RNG construction site."""
+
+    lineno: int
+    col: int
+    factory: str  # the resolved constructor, e.g. numpy.random.default_rng
+    how: str  # "no-seed" | "none-seed" | "default-factory"
+
+
+@dataclass(frozen=True)
+class SinkTaintFact:
+    """Unordered (set-derived) iteration flowing into a serialization sink."""
+
+    lineno: int
+    col: int
+    sink: str
+    source: str  # description of the unordered origin
+    source_line: int
+
+
+@dataclass(frozen=True)
+class PoolHazardFact:
+    """A process-pool dispatch that cannot survive pickling."""
+
+    lineno: int
+    col: int
+    hazard: str  # "lambda-worker" | "closure-worker" | "unpicklable-arg"
+    detail: str
+
+
+@dataclass(frozen=True)
+class CheckpointCallFact:
+    """A checkpoint envelope read/write with its kind/version descriptors.
+
+    Descriptors are ``("const", value)`` for literals, ``("name", dotted)``
+    for named constants (import-resolved when possible), ``("tuple", (...))``
+    for literal version tuples, and ``("other", "")`` for anything else.
+    """
+
+    lineno: int
+    col: int
+    callee: str
+    kind_desc: tuple[str, Any]
+    version_desc: tuple[str, Any]
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the graph rules ask about one function or method."""
+
+    qualname: str  # "f", "Class.meth", or "<module>" for top-level code
+    lineno: int
+    is_public: bool
+    signature: str
+    calls: list[CallFact] = field(default_factory=list)
+    rng_sites: list[RngFact] = field(default_factory=list)
+    sink_taints: list[SinkTaintFact] = field(default_factory=list)
+    pool_hazards: list[PoolHazardFact] = field(default_factory=list)
+    checkpoint_calls: list[CheckpointCallFact] = field(default_factory=list)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FunctionFacts":
+        return cls(
+            qualname=payload["qualname"],
+            lineno=payload["lineno"],
+            is_public=payload["is_public"],
+            signature=payload["signature"],
+            calls=[CallFact(**entry) for entry in payload["calls"]],
+            rng_sites=[RngFact(**entry) for entry in payload["rng_sites"]],
+            sink_taints=[SinkTaintFact(**entry) for entry in payload["sink_taints"]],
+            pool_hazards=[
+                PoolHazardFact(**entry) for entry in payload["pool_hazards"]
+            ],
+            checkpoint_calls=[
+                CheckpointCallFact(
+                    lineno=entry["lineno"],
+                    col=entry["col"],
+                    callee=entry["callee"],
+                    kind_desc=tuple(entry["kind_desc"]),
+                    version_desc=_thaw_version_desc(entry["version_desc"]),
+                )
+                for entry in payload["checkpoint_calls"]
+            ],
+        )
+
+
+def _thaw_version_desc(raw: Sequence[Any]) -> tuple[str, Any]:
+    kind, value = raw[0], raw[1]
+    if kind == "tuple" and isinstance(value, list):
+        return (kind, tuple(value))
+    return (kind, value)
+
+
+@dataclass
+class ModuleFacts:
+    """The distilled whole-program-relevant view of one source file."""
+
+    path: str  # project-root-relative posix path
+    module: str  # dotted module name
+    content_hash: str
+    is_test: bool
+    is_library: bool
+    imports: dict[str, str] = field(default_factory=dict)
+    imported_modules: list[str] = field(default_factory=list)
+    constants: dict[str, Any] = field(default_factory=dict)
+    classes: dict[str, list[str]] = field(default_factory=dict)
+    functions: list[FunctionFacts] = field(default_factory=list)
+    suppressions: dict[int, list[str]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        # JSON object keys are strings; suppression linenos round-trip
+        # through from_dict below.
+        payload["suppressions"] = {
+            str(line): ids for line, ids in self.suppressions.items()
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ModuleFacts":
+        return cls(
+            path=payload["path"],
+            module=payload["module"],
+            content_hash=payload["content_hash"],
+            is_test=payload["is_test"],
+            is_library=payload["is_library"],
+            imports=dict(payload["imports"]),
+            imported_modules=list(payload["imported_modules"]),
+            constants={
+                name: tuple(value) if isinstance(value, list) else value
+                for name, value in payload["constants"].items()
+            },
+            classes={name: list(ms) for name, ms in payload["classes"].items()},
+            functions=[FunctionFacts.from_dict(f) for f in payload["functions"]],
+            suppressions={
+                int(line): list(ids)
+                for line, ids in payload["suppressions"].items()
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# project layout helpers
+# ---------------------------------------------------------------------------
+
+
+def detect_project_root(start: "str | Path") -> "Path | None":
+    """Nearest ancestor of *start* carrying a project marker, or None."""
+    current = Path(start).resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+            return candidate
+    return None
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module name of *path* within the project rooted at *root*.
+
+    Files under ``<root>/src`` are named relative to ``src`` (the import
+    path); everything else is named relative to the root, so tests and
+    benchmarks get stable graph identities too.
+    """
+    resolved = path.resolve()
+    src = root / "src"
+    try:
+        relative = resolved.relative_to(src)
+    except ValueError:
+        try:
+            relative = resolved.relative_to(root)
+        except ValueError:
+            relative = Path(resolved.name)
+    parts = list(relative.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else relative.stem
+
+
+def content_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# fact extraction
+# ---------------------------------------------------------------------------
+
+
+def _render_signature(args: ast.arguments) -> str:
+    """Version-stable signature rendering: names, kinds and default slots.
+
+    Default *values* render as ``_`` on purpose -- ``ast.unparse`` output
+    varies across interpreter versions, and DC016 guards arity/name/kind
+    drift, not default-value tweaks.
+    """
+    parts: list[str] = []
+    positional = list(args.posonlyargs) + list(args.args)
+    first_default = len(positional) - len(args.defaults)
+    for index, arg in enumerate(positional):
+        parts.append(arg.arg + ("=_" if index >= first_default else ""))
+        if args.posonlyargs and index == len(args.posonlyargs) - 1:
+            parts.append("/")
+    if args.vararg is not None:
+        parts.append("*" + args.vararg.arg)
+    elif args.kwonlyargs:
+        parts.append("*")
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        parts.append(arg.arg + ("=_" if default is not None else ""))
+    if args.kwarg is not None:
+        parts.append("**" + args.kwarg.arg)
+    return "(" + ", ".join(parts) + ")"
+
+
+def _qual_is_public(qualname: str) -> bool:
+    segments = qualname.split(".")
+    for index, segment in enumerate(segments):
+        if segment == "__init__" and index == len(segments) - 1 and index > 0:
+            continue
+        if segment.startswith("_"):
+            return False
+    return True
+
+
+def _call_name(func: ast.expr) -> "str | None":
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class _FactExtractor:
+    """Single pass over one parsed file producing its :class:`ModuleFacts`."""
+
+    def __init__(
+        self, ctx: FileContext, module: str, *, rel_path: str, digest: str,
+        is_test: bool, is_library: bool,
+    ) -> None:
+        self.ctx = ctx
+        self.facts = ModuleFacts(
+            path=rel_path,
+            module=module,
+            content_hash=digest,
+            is_test=is_test,
+            is_library=is_library,
+            imports=dict(ctx.aliases),
+            suppressions={
+                line: sorted(ids) for line, ids in ctx.suppressions.items()
+            },
+        )
+        self._module_facts_fn = FunctionFacts(
+            qualname="<module>", lineno=1, is_public=True, signature="()"
+        )
+
+    def run(self) -> ModuleFacts:
+        tree = self.ctx.tree
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.facts.imported_modules.append(alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                self.facts.imported_modules.append(node.module)
+        self.facts.imported_modules = sorted(set(self.facts.imported_modules))
+        self._collect_constants(tree)
+        module_flow = FunctionDataflow(tree, self.ctx.resolve)
+        self._walk_block(tree.body, class_name=None, owner=self._module_facts_fn)
+        self._analyze_scope(tree, self._module_facts_fn, module_flow)
+        self.facts.functions.append(self._module_facts_fn)
+        return self.facts
+
+    # -- structure ---------------------------------------------------------
+
+    def _collect_constants(self, tree: ast.Module) -> None:
+        for stmt in tree.body:
+            targets: list[ast.expr] = []
+            value: "ast.expr | None" = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            literal = self._literal(value)
+            if literal is None:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and _UPPER_CONST.match(target.id):
+                    self.facts.constants[target.id] = literal
+
+    @staticmethod
+    def _literal(value: ast.expr) -> Any:
+        if isinstance(value, ast.Constant) and isinstance(
+            value.value, (int, str)
+        ) and not isinstance(value.value, bool):
+            return value.value
+        if isinstance(value, ast.Tuple) and all(
+            isinstance(el, ast.Constant)
+            and isinstance(el.value, int)
+            and not isinstance(el.value, bool)
+            for el in value.elts
+        ):
+            return tuple(el.value for el in value.elts)  # type: ignore[union-attr]
+        return None
+
+    def _walk_block(
+        self,
+        stmts: Sequence[ast.stmt],
+        class_name: "str | None",
+        owner: FunctionFacts,
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = (
+                    f"{class_name}.{stmt.name}" if class_name else stmt.name
+                )
+                fn = FunctionFacts(
+                    qualname=qualname,
+                    lineno=stmt.lineno,
+                    is_public=_qual_is_public(qualname),
+                    signature=_render_signature(stmt.args),
+                )
+                flow = FunctionDataflow(stmt, self.ctx.resolve)
+                self._analyze_scope(stmt, fn, flow, class_name=class_name)
+                self.facts.functions.append(fn)
+            elif isinstance(stmt, ast.ClassDef):
+                if class_name is None:
+                    self.facts.classes[stmt.name] = sorted(
+                        inner.name
+                        for inner in stmt.body
+                        if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    )
+                    self._walk_block(stmt.body, stmt.name, owner)
+                else:
+                    # Nested classes are rare; treat their bodies as
+                    # belonging to the enclosing class's owner scope.
+                    self._walk_block(stmt.body, f"{class_name}.{stmt.name}", owner)
+            else:
+                # Module-level / class-body statements execute at import
+                # time: their calls and RNG sites belong to "<module>".
+                self._collect_lexical_facts(stmt, owner)
+
+    # -- per-scope analysis -----------------------------------------------
+
+    def _analyze_scope(
+        self,
+        scope: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Module",
+        fn: FunctionFacts,
+        flow: FunctionDataflow,
+        class_name: "str | None" = None,
+    ) -> None:
+        """Call/RNG facts over the whole (nested-def-inclusive) body, plus
+        dataflow-backed sink/pool analysis for the scope's own statements.
+
+        At module level the lexical facts were already collected by
+        ``_walk_block`` (which also owns class-body statements); only the
+        dataflow pass runs here.
+        """
+        if not isinstance(scope, ast.Module):
+            for stmt in scope.body:
+                self._collect_lexical_facts(stmt, fn, class_name=class_name)
+        for stmt in scope.body:
+            self._flow_stmt(stmt, fn, flow)
+
+    def _collect_lexical_facts(
+        self,
+        stmt: ast.stmt,
+        fn: FunctionFacts,
+        class_name: "str | None" = None,
+    ) -> None:
+        # ``ast.walk`` descends into nested defs on purpose: a helper
+        # defined inside a reachable function is treated as reachable
+        # (its calls and RNG sites flatten into the enclosing function).
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                self._record_call(node, fn, class_name=class_name)
+                self._record_rng(node, fn)
+                self._record_checkpoint_call(node, fn)
+
+    def _record_call(
+        self, node: ast.Call, fn: FunctionFacts, class_name: "str | None"
+    ) -> None:
+        func = node.func
+        resolved = self.ctx.resolve(func)
+        target: "str | None" = None
+        if resolved is not None:
+            target = resolved
+        elif isinstance(func, ast.Name):
+            target = f"@local:{func.id}"
+        elif isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and class_name is not None
+            ):
+                target = f"@self:{class_name}.{func.attr}"
+            else:
+                target = f"@method:{func.attr}"
+        if target is not None:
+            fn.calls.append(CallFact(node.lineno, node.col_offset, target))
+
+    def _record_rng(self, node: ast.Call, fn: FunctionFacts) -> None:
+        resolved = self.ctx.resolve(node.func)
+        if resolved in _RNG_FACTORIES:
+            if not node.args and not node.keywords:
+                fn.rng_sites.append(
+                    RngFact(node.lineno, node.col_offset, resolved, "no-seed")
+                )
+                return
+            seed_expr: "ast.expr | None" = None
+            if node.args:
+                seed_expr = node.args[0]
+            else:
+                for keyword in node.keywords:
+                    if keyword.arg == "seed":
+                        seed_expr = keyword.value
+            if (
+                seed_expr is not None
+                and isinstance(seed_expr, ast.Constant)
+                and seed_expr.value is None
+            ):
+                fn.rng_sites.append(
+                    RngFact(node.lineno, node.col_offset, resolved, "none-seed")
+                )
+            return
+        # field(default_factory=np.random.default_rng) constructs an
+        # unseeded generator at every instantiation.
+        for keyword in node.keywords:
+            if keyword.arg == "default_factory":
+                factory = self.ctx.resolve(keyword.value)
+                if factory in _RNG_FACTORIES:
+                    fn.rng_sites.append(
+                        RngFact(
+                            node.lineno,
+                            node.col_offset,
+                            factory,
+                            "default-factory",
+                        )
+                    )
+
+    def _record_checkpoint_call(self, node: ast.Call, fn: FunctionFacts) -> None:
+        name = _call_name(node.func)
+        resolved = self.ctx.resolve(node.func)
+        if resolved is not None:
+            name = resolved.rsplit(".", 1)[-1]
+        if name not in _CHECKPOINT_CALLEES:
+            return
+        kind_expr = self._argument(node, 1, ("kind",))
+        version_expr = self._argument(node, 2, ("version", "versions"))
+        fn.checkpoint_calls.append(
+            CheckpointCallFact(
+                node.lineno,
+                node.col_offset,
+                name,
+                self._describe(kind_expr),
+                self._describe(version_expr),
+            )
+        )
+
+    @staticmethod
+    def _argument(
+        node: ast.Call, index: int, keywords: tuple[str, ...]
+    ) -> "ast.expr | None":
+        if len(node.args) > index:
+            return node.args[index]
+        for keyword in node.keywords:
+            if keyword.arg in keywords:
+                return keyword.value
+        return None
+
+    def _describe(self, expr: "ast.expr | None") -> tuple[str, Any]:
+        if expr is None:
+            return ("other", "")
+        if isinstance(expr, ast.Constant) and isinstance(
+            expr.value, (int, str)
+        ) and not isinstance(expr.value, bool):
+            return ("const", expr.value)
+        if isinstance(expr, ast.Tuple) and all(
+            isinstance(el, ast.Constant) and isinstance(el.value, int)
+            for el in expr.elts
+        ):
+            return ("tuple", tuple(el.value for el in expr.elts))  # type: ignore[union-attr]
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            resolved = self.ctx.resolve(expr)
+            if resolved is not None:
+                return ("name", resolved)
+            if isinstance(expr, ast.Name):
+                return ("name", expr.id)
+            return ("name", expr.attr)
+        return ("other", "")
+
+    # -- dataflow-backed facts (DC013 / DC014 inputs) ----------------------
+
+    def _flow_stmt(
+        self, stmt: ast.stmt, fn: FunctionFacts, flow: FunctionDataflow
+    ) -> None:
+        """Sink/pool checks for *stmt* and its block children, anchored to
+        the statement whose entry map the dataflow recorded.
+
+        Nested ``def``/``class`` subtrees are skipped -- their names bind
+        in another scope, so querying them against this flow would answer
+        with the wrong definitions.
+        """
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._flow_stmt(child, fn, flow)
+            elif isinstance(child, ast.excepthandler):
+                for handler_stmt in child.body:
+                    self._flow_stmt(handler_stmt, fn, flow)
+            else:
+                for node in ast.walk(child):
+                    if isinstance(node, ast.Call):
+                        self._check_sink(node, stmt, fn, flow)
+                        self._check_pool(node, stmt, fn, flow)
+                        self._refine_method_call(node, stmt, fn, flow)
+
+    def _sink_name(self, node: ast.Call) -> "str | None":
+        resolved = self.ctx.resolve(node.func)
+        if resolved in _SINK_ORIGINS:
+            return resolved
+        name = _call_name(node.func)
+        if name in _SINK_NAMES:
+            return name
+        return None
+
+    def _check_sink(
+        self,
+        node: ast.Call,
+        stmt: ast.stmt,
+        fn: FunctionFacts,
+        flow: FunctionDataflow,
+    ) -> None:
+        sink = self._sink_name(node)
+        if sink is None:
+            return
+        arguments = list(node.args) + [kw.value for kw in node.keywords]
+        for argument in arguments:
+            for origin in flow.origins(argument, stmt):
+                if origin.kind == "iter-of-set":
+                    fn.sink_taints.append(
+                        SinkTaintFact(
+                            node.lineno,
+                            node.col_offset,
+                            sink,
+                            "iteration over a set",
+                            origin.lineno or node.lineno,
+                        )
+                    )
+                    break
+
+    def _check_pool(
+        self,
+        node: ast.Call,
+        stmt: ast.stmt,
+        fn: FunctionFacts,
+        flow: FunctionDataflow,
+    ) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in ("submit", "map"):
+            return
+        if not isinstance(func.value, ast.Name):
+            return
+        receiver_origins = flow.origins(func.value, stmt)
+        if not any(
+            origin.is_call_to(*_POOL_ORIGINS) for origin in receiver_origins
+        ):
+            return
+        if not node.args:
+            return
+        worker, data_args = node.args[0], node.args[1:]
+        self._check_worker(worker, node, stmt, fn, flow)
+        for argument in list(data_args) + [kw.value for kw in node.keywords]:
+            for origin in flow.origins(argument, stmt):
+                if origin.kind == "call" and origin.detail in _UNPICKLABLE_ORIGINS:
+                    fn.pool_hazards.append(
+                        PoolHazardFact(
+                            node.lineno,
+                            node.col_offset,
+                            "unpicklable-arg",
+                            origin.detail,
+                        )
+                    )
+                    break
+
+    def _check_worker(
+        self,
+        worker: ast.expr,
+        node: ast.Call,
+        stmt: ast.stmt,
+        fn: FunctionFacts,
+        flow: FunctionDataflow,
+    ) -> None:
+        if isinstance(worker, ast.Call):
+            resolved = self.ctx.resolve(worker.func) or ""
+            if resolved in ("functools.partial",) and worker.args:
+                self._check_worker(worker.args[0], node, stmt, fn, flow)
+            return
+        for origin in flow.origins(worker, stmt):
+            if origin.kind == "lambda":
+                fn.pool_hazards.append(
+                    PoolHazardFact(
+                        node.lineno, node.col_offset, "lambda-worker", ""
+                    )
+                )
+                return
+            if origin.kind == "nested-function":
+                fn.pool_hazards.append(
+                    PoolHazardFact(
+                        node.lineno,
+                        node.col_offset,
+                        "closure-worker",
+                        origin.detail,
+                    )
+                )
+                return
+
+    def _refine_method_call(
+        self,
+        node: ast.Call,
+        stmt: ast.stmt,
+        fn: FunctionFacts,
+        flow: FunctionDataflow,
+    ) -> None:
+        """Upgrade ``@method:attr`` call facts to ``@recv:Class:attr`` when
+        dataflow pins the receiver to a single constructing class."""
+        func = node.func
+        if not isinstance(func, ast.Attribute) or not isinstance(
+            func.value, ast.Name
+        ):
+            return
+        if func.value.id == "self":
+            return
+        constructors = {
+            origin.detail
+            for origin in flow.origins(func.value, stmt)
+            if origin.kind == "call" and origin.detail
+            and not origin.detail.startswith("@")
+        }
+        if len(constructors) != 1:
+            return
+        (constructed,) = constructors
+        for index, call in enumerate(fn.calls):
+            if (
+                call.lineno == node.lineno
+                and call.col == node.col_offset
+                and call.target == f"@method:{func.attr}"
+            ):
+                fn.calls[index] = CallFact(
+                    call.lineno, call.col, f"@recv:{constructed}:{func.attr}"
+                )
+                break
+
+
+def extract_module_facts(
+    ctx: FileContext,
+    *,
+    module: str,
+    rel_path: str,
+    digest: str,
+    is_test: bool,
+    is_library: bool,
+) -> ModuleFacts:
+    """Distil one parsed file into its whole-program facts."""
+    extractor = _FactExtractor(
+        ctx,
+        module,
+        rel_path=rel_path,
+        digest=digest,
+        is_test=is_test,
+        is_library=is_library,
+    )
+    return extractor.run()
+
+
+# ---------------------------------------------------------------------------
+# the whole-program index
+# ---------------------------------------------------------------------------
+
+
+class ProjectIndex:
+    """Symbol table + import graph + call graph over a set of ModuleFacts."""
+
+    def __init__(self, root: Path, modules: Iterable[ModuleFacts]) -> None:
+        self.root = root
+        self.modules: dict[str, ModuleFacts] = {}
+        for facts in modules:
+            self.modules[facts.path] = facts
+        #: dotted function name -> (ModuleFacts, FunctionFacts)
+        self.symbols: dict[str, tuple[ModuleFacts, FunctionFacts]] = {}
+        #: dotted class name -> method-name list
+        self.classes: dict[str, list[str]] = {}
+        for facts in self.modules.values():
+            for fn in facts.functions:
+                if fn.qualname == "<module>":
+                    self.symbols[f"{facts.module}.<module>"] = (facts, fn)
+                else:
+                    self.symbols[f"{facts.module}.{fn.qualname}"] = (facts, fn)
+            for class_name, methods in facts.classes.items():
+                self.classes[f"{facts.module}.{class_name}"] = methods
+        self._edges: "dict[str, set[str]] | None" = None
+
+    # -- module-level views ------------------------------------------------
+
+    def by_module(self, module: str) -> "ModuleFacts | None":
+        for facts in self.modules.values():
+            if facts.module == module:
+                return facts
+        return None
+
+    def import_graph(self) -> dict[str, list[str]]:
+        return {
+            facts.module: sorted(set(facts.imported_modules))
+            for facts in sorted(self.modules.values(), key=lambda m: m.module)
+        }
+
+    # -- call graph --------------------------------------------------------
+
+    def _resolve_target(self, facts: ModuleFacts, target: str) -> "str | None":
+        if target.startswith("@local:"):
+            name = target[len("@local:"):]
+            dotted = f"{facts.module}.{name}"
+            if dotted in self.symbols:
+                return dotted
+            if dotted in self.classes:
+                init = f"{dotted}.__init__"
+                return init if init in self.symbols else None
+            return None
+        if target.startswith("@self:"):
+            dotted = f"{facts.module}.{target[len('@self:'):]}"
+            return dotted if dotted in self.symbols else None
+        if target.startswith("@recv:"):
+            _, constructed, method = target.split(":", 2)
+            if constructed in self.classes:
+                dotted = f"{constructed}.{method}"
+                return dotted if dotted in self.symbols else None
+            return None
+        if target.startswith("@method:"):
+            return None
+        if target in self.symbols:
+            return target
+        if target in self.classes:
+            init = f"{target}.__init__"
+            return init if init in self.symbols else None
+        return None
+
+    def call_graph(self) -> dict[str, set[str]]:
+        """Resolved edges: caller dotted name -> callee dotted names."""
+        if self._edges is not None:
+            return self._edges
+        edges: dict[str, set[str]] = {}
+        for facts in self.modules.values():
+            for fn in facts.functions:
+                caller = (
+                    f"{facts.module}.<module>"
+                    if fn.qualname == "<module>"
+                    else f"{facts.module}.{fn.qualname}"
+                )
+                out = edges.setdefault(caller, set())
+                for call in fn.calls:
+                    callee = self._resolve_target(facts, call.target)
+                    if callee is not None and callee != caller:
+                        out.add(callee)
+        self._edges = edges
+        return edges
+
+    def entry_points(self) -> list[str]:
+        """Public library surface: where outside callers can start."""
+        roots: list[str] = []
+        for facts in self.modules.values():
+            if not facts.is_library or facts.is_test:
+                continue
+            if any(part.startswith("_") for part in facts.module.split(".")):
+                continue
+            for fn in facts.functions:
+                if fn.qualname == "<module>":
+                    roots.append(f"{facts.module}.<module>")
+                elif fn.is_public:
+                    roots.append(f"{facts.module}.{fn.qualname}")
+        return sorted(set(roots))
+
+    def reachable_from_entry_points(self) -> dict[str, str]:
+        """Node -> the entry point that first reached it (BFS forest)."""
+        edges = self.call_graph()
+        reached: dict[str, str] = {}
+        frontier: list[str] = []
+        for root in self.entry_points():
+            if root not in reached:
+                reached[root] = root
+                frontier.append(root)
+        while frontier:
+            next_frontier: list[str] = []
+            for node in frontier:
+                for callee in sorted(edges.get(node, ())):
+                    if callee not in reached:
+                        reached[callee] = reached[node]
+                        next_frontier.append(callee)
+            frontier = next_frontier
+        return reached
+
+    # -- public API surface ------------------------------------------------
+
+    def public_api(self) -> dict[str, str]:
+        """Dotted public name -> rendered signature, library modules only."""
+        surface: dict[str, str] = {}
+        for facts in self.modules.values():
+            if not facts.is_library or facts.is_test:
+                continue
+            if any(part.startswith("_") for part in facts.module.split(".")):
+                continue
+            for fn in facts.functions:
+                if fn.qualname == "<module>" or not fn.is_public:
+                    continue
+                surface[f"{facts.module}.{fn.qualname}"] = fn.signature
+        return dict(sorted(surface.items()))
+
+    # -- graph export ------------------------------------------------------
+
+    def graph_payload(self) -> dict[str, Any]:
+        edges = self.call_graph()
+        return {
+            "kind": "darkcrowd-lint-graph",
+            "version": 1,
+            "modules": {
+                facts.module: {
+                    "path": facts.path,
+                    "imports": sorted(
+                        module
+                        for module in facts.imported_modules
+                        if module.split(".")[0]
+                        in {m.module.split(".")[0] for m in self.modules.values()}
+                    ),
+                    "is_test": facts.is_test,
+                }
+                for facts in sorted(self.modules.values(), key=lambda m: m.module)
+            },
+            "calls": {
+                caller: sorted(callees)
+                for caller, callees in sorted(edges.items())
+                if callees
+            },
+            "entry_points": self.entry_points(),
+            "stats": {
+                "n_modules": len(self.modules),
+                "n_functions": len(self.symbols),
+                "n_call_edges": sum(len(c) for c in edges.values()),
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# the on-disk cache
+# ---------------------------------------------------------------------------
+
+
+class IndexCache:
+    """Content-hash-keyed cache of per-file facts and per-file findings.
+
+    One JSON document per project: ``{schema, files: {rel_path: {hash,
+    facts, findings: {rule_signature: [...]}}}}``.  A schema mismatch or
+    unreadable document is treated as a cold cache, never an error.
+    """
+
+    FILENAME = "lint-index.json"
+
+    def __init__(self, directory: "Path | None") -> None:
+        self.directory = directory
+        self.path = None if directory is None else directory / self.FILENAME
+        self._files: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        if self.path is None or not self.path.exists():
+            return
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA_VERSION
+            or not isinstance(payload.get("files"), dict)
+        ):
+            return
+        self._files = payload["files"]
+
+    def get_facts(self, rel_path: str, digest: str) -> "ModuleFacts | None":
+        entry = self._files.get(rel_path)
+        if entry is None or entry.get("hash") != digest or not entry.get("facts"):
+            self.misses += 1
+            return None
+        try:
+            facts = ModuleFacts.from_dict(entry["facts"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return facts
+
+    def get_findings(
+        self, rel_path: str, digest: str, signature: str
+    ) -> "list[Finding] | None":
+        entry = self._files.get(rel_path)
+        if entry is None or entry.get("hash") != digest:
+            return None
+        stored = entry.get("findings", {}).get(signature)
+        if stored is None:
+            return None
+        try:
+            return [
+                Finding(
+                    path=item["path"],
+                    line=item["line"],
+                    col=item["col"],
+                    rule_id=item["rule"],
+                    message=item["message"],
+                )
+                for item in stored
+            ]
+        except (KeyError, TypeError):
+            return None
+
+    def put(
+        self,
+        rel_path: str,
+        digest: str,
+        facts: "ModuleFacts | None" = None,
+        signature: "str | None" = None,
+        findings: "Sequence[Finding] | None" = None,
+    ) -> None:
+        entry = self._files.get(rel_path)
+        if entry is None or entry.get("hash") != digest:
+            entry = {"hash": digest, "facts": None, "findings": {}}
+            self._files[rel_path] = entry
+        if facts is not None:
+            entry["facts"] = facts.to_dict()
+        if signature is not None and findings is not None:
+            entry["findings"][signature] = [
+                {
+                    "path": finding.path,
+                    "line": finding.line,
+                    "col": finding.col,
+                    "rule": finding.rule_id,
+                    "message": finding.message,
+                }
+                for finding in findings
+            ]
+        self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {"schema": CACHE_SCHEMA_VERSION, "files": self._files}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(
+                dir=str(self.path.parent), suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(temp_name, self.path)
+        except OSError:
+            return  # a cache that cannot persist is a warm-start miss, not a failure
+        self._dirty = False

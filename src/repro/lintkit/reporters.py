@@ -15,7 +15,9 @@ from repro.lintkit.registry import all_rules
 __all__ = ["REPORT_KIND", "REPORT_VERSION", "render_text", "render_json"]
 
 REPORT_KIND = "darkcrowd-lint-report"
-REPORT_VERSION = 1
+#: v2: optional "meta" block (cache hit/miss counts, baselined tally,
+#: whether the whole-program pass ran).  Everything in v1 is unchanged.
+REPORT_VERSION = 2
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -28,7 +30,12 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding], indent: "int | None" = 2) -> str:
+def render_json(
+    findings: Sequence[Finding],
+    indent: "int | None" = 2,
+    *,
+    meta: "dict[str, object] | None" = None,
+) -> str:
     """Stable machine-readable report (schema asserted by the test suite)."""
     rules = {
         rule_id: {"summary": rule.summary, "rationale": rule.rationale}
@@ -50,4 +57,6 @@ def render_json(findings: Sequence[Finding], indent: "int | None" = 2) -> str:
         ],
         "rules": rules,
     }
+    if meta is not None:
+        payload["meta"] = meta
     return json.dumps(payload, indent=indent, sort_keys=True)

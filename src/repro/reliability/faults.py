@@ -26,9 +26,14 @@ from __future__ import annotations
 
 import dataclasses
 import random
+from collections.abc import Iterable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import TransientForumError
+
+if TYPE_CHECKING:
+    from repro.forum.engine import Post, Thread
 
 
 @dataclass(frozen=True)
@@ -82,7 +87,7 @@ class FlakyForumProxy:
     tests can assert the faults actually fired.
     """
 
-    def __init__(self, forum, spec: FaultSpec | None = None) -> None:
+    def __init__(self, forum: Any, spec: FaultSpec | None = None) -> None:
         self.forum = forum
         self.spec = spec or FaultSpec()
         self._rng = random.Random(self.spec.seed)
@@ -90,7 +95,7 @@ class FlakyForumProxy:
         self.n_failures_injected = 0
         self.n_duplicates_injected = 0
         self.n_replays_injected = 0
-        self._served: list = []
+        self._served: list[Post] = []
 
     # -- fault machinery --------------------------------------------------
 
@@ -106,7 +111,7 @@ class FlakyForumProxy:
                 f"transient failure during {operation} (injected)"
             )
 
-    def _skewed(self, post):
+    def _skewed(self, post: Post) -> Post:
         """The post as displayed: creation-time skew added to its stamp."""
         skew = self.spec.skew_at(post.visible_from)
         if skew == 0.0:
@@ -115,7 +120,7 @@ class FlakyForumProxy:
             post, server_time=post.server_time + skew * 3600.0
         )
 
-    def _garble(self, posts):
+    def _garble(self, posts: Iterable[Post]) -> list[Post]:
         """Apply skew, duplication and shuffling to a listing."""
         displayed = [self._skewed(post) for post in posts]
         if self.spec.duplicate_rate > 0.0:
@@ -133,12 +138,13 @@ class FlakyForumProxy:
     # -- ForumServer surface ----------------------------------------------
 
     @property
-    def name(self):
-        return getattr(self.forum, "name", "forum")
+    def name(self) -> str:
+        return str(getattr(self.forum, "name", "forum"))
 
     @property
-    def onion(self):
-        return getattr(self.forum, "onion", None)
+    def onion(self) -> str | None:
+        onion = getattr(self.forum, "onion", None)
+        return None if onion is None else str(onion)
 
     def is_member(self, username: str) -> bool:
         self._maybe_fail("is_member")
@@ -152,20 +158,26 @@ class FlakyForumProxy:
         self._maybe_fail("rank_of")
         return self.forum.rank_of(username)
 
-    def thread_by_title(self, title: str):
+    def thread_by_title(self, title: str) -> Thread:
         self._maybe_fail("thread_by_title")
         return self.forum.thread_by_title(title)
 
-    def submit_post(self, username: str, thread_id: int, utc_now: float, body: str = ""):
+    def submit_post(
+        self, username: str, thread_id: int, utc_now: float, body: str = ""
+    ) -> Post:
         self._maybe_fail("submit_post")
         post = self.forum.submit_post(username, thread_id, utc_now, body=body)
         return self._skewed(post)
 
-    def visible_posts(self, viewer: str, utc_now: float, **kwargs):
+    def visible_posts(
+        self, viewer: str, utc_now: float, **kwargs: object
+    ) -> list[Post]:
         self._maybe_fail("visible_posts")
         return self._garble(self.forum.visible_posts(viewer, utc_now, **kwargs))
 
-    def newly_visible_posts(self, viewer: str, since: float, until: float):
+    def newly_visible_posts(
+        self, viewer: str, since: float, until: float
+    ) -> list[Post]:
         self._maybe_fail("newly_visible_posts")
         fresh = self.forum.newly_visible_posts(viewer, since, until)
         self._served.extend(fresh)

@@ -73,7 +73,7 @@ class RetryPolicy:
     def delays(self) -> list[float]:
         """The jittered backoff schedule of one execute call (len = attempts-1)."""
         rng = random.Random(self.seed)
-        schedule = []
+        schedule: list[float] = []
         for failure in range(self.max_attempts - 1):
             raw = min(self.max_delay, self.base_delay * self.multiplier**failure)
             schedule.append(raw * (1.0 + self.jitter * rng.uniform(-1.0, 1.0)))

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.events import TraceSet
+from repro.core.events import ActivityTrace, TraceSet
 from repro.errors import CorruptTraceError
 from repro.obs import metrics as obs_metrics
 from repro.obs.logs import get_logger, log_event
@@ -95,7 +95,7 @@ class DataQualityReport:
         )
 
 
-def trace_fault(trace) -> str | None:
+def trace_fault(trace: ActivityTrace) -> str | None:
     """The quarantine reason for *trace*, or None when it is healthy."""
     if trace.is_empty():
         return REASON_EMPTY
@@ -156,7 +156,7 @@ def assert_traces_clean(traces: TraceSet) -> None:
     the activity threshold drops them downstream, which was the pipeline's
     behaviour long before the quarantine mode existed.
     """
-    offenders = []
+    offenders: list[tuple[str, str]] = []
     for trace in traces:
         reason = trace_fault(trace)
         if reason in CORRUPT_REASONS:

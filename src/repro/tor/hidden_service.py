@@ -50,6 +50,16 @@ _ALLOWED_METHODS = frozenset(
 )
 
 
+def _default_host_rng() -> np.random.Generator:
+    """Deterministic fallback generator for hosts constructed without one.
+
+    Every in-repo constructor passes an explicit seeded ``rng=``; this
+    default exists so ad-hoc interactive use stays reproducible instead
+    of silently drawing from OS entropy.
+    """
+    return np.random.default_rng(0)
+
+
 @dataclass
 class HiddenServiceHost:
     """A hidden service wrapping an application object (the forum)."""
@@ -58,7 +68,7 @@ class HiddenServiceHost:
     application: object
     private_key: str
     n_intro_points: int = 3
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(default_factory=_default_host_rng)
     descriptor: ServiceDescriptor | None = None
     service_circuits: list[Circuit] = field(default_factory=list)
 

@@ -1,0 +1,22 @@
+"""Fixture: unseeded RNG buried under private helpers (DC012 fires).
+
+No single file looks wrong -- ``place_crowd`` is documented to take a
+seedless signature, and the unseeded ``default_rng()`` hides two
+private hops below it.  Only the call graph sees the path.
+"""
+
+import numpy as np
+
+
+def place_crowd(n_users):
+    """Public entry point: reaches the unseeded generator via helpers."""
+    return _simulate(n_users)
+
+
+def _simulate(n_users):
+    rng = _make_rng()
+    return rng.normal(size=n_users)
+
+
+def _make_rng():
+    return np.random.default_rng()

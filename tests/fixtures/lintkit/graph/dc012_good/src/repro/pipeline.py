@@ -1,0 +1,21 @@
+"""Fixture: seeded RNG on every reachable path (DC012 stays quiet).
+
+``_dead_helper`` constructs an unseeded generator but nothing public
+reaches it -- the reachability analysis must not alarm on dead private
+code (that precision is the whole point of the call-graph pass).
+"""
+
+import numpy as np
+
+
+def place_crowd(n_users, seed):
+    """Public entry point: threads an explicit seed all the way down."""
+    return _simulate(n_users, np.random.default_rng(seed))
+
+
+def _simulate(n_users, rng):
+    return rng.normal(size=n_users)
+
+
+def _dead_helper():
+    return np.random.default_rng()

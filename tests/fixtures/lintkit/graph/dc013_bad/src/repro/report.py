@@ -1,0 +1,17 @@
+"""Fixture: set iteration order reaching serialization sinks (DC013)."""
+
+import json
+
+
+def export_zones():
+    seen = {3, 7, 11}
+    rows = [zone for zone in seen]
+    return json.dumps(rows)
+
+
+def export_offsets(path):
+    offsets = set()
+    offsets.add(1)
+    ordered = list(offsets)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(ordered, handle)

@@ -1,0 +1,15 @@
+"""Fixture: sets are sorted before serialization (DC013 stays quiet)."""
+
+import json
+
+
+def export_zones():
+    seen = {3, 7, 11}
+    return json.dumps(sorted(seen))
+
+
+def export_offsets(path):
+    offsets = {1, 2}
+    ordered = sorted(offsets)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(ordered, handle)

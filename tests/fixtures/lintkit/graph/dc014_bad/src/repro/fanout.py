@@ -1,0 +1,24 @@
+"""Fixture: unpicklable process-pool dispatch (DC014 fires three ways)."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _worker(item):
+    return item + 1
+
+
+def fan_out(items):
+    lock = threading.Lock()
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda item: item + 1, item) for item in items]
+        counted = list(pool.map(_worker, items, lock))
+    return futures, counted
+
+
+def fan_out_closure(items):
+    def inner(item):
+        return item * 2
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(inner, items))

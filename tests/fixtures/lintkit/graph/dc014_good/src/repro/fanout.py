@@ -1,0 +1,13 @@
+"""Fixture: module-level workers, plain-data args (DC014 stays quiet)."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _worker(item):
+    return item + 1
+
+
+def fan_out(items):
+    payload = [int(item) for item in items]
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_worker, payload))

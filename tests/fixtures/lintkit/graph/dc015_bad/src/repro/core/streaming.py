@@ -1,0 +1,18 @@
+"""Fixture: checkpoint version drift (DC015 fires twice).
+
+The declared writer version escaped the negotiated reader set, and a
+call site hard-codes a literal instead of routing through the
+constants.
+"""
+
+STREAM_CHECKPOINT_KIND = "streaming-geolocator"
+STREAM_CHECKPOINT_VERSION = 3
+STREAM_CHECKPOINT_COMPAT = (1, 2)
+
+
+def write_checkpoint(path, kind, version, state):
+    return (path, kind, version, state)
+
+
+def save_state(path, state):
+    return write_checkpoint(path, STREAM_CHECKPOINT_KIND, 2, state)

@@ -1,0 +1,25 @@
+"""Fixture: checkpoint versions route through the contract (DC015 quiet)."""
+
+STREAM_CHECKPOINT_KIND = "streaming-geolocator"
+STREAM_CHECKPOINT_VERSION = 2
+STREAM_CHECKPOINT_COMPAT = (1, 2)
+
+
+def write_checkpoint(path, kind, version, state):
+    return (path, kind, version, state)
+
+
+def read_checkpoint_negotiated(path, kind, versions):
+    return (path, kind, versions)
+
+
+def save_state(path, state):
+    return write_checkpoint(
+        path, STREAM_CHECKPOINT_KIND, STREAM_CHECKPOINT_VERSION, state
+    )
+
+
+def load_state(path):
+    return read_checkpoint_negotiated(
+        path, STREAM_CHECKPOINT_KIND, STREAM_CHECKPOINT_COMPAT
+    )

@@ -1,0 +1,13 @@
+"""Fixture: public API drift against the recorded surface (DC016)."""
+
+
+def place(users, seed):
+    return len(users) + seed
+
+
+def summarize():
+    return {}
+
+
+def _helper():
+    return 0

@@ -1,0 +1,13 @@
+"""Fixture: public API matches the recorded surface (DC016 stays quiet)."""
+
+
+def place(users, seed):
+    return len(users) + seed
+
+
+def summarize():
+    return {}
+
+
+def _helper():
+    return 0

@@ -61,10 +61,9 @@ def fixture_source(name: str) -> str:
 
 
 class TestRegistry:
-    def test_all_eleven_rules_registered(self):
+    def test_all_sixteen_rules_registered(self):
         assert sorted(all_rules()) == [f"DC00{i}" for i in range(1, 10)] + [
-            "DC010",
-            "DC011",
+            f"DC0{i}" for i in range(10, 17)
         ]
 
     def test_every_rule_documents_itself(self):
